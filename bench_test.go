@@ -1,0 +1,234 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, plus ablation benches for the design choices called out in
+// DESIGN.md §6. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark regenerates its experiment end to end (profiling,
+// planning, simulated epochs) with truncated passes so a full sweep stays
+// in seconds; per-iteration metrics report the headline quantity (e.g.
+// speedup over DP) so the shape results are visible in benchmark output.
+package pipebd
+
+import (
+	"testing"
+
+	"pipebd/internal/dataset"
+	"pipebd/internal/distill"
+	"pipebd/internal/engine"
+	"pipebd/internal/experiments"
+	"pipebd/internal/hw"
+	"pipebd/internal/model"
+	"pipebd/internal/pipeline"
+	"pipebd/internal/profilegen"
+	"pipebd/internal/sched"
+
+	"math/rand"
+)
+
+// benchOpts truncates simulated passes so benchmark iterations stay fast
+// while remaining deep in steady state.
+var benchOpts = experiments.Options{Batch: 256, MaxSteps: 40}
+
+// BenchmarkFig2Breakdown regenerates the motivational breakdown (Fig. 2).
+func BenchmarkFig2Breakdown(b *testing.B) {
+	sys := hw.A6000x4()
+	var gap float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig2(sys, benchOpts)
+		gap = rows[0].Total() / rows[1].Total() // baseline vs ideal
+	}
+	b.ReportMetric(gap, "baseline/ideal")
+}
+
+// BenchmarkFig4SpeedupAblation regenerates the full ablation (Fig. 4).
+func BenchmarkFig4SpeedupAblation(b *testing.B) {
+	sys := hw.A6000x4()
+	var best float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig4(sys, benchOpts)
+		for _, r := range rows {
+			if r.Strategy == "TR+DPU+AHD" && r.Speedup > best {
+				best = r.Speedup
+			}
+		}
+	}
+	b.ReportMetric(best, "max-speedup-x")
+}
+
+// BenchmarkFig5GPUSensitivity regenerates the GPU-type study (Fig. 5).
+func BenchmarkFig5GPUSensitivity(b *testing.B) {
+	var a6000Speedup float64
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig5(benchOpts)
+		for _, r := range res.Rows {
+			if r.Workload == "4x RTX A6000" && r.Strategy == "TR+DPU+AHD" {
+				a6000Speedup = r.Speedup
+			}
+		}
+	}
+	b.ReportMetric(a6000Speedup, "a6000-speedup-x")
+}
+
+// BenchmarkFig6BatchSensitivity regenerates the batch sweep (Fig. 6).
+func BenchmarkFig6BatchSensitivity(b *testing.B) {
+	sys := hw.A6000x4()
+	var atSmallBatch float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6(sys, benchOpts)
+		for _, r := range rows {
+			if r.Batch == 128 && r.Dataset == "cifar10" && r.Strategy == "TR+DPU+AHD" {
+				atSmallBatch = r.Speedup
+			}
+		}
+	}
+	b.ReportMetric(atSmallBatch, "speedup-b128-x")
+}
+
+// BenchmarkFig7Memory regenerates the per-rank memory study (Fig. 7).
+func BenchmarkFig7Memory(b *testing.B) {
+	sys := hw.A6000x4()
+	var trOverDP float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig7(sys, benchOpts)
+		var dp, tr float64
+		for _, r := range rows {
+			if r.Dataset != "imagenet" {
+				continue
+			}
+			switch r.Strategy {
+			case "DP":
+				dp = r.MaxGB
+			case "TR":
+				tr = r.MaxGB
+			}
+		}
+		trOverDP = tr / dp
+	}
+	b.ReportMetric(trOverDP, "tr/dp-mem")
+}
+
+// BenchmarkTable2TrainingResults regenerates Table II's elapsed-time
+// columns (accuracy proxy excluded: see BenchmarkNumericEquivalence).
+func BenchmarkTable2TrainingResults(b *testing.B) {
+	sys := hw.A6000x4()
+	var pipeBDSpeedup float64
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(sys, benchOpts, true)
+		pipeBDSpeedup = rows[0].DPEpoch / rows[0].PipeBDEpoch
+	}
+	b.ReportMetric(pipeBDSpeedup, "nas-cifar-speedup-x")
+}
+
+// BenchmarkNumericEquivalence measures the real concurrent engine: one
+// pipelined mini-epoch of actual float32 blockwise distillation (Table
+// II's training-quality evidence).
+func BenchmarkNumericEquivalence(b *testing.B) {
+	cfg := distill.DefaultTinyConfig()
+	data := dataset.NewRandom(rand.New(rand.NewSource(7)), 64, 3, cfg.Height, cfg.Width, 4)
+	batches := data.Batches(8)
+	plan := sched.Plan{Name: "tr", Groups: []sched.Group{
+		{Devices: []int{0}, Blocks: []int{0, 1}},
+		{Devices: []int{1}, Blocks: []int{2, 3}},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := distill.NewTinyWorkbench(cfg)
+		engine.RunPipelined(w, batches, engine.Config{Plan: plan, DPU: true, LR: 0.05, Momentum: 0.9})
+	}
+}
+
+// --- ablation benches (DESIGN.md §6) ----------------------------------------
+
+// BenchmarkAblationOccupancyModel compares Pipe-BD's speedup with and
+// without the occupancy derating — isolating how much of the win comes
+// from per-device batch utilization versus redundancy removal.
+func BenchmarkAblationOccupancyModel(b *testing.B) {
+	w := model.NAS(false)
+	run := func(sys hw.System) float64 {
+		cfg := pipeline.Config{Workload: w, System: sys, GlobalBatch: 256, MaxSteps: benchOpts.MaxSteps}
+		prof := profilegen.Measure(w, sys.GPUs[0], 256, 4, 10)
+		plan := sched.TRContiguous(prof, 4)
+		return pipeline.RunDP(cfg).EpochTime / pipeline.RunTR(cfg, plan, true, "TR+DPU").EpochTime
+	}
+	var withOcc, flat float64
+	for i := 0; i < b.N; i++ {
+		withOcc = run(hw.A6000x4())
+		sysFlat := hw.A6000x4()
+		for j := range sysFlat.GPUs {
+			sysFlat.GPUs[j].SaturationElems = 0 // disable derating
+		}
+		flat = run(sysFlat)
+	}
+	b.ReportMetric(withOcc, "speedup-occupancy-x")
+	b.ReportMetric(flat, "speedup-flat-x")
+}
+
+// BenchmarkAblationAHDvsNaive compares AHD's profiled hybrid plan against
+// the naive contiguous distribution on the workload where it matters most
+// (NAS/ImageNet, Fig. 5's block-0 dominance).
+func BenchmarkAblationAHDvsNaive(b *testing.B) {
+	w := model.NAS(true)
+	sys := hw.A6000x4()
+	cfg := pipeline.Config{Workload: w, System: sys, GlobalBatch: 256, MaxSteps: benchOpts.MaxSteps}
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		prof := profilegen.Measure(w, sys.GPUs[0], 256, 4, 10)
+		naive := pipeline.RunTR(cfg, sched.TRContiguous(prof, 4), true, "TR+DPU")
+		ahd := pipeline.RunTR(cfg, sched.AHD(prof, sys, sched.DefaultAHDConfig()), true, "TR+DPU+AHD")
+		gain = naive.EpochTime / ahd.EpochTime
+	}
+	b.ReportMetric(gain, "ahd-gain-x")
+}
+
+// BenchmarkAblationDPUBarrier isolates decoupled parameter update: the
+// same plan with and without the per-step barrier.
+func BenchmarkAblationDPUBarrier(b *testing.B) {
+	w := model.Compression(false)
+	sys := hw.A6000x4()
+	cfg := pipeline.Config{Workload: w, System: sys, GlobalBatch: 256, MaxSteps: benchOpts.MaxSteps}
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		prof := profilegen.Measure(w, sys.GPUs[0], 256, 4, 10)
+		plan := sched.TRContiguous(prof, 4)
+		barrier := pipeline.RunTR(cfg, plan, false, "TR")
+		dpu := pipeline.RunTR(cfg, plan, true, "TR+DPU")
+		gain = barrier.EpochTime / dpu.EpochTime
+	}
+	b.ReportMetric(gain, "dpu-gain-x")
+}
+
+// BenchmarkAblationLoaderBandwidth removes the shared-loader constraint
+// (infinite storage bandwidth, free per-batch cost) to expose how much of
+// DP's deficit is data loading.
+func BenchmarkAblationLoaderBandwidth(b *testing.B) {
+	w := model.NAS(false)
+	var normal, infinite float64
+	run := func(sys hw.System) float64 {
+		cfg := pipeline.Config{Workload: w, System: sys, GlobalBatch: 256, MaxSteps: benchOpts.MaxSteps}
+		return pipeline.RunDP(cfg).EpochTime
+	}
+	for i := 0; i < b.N; i++ {
+		normal = run(hw.A6000x4())
+		sysInf := hw.A6000x4()
+		sysInf.Host.StorageBandwidth = 1e15
+		sysInf.Host.PerBatchOverhead = 0
+		sysInf.Host.Cores = 1 << 20
+		infinite = run(sysInf)
+	}
+	b.ReportMetric(normal/infinite, "dp-loading-overhead-x")
+}
+
+// BenchmarkSimulatorThroughput measures the raw simulator: simulated
+// steps per second for the most complex executor (hybrid TR).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w := model.NAS(true)
+	sys := hw.A6000x4()
+	prof := profilegen.Measure(w, sys.GPUs[0], 256, 4, 10)
+	plan := sched.AHD(prof, sys, sched.DefaultAHDConfig())
+	cfg := pipeline.Config{Workload: w, System: sys, GlobalBatch: 256, MaxSteps: 200}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipeline.RunTR(cfg, plan, true, "TR+DPU+AHD")
+	}
+}

@@ -1,0 +1,74 @@
+// Command pipebd-sched is the schedule explorer: it profiles a workload
+// on a system (the paper's pre-training profiling step), prints the
+// per-block execution-time table at every feasible batch split, and
+// reports the schedules chosen by plain teacher relaying and by automatic
+// hybrid distribution, with their estimated bottlenecks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipebd/internal/hw"
+	"pipebd/internal/metrics"
+	"pipebd/internal/model"
+	"pipebd/internal/profilegen"
+	"pipebd/internal/sched"
+)
+
+func main() {
+	workload := flag.String("workload", "nas-cifar10",
+		"workload: nas-cifar10|nas-imagenet|compression-cifar10|compression-imagenet")
+	system := flag.String("system", "a6000", "system preset: a6000|2080ti")
+	batch := flag.Int("batch", 256, "global batch size")
+	flag.Parse()
+
+	var w model.Workload
+	switch *workload {
+	case "nas-cifar10":
+		w = model.NAS(false)
+	case "nas-imagenet":
+		w = model.NAS(true)
+	case "compression-cifar10":
+		w = model.Compression(false)
+	case "compression-imagenet":
+		w = model.Compression(true)
+	default:
+		fmt.Fprintf(os.Stderr, "pipebd-sched: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	var sys hw.System
+	switch *system {
+	case "a6000":
+		sys = hw.A6000x4()
+	case "2080ti":
+		sys = hw.RTX2080Tix4()
+	default:
+		fmt.Fprintf(os.Stderr, "pipebd-sched: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	n := sys.NumDevices()
+	prof := profilegen.Measure(w, sys.GPUs[0], *batch, n, 100)
+
+	fmt.Printf("Profile: %s on %s, global batch %d (times per step, ms)\n\n", w.Name, sys.Name, *batch)
+	header := []string{"block", "T.fwd x1", "S.train x1", "x2 split", "x4 split", "student MB"}
+	var rows [][]string
+	for b := 0; b < prof.NumBlocks(); b++ {
+		rows = append(rows, []string{
+			fmt.Sprintf("B%d", b),
+			fmt.Sprintf("%.2f", prof.TeacherFwd[b][0]*1e3),
+			fmt.Sprintf("%.2f", (prof.StudentFwd[b][0]+prof.StudentBwd[b][0])*1e3),
+			fmt.Sprintf("%.2f", prof.StepTime(b, 2)*1e3),
+			fmt.Sprintf("%.2f", prof.StepTime(b, 4)*1e3),
+			fmt.Sprintf("%.0f", float64(prof.StudentMem[b][0])/(1<<20)),
+		})
+	}
+	fmt.Print(metrics.Table(header, rows))
+
+	tr := sched.TRContiguous(prof, n)
+	ahd := sched.AHD(prof, sys, sched.DefaultAHDConfig())
+	fmt.Printf("\nTR plan  : %s\n", tr.Describe())
+	fmt.Printf("AHD plan : %s\n", ahd.Describe())
+}

@@ -1,0 +1,92 @@
+// Command pipebd-trace renders an ASCII Gantt timeline of a simulated
+// training schedule — the textual analogue of the paper's Fig. 3 and
+// Fig. 5b/5c schedule illustrations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pipebd/internal/hw"
+	"pipebd/internal/model"
+	"pipebd/internal/pipeline"
+	"pipebd/internal/profilegen"
+	"pipebd/internal/sched"
+	"pipebd/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "nas-imagenet",
+		"workload: nas-cifar10|nas-imagenet|compression-cifar10|compression-imagenet")
+	system := flag.String("system", "a6000", "system preset: a6000|2080ti")
+	strategy := flag.String("strategy", "TR+DPU+AHD", "DP|LS|TR|TR+DPU|TR+IR|TR+DPU+AHD")
+	batch := flag.Int("batch", 256, "global batch size")
+	steps := flag.Int("steps", 5, "steps to simulate")
+	width := flag.Int("width", 120, "chart width in characters")
+	flag.Parse()
+
+	var w model.Workload
+	switch *workload {
+	case "nas-cifar10":
+		w = model.NAS(false)
+	case "nas-imagenet":
+		w = model.NAS(true)
+	case "compression-cifar10":
+		w = model.Compression(false)
+	case "compression-imagenet":
+		w = model.Compression(true)
+	default:
+		fmt.Fprintf(os.Stderr, "pipebd-trace: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	var sys hw.System
+	switch *system {
+	case "a6000":
+		sys = hw.A6000x4()
+	case "2080ti":
+		sys = hw.RTX2080Tix4()
+	default:
+		fmt.Fprintf(os.Stderr, "pipebd-trace: unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	cfg := pipeline.Config{Workload: w, System: sys, GlobalBatch: *batch,
+		MaxSteps: *steps, Record: true}
+	prof := profilegen.Measure(w, sys.GPUs[0], *batch, sys.NumDevices(), 100)
+
+	var tracks pipeline.Tracks
+	var desc string
+	switch *strategy {
+	case "DP":
+		report, tk := pipeline.RunDPTracks(cfg)
+		tracks, desc = tk, report.ScheduleDesc
+	case "LS":
+		report, tk := pipeline.RunLSTracks(cfg)
+		tracks, desc = tk, report.ScheduleDesc
+	case "TR", "TR+DPU":
+		plan := sched.TRContiguous(prof, sys.NumDevices())
+		report, tk := pipeline.RunTRTracks(cfg, plan, *strategy == "TR+DPU", *strategy)
+		tracks, desc = tk, report.ScheduleDesc
+	case "TR+IR":
+		plan := sched.InternalRelaying(sys.NumDevices(), w.NumBlocks())
+		report, tk := pipeline.RunTRTracks(cfg, plan, true, "TR+IR")
+		tracks, desc = tk, report.ScheduleDesc
+	case "TR+DPU+AHD":
+		plan := sched.AHD(prof, sys, sched.DefaultAHDConfig())
+		report, tk := pipeline.RunTRTracks(cfg, plan, true, "TR+DPU+AHD")
+		tracks, desc = tk, report.ScheduleDesc
+	default:
+		fmt.Fprintf(os.Stderr, "pipebd-trace: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s / %s / %s\nschedule: %s\n\n", w.Name, sys.Name, *strategy, desc)
+	var end float64
+	for _, d := range tracks.Devs {
+		if d.FreeAt() > end {
+			end = d.FreeAt()
+		}
+	}
+	fmt.Print(trace.Gantt(append(tracks.Devs, tracks.Loader), 0, end, *width))
+}

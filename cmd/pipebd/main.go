@@ -1,0 +1,135 @@
+// Command pipebd regenerates the tables and figures of "Pipe-BD:
+// Pipelined Parallel Blockwise Distillation" (DATE 2023) on the analytic
+// multi-GPU simulator.
+//
+// Usage:
+//
+//	pipebd -exp fig4                 # one experiment
+//	pipebd -exp all                  # everything
+//	pipebd -exp fig4 -system 2080ti  # alternative hardware
+//	pipebd -exp table2 -quick        # truncated epochs, skip accuracy proxy
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"pipebd/internal/experiments"
+	"pipebd/internal/hw"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig2|fig4|fig5|fig6|fig7|table1|table2|all")
+	system := flag.String("system", "a6000", "system preset: a6000|2080ti")
+	batch := flag.Int("batch", 256, "global batch size")
+	quick := flag.Bool("quick", false, "truncate epochs to 40 steps and skip the accuracy proxy")
+	chart := flag.Bool("chart", false, "append ASCII charts to figure output")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	flag.Parse()
+
+	var sys hw.System
+	switch *system {
+	case "a6000":
+		sys = hw.A6000x4()
+	case "2080ti":
+		sys = hw.RTX2080Tix4()
+	default:
+		fmt.Fprintf(os.Stderr, "pipebd: unknown system %q (want a6000 or 2080ti)\n", *system)
+		os.Exit(2)
+	}
+
+	opts := experiments.Options{Batch: *batch}
+	if *quick {
+		opts.MaxSteps = 40
+	}
+
+	run := func(name string) bool { return *exp == name || *exp == "all" }
+	jsonOut := map[string]any{}
+	any := false
+	if run("table1") {
+		if !*asJSON {
+			fmt.Println(experiments.Table1())
+		}
+		any = true
+	}
+	if run("fig2") {
+		rows := experiments.Fig2(sys, opts)
+		if *asJSON {
+			jsonOut["fig2"] = rows
+		} else {
+			fmt.Println(experiments.FormatFig2(rows))
+			if *chart {
+				fmt.Println(experiments.ChartFig2(rows))
+			}
+		}
+		any = true
+	}
+	if run("fig4") {
+		rows := experiments.Fig4(sys, opts)
+		if *asJSON {
+			jsonOut["fig4"] = rows
+		} else {
+			fmt.Println(experiments.FormatFig4(rows))
+			if *chart {
+				fmt.Println(experiments.ChartFig4(rows))
+			}
+		}
+		any = true
+	}
+	if run("fig5") {
+		res := experiments.Fig5(opts)
+		if *asJSON {
+			jsonOut["fig5"] = res.Rows
+		} else {
+			fmt.Println(experiments.FormatFig5(res))
+		}
+		any = true
+	}
+	if run("fig6") {
+		rows := experiments.Fig6(sys, opts)
+		if *asJSON {
+			jsonOut["fig6"] = rows
+		} else {
+			fmt.Println(experiments.FormatFig6(rows))
+			if *chart {
+				fmt.Println(experiments.ChartFig6(rows))
+			}
+		}
+		any = true
+	}
+	if run("fig7") {
+		rows := experiments.Fig7(sys, opts)
+		if *asJSON {
+			jsonOut["fig7"] = rows
+		} else {
+			fmt.Println(experiments.FormatFig7(rows))
+			if *chart {
+				fmt.Println(experiments.ChartFig7(rows))
+			}
+		}
+		any = true
+	}
+	if run("table2") {
+		rows := experiments.Table2(sys, opts, *quick)
+		if *asJSON {
+			jsonOut["table2"] = rows
+		} else {
+			fmt.Println(experiments.FormatTable2(rows))
+		}
+		any = true
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "pipebd: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "pipebd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Package pipebd is a Go reproduction of "Pipe-BD: Pipelined Parallel
+// Blockwise Distillation" (Jang et al., DATE 2023, arXiv:2301.12443).
+//
+// The repository implements the paper's scheduling contribution — teacher
+// relaying, decoupled parameter update, and automatic hybrid distribution
+// — along with both baselines (data-parallel block-by-block training and
+// layerwise bin-packing scheduling), on two substrates:
+//
+//   - a deterministic analytic multi-GPU simulator (internal/hw,
+//     internal/cost, internal/sim, internal/pipeline) that regenerates
+//     every table and figure of the paper's evaluation, and
+//   - a real concurrent training engine (internal/nn, internal/distill,
+//     internal/engine) that validates the mathematical-equivalence claim
+//     with actual float32 training and goroutine-per-device pipelines.
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for
+// paper-versus-measured results, and cmd/pipebd for the experiment
+// runner. The benchmarks in bench_test.go regenerate each table and
+// figure under `go test -bench`.
+package pipebd

@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipebd/internal/nn"
+	"pipebd/internal/tensor"
+)
+
+// Batch is one training mini-batch for the numeric engine.
+type Batch struct {
+	X      *tensor.Tensor // [B, C, H, W]
+	Labels []int
+}
+
+// Synthetic is an in-memory dataset for the numeric engine.
+type Synthetic struct {
+	X       *tensor.Tensor // [N, C, H, W]
+	Labels  []int
+	Classes int
+}
+
+// NewRandom generates n uniformly random samples with uniformly random
+// labels. Useful for memorization and throughput tests.
+func NewRandom(rng *rand.Rand, n, c, h, w, classes int) *Synthetic {
+	s := &Synthetic{
+		X:       tensor.Rand(rng, -1, 1, n, c, h, w),
+		Labels:  make([]int, n),
+		Classes: classes,
+	}
+	for i := range s.Labels {
+		s.Labels[i] = rng.Intn(classes)
+	}
+	return s
+}
+
+// NewTeacherLabelled generates n random inputs labelled by the argmax of a
+// labeller network's logits, producing a task that is learnable by
+// construction — the synthetic stand-in for CIFAR/ImageNet in
+// training-quality experiments (Table II accuracy column).
+func NewTeacherLabelled(rng *rand.Rand, labeller nn.Layer, n, c, h, w, classes int) *Synthetic {
+	s := &Synthetic{
+		X:       tensor.Rand(rng, -1, 1, n, c, h, w),
+		Labels:  make([]int, n),
+		Classes: classes,
+	}
+	// Label in chunks to bound memory.
+	const chunk = 64
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		xb := s.slice(start, end)
+		logits := labeller.Forward(xb, false)
+		if logits.NDim() != 2 || logits.Dim(1) != classes {
+			panic(fmt.Sprintf("dataset: labeller produced shape %v, want [*,%d]", logits.Shape(), classes))
+		}
+		pred := tensor.ArgMaxRow(logits)
+		copy(s.Labels[start:end], pred)
+	}
+	return s
+}
+
+// Len returns the number of samples.
+func (s *Synthetic) Len() int { return len(s.Labels) }
+
+// slice copies samples [start,end) into a fresh tensor.
+func (s *Synthetic) slice(start, end int) *tensor.Tensor {
+	shape := s.X.Shape()
+	c, h, w := shape[1], shape[2], shape[3]
+	per := c * h * w
+	out := tensor.New(end-start, c, h, w)
+	copy(out.Data(), s.X.Data()[start*per:end*per])
+	return out
+}
+
+// Batches splits the dataset into fixed-size batches in deterministic
+// order, dropping the final partial batch (drop-last semantics, matching
+// StepsPerEpoch). Deterministic order is essential for the bit-equivalence
+// experiments.
+func (s *Synthetic) Batches(batchSize int) []Batch {
+	if batchSize <= 0 {
+		panic("dataset: non-positive batch size")
+	}
+	var out []Batch
+	for start := 0; start+batchSize <= s.Len(); start += batchSize {
+		end := start + batchSize
+		out = append(out, Batch{
+			X:      s.slice(start, end),
+			Labels: append([]int(nil), s.Labels[start:end]...),
+		})
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+// Package distill defines blockwise knowledge distillation at the numeric
+// level: teacher/student block pairs, the per-block distillation step
+// (teacher forward, student forward/backward against the teacher's output
+// activation, Fig. 1 of the paper), and reproducible workbenches of small
+// real networks used by the concurrent engine and its equivalence
+// experiments.
+//
+// The numeric path exists to validate the paper's central mathematical
+// claim — Pipe-BD "achieves significant acceleration without modifying
+// the mathematical formulation of blockwise distillation" — with actual
+// float32 training: the pipelined engine must produce bit-identical
+// student weights to a sequential reference.
+package distill
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipebd/internal/nn"
+	"pipebd/internal/tensor"
+)
+
+// Pair is one distillation unit: a frozen teacher block and the student
+// block trained to mimic it. Both consume the same input activation and
+// must produce outputs of identical shape.
+type Pair struct {
+	Teacher nn.Layer
+	Student nn.Layer
+}
+
+// Step performs one distillation step of a pair: runs the teacher block
+// (inference mode), the student block (training mode), computes the MSE
+// between their outputs (the paper's L(Δoutput)), and backpropagates
+// through the student, accumulating parameter gradients. It returns the
+// teacher's output activation (the next block's input) and the loss. The
+// caller owns zeroing gradients and applying the optimizer step, so the
+// engine can schedule updates per Pipe-BD's decoupled parameter update.
+func Step(p Pair, x *tensor.Tensor) (teacherOut *tensor.Tensor, loss float64) {
+	teacherOut = p.Teacher.Forward(x, false)
+	studentOut := p.Student.Forward(x, true)
+	loss, grad := nn.MSELoss(studentOut, teacherOut)
+	p.Student.Backward(grad)
+	return teacherOut, loss
+}
+
+// Workbench is a reproducible set of block pairs: it remembers its
+// constructor so fresh, bit-identical replicas can be created for
+// sequential references and data-parallel group members.
+type Workbench struct {
+	Pairs []Pair
+
+	build func() []Pair
+}
+
+// NewWorkbench wraps a deterministic pair constructor. build must return
+// freshly initialized pairs with identical weights on every call.
+func NewWorkbench(build func() []Pair) *Workbench {
+	return &Workbench{Pairs: build(), build: build}
+}
+
+// Replica returns a fresh workbench with bit-identical initial weights.
+func (w *Workbench) Replica() *Workbench { return NewWorkbench(w.build) }
+
+// NumBlocks returns the number of block pairs.
+func (w *Workbench) NumBlocks() int { return len(w.Pairs) }
+
+// TeacherForward runs the full frozen teacher chain.
+func (w *Workbench) TeacherForward(x *tensor.Tensor) *tensor.Tensor {
+	for _, p := range w.Pairs {
+		x = p.Teacher.Forward(x, false)
+	}
+	return x
+}
+
+// StudentForward runs the full student chain in evaluation mode.
+func (w *Workbench) StudentForward(x *tensor.Tensor) *tensor.Tensor {
+	for _, p := range w.Pairs {
+		x = p.Student.Forward(x, false)
+	}
+	return x
+}
+
+// StudentParams returns the trainable parameters of one student block.
+func (w *Workbench) StudentParams(block int) []*nn.Param {
+	return w.Pairs[block].Student.Params()
+}
+
+// DistillLoss evaluates the current per-block distillation losses on a
+// batch without training (no gradient accumulation, evaluation mode).
+func (w *Workbench) DistillLoss(x *tensor.Tensor) []float64 {
+	losses := make([]float64, len(w.Pairs))
+	for i, p := range w.Pairs {
+		tOut := p.Teacher.Forward(x, false)
+		sOut := p.Student.Forward(x, false)
+		l, _ := nn.MSELoss(sOut, tOut)
+		losses[i] = l
+		x = tOut
+	}
+	return losses
+}
+
+// TinyConfig sizes the miniature workbench used by tests and examples: a
+// scaled-down analogue of the paper's compression workload (convolutional
+// teacher, depthwise-separable student).
+type TinyConfig struct {
+	Seed     int64
+	Blocks   int
+	Channels int // channel width of every block boundary
+	Height   int
+	Width    int
+	Classes  int // classifier width of the final block (0: no classifier)
+}
+
+// DefaultTinyConfig returns the configuration the equivalence tests use.
+func DefaultTinyConfig() TinyConfig {
+	return TinyConfig{Seed: 42, Blocks: 4, Channels: 6, Height: 8, Width: 8, Classes: 0}
+}
+
+// NewTinyWorkbench builds a reproducible miniature distillation workload:
+// each teacher block is conv3x3-BN-ReLU, each student block a
+// depthwise-separable replacement (DW3x3 + PW1x1 + ReLU), mirroring the
+// paper's VGG→DS-Conv compression setup at laptop scale. When
+// cfg.Classes > 0 the final pair ends in a classifier head so end-to-end
+// accuracy can be measured.
+func NewTinyWorkbench(cfg TinyConfig) *Workbench {
+	if cfg.Blocks <= 0 || cfg.Channels <= 0 {
+		panic(fmt.Sprintf("distill: invalid tiny config %+v", cfg))
+	}
+	build := func() []Pair {
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		pairs := make([]Pair, cfg.Blocks)
+		for b := 0; b < cfg.Blocks; b++ {
+			inC := cfg.Channels
+			if b == 0 {
+				inC = 3
+			}
+			teacher := nn.NewSequential(
+				nn.NewConv2d(rng, inC, cfg.Channels, 3, 1, 1, false),
+				nn.NewBatchNorm2d(cfg.Channels),
+				nn.NewReLU(),
+			)
+			student := nn.NewSequential(
+				nn.NewDWConv2d(rng, inC, 3, 1, 1, false),
+				nn.NewConv2d(rng, inC, cfg.Channels, 1, 1, 0, true),
+				nn.NewReLU(),
+			)
+			if cfg.Classes > 0 && b == cfg.Blocks-1 {
+				tail := func(r *rand.Rand) []nn.Layer {
+					return []nn.Layer{
+						nn.NewGlobalAvgPool2d(),
+						nn.NewFlatten(),
+						nn.NewLinear(r, cfg.Channels, cfg.Classes, true),
+					}
+				}
+				teacher.Layers = append(teacher.Layers, tail(rng)...)
+				student.Layers = append(student.Layers, tail(rng)...)
+			}
+			pairs[b] = Pair{Teacher: teacher, Student: student}
+		}
+		// Freeze teacher batch norms with plausible running statistics
+		// so inference-mode teacher outputs are non-degenerate.
+		warm := tensor.Rand(rng, -1, 1, 8, 3, cfg.Height, cfg.Width)
+		x := warm
+		for _, p := range pairs {
+			_ = p.Teacher.Forward(x, true) // updates running stats
+			x = p.Teacher.Forward(x, false)
+		}
+		return pairs
+	}
+	return NewWorkbench(build)
+}

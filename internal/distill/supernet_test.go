@@ -1,0 +1,99 @@
+package distill
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pipebd/internal/nn"
+	"pipebd/internal/tensor"
+)
+
+func TestSupernetWorkbenchReproducible(t *testing.T) {
+	a := NewTinySupernetWorkbench(DefaultSupernetConfig())
+	b := NewTinySupernetWorkbench(DefaultSupernetConfig())
+	for blk := 0; blk < a.NumBlocks(); blk++ {
+		pa, pb := a.StudentParams(blk), b.StudentParams(blk)
+		if len(pa) != len(pb) {
+			t.Fatal("param counts differ")
+		}
+		for i := range pa {
+			if !pa[i].Value.Equal(pb[i].Value) {
+				t.Fatalf("block %d param %d differs", blk, i)
+			}
+		}
+	}
+}
+
+func TestSupernetShapesAlign(t *testing.T) {
+	cfg := DefaultSupernetConfig()
+	w := NewTinySupernetWorkbench(cfg)
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Rand(rng, -1, 1, 2, 3, cfg.Height, cfg.Width)
+	tOut := w.TeacherForward(x)
+	sOut := w.StudentForward(x)
+	if !tOut.SameShape(sOut) {
+		t.Fatalf("teacher %v vs student %v", tOut.Shape(), sOut.Shape())
+	}
+}
+
+func TestSupernetInitialArchitectureUniform(t *testing.T) {
+	w := NewTinySupernetWorkbench(DefaultSupernetConfig())
+	for b, ws := range ArchitectureWeights(w) {
+		for _, v := range ws {
+			if math.Abs(v-1.0/3) > 1e-9 {
+				t.Fatalf("block %d initial weights %v, want uniform", b, ws)
+			}
+		}
+	}
+}
+
+func TestSupernetSearchPrefersConv3x3(t *testing.T) {
+	// The teacher block is a 3x3 convolution (plus BN/ReLU); the conv3x3
+	// candidate can mimic it best, so blockwise architecture search must
+	// shift probability mass onto it.
+	cfg := DefaultSupernetConfig()
+	w := NewTinySupernetWorkbench(cfg)
+	rng := rand.New(rand.NewSource(2))
+	opt := make([]*nn.SGD, w.NumBlocks())
+	for b := range opt {
+		opt[b] = nn.NewSGD(0.05, 0.9, 0)
+	}
+	for step := 0; step < 250; step++ {
+		x := tensor.Rand(rng, -1, 1, 8, 3, cfg.Height, cfg.Width)
+		for b := 0; b < w.NumBlocks(); b++ {
+			pair := w.Pairs[b]
+			nn.ZeroGrads(pair.Student.Params())
+			tOut, _ := Step(pair, x)
+			opt[b].Step(pair.Student.Params())
+			x = tOut
+		}
+	}
+	arch := DeriveArchitecture(w)
+	weights := ArchitectureWeights(w)
+	for b, choice := range arch {
+		if choice != 0 {
+			t.Errorf("block %d derived %s (weights %v), want conv3x3",
+				b, CandidateNames[choice], weights[b])
+		}
+	}
+}
+
+func TestDeriveArchitecturePanicsOnNonSupernet(t *testing.T) {
+	w := NewTinyWorkbench(DefaultTinyConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DeriveArchitecture(w)
+}
+
+func TestCandidateNamesMatchBranches(t *testing.T) {
+	w := NewTinySupernetWorkbench(DefaultSupernetConfig())
+	seq := w.Pairs[0].Student.(*nn.Sequential)
+	mo := seq.Layers[0].(*nn.MixedOp)
+	if len(CandidateNames) != len(mo.Branches) {
+		t.Fatalf("%d names for %d branches", len(CandidateNames), len(mo.Branches))
+	}
+}

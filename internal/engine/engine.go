@@ -1,0 +1,380 @@
+// Package engine executes blockwise distillation with real float32
+// training, either sequentially (the mathematical reference) or as a
+// Pipe-BD pipeline: one goroutine per device, teacher activations relayed
+// over channels (teacher relaying), updates applied immediately after each
+// device's backward pass (decoupled parameter update) or behind a global
+// per-step barrier, and hybrid groups training shared blocks
+// data-parallel with a deterministic intra-group gradient all-reduce
+// (automatic hybrid distribution).
+//
+// This is Algorithm 1 of the paper realized with actual concurrency. Its
+// purpose is correctness, not throughput: the equivalence tests prove
+// that the pipelined schedules produce exactly the training trajectory of
+// the sequential formulation — the paper's "no modification to the
+// mathematical formulation" claim.
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"pipebd/internal/dataset"
+	"pipebd/internal/distill"
+	"pipebd/internal/nn"
+	"pipebd/internal/sched"
+	"pipebd/internal/tensor"
+)
+
+// Config parameterizes a pipelined run.
+type Config struct {
+	// Plan distributes blocks over devices (sched.TRContiguous-shaped
+	// plans give plain TR; sched.InternalRelaying gives IR; hybrid plans
+	// give AHD behaviour).
+	Plan sched.Plan
+	// DPU enables decoupled parameter update: without it, a global
+	// barrier delays every update until all devices finish their
+	// backward pass (Fig. 3b); with it, devices update immediately and
+	// start the next step (Fig. 3c).
+	DPU bool
+	// LR and Momentum configure each block's SGD optimizer.
+	LR, Momentum float32
+	// Buffer is the relay channel depth (pipeline depth); <= 0 means 2.
+	Buffer int
+}
+
+// Result collects the training trajectory.
+type Result struct {
+	// Loss[b][s] is block b's distillation loss at step s (averaged over
+	// group members when the block is trained data-parallel).
+	Loss [][]float64
+}
+
+// FinalLoss returns the last-step loss of each block.
+func (r Result) FinalLoss() []float64 {
+	out := make([]float64, len(r.Loss))
+	for b, l := range r.Loss {
+		if len(l) > 0 {
+			out[b] = l[len(l)-1]
+		}
+	}
+	return out
+}
+
+// RunSequential trains every student block one step per batch in plain
+// program order — the reference semantics of blockwise distillation.
+// It mutates the workbench's student parameters.
+func RunSequential(w *distill.Workbench, batches []dataset.Batch, lr, momentum float32) Result {
+	nb := w.NumBlocks()
+	res := Result{Loss: make([][]float64, nb)}
+	opts := make([]*nn.SGD, nb)
+	for b := 0; b < nb; b++ {
+		opts[b] = nn.NewSGD(lr, momentum, 0)
+		res.Loss[b] = make([]float64, len(batches))
+	}
+	for s, batch := range batches {
+		x := batch.X
+		for b := 0; b < nb; b++ {
+			pair := w.Pairs[b]
+			params := pair.Student.Params()
+			nn.ZeroGrads(params)
+			tOut, loss := distill.Step(pair, x)
+			opts[b].Step(params)
+			res.Loss[b][s] = loss
+			x = tOut
+		}
+	}
+	return res
+}
+
+// barrier is a reusable cyclic barrier for n participants.
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	phase int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until all n participants have called it.
+func (b *barrier) Await() {
+	b.mu.Lock()
+	phase := b.phase
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.phase++
+		b.cond.Broadcast()
+	} else {
+		for b.phase == phase {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// groupRuntime is the shared state of one plan group.
+type groupRuntime struct {
+	sched.Group
+	in  chan *tensor.Tensor // full-batch input activations
+	out chan *tensor.Tensor // nil for the last group
+
+	sync *barrier // intra-group phases (assembly, all-reduce)
+
+	// members[j] holds member j's private replica of the group's pairs.
+	members [][]distill.Pair
+	opts    [][]*nn.SGD
+
+	// assembled is the full-batch teacher output under construction.
+	assembled *tensor.Tensor
+	// assembledInput broadcasts the received input to group members.
+	assembledInput *tensor.Tensor
+}
+
+// RunPipelined trains the workbench under the given plan with real
+// concurrency. The workbench's own pairs are used by each group's member
+// 0; additional group members train bit-identical replicas (their updates
+// coincide, so member 0's weights are the result). It returns the loss
+// trajectory; the workbench's student parameters hold the trained values.
+func RunPipelined(w *distill.Workbench, batches []dataset.Batch, cfg Config) Result {
+	nb := w.NumBlocks()
+	if err := validatePlan(cfg.Plan, nb); err != nil {
+		panic(err)
+	}
+	buffer := cfg.Buffer
+	if buffer <= 0 {
+		buffer = 2
+	}
+	steps := len(batches)
+	nDev := 0
+	for _, g := range cfg.Plan.Groups {
+		nDev += g.Split()
+	}
+
+	// Build group runtimes and replicas.
+	groups := make([]*groupRuntime, len(cfg.Plan.Groups))
+	var prev *groupRuntime
+	for gi, g := range cfg.Plan.Groups {
+		gr := &groupRuntime{Group: g, sync: newBarrier(g.Split())}
+		gr.members = make([][]distill.Pair, g.Split())
+		gr.opts = make([][]*nn.SGD, g.Split())
+		for j := 0; j < g.Split(); j++ {
+			src := w
+			if j > 0 {
+				src = w.Replica()
+			}
+			pairs := make([]distill.Pair, len(g.Blocks))
+			opts := make([]*nn.SGD, len(g.Blocks))
+			for bi, b := range g.Blocks {
+				pairs[bi] = src.Pairs[b]
+				opts[bi] = nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+			}
+			gr.members[j] = pairs
+			gr.opts[j] = opts
+		}
+		if gi > 0 {
+			gr.in = make(chan *tensor.Tensor, buffer)
+			prev.out = gr.in
+		}
+		groups[gi] = gr
+		prev = gr
+	}
+
+	losses := make([][][]float64, len(groups)) // [group][blockInGroup*member]...
+	for gi, gr := range groups {
+		losses[gi] = make([][]float64, len(gr.Blocks)*gr.Split())
+		for i := range losses[gi] {
+			losses[gi][i] = make([]float64, steps)
+		}
+	}
+
+	var stepSync *barrier
+	if !cfg.DPU {
+		stepSync = newBarrier(nDev)
+	}
+
+	var wg sync.WaitGroup
+	for gi, gr := range groups {
+		for j := 0; j < gr.Split(); j++ {
+			wg.Add(1)
+			go func(gi int, gr *groupRuntime, j int) {
+				defer wg.Done()
+				runMember(gi, gr, j, batches, stepSync, losses[gi])
+			}(gi, gr, j)
+		}
+	}
+	wg.Wait()
+
+	// Assemble the loss trajectory per block (mean over members).
+	res := Result{Loss: make([][]float64, nb)}
+	for gi, gr := range groups {
+		k := gr.Split()
+		for bi, b := range gr.Blocks {
+			merged := make([]float64, steps)
+			for s := 0; s < steps; s++ {
+				var sum float64
+				for j := 0; j < k; j++ {
+					sum += losses[gi][j*len(gr.Blocks)+bi][s]
+				}
+				merged[s] = sum / float64(k)
+			}
+			res.Loss[b] = merged
+		}
+	}
+	return res
+}
+
+// runMember is the device loop: Algorithm 1 of the paper.
+func runMember(gi int, gr *groupRuntime, j int, batches []dataset.Batch,
+	stepSync *barrier, groupLosses [][]float64) {
+	k := gr.Split()
+	nb := len(gr.Blocks)
+	for s := range batches {
+		// Receive the step's input: the data loader for the first
+		// group, the relayed teacher activation otherwise (line 8-9).
+		var full *tensor.Tensor
+		if gi == 0 {
+			full = batches[s].X
+		} else {
+			if j == 0 {
+				full = <-gr.in
+				gr.assembledInput = full
+				gr.sync.Await()
+			} else {
+				gr.sync.Await()
+				full = gr.assembledInput
+			}
+		}
+
+		x := shardOf(full, j, k)
+		for bi := 0; bi < nb; bi++ {
+			pair := gr.members[j][bi]
+			params := pair.Student.Params()
+			nn.ZeroGrads(params)
+			// Teacher forward (line 10), student forward/backward
+			// against the teacher activation (lines 12-13).
+			tOut, loss := distill.Step(pair, x)
+			groupLosses[j*nb+bi][s] = loss
+			x = tOut
+		}
+		outShard := x
+
+		// Relay the boundary activation to the next device (line 11).
+		// The send overlaps with the remaining work of other members
+		// thanks to the channel buffer.
+		if gr.out != nil {
+			if k == 1 {
+				gr.out <- outShard
+			} else {
+				gr.assembleShard(outShard, j)
+				gr.sync.Await()
+				if j == 0 {
+					gr.out <- gr.assembled
+					gr.assembled = nil
+				}
+			}
+		}
+
+		// Intra-group gradient sharing when AHD split a block along the
+		// batch dimension (line 14).
+		if k > 1 {
+			gr.sync.Await() // all members finished backward
+			averageGroupGradients(gr, j)
+			gr.sync.Await() // all members consumed others' gradients
+		}
+
+		// Decoupled parameter update (lines 15-16): update immediately,
+		// or wait for every device when DPU is disabled.
+		if stepSync != nil {
+			stepSync.Await()
+		}
+		for bi := 0; bi < nb; bi++ {
+			gr.opts[j][bi].Step(gr.members[j][bi].Student.Params())
+		}
+	}
+}
+
+// assembleShard writes a member's teacher-output shard into the group's
+// full-batch assembly buffer. Members write disjoint ranges; the
+// following barrier publishes the writes.
+func (gr *groupRuntime) assembleShard(shard *tensor.Tensor, j int) {
+	k := gr.Split()
+	gr.assemblyOnce(shard, k)
+	per := shard.Numel()
+	copy(gr.assembled.Data()[j*per:(j+1)*per], shard.Data())
+}
+
+var assemblyMu sync.Mutex
+
+// assemblyOnce lazily allocates the assembly buffer for this step.
+func (gr *groupRuntime) assemblyOnce(shard *tensor.Tensor, k int) {
+	assemblyMu.Lock()
+	defer assemblyMu.Unlock()
+	if gr.assembled == nil {
+		shape := append([]int(nil), shard.Shape()...)
+		shape[0] *= k
+		gr.assembled = tensor.New(shape...)
+	}
+}
+
+// averageGroupGradients implements a deterministic all-reduce: every
+// member sums all members' gradients in rank order into a private buffer,
+// scales by 1/k, and installs the result into its own gradient tensors
+// after a barrier. All replicas therefore apply bit-identical updates.
+func averageGroupGradients(gr *groupRuntime, j int) {
+	k := gr.Split()
+	inv := 1 / float32(k)
+	nb := len(gr.Blocks)
+	// Phase 1: compute averaged gradients into private buffers.
+	avg := make([][]*tensor.Tensor, nb)
+	for bi := 0; bi < nb; bi++ {
+		params := gr.members[j][bi].Student.Params()
+		avg[bi] = make([]*tensor.Tensor, len(params))
+		for pi := range params {
+			sum := tensor.New(params[pi].Grad.Shape()...)
+			for r := 0; r < k; r++ {
+				tensor.AddInto(sum, gr.members[r][bi].Student.Params()[pi].Grad)
+			}
+			tensor.ScaleInPlace(sum, inv)
+			avg[bi][pi] = sum
+		}
+	}
+	gr.sync.Await() // everyone done reading raw gradients
+	// Phase 2: install.
+	for bi := 0; bi < nb; bi++ {
+		params := gr.members[j][bi].Student.Params()
+		for pi := range params {
+			params[pi].Grad.CopyFrom(avg[bi][pi])
+		}
+	}
+}
+
+// shardOf slices member j's contiguous batch shard (copying, so members
+// never alias the same backing array).
+func shardOf(full *tensor.Tensor, j, k int) *tensor.Tensor {
+	if k == 1 {
+		return full
+	}
+	shape := full.Shape()
+	if shape[0]%k != 0 {
+		panic(fmt.Sprintf("engine: batch %d not divisible by group size %d", shape[0], k))
+	}
+	per := shape[0] / k
+	elems := full.Numel() / shape[0]
+	out := tensor.New(append([]int{per}, shape[1:]...)...)
+	copy(out.Data(), full.Data()[j*per*elems:(j+1)*per*elems])
+	return out
+}
+
+func validatePlan(p sched.Plan, nBlocks int) error {
+	nDev := 0
+	for _, g := range p.Groups {
+		nDev += g.Split()
+	}
+	return p.Validate(nDev, nBlocks)
+}

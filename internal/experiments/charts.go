@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pipebd/internal/viz"
+)
+
+// ASCII chart renderings of the figures — the terminal analogue of the
+// paper's plots, attached to cmd/pipebd behind the -chart flag.
+
+// ChartFig2 renders the Fig. 2 stacked breakdown.
+func ChartFig2(rows []Fig2Row) string {
+	bars := make([]viz.StackedBar, 0, len(rows))
+	for _, r := range rows {
+		bars = append(bars, viz.StackedBar{
+			Label: r.Config,
+			Segments: []viz.Segment{
+				{Name: "load", Value: r.Load, Fill: 'L'},
+				{Name: "teacher", Value: r.Teacher, Fill: 'T'},
+				{Name: "student", Value: r.Student, Fill: 'S'},
+				{Name: "idle", Value: r.Idle, Fill: '.'},
+			},
+		})
+	}
+	return viz.StackedBarChart("Fig. 2 breakdown (seconds/epoch per device)", bars, 72)
+}
+
+// ChartFig4 renders one bar chart per workload of the Fig. 4 speedups.
+func ChartFig4(rows []Fig4Row) string {
+	perWorkload := map[string][]viz.Bar{}
+	var order []string
+	for _, r := range rows {
+		if _, seen := perWorkload[r.Workload]; !seen {
+			order = append(order, r.Workload)
+		}
+		perWorkload[r.Workload] = append(perWorkload[r.Workload],
+			viz.Bar{Label: r.Strategy, Value: r.Speedup})
+	}
+	var sb strings.Builder
+	for _, wl := range order {
+		sb.WriteString(viz.BarChart(fmt.Sprintf("Fig. 4 speedups — %s", wl), perWorkload[wl], 48, "%.2fx"))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// ChartFig6 renders the batch-sensitivity series as grouped bars.
+func ChartFig6(rows []Fig6Row) string {
+	type key struct {
+		ds    string
+		batch int
+	}
+	groupsSeen := map[key]bool{}
+	var groups []key
+	seriesSeen := map[string]bool{}
+	var series []string
+	for _, r := range rows {
+		k := key{r.Dataset, r.Batch}
+		if !groupsSeen[k] {
+			groupsSeen[k] = true
+			groups = append(groups, k)
+		}
+		if !seriesSeen[r.Strategy] {
+			seriesSeen[r.Strategy] = true
+			series = append(series, r.Strategy)
+		}
+	}
+	labels := make([]string, len(groups))
+	values := make([][]float64, len(groups))
+	for gi, g := range groups {
+		labels[gi] = fmt.Sprintf("%s batch %d", g.ds, g.batch)
+		values[gi] = make([]float64, len(series))
+		for si, s := range series {
+			for _, r := range rows {
+				if r.Dataset == g.ds && r.Batch == g.batch && r.Strategy == s {
+					values[gi][si] = r.Speedup
+				}
+			}
+		}
+	}
+	return viz.GroupedBars("Fig. 6 batch sensitivity (speedup over DP)", labels, series, values, 40, "%.2fx")
+}
+
+// ChartFig7 renders the per-rank memory profile as grouped bars.
+func ChartFig7(rows []Fig7Row) string {
+	var groups []string
+	var values [][]float64
+	var series []string
+	for _, r := range rows {
+		groups = append(groups, fmt.Sprintf("%s %s", r.Dataset, r.Strategy))
+		values = append(values, r.PerRankGB)
+		if len(series) < len(r.PerRankGB) {
+			series = series[:0]
+			for i := range r.PerRankGB {
+				series = append(series, fmt.Sprintf("rank%d", i))
+			}
+		}
+	}
+	return viz.GroupedBars("Fig. 7 peak memory per rank (GB)", groups, series, values, 40, "%.2fGB")
+}

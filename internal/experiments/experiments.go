@@ -1,0 +1,328 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§VI-§VII). Each driver assembles the workloads,
+// profiles, plans, and executors, runs the simulated epochs, and returns
+// typed rows plus a paper-style text rendering. The cmd/pipebd binary and
+// the repository's benchmark harness are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pipebd/internal/hw"
+	"pipebd/internal/metrics"
+	"pipebd/internal/model"
+	"pipebd/internal/pipeline"
+	"pipebd/internal/profilegen"
+	"pipebd/internal/sched"
+)
+
+// Options tunes the experiment drivers.
+type Options struct {
+	// Batch is the global batch size (the paper's default is 256).
+	Batch int
+	// MaxSteps truncates simulated passes for quick runs; 0 simulates
+	// full epochs (the default used for reported numbers).
+	MaxSteps int
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options { return Options{Batch: 256} }
+
+func (o Options) batch() int {
+	if o.Batch <= 0 {
+		return 256
+	}
+	return o.Batch
+}
+
+// Strategies in the paper's Fig. 4 order.
+var strategyOrder = []string{"DP", "LS", "TR", "TR+DPU", "TR+IR", "TR+DPU+AHD"}
+
+// runAll simulates every strategy for one workload on one system.
+func runAll(w model.Workload, sys hw.System, o Options) map[string]metrics.Report {
+	cfg := pipeline.Config{Workload: w, System: sys, GlobalBatch: o.batch(), MaxSteps: o.MaxSteps}
+	prof := profilegen.Measure(w, sys.GPUs[0], o.batch(), sys.NumDevices(), 100)
+	trPlan := sched.TRContiguous(prof, sys.NumDevices())
+	ahdPlan := sched.AHD(prof, sys, sched.DefaultAHDConfig())
+	return map[string]metrics.Report{
+		"DP":         pipeline.RunDP(cfg),
+		"LS":         pipeline.RunLS(cfg),
+		"TR":         pipeline.RunTR(cfg, trPlan, false, "TR"),
+		"TR+DPU":     pipeline.RunTR(cfg, trPlan, true, "TR+DPU"),
+		"TR+IR":      pipeline.RunIR(cfg),
+		"TR+DPU+AHD": pipeline.RunTR(cfg, ahdPlan, true, "TR+DPU+AHD"),
+	}
+}
+
+// --- Fig. 2: motivational breakdown ---------------------------------------
+
+// Fig2Row is one stacked bar of Fig. 2: per-device average seconds spent
+// per epoch on loading, teacher execution, student execution, and idling.
+type Fig2Row struct {
+	Config                       string
+	Load, Teacher, Student, Idle float64
+}
+
+// Total returns the bar height (the per-device epoch time).
+func (r Fig2Row) Total() float64 { return r.Load + r.Teacher + r.Student + r.Idle }
+
+// Fig2 reproduces the motivational experiment: the DP baseline's epoch
+// breakdown versus an imaginary perfectly parallel system ("Ideal") and
+// versus Pipe-BD, on NAS/CIFAR-10 with four A6000s.
+func Fig2(sys hw.System, o Options) []Fig2Row {
+	w := model.NAS(false)
+	reps := runAll(w, sys, o)
+
+	rows := make([]Fig2Row, 0, 3)
+	dp := reps["DP"]
+	l, te, s, id := dp.FigTwoBreakdown()
+	rows = append(rows, Fig2Row{Config: "Baseline (DP)", Load: l, Teacher: te, Student: s, Idle: id})
+
+	// Ideal: each part measured alone on one device and divided by the
+	// device count — perfect parallelization, infinite memory (§III).
+	rows = append(rows, idealRow(w, sys, o))
+
+	pb := reps["TR+DPU+AHD"]
+	l, te, s, id = pb.FigTwoBreakdown()
+	rows = append(rows, Fig2Row{Config: "Pipe-BD", Load: l, Teacher: te, Student: s, Idle: id})
+	return rows
+}
+
+func idealRow(w model.Workload, sys hw.System, o Options) Fig2Row {
+	batch := o.batch()
+	gpu := sys.GPUs[0]
+	steps := w.Data.StepsPerEpoch(batch)
+	if o.MaxSteps > 0 && steps > o.MaxSteps {
+		steps = o.MaxSteps
+	}
+	var teacher, student float64
+	for b := range w.Teacher.Net.Blocks {
+		teacher += profilegen.Measure(w, gpu, batch, 1, 1).TeacherFwd[b][0]
+		p := profilegen.Measure(w, gpu, batch, 1, 1)
+		student += p.StudentFwd[b][0] + p.StudentBwd[b][0] + p.Update[b]
+	}
+	load := sys.Host.LoadTime(w.Data.StorageBytes*int64(batch),
+		w.Data.DecodeCPUSeconds*float64(batch)) + sys.Host.PerBatchOverhead
+	n := float64(sys.NumDevices())
+	return Fig2Row{
+		Config:  "Ideal",
+		Load:    float64(steps) * load / n,
+		Teacher: float64(steps) * teacher / n,
+		Student: float64(steps) * student / n,
+	}
+}
+
+// FormatFig2 renders Fig. 2 as a text table.
+func FormatFig2(rows []Fig2Row) string {
+	header := []string{"config", "load(s)", "teacher(s)", "student(s)", "idle(s)", "total(s)"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Config,
+			fmt.Sprintf("%.2f", r.Load), fmt.Sprintf("%.2f", r.Teacher),
+			fmt.Sprintf("%.2f", r.Student), fmt.Sprintf("%.2f", r.Idle),
+			fmt.Sprintf("%.2f", r.Total()),
+		})
+	}
+	return "Fig. 2 — Motivational breakdown (NAS, CIFAR-10, per-device seconds/epoch)\n" +
+		metrics.Table(header, body)
+}
+
+// --- Fig. 4: speedup and ablation ------------------------------------------
+
+// Fig4Row is one bar of Fig. 4.
+type Fig4Row struct {
+	Workload  string
+	Strategy  string
+	EpochTime float64
+	Speedup   float64 // over DP on the same workload
+	Schedule  string
+}
+
+// Fig4 reproduces the speedup/ablation study over all four workloads on
+// the given system.
+func Fig4(sys hw.System, o Options) []Fig4Row {
+	var rows []Fig4Row
+	for _, w := range model.AllWorkloads() {
+		reps := runAll(w, sys, o)
+		dp := reps["DP"]
+		for _, s := range strategyOrder {
+			r := reps[s]
+			rows = append(rows, Fig4Row{
+				Workload:  w.Name,
+				Strategy:  s,
+				EpochTime: r.EpochTime,
+				Speedup:   r.Speedup(dp),
+				Schedule:  r.ScheduleDesc,
+			})
+		}
+	}
+	return rows
+}
+
+// FormatFig4 renders Fig. 4 as a text table.
+func FormatFig4(rows []Fig4Row) string {
+	header := []string{"workload", "strategy", "epoch", "speedup", "schedule"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Workload, r.Strategy, metrics.FormatSeconds(r.EpochTime),
+			fmt.Sprintf("%.2fx", r.Speedup), r.Schedule,
+		})
+	}
+	return "Fig. 4 — Speedup and ablation (4x " + "GPU, normalized to DP)\n" + metrics.Table(header, body)
+}
+
+// --- Fig. 5: GPU-type sensitivity ------------------------------------------
+
+// Fig5Result holds the per-system speedups and chosen schedules for the
+// NAS/ImageNet workload.
+type Fig5Result struct {
+	Rows      []Fig4Row
+	Schedules map[string]string // system name -> AHD plan description
+	Gantts    map[string]string // system name -> ASCII schedule
+}
+
+// Fig5 reproduces the GPU-type sensitivity study: the same workload
+// scheduled on 4x RTX 2080Ti versus 4x RTX A6000.
+func Fig5(o Options) Fig5Result {
+	w := model.NAS(true)
+	res := Fig5Result{Schedules: map[string]string{}, Gantts: map[string]string{}}
+	for _, sys := range []hw.System{hw.RTX2080Tix4(), hw.A6000x4()} {
+		reps := runAll(w, sys, o)
+		dp := reps["DP"]
+		for _, s := range []string{"DP", "LS", "TR", "TR+DPU", "TR+DPU+AHD"} {
+			r := reps[s]
+			rows := Fig4Row{
+				Workload:  sys.Name,
+				Strategy:  s,
+				EpochTime: r.EpochTime,
+				Speedup:   r.Speedup(dp),
+				Schedule:  r.ScheduleDesc,
+			}
+			res.Rows = append(res.Rows, rows)
+		}
+		res.Schedules[sys.Name] = reps["TR+DPU+AHD"].ScheduleDesc
+		res.Gantts[sys.Name] = ScheduleGantt(w, sys, o, 3)
+	}
+	return res
+}
+
+// FormatFig5 renders Fig. 5 as text.
+func FormatFig5(r Fig5Result) string {
+	header := []string{"system", "strategy", "epoch", "speedup"}
+	var body [][]string
+	for _, row := range r.Rows {
+		body = append(body, []string{
+			row.Workload, row.Strategy, metrics.FormatSeconds(row.EpochTime),
+			fmt.Sprintf("%.2fx", row.Speedup),
+		})
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 5 — GPU type sensitivity (NAS, ImageNet)\n")
+	b.WriteString(metrics.Table(header, body))
+	for sys, desc := range r.Schedules {
+		fmt.Fprintf(&b, "\n%s schedule: %s\n", sys, desc)
+	}
+	for sys, g := range r.Gantts {
+		fmt.Fprintf(&b, "\n%s steady-state timeline:\n%s", sys, g)
+	}
+	return b.String()
+}
+
+// --- Fig. 6: batch-size sensitivity ----------------------------------------
+
+// Fig6Row is one point of Fig. 6.
+type Fig6Row struct {
+	Dataset  string
+	Batch    int
+	Strategy string
+	Speedup  float64 // over DP at the same batch
+}
+
+// Fig6 reproduces the batch-size sensitivity study on the NAS workload.
+func Fig6(sys hw.System, o Options) []Fig6Row {
+	var rows []Fig6Row
+	for _, imagenet := range []bool{false, true} {
+		w := model.NAS(imagenet)
+		for _, batch := range []int{128, 256, 384, 512} {
+			opt := o
+			opt.Batch = batch
+			reps := runAll(w, sys, opt)
+			dp := reps["DP"]
+			for _, s := range []string{"DP", "LS", "TR", "TR+DPU", "TR+DPU+AHD"} {
+				rows = append(rows, Fig6Row{
+					Dataset:  w.Data.Name,
+					Batch:    batch,
+					Strategy: s,
+					Speedup:  reps[s].Speedup(dp),
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// FormatFig6 renders Fig. 6 as a text table.
+func FormatFig6(rows []Fig6Row) string {
+	header := []string{"dataset", "batch", "strategy", "speedup"}
+	var body [][]string
+	for _, r := range rows {
+		body = append(body, []string{
+			r.Dataset, fmt.Sprintf("%d", r.Batch), r.Strategy, fmt.Sprintf("%.2fx", r.Speedup),
+		})
+	}
+	return "Fig. 6 — Batch size sensitivity (NAS, normalized to DP per batch)\n" +
+		metrics.Table(header, body)
+}
+
+// --- Fig. 7: memory overhead -----------------------------------------------
+
+// Fig7Row is one strategy's per-rank peak memory for Fig. 7.
+type Fig7Row struct {
+	Dataset   string
+	Strategy  string
+	PerRankGB []float64
+	MaxGB     float64
+}
+
+// Fig7 reproduces the per-rank memory study on the NAS workload.
+func Fig7(sys hw.System, o Options) []Fig7Row {
+	var rows []Fig7Row
+	for _, imagenet := range []bool{false, true} {
+		w := model.NAS(imagenet)
+		reps := runAll(w, sys, o)
+		for _, s := range []string{"DP", "LS", "TR", "TR+DPU", "TR+DPU+AHD"} {
+			r := reps[s]
+			per := make([]float64, len(r.Ranks))
+			var max float64
+			for i, rank := range r.Ranks {
+				per[i] = float64(rank.PeakMemBytes) / (1 << 30)
+				if per[i] > max {
+					max = per[i]
+				}
+			}
+			rows = append(rows, Fig7Row{Dataset: w.Data.Name, Strategy: s, PerRankGB: per, MaxGB: max})
+		}
+	}
+	return rows
+}
+
+// FormatFig7 renders Fig. 7 as a text table.
+func FormatFig7(rows []Fig7Row) string {
+	header := []string{"dataset", "strategy", "rank0", "rank1", "rank2", "rank3", "max"}
+	var body [][]string
+	for _, r := range rows {
+		cells := []string{r.Dataset, r.Strategy}
+		for _, g := range r.PerRankGB {
+			cells = append(cells, fmt.Sprintf("%.2f", g))
+		}
+		for len(cells) < 6 {
+			cells = append(cells, "-")
+		}
+		cells = append(cells, fmt.Sprintf("%.2f", r.MaxGB))
+		body = append(body, cells)
+	}
+	return "Fig. 7 — Peak memory per rank (NAS, GB)\n" + metrics.Table(header, body)
+}

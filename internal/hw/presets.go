@@ -1,0 +1,149 @@
+package hw
+
+// Presets mirroring Table I of the paper. Peak FLOP/s figures are the
+// published FP32 numbers; KernelEff and LaunchOverhead are calibrated so
+// that simulated baseline epoch times land in the same regime as the
+// paper's Table II (the experiments compare schedule *shapes*, which are
+// insensitive to moderate calibration error).
+
+const (
+	gib = int64(1) << 30
+	gb  = 1e9
+)
+
+// RTXA6000 returns the analytic model of an NVIDIA RTX A6000 (Ampere,
+// 38.7 TFLOPS FP32 peak, 768 GB/s GDDR6, 48 GiB).
+func RTXA6000() GPU {
+	return GPU{
+		Name:            "RTX A6000",
+		PeakFLOPS:       38.7e12,
+		KernelEff:       0.30,
+		MemBandwidth:    0.60 * 768e9,
+		LaunchOverhead:  25e-6,
+		SaturationElems: 400e3,
+		MemBytes:        48 * gib,
+	}
+}
+
+// RTX2080Ti returns the analytic model of an NVIDIA RTX 2080 Ti (Turing,
+// 13.45 TFLOPS FP32 peak, 616 GB/s GDDR6, 11 GiB).
+func RTX2080Ti() GPU {
+	return GPU{
+		Name:            "RTX 2080Ti",
+		PeakFLOPS:       13.45e12,
+		KernelEff:       0.35,
+		MemBandwidth:    0.60 * 616e9,
+		LaunchOverhead:  22e-6,
+		SaturationElems: 140e3,
+		MemBytes:        11 * gib,
+	}
+}
+
+// PCIe4 returns an effective PCIe 4.0 ×16 point-to-point link through the
+// host bridge.
+func PCIe4() Link {
+	return Link{Name: "PCIe 4.0 x16", BandwidthBytes: 20 * gb, Latency: 12e-6}
+}
+
+// PCIe3 returns an effective PCIe 3.0 ×16 link.
+func PCIe3() Link {
+	return Link{Name: "PCIe 3.0 x16", BandwidthBytes: 10 * gb, Latency: 12e-6}
+}
+
+// EPYC7302Host returns the default system's host: one AMD EPYC 7302
+// (16 cores) with NVMe-class storage bandwidth.
+func EPYC7302Host() Host {
+	return Host{Name: "EPYC 7302 (16c)", StorageBandwidth: 3.2 * gb, Cores: 16,
+		PerBatchOverhead: 2.5e-3, StepOverhead: 25e-3}
+}
+
+// Xeon4214Host returns the alternative system's host: two Intel Xeon
+// Silver 4214 (2×12 cores) with SATA/NAS-class storage bandwidth.
+func Xeon4214Host() Host {
+	return Host{Name: "2x Xeon Silver 4214 (24c)", StorageBandwidth: 2.0 * gb, Cores: 24,
+		PerBatchOverhead: 3.0e-3, StepOverhead: 32e-3}
+}
+
+// A6000x4 returns the paper's default environment: 4× RTX A6000 on PCIe
+// 4.0 with the EPYC host (Table I, "Default").
+func A6000x4() System {
+	gpus := make([]GPU, 4)
+	for i := range gpus {
+		gpus[i] = RTXA6000()
+	}
+	return System{Name: "4x RTX A6000", GPUs: gpus, Link: PCIe4(), Host: EPYC7302Host()}
+}
+
+// RTX2080Tix4 returns the paper's alternative environment: 4× RTX 2080 Ti
+// on PCIe 3.0 with the dual-Xeon host (Table I, "Alternative").
+func RTX2080Tix4() System {
+	gpus := make([]GPU, 4)
+	for i := range gpus {
+		gpus[i] = RTX2080Ti()
+	}
+	return System{Name: "4x RTX 2080Ti", GPUs: gpus, Link: PCIe3(), Host: Xeon4214Host()}
+}
+
+// Additional accelerator presets beyond Table I, for custom-system
+// experiments (examples/custom_hardware, heterogeneous studies). Peak
+// figures are published numbers; derates follow the same calibration as
+// the Table I devices.
+
+// TeslaV100 returns the analytic model of an NVIDIA V100 SXM2 (Volta,
+// 15.7 TFLOPS FP32, 900 GB/s HBM2, 32 GiB).
+func TeslaV100() GPU {
+	return GPU{
+		Name:            "Tesla V100",
+		PeakFLOPS:       15.7e12,
+		KernelEff:       0.34,
+		MemBandwidth:    0.62 * 900e9,
+		LaunchOverhead:  24e-6,
+		SaturationElems: 160e3,
+		MemBytes:        32 * gib,
+	}
+}
+
+// A100SXM returns the analytic model of an NVIDIA A100 SXM4 (Ampere,
+// 19.5 TFLOPS FP32, 2 TB/s HBM2e, 80 GiB).
+func A100SXM() GPU {
+	return GPU{
+		Name:            "A100 SXM4",
+		PeakFLOPS:       19.5e12,
+		KernelEff:       0.38,
+		MemBandwidth:    0.62 * 2039e9,
+		LaunchOverhead:  24e-6,
+		SaturationElems: 440e3,
+		MemBytes:        80 * gib,
+	}
+}
+
+// RTX3090 returns the analytic model of an NVIDIA RTX 3090 (Ampere,
+// 35.6 TFLOPS FP32, 936 GB/s GDDR6X, 24 GiB).
+func RTX3090() GPU {
+	return GPU{
+		Name:            "RTX 3090",
+		PeakFLOPS:       35.6e12,
+		KernelEff:       0.30,
+		MemBandwidth:    0.60 * 936e9,
+		LaunchOverhead:  25e-6,
+		SaturationElems: 380e3,
+		MemBytes:        24 * gib,
+	}
+}
+
+// NVLink returns a 300 GB/s-class NVLink bridge model for systems that
+// have one (the Table I machines use PCIe; NVLink is provided for custom
+// experiments).
+func NVLink() Link {
+	return Link{Name: "NVLink", BandwidthBytes: 120e9, Latency: 5e-6}
+}
+
+// Homogeneous returns a system of n identical GPUs on the given link and
+// host — the generic constructor behind custom-system experiments.
+func Homogeneous(name string, n int, gpu GPU, link Link, host Host) System {
+	gpus := make([]GPU, n)
+	for i := range gpus {
+		gpus[i] = gpu
+	}
+	return System{Name: name, GPUs: gpus, Link: link, Host: host}
+}

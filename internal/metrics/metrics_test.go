@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pipebd/internal/sim"
+)
+
+func sampleReport() Report {
+	var busy0, busy1 [sim.NumCategories]float64
+	busy0[sim.CatLoad] = 1
+	busy0[sim.CatTeacherFwd] = 2
+	busy0[sim.CatStudentFwd] = 3
+	busy0[sim.CatStudentBwd] = 4
+	busy0[sim.CatUpdate] = 0.5
+	busy1[sim.CatComm] = 1.5
+	busy1[sim.CatAllReduce] = 0.5
+	return Report{
+		Strategy:    "TR",
+		Workload:    "nas-cifar10",
+		GlobalBatch: 256,
+		Steps:       10,
+		EpochTime:   12,
+		Ranks: []RankStats{
+			{Busy: busy0, Idle: 1.5, PeakMemBytes: 100},
+			{Busy: busy1, Idle: 10, PeakMemBytes: 300},
+		},
+	}
+}
+
+func TestRankTotalBusy(t *testing.T) {
+	r := sampleReport()
+	if got := r.Ranks[0].TotalBusy(); math.Abs(got-10.5) > 1e-12 {
+		t.Fatalf("TotalBusy = %v, want 10.5", got)
+	}
+}
+
+func TestFigTwoBreakdown(t *testing.T) {
+	r := sampleReport()
+	load, teacher, student, idle := r.FigTwoBreakdown()
+	// Averages over 2 ranks.
+	if math.Abs(load-0.5) > 1e-12 {
+		t.Fatalf("load = %v, want 0.5", load)
+	}
+	if math.Abs(teacher-1) > 1e-12 {
+		t.Fatalf("teacher = %v, want 1", teacher)
+	}
+	// student = (3+4+0.5 + 0.5)/2 = 4; comm counts as idle.
+	if math.Abs(student-4) > 1e-12 {
+		t.Fatalf("student = %v, want 4", student)
+	}
+	if math.Abs(idle-(1.5+10+1.5)/2) > 1e-12 {
+		t.Fatalf("idle = %v", idle)
+	}
+	// The four components must span the epoch (per-rank averages).
+	if math.Abs(load+teacher+student+idle-r.EpochTime) > 1e-9 {
+		t.Fatalf("breakdown does not span epoch: %v", load+teacher+student+idle)
+	}
+}
+
+func TestPeakMemory(t *testing.T) {
+	if got := sampleReport().PeakMemory(); got != 300 {
+		t.Fatalf("PeakMemory = %d, want 300", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	base := Report{EpochTime: 30}
+	fast := Report{EpochTime: 10}
+	if got := fast.Speedup(base); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("Speedup = %v, want 3", got)
+	}
+	var zero Report
+	if zero.Speedup(base) != 0 {
+		t.Fatal("zero epoch time must not divide")
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{31.52, "31.52s."},
+		{0.5, "0.50s."},
+		{109, "1m 49s."},
+		{3741, "62m 21s."},
+		{3639, "60m 39s."},
+	}
+	for _, c := range cases {
+		if got := FormatSeconds(c.in); got != c.want {
+			t.Errorf("FormatSeconds(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	s := sampleReport().String()
+	for _, frag := range []string{"TR", "nas-cifar10", "batch=256"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("String %q missing %q", s, frag)
+		}
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"a", "long-header"}, [][]string{
+		{"x", "1"},
+		{"yyyy", "22"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4", len(lines))
+	}
+	// All rows equal width for their first column.
+	if !strings.HasPrefix(lines[3], "yyyy") || !strings.Contains(lines[0], "long-header") {
+		t.Fatalf("unexpected table:\n%s", out)
+	}
+}

@@ -1,0 +1,106 @@
+package model
+
+import "fmt"
+
+// EfficientNet-B0 (Tan & Le, ICML 2019) — the teacher family used by
+// DNA [9], the blockwise-NAS system whose parallelization the paper's DP
+// baseline follows. Provided as a zoo entry for custom workloads; its
+// MBConv blocks carry squeeze-and-excitation gates, exercising the cost
+// model's SE layer kind.
+
+// efficientNetB0Stages: expansion t, output channels c, repeats n,
+// stride s, depthwise kernel k.
+var efficientNetB0Stages = []struct {
+	t, c, n, s, k int
+}{
+	{1, 16, 1, 1, 3},
+	{6, 24, 2, 2, 3},
+	{6, 40, 2, 2, 5},
+	{6, 80, 3, 2, 3},
+	{6, 112, 3, 1, 5},
+	{6, 192, 4, 2, 5},
+	{6, 320, 1, 1, 3},
+}
+
+// mbconvSE appends one EfficientNet MBConv layer: expansion, depthwise
+// convolution, squeeze-and-excitation (squeeze width = blockInC/4, the
+// B0 ratio), projection, and a residual add when the geometry allows.
+func mbconvSE(b *builder, name string, t, outC, stride, kernel int) {
+	inC := b.c
+	hidden := inC * t
+	if t != 1 {
+		b.conv(name+".pw", hidden, 1, 1, 0, false)
+		b.bn(name + ".pw.bn")
+		b.act(name + ".pw.swish")
+	}
+	b.dwconv(name+".dw", kernel, stride, kernel/2)
+	b.bn(name + ".dw.bn")
+	b.act(name + ".dw.swish")
+	squeeze := inC / 4
+	if squeeze < 1 {
+		squeeze = 1
+	}
+	b.se(name+".se", squeeze)
+	b.conv(name+".pwl", outC, 1, 1, 0, false)
+	b.bn(name + ".pwl.bn")
+	if stride == 1 && inC == outC {
+		b.residualAdd(name + ".add")
+	}
+}
+
+// EfficientNetB0 builds the 5.3M-parameter EfficientNet-B0 split into the
+// six distillation blocks DNA uses (stem+stages 1-2, stages 3-6 singly,
+// stage 7 with the head). imagenet selects 224×224 geometry (~390 MMACs);
+// otherwise the 32×32 CIFAR adaptation is built.
+func EfficientNetB0(imagenet bool, classes int) Model {
+	res := 32
+	stemStride := 1
+	strides := []int{1, 1, 2, 2, 1, 2, 1}
+	variant := "cifar"
+	if imagenet {
+		res = 224
+		stemStride = 2
+		strides = []int{1, 2, 2, 2, 1, 2, 1}
+		variant = "imagenet"
+	}
+	b := newBuilder(3, res, res)
+	b.conv("stem.conv", 32, 3, stemStride, 1, false)
+	b.bn("stem.bn")
+	b.act("stem.swish")
+	b.endUnit("stem")
+
+	for si, st := range efficientNetB0Stages {
+		stride := strides[si]
+		for li := 0; li < st.n; li++ {
+			s := 1
+			if li == 0 {
+				s = stride
+			}
+			name := fmt.Sprintf("s%d.l%d", si+1, li)
+			mbconvSE(b, name, st.t, st.c, s, st.k)
+			b.endUnit(name)
+		}
+		switch si {
+		case 1:
+			b.cut("block0")
+		case 2:
+			b.cut("block1")
+		case 3:
+			b.cut("block2")
+		case 4:
+			b.cut("block3")
+		case 5:
+			b.cut("block4")
+		}
+	}
+
+	b.conv("head.conv", 1280, 1, 1, 0, false)
+	b.bn("head.bn")
+	b.act("head.swish")
+	b.gap("head.gap")
+	b.flatten("head.flatten")
+	b.linear("classifier", classes)
+	b.endUnit("head")
+	b.cut("block5")
+	return b.model("efficientnet-b0-" + variant)
+}

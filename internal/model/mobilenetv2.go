@@ -1,0 +1,115 @@
+package model
+
+import (
+	"fmt"
+)
+
+// invertedResidualStage describes one MobileNetV2 stage: expansion factor
+// t, output channels c, repeat count n, first-layer stride s.
+type invertedResidualStage struct {
+	t, c, n, s int
+}
+
+// mobileNetV2Stages is the standard MobileNetV2 configuration
+// (Sandler et al., CVPR 2018, Table 2).
+var mobileNetV2Stages = []invertedResidualStage{
+	{1, 16, 1, 1},
+	{6, 24, 2, 2},
+	{6, 32, 3, 2},
+	{6, 64, 4, 2},
+	{6, 96, 3, 1},
+	{6, 160, 3, 2},
+	{6, 320, 1, 1},
+}
+
+// mobileNetV2CIFARStrides overrides the downsampling pattern for 32×32
+// inputs (stem stride 1; stages 2 and 3 stride 1), the standard CIFAR
+// adaptation that preserves enough spatial resolution.
+var mobileNetV2CIFARStrides = []int{1, 1, 2, 2, 1, 2, 1}
+
+// invertedResidual appends one MBConv layer (expansion t) to the builder.
+// A residual add is emitted when stride is 1 and channels are preserved.
+func invertedResidual(b *builder, name string, t, outC, stride int) {
+	inC := b.c
+	hidden := inC * t
+	if t != 1 {
+		b.conv(name+".pw", hidden, 1, 1, 0, false)
+		b.bn(name + ".pw.bn")
+		b.act(name + ".pw.relu6")
+	}
+	b.dwconv(name+".dw", 3, stride, 1)
+	b.bn(name + ".dw.bn")
+	b.act(name + ".dw.relu6")
+	b.conv(name+".pwl", outC, 1, 1, 0, false)
+	b.bn(name + ".pwl.bn")
+	if stride == 1 && inC == outC {
+		b.residualAdd(name + ".add")
+	}
+}
+
+// MobileNetV2 builds the teacher network for the NAS workload, split into
+// the six distillation blocks used by DNA-style blockwise NAS: block 0
+// holds the stem and stages 1-2 (the large-feature-map prefix whose
+// bandwidth-bound layers dominate ImageNet execution time, Fig. 5 of the
+// paper); blocks 1-4 hold stages 3-6; block 5 holds stage 7, the 1×1 head
+// convolution, pooling, and the classifier.
+//
+// imagenet selects 224×224 geometry with the standard stride pattern;
+// otherwise the 32×32 CIFAR adaptation is used. classes sizes the
+// classifier (1000 for ImageNet, 10 for CIFAR-10), which is what moves
+// parameters from 3.50 M to 2.24 M between the two variants in Table II.
+func MobileNetV2(imagenet bool, classes int) Model {
+	res := 32
+	stemStride := 1
+	strides := mobileNetV2CIFARStrides
+	variant := "cifar"
+	if imagenet {
+		res = 224
+		stemStride = 2
+		strides = []int{1, 2, 2, 2, 1, 2, 1}
+		variant = "imagenet"
+	}
+
+	b := newBuilder(3, res, res)
+	b.conv("stem.conv", 32, 3, stemStride, 1, false)
+	b.bn("stem.bn")
+	b.act("stem.relu6")
+	b.endUnit("stem")
+
+	for si, st := range mobileNetV2Stages {
+		stride := strides[si]
+		for li := 0; li < st.n; li++ {
+			s := 1
+			if li == 0 {
+				s = stride
+			}
+			name := fmt.Sprintf("s%d.l%d", si+1, li)
+			invertedResidual(b, name, st.t, st.c, s)
+			b.endUnit(name)
+		}
+		// Block boundaries after stages 2..6 (DNA's six-block split).
+		switch si {
+		case 1:
+			b.cut("block0")
+		case 2:
+			b.cut("block1")
+		case 3:
+			b.cut("block2")
+		case 4:
+			b.cut("block3")
+		case 5:
+			b.cut("block4")
+		}
+	}
+
+	b.conv("head.conv", 1280, 1, 1, 0, false)
+	b.bn("head.bn")
+	b.act("head.relu6")
+	b.gap("head.gap")
+	b.flatten("head.flatten")
+	b.linear("classifier", classes)
+	b.endUnit("head")
+	b.cut("block5")
+
+	return b.model("mobilenetv2-" + variant)
+}

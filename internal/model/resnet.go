@@ -1,0 +1,98 @@
+package model
+
+import "fmt"
+
+// ResNet-50 (He et al., CVPR 2016) — the architecture the paper cites
+// when discussing typical block counts ("B is around ten [3, 19]"). It is
+// provided as a zoo entry for custom workloads: its six-block split
+// (stem, four bottleneck stages, head) plugs into the same scheduling
+// machinery as the Table II models.
+
+// resNet50Stages: bottleneck width, output channels, repeats, stride.
+var resNet50Stages = []struct {
+	width, out, n, stride int
+}{
+	{64, 256, 3, 1},
+	{128, 512, 4, 2},
+	{256, 1024, 6, 2},
+	{512, 2048, 3, 2},
+}
+
+// bottleneck appends one ResNet bottleneck unit. When the input geometry
+// changes (stride or channel growth), a projection shortcut runs in
+// parallel with the main path; otherwise the skip is the identity.
+func bottleneck(b *builder, name string, width, outC, stride int) {
+	inC := b.c
+	project := stride != 1 || inC != outC
+	if project {
+		b.parallel(2, false, func(i int) {
+			if i == 0 {
+				bottleneckMain(b, name, width, outC, stride)
+			} else {
+				b.conv(name+".proj", outC, 1, stride, 0, false)
+				b.bn(name + ".proj.bn")
+			}
+		})
+	} else {
+		bottleneckMain(b, name, width, outC, stride)
+	}
+	b.residualAdd(name + ".add")
+	b.act(name + ".relu")
+}
+
+func bottleneckMain(b *builder, name string, width, outC, stride int) {
+	b.conv(name+".c1", width, 1, 1, 0, false)
+	b.bn(name + ".c1.bn")
+	b.act(name + ".c1.relu")
+	b.conv(name+".c2", width, 3, stride, 1, false)
+	b.bn(name + ".c2.bn")
+	b.act(name + ".c2.relu")
+	b.conv(name+".c3", outC, 1, 1, 0, false)
+	b.bn(name + ".c3.bn")
+}
+
+// ResNet50 builds the 25.6M-parameter ResNet-50 split into six
+// distillation blocks: stem, the four bottleneck stages, and the
+// classifier head. imagenet selects 224×224 geometry (4.1 GMACs);
+// otherwise the 32×32 CIFAR adaptation (3×3 stem, no max pool) is built.
+func ResNet50(imagenet bool, classes int) Model {
+	res := 32
+	variant := "cifar"
+	if imagenet {
+		res = 224
+		variant = "imagenet"
+	}
+	b := newBuilder(3, res, res)
+	if imagenet {
+		b.conv("stem.conv", 64, 7, 2, 3, false)
+		b.bn("stem.bn")
+		b.act("stem.relu")
+		b.pool("stem.pool", 2)
+	} else {
+		b.conv("stem.conv", 64, 3, 1, 1, false)
+		b.bn("stem.bn")
+		b.act("stem.relu")
+	}
+	b.endUnit("stem")
+	b.cut("block0")
+
+	for si, st := range resNet50Stages {
+		for li := 0; li < st.n; li++ {
+			stride := 1
+			if li == 0 {
+				stride = st.stride
+			}
+			name := fmt.Sprintf("s%d.b%d", si+1, li)
+			bottleneck(b, name, st.width, st.out, stride)
+			b.endUnit(name)
+		}
+		b.cut(fmt.Sprintf("block%d", si+1))
+	}
+
+	b.gap("head.gap")
+	b.flatten("head.flatten")
+	b.linear("fc", classes)
+	b.endUnit("head")
+	b.cut("block5")
+	return b.model("resnet50-" + variant)
+}

@@ -1,0 +1,65 @@
+package nn
+
+import "pipebd/internal/tensor"
+
+// ReLU is max(0, x). Cap < 0 disables the upper clamp; Cap = 6 yields the
+// ReLU6 used throughout MobileNet-family models.
+type ReLU struct {
+	Cap float32 // upper clamp; <= 0 means unbounded
+
+	mask []bool // true where the gradient passes through
+}
+
+// NewReLU returns an unbounded rectifier.
+func NewReLU() *ReLU { return &ReLU{Cap: -1} }
+
+// NewReLU6 returns the clamped rectifier min(max(0,x),6).
+func NewReLU6() *ReLU { return &ReLU{Cap: 6} }
+
+// Forward clamps the input elementwise.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := tensor.New(x.Shape()...)
+	xd, od := x.Data(), out.Data()
+	var mask []bool
+	if train {
+		mask = make([]bool, len(xd))
+	}
+	for i, v := range xd {
+		pass := v > 0 && (r.Cap <= 0 || v < r.Cap)
+		switch {
+		case v <= 0:
+			od[i] = 0
+		case r.Cap > 0 && v >= r.Cap:
+			od[i] = r.Cap
+		default:
+			od[i] = v
+		}
+		if train {
+			mask[i] = pass
+		}
+	}
+	if train {
+		r.mask = mask
+	}
+	return out
+}
+
+// Backward gates the gradient by the forward-pass mask.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if r.mask == nil {
+		panic("nn: ReLU.Backward called before Forward(train=true)")
+	}
+	out := tensor.New(grad.Shape()...)
+	gd, od := grad.Data(), out.Data()
+	for i, pass := range r.mask {
+		if pass {
+			od[i] = gd[i]
+		}
+	}
+	return out
+}
+
+// Params returns nil; ReLU has no trainable parameters.
+func (r *ReLU) Params() []*Param { return nil }
+
+var _ Layer = (*ReLU)(nil)

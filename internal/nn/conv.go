@@ -1,0 +1,279 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipebd/internal/tensor"
+)
+
+// Conv2d is a standard 2-D convolution with square kernels, symmetric
+// zero-padding, and optional bias, implemented via im2col + matmul.
+type Conv2d struct {
+	InC, OutC, Kernel, Stride, Pad int
+	Weight                         *Param // [OutC, InC, K, K]
+	Bias                           *Param // [OutC], nil when disabled
+
+	// Backward cache.
+	cols               *tensor.Tensor // im2col of the last input
+	inN, inH, inW      int
+	lastOutH, lastOutW int
+}
+
+// NewConv2d constructs a Conv2d with Kaiming-normal weight initialization.
+// bias selects whether an additive per-channel bias is trained.
+func NewConv2d(rng *rand.Rand, inC, outC, kernel, stride, pad int, bias bool) *Conv2d {
+	fanIn := inC * kernel * kernel
+	c := &Conv2d{
+		InC: inC, OutC: outC, Kernel: kernel, Stride: stride, Pad: pad,
+		Weight: NewParam("conv.weight", tensor.KaimingNormal(rng, fanIn, outC, inC, kernel, kernel)),
+	}
+	if bias {
+		c.Bias = NewParam("conv.bias", tensor.New(outC))
+	}
+	return c
+}
+
+// Forward computes the convolution of an NCHW input.
+func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	shape := x.Shape()
+	if len(shape) != 4 || shape[1] != c.InC {
+		panic(fmt.Sprintf("nn: Conv2d expects [N,%d,H,W], got %v", c.InC, shape))
+	}
+	n, h, w := shape[0], shape[2], shape[3]
+	oh := tensor.ConvOutSize(h, c.Kernel, c.Stride, c.Pad)
+	ow := tensor.ConvOutSize(w, c.Kernel, c.Stride, c.Pad)
+
+	cols := tensor.Im2Col(x, c.Kernel, c.Kernel, c.Stride, c.Pad)
+	wm := c.Weight.Value.Reshape(c.OutC, c.InC*c.Kernel*c.Kernel)
+	flat := tensor.MatMul(wm, cols) // [OutC, N*OH*OW]
+
+	out := flatToNCHW(flat, n, c.OutC, oh, ow)
+	if c.Bias != nil {
+		addChannelBias(out, c.Bias.Value)
+	}
+	if train {
+		c.cols, c.inN, c.inH, c.inW = cols, n, h, w
+		c.lastOutH, c.lastOutW = oh, ow
+	}
+	return out
+}
+
+// Backward propagates grad (NCHW) and accumulates dWeight/dBias.
+func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if c.cols == nil {
+		panic("nn: Conv2d.Backward called before Forward(train=true)")
+	}
+	dFlat := nchwToFlat(grad, c.OutC) // [OutC, N*OH*OW]
+
+	// dW = dFlat · colsᵀ, folded back to [OutC, InC, K, K].
+	dW := tensor.MatMulTB(dFlat, c.cols)
+	tensor.AddInto(c.Weight.Grad, dW.Reshape(c.Weight.Value.Shape()...))
+
+	if c.Bias != nil {
+		accumulateChannelBiasGrad(c.Bias.Grad, grad)
+	}
+
+	// dx = Col2Im(Wᵀ · dFlat).
+	wm := c.Weight.Value.Reshape(c.OutC, c.InC*c.Kernel*c.Kernel)
+	dCols := tensor.MatMulTA(wm, dFlat)
+	return tensor.Col2Im(dCols, c.inN, c.InC, c.inH, c.inW, c.Kernel, c.Kernel, c.Stride, c.Pad)
+}
+
+// Params returns weight (and bias when present).
+func (c *Conv2d) Params() []*Param {
+	if c.Bias != nil {
+		return []*Param{c.Weight, c.Bias}
+	}
+	return []*Param{c.Weight}
+}
+
+// DWConv2d is a depthwise 2-D convolution (channel multiplier 1): each
+// input channel is convolved with its own K×K filter.
+type DWConv2d struct {
+	C, Kernel, Stride, Pad int
+	Weight                 *Param // [C, 1, K, K]
+	Bias                   *Param // [C], nil when disabled
+
+	lastInput *tensor.Tensor
+}
+
+// NewDWConv2d constructs a depthwise convolution with Kaiming init.
+func NewDWConv2d(rng *rand.Rand, c, kernel, stride, pad int, bias bool) *DWConv2d {
+	l := &DWConv2d{
+		C: c, Kernel: kernel, Stride: stride, Pad: pad,
+		Weight: NewParam("dwconv.weight", tensor.KaimingNormal(rng, kernel*kernel, c, 1, kernel, kernel)),
+	}
+	if bias {
+		l.Bias = NewParam("dwconv.bias", tensor.New(c))
+	}
+	return l
+}
+
+// Forward computes the depthwise convolution of an NCHW input.
+func (d *DWConv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	shape := x.Shape()
+	if len(shape) != 4 || shape[1] != d.C {
+		panic(fmt.Sprintf("nn: DWConv2d expects [N,%d,H,W], got %v", d.C, shape))
+	}
+	n, h, w := shape[0], shape[2], shape[3]
+	oh := tensor.ConvOutSize(h, d.Kernel, d.Stride, d.Pad)
+	ow := tensor.ConvOutSize(w, d.Kernel, d.Stride, d.Pad)
+	out := tensor.New(n, d.C, oh, ow)
+	xd, od, wd := x.Data(), out.Data(), d.Weight.Value.Data()
+	k := d.Kernel
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < d.C; ci++ {
+			inBase := (ni*d.C + ci) * h * w
+			outBase := (ni*d.C + ci) * oh * ow
+			wBase := ci * k * k
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					var s float32
+					for ki := 0; ki < k; ki++ {
+						ih := oi*d.Stride - d.Pad + ki
+						if ih < 0 || ih >= h {
+							continue
+						}
+						for kj := 0; kj < k; kj++ {
+							iw := oj*d.Stride - d.Pad + kj
+							if iw < 0 || iw >= w {
+								continue
+							}
+							s += xd[inBase+ih*w+iw] * wd[wBase+ki*k+kj]
+						}
+					}
+					od[outBase+oi*ow+oj] = s
+				}
+			}
+		}
+	}
+	if d.Bias != nil {
+		addChannelBias(out, d.Bias.Value)
+	}
+	if train {
+		d.lastInput = x
+	}
+	return out
+}
+
+// Backward propagates grad and accumulates parameter gradients.
+func (d *DWConv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.lastInput == nil {
+		panic("nn: DWConv2d.Backward called before Forward(train=true)")
+	}
+	x := d.lastInput
+	n, h, w := x.Shape()[0], x.Shape()[2], x.Shape()[3]
+	oh, ow := grad.Shape()[2], grad.Shape()[3]
+	dx := tensor.New(n, d.C, h, w)
+	xd, gd := x.Data(), grad.Data()
+	dxd, dwd := dx.Data(), d.Weight.Grad.Data()
+	wd := d.Weight.Value.Data()
+	k := d.Kernel
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < d.C; ci++ {
+			inBase := (ni*d.C + ci) * h * w
+			outBase := (ni*d.C + ci) * oh * ow
+			wBase := ci * k * k
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					g := gd[outBase+oi*ow+oj]
+					if g == 0 {
+						continue
+					}
+					for ki := 0; ki < k; ki++ {
+						ih := oi*d.Stride - d.Pad + ki
+						if ih < 0 || ih >= h {
+							continue
+						}
+						for kj := 0; kj < k; kj++ {
+							iw := oj*d.Stride - d.Pad + kj
+							if iw < 0 || iw >= w {
+								continue
+							}
+							dwd[wBase+ki*k+kj] += g * xd[inBase+ih*w+iw]
+							dxd[inBase+ih*w+iw] += g * wd[wBase+ki*k+kj]
+						}
+					}
+				}
+			}
+		}
+	}
+	if d.Bias != nil {
+		accumulateChannelBiasGrad(d.Bias.Grad, grad)
+	}
+	return dx
+}
+
+// Params returns weight (and bias when present).
+func (d *DWConv2d) Params() []*Param {
+	if d.Bias != nil {
+		return []*Param{d.Weight, d.Bias}
+	}
+	return []*Param{d.Weight}
+}
+
+// flatToNCHW rearranges [C, N*OH*OW] (im2col result layout) to NCHW.
+func flatToNCHW(flat *tensor.Tensor, n, c, oh, ow int) *tensor.Tensor {
+	out := tensor.New(n, c, oh, ow)
+	fd, od := flat.Data(), out.Data()
+	spatial := oh * ow
+	for ci := 0; ci < c; ci++ {
+		rowBase := ci * n * spatial
+		for ni := 0; ni < n; ni++ {
+			copy(od[(ni*c+ci)*spatial:(ni*c+ci+1)*spatial], fd[rowBase+ni*spatial:rowBase+(ni+1)*spatial])
+		}
+	}
+	return out
+}
+
+// nchwToFlat rearranges NCHW to [C, N*OH*OW].
+func nchwToFlat(x *tensor.Tensor, c int) *tensor.Tensor {
+	n, oh, ow := x.Shape()[0], x.Shape()[2], x.Shape()[3]
+	spatial := oh * ow
+	out := tensor.New(c, n*spatial)
+	xd, od := x.Data(), out.Data()
+	for ci := 0; ci < c; ci++ {
+		rowBase := ci * n * spatial
+		for ni := 0; ni < n; ni++ {
+			copy(od[rowBase+ni*spatial:rowBase+(ni+1)*spatial], xd[(ni*c+ci)*spatial:(ni*c+ci+1)*spatial])
+		}
+	}
+	return out
+}
+
+func addChannelBias(x *tensor.Tensor, bias *tensor.Tensor) {
+	n, c := x.Shape()[0], x.Shape()[1]
+	spatial := x.Shape()[2] * x.Shape()[3]
+	xd, bd := x.Data(), bias.Data()
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			b := bd[ci]
+			base := (ni*c + ci) * spatial
+			for i := 0; i < spatial; i++ {
+				xd[base+i] += b
+			}
+		}
+	}
+}
+
+func accumulateChannelBiasGrad(dst *tensor.Tensor, grad *tensor.Tensor) {
+	n, c := grad.Shape()[0], grad.Shape()[1]
+	spatial := grad.Shape()[2] * grad.Shape()[3]
+	gd, dd := grad.Data(), dst.Data()
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			base := (ni*c + ci) * spatial
+			var s float32
+			for i := 0; i < spatial; i++ {
+				s += gd[base+i]
+			}
+			dd[ci] += s
+		}
+	}
+}
+
+var (
+	_ Layer = (*Conv2d)(nil)
+	_ Layer = (*DWConv2d)(nil)
+)

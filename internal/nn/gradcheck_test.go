@@ -1,0 +1,172 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pipebd/internal/tensor"
+)
+
+// lossOf computes a fixed linear functional of the layer output:
+// L = Σ w_i · out_i. Its gradient with respect to the output is exactly w,
+// giving full coverage of every output element during gradient checks.
+func lossOf(l Layer, x, w *tensor.Tensor, train bool) float64 {
+	out := l.Forward(x, train)
+	var s float64
+	od, wd := out.Data(), w.Data()
+	for i := range od {
+		s += float64(od[i]) * float64(wd[i])
+	}
+	return s
+}
+
+// checkGradients verifies analytic input and parameter gradients of layer l
+// against central finite differences at input x.
+func checkGradients(t *testing.T, name string, l Layer, x *tensor.Tensor) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	out := l.Forward(x.Clone(), true)
+	w := tensor.Rand(rng, -1, 1, out.Shape()...)
+
+	ZeroGrads(l.Params())
+	dx := l.Backward(w)
+
+	const eps = 1e-2
+	const tol = 2e-2 // float32 arithmetic; relative + absolute mix below
+
+	compare := func(kind string, analytic float64, probe func(delta float32) float64) {
+		t.Helper()
+		plus := probe(eps)
+		minus := probe(-eps)
+		numeric := (plus - minus) / (2 * eps)
+		diff := math.Abs(analytic - numeric)
+		scale := math.Max(1, math.Max(math.Abs(analytic), math.Abs(numeric)))
+		if diff/scale > tol {
+			t.Errorf("%s: %s gradient mismatch: analytic %v numeric %v", name, kind, analytic, numeric)
+		}
+	}
+
+	// Input gradient: probe a spread of elements to bound test time.
+	n := x.Numel()
+	stride := n/7 + 1
+	for i := 0; i < n; i += stride {
+		i := i
+		compare("input", float64(dx.Data()[i]), func(delta float32) float64 {
+			xp := x.Clone()
+			xp.Data()[i] += delta
+			return lossOf(l, xp, w, true)
+		})
+	}
+
+	// Parameter gradients.
+	for _, p := range l.Params() {
+		np := p.Value.Numel()
+		pstride := np/7 + 1
+		for i := 0; i < np; i += pstride {
+			i, p := i, p
+			compare("param "+p.Name, float64(p.Grad.Data()[i]), func(delta float32) float64 {
+				old := p.Value.Data()[i]
+				p.Value.Data()[i] = old + delta
+				loss := lossOf(l, x.Clone(), w, true)
+				p.Value.Data()[i] = old
+				return loss
+			})
+		}
+	}
+}
+
+func TestConv2dGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l := NewConv2d(rng, 3, 4, 3, 1, 1, true)
+	checkGradients(t, "Conv2d/s1", l, tensor.Rand(rng, -1, 1, 2, 3, 5, 5))
+
+	l2 := NewConv2d(rng, 2, 3, 3, 2, 1, false)
+	checkGradients(t, "Conv2d/s2-nobias", l2, tensor.Rand(rng, -1, 1, 2, 2, 6, 6))
+
+	l3 := NewConv2d(rng, 4, 2, 1, 1, 0, true)
+	checkGradients(t, "Conv2d/1x1", l3, tensor.Rand(rng, -1, 1, 1, 4, 4, 4))
+}
+
+func TestDWConv2dGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l := NewDWConv2d(rng, 3, 3, 1, 1, true)
+	checkGradients(t, "DWConv2d/s1", l, tensor.Rand(rng, -1, 1, 2, 3, 5, 5))
+
+	l2 := NewDWConv2d(rng, 2, 3, 2, 1, false)
+	checkGradients(t, "DWConv2d/s2", l2, tensor.Rand(rng, -1, 1, 1, 2, 6, 6))
+}
+
+func TestLinearGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLinear(rng, 6, 4, true)
+	checkGradients(t, "Linear", l, tensor.Rand(rng, -1, 1, 3, 6))
+}
+
+func TestBatchNorm2dGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := NewBatchNorm2d(3)
+	// Non-trivial gamma/beta so their gradients are exercised.
+	l.Gamma.Value.CopyFrom(tensor.Rand(rng, 0.5, 1.5, 3))
+	l.Beta.Value.CopyFrom(tensor.Rand(rng, -0.5, 0.5, 3))
+	checkGradients(t, "BatchNorm2d", l, tensor.Rand(rng, -2, 2, 4, 3, 3, 3))
+}
+
+func TestReLUGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Keep values away from the kinks at 0 and 6 so finite differences
+	// are well-defined.
+	x := tensor.Rand(rng, 0.5, 5.5, 2, 3, 4, 4)
+	for i, v := range x.Data() {
+		if i%2 == 0 {
+			x.Data()[i] = -v // clearly negative
+		}
+	}
+	checkGradients(t, "ReLU", NewReLU(), x)
+	checkGradients(t, "ReLU6", NewReLU6(), x)
+}
+
+func TestMaxPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Distinct values avoid argmax ties that break finite differences.
+	x := tensor.New(1, 2, 4, 4)
+	perm := rng.Perm(x.Numel())
+	for i, p := range perm {
+		x.Data()[i] = float32(p)
+	}
+	checkGradients(t, "MaxPool2d", NewMaxPool2d(2), x)
+}
+
+func TestGlobalAvgPoolGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checkGradients(t, "GlobalAvgPool2d", NewGlobalAvgPool2d(), tensor.Rand(rng, -1, 1, 2, 3, 4, 4))
+}
+
+func TestFlattenGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	checkGradients(t, "Flatten", NewFlatten(), tensor.Rand(rng, -1, 1, 2, 3, 2, 2))
+}
+
+func TestResidualGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	body := NewSequential(
+		NewConv2d(rng, 3, 3, 3, 1, 1, false),
+		NewReLU(),
+		NewConv2d(rng, 3, 3, 3, 1, 1, false),
+	)
+	checkGradients(t, "Residual", NewResidual(body), tensor.Rand(rng, -1, 1, 2, 3, 4, 4))
+}
+
+func TestSequentialCNNGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	net := NewSequential(
+		NewConv2d(rng, 2, 4, 3, 1, 1, false),
+		NewBatchNorm2d(4),
+		NewReLU6(),
+		NewMaxPool2d(2),
+		NewFlatten(),
+		NewLinear(rng, 4*3*3, 5, true),
+	)
+	// Avoid BN kinks by using a reasonably spread input.
+	checkGradients(t, "SequentialCNN", net, tensor.Rand(rng, -2, 2, 3, 2, 6, 6))
+}

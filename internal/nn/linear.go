@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pipebd/internal/tensor"
+)
+
+// Linear is a fully connected layer: y = x·Wᵀ + b for x of shape [N, In].
+type Linear struct {
+	In, Out int
+	Weight  *Param // [Out, In]
+	Bias    *Param // [Out], nil when disabled
+
+	lastInput *tensor.Tensor
+}
+
+// NewLinear constructs a Linear layer with Xavier-uniform initialization.
+func NewLinear(rng *rand.Rand, in, out int, bias bool) *Linear {
+	l := &Linear{
+		In: in, Out: out,
+		Weight: NewParam("linear.weight", tensor.XavierUniform(rng, in, out, out, in)),
+	}
+	if bias {
+		l.Bias = NewParam("linear.bias", tensor.New(out))
+	}
+	return l
+}
+
+// Forward computes y = x·Wᵀ + b.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	shape := x.Shape()
+	if len(shape) != 2 || shape[1] != l.In {
+		panic(fmt.Sprintf("nn: Linear expects [N,%d], got %v", l.In, shape))
+	}
+	out := tensor.MatMulTB(x, l.Weight.Value) // [N, Out]
+	if l.Bias != nil {
+		n := shape[0]
+		od, bd := out.Data(), l.Bias.Value.Data()
+		for i := 0; i < n; i++ {
+			row := od[i*l.Out : (i+1)*l.Out]
+			for j := range row {
+				row[j] += bd[j]
+			}
+		}
+	}
+	if train {
+		l.lastInput = x
+	}
+	return out
+}
+
+// Backward propagates grad [N, Out] and accumulates dW, dB.
+func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.lastInput == nil {
+		panic("nn: Linear.Backward called before Forward(train=true)")
+	}
+	// dW = gradᵀ · x  -> [Out, In]
+	dW := tensor.MatMulTA(grad, l.lastInput)
+	tensor.AddInto(l.Weight.Grad, dW)
+	if l.Bias != nil {
+		n := grad.Shape()[0]
+		gd, bd := grad.Data(), l.Bias.Grad.Data()
+		for i := 0; i < n; i++ {
+			row := gd[i*l.Out : (i+1)*l.Out]
+			for j, v := range row {
+				bd[j] += v
+			}
+		}
+	}
+	// dx = grad · W -> [N, In]
+	return tensor.MatMul(grad, l.Weight.Value)
+}
+
+// Params returns weight (and bias when present).
+func (l *Linear) Params() []*Param {
+	if l.Bias != nil {
+		return []*Param{l.Weight, l.Bias}
+	}
+	return []*Param{l.Weight}
+}
+
+var _ Layer = (*Linear)(nil)

@@ -1,0 +1,154 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"pipebd/internal/tensor"
+)
+
+// MixedOp is a differentiable NAS cell: candidate operations combined by
+// a softmax over trainable architecture parameters,
+//
+//	y = Σ_i softmax(α)_i · branch_i(x).
+//
+// This is the formulation the paper describes for its NAS workload
+// ("multiple candidate operations in each layer are associated with a
+// trainable architecture parameter, representing the probability of
+// selecting the operation"). After search, the branch with the largest α
+// is selected as the found architecture (Derive).
+//
+// All branches must preserve output shape. Alpha gradients flow through
+// the softmax Jacobian; branch gradients are scaled by their weights.
+type MixedOp struct {
+	Branches []Layer
+	Alpha    *Param // [len(Branches)]
+
+	// Backward cache.
+	weights    []float64        // softmax(alpha) of the last forward
+	branchOuts []*tensor.Tensor // per-branch outputs of the last forward
+}
+
+// NewMixedOp builds a MixedOp over the given branches with uniform
+// initial architecture parameters (α = 0).
+func NewMixedOp(branches ...Layer) *MixedOp {
+	if len(branches) < 2 {
+		panic("nn: MixedOp needs at least two candidate branches")
+	}
+	return &MixedOp{
+		Branches: branches,
+		Alpha:    NewParam("mixedop.alpha", tensor.New(len(branches))),
+	}
+}
+
+// softmaxAlpha returns softmax(α) in float64.
+func (m *MixedOp) softmaxAlpha() []float64 {
+	a := m.Alpha.Value.Data()
+	maxv := a[0]
+	for _, v := range a[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	w := make([]float64, len(a))
+	var sum float64
+	for i, v := range a {
+		w[i] = math.Exp(float64(v - maxv))
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
+}
+
+// Forward computes the weighted sum of all candidate outputs.
+func (m *MixedOp) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	weights := m.softmaxAlpha()
+	var out *tensor.Tensor
+	var outs []*tensor.Tensor
+	for i, b := range m.Branches {
+		y := b.Forward(x, train)
+		if out == nil {
+			out = tensor.New(y.Shape()...)
+		} else if !y.SameShape(out) {
+			panic(fmt.Sprintf("nn: MixedOp branch %d output %v mismatches %v", i, y.Shape(), out.Shape()))
+		}
+		tensor.AxpyInto(out, float32(weights[i]), y)
+		if train {
+			outs = append(outs, y)
+		}
+	}
+	if train {
+		m.weights, m.branchOuts = weights, outs
+	}
+	return out
+}
+
+// Backward propagates through every branch (scaled by its weight) and
+// accumulates the architecture-parameter gradient through the softmax
+// Jacobian: dα_i = w_i (s_i − Σ_j w_j s_j) with s_i = <grad, branch_i(x)>.
+func (m *MixedOp) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if m.branchOuts == nil {
+		panic("nn: MixedOp.Backward called before Forward(train=true)")
+	}
+	// Branch-output inner products with the incoming gradient.
+	s := make([]float64, len(m.Branches))
+	gd := grad.Data()
+	for i, y := range m.branchOuts {
+		yd := y.Data()
+		var dot float64
+		for k := range gd {
+			dot += float64(gd[k]) * float64(yd[k])
+		}
+		s[i] = dot
+	}
+	var sBar float64
+	for i, w := range m.weights {
+		sBar += w * s[i]
+	}
+	ad := m.Alpha.Grad.Data()
+	for i, w := range m.weights {
+		ad[i] += float32(w * (s[i] - sBar))
+	}
+
+	// Input gradient: sum of branch backwards on weight-scaled grads.
+	var dx *tensor.Tensor
+	for i, b := range m.Branches {
+		scaled := tensor.Scale(grad, float32(m.weights[i]))
+		d := b.Backward(scaled)
+		if dx == nil {
+			dx = d
+		} else {
+			tensor.AddInto(dx, d)
+		}
+	}
+	return dx
+}
+
+// Params returns every branch's parameters plus α.
+func (m *MixedOp) Params() []*Param {
+	ps := []*Param{m.Alpha}
+	for _, b := range m.Branches {
+		ps = append(ps, b.Params()...)
+	}
+	return ps
+}
+
+// Weights returns the current candidate probabilities softmax(α).
+func (m *MixedOp) Weights() []float64 { return m.softmaxAlpha() }
+
+// Derive returns the index of the most probable candidate — the found
+// architecture choice after search.
+func (m *MixedOp) Derive() int {
+	w := m.softmaxAlpha()
+	best := 0
+	for i, v := range w {
+		if v > w[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+var _ Layer = (*MixedOp)(nil)

@@ -1,0 +1,85 @@
+// Package nn implements the small neural-network runtime used by the
+// numeric Pipe-BD engine: layers with explicit forward/backward passes,
+// trainable parameters, losses, and an SGD optimizer.
+//
+// The design is deliberately tape-free: every Layer caches what it needs
+// during Forward and consumes that cache in Backward. This matches the
+// strictly layer-sequential structure of blockwise distillation (each
+// student block is a chain owned by exactly one device) and keeps the
+// backward pass deterministic, which the bit-equivalence experiments rely
+// on. A Layer must not be shared between goroutines during training.
+package nn
+
+import "pipebd/internal/tensor"
+
+// Param is a trainable tensor together with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParam allocates a parameter with a zero gradient of matching shape.
+func NewParam(name string, value *tensor.Tensor) *Param {
+	return &Param{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+}
+
+// ZeroGrad clears the gradient.
+func (p *Param) ZeroGrad() { p.Grad.Zero() }
+
+// Layer is a differentiable module. Backward must be called after Forward
+// on the same input batch; it returns the gradient with respect to the
+// layer's input and accumulates parameter gradients into Params().
+type Layer interface {
+	// Forward computes the layer output. train selects training-mode
+	// behaviour (e.g. batch statistics in BatchNorm) and enables the
+	// caching required by Backward.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates the output gradient to the input gradient,
+	// accumulating parameter gradients along the way.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// ZeroGrads clears the gradients of all params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// Sequential chains layers; the output of layer i feeds layer i+1.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward applies every layer in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates gradients in reverse order.
+func (s *Sequential) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns the concatenated parameters of all layers.
+func (s *Sequential) Params() []*Param {
+	var ps []*Param
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+var _ Layer = (*Sequential)(nil)

@@ -1,0 +1,36 @@
+package nn
+
+import (
+	"fmt"
+
+	"pipebd/internal/tensor"
+)
+
+// Residual wraps a body layer with an identity skip connection:
+// y = x + body(x). The body must preserve the input shape.
+type Residual struct {
+	Body Layer
+}
+
+// NewResidual wraps body with an identity skip connection.
+func NewResidual(body Layer) *Residual { return &Residual{Body: body} }
+
+// Forward computes x + body(x).
+func (r *Residual) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := r.Body.Forward(x, train)
+	if !y.SameShape(x) {
+		panic(fmt.Sprintf("nn: Residual body changed shape %v -> %v", x.Shape(), y.Shape()))
+	}
+	return tensor.Add(x, y)
+}
+
+// Backward sums the skip gradient and the body gradient.
+func (r *Residual) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dBody := r.Body.Backward(grad)
+	return tensor.Add(grad, dBody)
+}
+
+// Params returns the body's parameters.
+func (r *Residual) Params() []*Param { return r.Body.Params() }
+
+var _ Layer = (*Residual)(nil)

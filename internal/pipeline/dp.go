@@ -1,0 +1,119 @@
+package pipeline
+
+import (
+	"pipebd/internal/cost"
+	"pipebd/internal/metrics"
+	"pipebd/internal/sim"
+)
+
+// RunDP simulates the paper's DP baseline (Fig. 3a), the scheme of the
+// DNA [9] implementation: student blocks are trained one at a time; for
+// block b every device loads a batch shard, executes teacher blocks
+// 0..b (the redundant prefix), trains student block b on its shard, and
+// all-reduces gradients across all devices before updating.
+func RunDP(cfg Config) metrics.Report {
+	cfg.validate()
+	env := newEnvironment(cfg)
+	rep, _ := runDP(cfg, env)
+	return rep
+}
+
+// RunDPTracks is RunDP returning the simulation tracks for rendering.
+func RunDPTracks(cfg Config) (metrics.Report, Tracks) {
+	cfg.validate()
+	env := newEnvironment(cfg)
+	rep, _ := runDP(cfg, env)
+	return rep, env.tracks()
+}
+
+func runDP(cfg Config, env *epochEnvironment) (metrics.Report, int) {
+	n := cfg.System.NumDevices()
+	shard := cfg.GlobalBatch / n
+	steps := cfg.steps()
+	tb, sb := teacherBlocks(cfg), studentBlocks(cfg)
+	gpu := cfg.System.GPUs[0]
+	link := cfg.System.Link
+
+	// Precompute per-block times at the shard batch.
+	tFwd := make([]float64, len(tb))
+	sFwd := make([]float64, len(sb))
+	sBwd := make([]float64, len(sb))
+	update := make([]float64, len(sb))
+	gradBytes := make([]int64, len(sb))
+	for b := range tb {
+		tFwd[b] = cost.BlockFwdTime(gpu, tb[b], shard)
+		sFwd[b] = cost.BlockFwdTime(gpu, sb[b], shard)
+		sBwd[b] = cost.BlockBwdTime(gpu, sb[b], shard)
+		update[b] = cost.UpdateTime(gpu, sb[b])
+		gradBytes[b] = sb[b].ParamBytes()
+	}
+
+	for b := range tb {
+		// A fresh DataLoader pass begins for each block: no prefetch
+		// across block boundaries.
+		var passStart float64
+		for _, d := range env.devs {
+			if d.FreeAt() > passStart {
+				passStart = d.FreeAt()
+			}
+		}
+		env.loader.AdvanceTo(passStart)
+
+		for s := 0; s < steps; s++ {
+			// The shared loader produces every device's shard.
+			shardReady := make([]float64, n)
+			for d := 0; d < n; d++ {
+				_, end := env.loader.Exec(0, cfg.loadTime(shard), sim.CatLoad, "DL")
+				shardReady[d] = end
+			}
+			// Each device: teacher prefix, student block b.
+			var bwdEnd float64
+			for d := 0; d < n; d++ {
+				dev := env.devs[d]
+				stepOverhead(cfg, dev)
+				ingestBatch(cfg, dev, shardReady[d])
+				for i := 0; i <= b; i++ {
+					dev.Exec(0, tFwd[i], sim.CatTeacherFwd, blockLabel("T", i))
+				}
+				dev.Exec(0, sFwd[b], sim.CatStudentFwd, blockLabel("S", b))
+				dev.Exec(0, sBwd[b], sim.CatStudentBwd, blockLabel("S", b))
+				if dev.FreeAt() > bwdEnd {
+					bwdEnd = dev.FreeAt()
+				}
+			}
+			// Gradient all-reduce across all devices (partially hidden
+			// by backward), then the synchronized update.
+			exposed := exposedAllReduce(link, gradBytes[b], n, sBwd[b], cfg.overlap())
+			for d := 0; d < n; d++ {
+				dev := env.devs[d]
+				dev.AdvanceTo(bwdEnd) // DP barrier: all-reduce needs all ranks
+				dev.Exec(0, exposed, sim.CatAllReduce, "DP")
+				dev.Exec(0, update[b], sim.CatUpdate, "UP")
+			}
+		}
+	}
+
+	peak := dpPeakMemory(cfg, shard)
+	mem := make([]int64, n)
+	for d := range mem {
+		mem[d] = peak
+	}
+	return env.report(cfg, "DP", "all devices data-parallel, blocks sequential", steps*len(tb), mem), steps
+}
+
+// dpPeakMemory estimates any rank's peak memory under DP: the worst block
+// pass holds the whole teacher prefix (inference) plus the trained
+// student block at the shard batch.
+func dpPeakMemory(cfg Config, shard int) int64 {
+	tb, sb := teacherBlocks(cfg), studentBlocks(cfg)
+	var peak int64
+	var prefix int64
+	for b := range tb {
+		prefix += cost.TeacherBlockMemory(tb[b], shard)
+		total := prefix + cost.StudentBlockMemory(sb[b], shard)
+		if total > peak {
+			peak = total
+		}
+	}
+	return peak
+}

@@ -1,0 +1,136 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"pipebd/internal/cost"
+	"pipebd/internal/metrics"
+	"pipebd/internal/sched"
+	"pipebd/internal/sim"
+)
+
+// RunLS simulates the layerwise-scheduling baseline of Blakeney et
+// al. [7]: training each distillable task (a layer unit for compression,
+// a DNA block for NAS — see model.Workload.LSTasks) is an *independent
+// job*: it loads its own full batch and executes its own teacher prefix.
+// Tasks are balanced across devices with LPT bin packing on a static
+// FLOPs-proportional cost estimate — profiling-based scheduling is
+// Pipe-BD's contribution (AHD), not the baseline's.
+//
+// Its weaknesses are the ones the paper calls out (§II-B, §VII-A):
+// redundant teacher execution (every task re-runs its prefix), redundant
+// data loading (every task re-loads the batch), and load imbalance — the
+// static FLOPs estimate badly mispredicts ImageNet's bandwidth-bound
+// early blocks, and NAS offers only six tasks for four devices
+// ("insufficient layers in the model").
+func RunLS(cfg Config) metrics.Report {
+	cfg.validate()
+	env := newEnvironment(cfg)
+	rep, _ := runLS(cfg, env)
+	return rep
+}
+
+// RunLSTracks is RunLS returning the simulation tracks for rendering.
+func RunLSTracks(cfg Config) (metrics.Report, Tracks) {
+	cfg.validate()
+	env := newEnvironment(cfg)
+	rep, _ := runLS(cfg, env)
+	return rep, env.tracks()
+}
+
+func runLS(cfg Config, env *epochEnvironment) (metrics.Report, int) {
+	n := cfg.System.NumDevices()
+	batch := cfg.GlobalBatch
+	steps := cfg.steps()
+	gpu := cfg.System.GPUs[0]
+	tu, su := cfg.Workload.LSTasks()
+	nu := len(tu)
+
+	// Measured per-task times at the full batch (what execution costs).
+	tFwd := make([]float64, nu)
+	sFwd := make([]float64, nu)
+	sBwd := make([]float64, nu)
+	update := make([]float64, nu)
+	for u := 0; u < nu; u++ {
+		tFwd[u] = cost.BlockFwdTime(gpu, tu[u], batch)
+		sFwd[u] = cost.BlockFwdTime(gpu, su[u], batch)
+		sBwd[u] = cost.BlockBwdTime(gpu, su[u], batch)
+		update[u] = cost.UpdateTime(gpu, su[u])
+	}
+
+	// Static FLOPs-proportional standalone costs drive the bin packing:
+	// teacher prefix forward plus student forward and backward (~2x
+	// forward). This is the planning/execution mismatch that wrecks the
+	// baseline's balance on bandwidth-bound models.
+	est := make([]float64, nu)
+	var prefixFLOPs float64
+	for u := 0; u < nu; u++ {
+		est[u] = prefixFLOPs + tu[u].FwdFLOPs(batch) + 3*su[u].FwdFLOPs(batch)
+		prefixFLOPs += tu[u].FwdFLOPs(batch)
+	}
+	assign := sched.LPTPack(est, n)
+
+	for s := 0; s < steps; s++ {
+		for d := 0; d < n; d++ {
+			dev := env.devs[d]
+			// Every task is an independent job: its own batch load and
+			// its own teacher prefix execution.
+			for _, u := range assign[d] {
+				stepOverhead(cfg, dev)
+				_, shardReady := env.loader.Exec(0, cfg.loadTime(batch), sim.CatLoad, "DL")
+				ingestBatch(cfg, dev, shardReady)
+				for i := 0; i <= u; i++ {
+					dev.Exec(0, tFwd[i], sim.CatTeacherFwd, blockLabel("T", i))
+				}
+				dev.Exec(0, sFwd[u], sim.CatStudentFwd, blockLabel("S", u))
+				dev.Exec(0, sBwd[u], sim.CatStudentBwd, blockLabel("S", u))
+				dev.Exec(0, update[u], sim.CatUpdate, "UP")
+			}
+		}
+	}
+
+	mem := make([]int64, n)
+	for d := 0; d < n; d++ {
+		mem[d] = lsPeakMemory(cfg, assign[d], batch)
+	}
+	desc := describeLS(assign)
+	return env.report(cfg, "LS", desc, steps, mem), steps
+}
+
+// lsPeakMemory estimates one rank's peak memory under LS. Tasks run
+// sequentially and release their prefix activations between tasks, so
+// the peak is set by the worst single task: a streaming teacher prefix
+// (largest working set plus prefix parameters) and that task's training
+// state, all at the full batch.
+func lsPeakMemory(cfg Config, units []int, batch int) int64 {
+	if len(units) == 0 {
+		return 0
+	}
+	tu, su := cfg.Workload.LSTasks()
+	var peak int64
+	for _, u := range units {
+		var streaming, prefixParams int64
+		for i := 0; i <= u; i++ {
+			if m := 2 * tu[i].MaxActBytes(batch); m > streaming {
+				streaming = m
+			}
+			prefixParams += tu[i].ParamBytes()
+		}
+		total := streaming + prefixParams + su[u].InBytes(batch) + cost.StudentBlockMemory(su[u], batch)
+		if total > peak {
+			peak = total
+		}
+	}
+	return peak
+}
+
+func describeLS(assign [][]int) string {
+	desc := ""
+	for d, units := range assign {
+		if d > 0 {
+			desc += " | "
+		}
+		desc += fmt.Sprintf("dev%d: %d tasks", d, len(units))
+	}
+	return desc
+}

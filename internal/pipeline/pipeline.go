@@ -1,0 +1,192 @@
+// Package pipeline contains the schedule executors: given a workload, a
+// system model, and a schedule, each executor sweeps one training epoch
+// over the virtual-time simulator and reports epoch time, per-rank busy
+// breakdowns, and per-rank peak memory.
+//
+// Executors for every configuration the paper evaluates:
+//
+//   - RunDP — the data-parallel block-by-block baseline [9] (Fig. 3a)
+//   - RunLS — the layerwise bin-packing baseline [7]
+//   - RunTR — teacher relaying, with or without decoupled parameter
+//     update, driven by any sched.Plan (plain contiguous TR, AHD hybrid
+//     plans, and the internal-relaying ablation are all plans)
+package pipeline
+
+import (
+	"fmt"
+
+	"pipebd/internal/cost"
+	"pipebd/internal/hw"
+	"pipebd/internal/metrics"
+	"pipebd/internal/model"
+	"pipebd/internal/sim"
+)
+
+// Config parameterizes one simulated epoch.
+type Config struct {
+	Workload    model.Workload
+	System      hw.System
+	GlobalBatch int
+
+	// MaxSteps truncates each dataset pass to this many steps when > 0
+	// (useful for Gantt recording and fast tests). The reported Steps
+	// and EpochTime then cover only the simulated prefix.
+	MaxSteps int
+
+	// Record retains per-track intervals for Gantt rendering.
+	Record bool
+
+	// DDPOverlap is the fraction of gradient all-reduce hidden beneath
+	// the backward pass (bucketed DDP). Zero value selects the default.
+	DDPOverlap float64
+}
+
+func (c Config) overlap() float64 {
+	if c.DDPOverlap == 0 {
+		return 0.7
+	}
+	return c.DDPOverlap
+}
+
+func (c Config) validate() {
+	if err := c.System.Validate(); err != nil {
+		panic(err)
+	}
+	if err := c.Workload.Validate(); err != nil {
+		panic(err)
+	}
+	if c.GlobalBatch <= 0 {
+		panic("pipeline: GlobalBatch must be positive")
+	}
+	n := c.System.NumDevices()
+	if c.GlobalBatch%n != 0 {
+		panic(fmt.Sprintf("pipeline: GlobalBatch %d not divisible by %d devices", c.GlobalBatch, n))
+	}
+}
+
+// steps returns the number of steps for one dataset pass, honouring
+// MaxSteps truncation.
+func (c Config) steps() int {
+	s := c.Workload.Data.StepsPerEpoch(c.GlobalBatch)
+	if c.MaxSteps > 0 && s > c.MaxSteps {
+		s = c.MaxSteps
+	}
+	return s
+}
+
+// loadTime returns the shared loader's time to produce the given number
+// of samples.
+func (c Config) loadTime(samples int) float64 {
+	spec := c.Workload.Data
+	return c.System.Host.LoadTime(spec.StorageBytes*int64(samples),
+		spec.DecodeCPUSeconds*float64(samples))
+}
+
+// waitFor stalls dev until ready, attributing the gap to cat (load or
+// relay wait). Gaps from barriers are left unattributed and fall into
+// idle time during report assembly.
+func waitFor(dev *sim.Track, ready float64, cat sim.Category, label string) {
+	if gap := ready - dev.FreeAt(); gap > 0 {
+		dev.Exec(dev.FreeAt(), gap, cat, label)
+	}
+}
+
+// ingestBatch makes dev wait for its shard and pay the consumer-side
+// per-batch cost (iterator dispatch, collation, host-to-device staging).
+func ingestBatch(cfg Config, dev *sim.Track, shardReady float64) {
+	waitFor(dev, shardReady, sim.CatLoad, "DL")
+	dev.Exec(0, cfg.System.Host.PerBatchOverhead, sim.CatLoad, "DL")
+}
+
+// stepOverhead charges one training-loop iteration's fixed host-side cost
+// (optimizer housekeeping, loss bookkeeping, dispatch stalls).
+func stepOverhead(cfg Config, dev *sim.Track) {
+	dev.Exec(0, cfg.System.Host.StepOverhead, sim.CatUpdate, "OV")
+}
+
+// epochEnvironment bundles the tracks every executor needs.
+type epochEnvironment struct {
+	loader *sim.Track
+	devs   []*sim.Track
+	copies []*sim.Track
+}
+
+func newEnvironment(cfg Config) *epochEnvironment {
+	n := cfg.System.NumDevices()
+	env := &epochEnvironment{
+		loader: sim.NewTrack("loader", cfg.Record),
+		devs:   make([]*sim.Track, n),
+		copies: make([]*sim.Track, n),
+	}
+	for d := 0; d < n; d++ {
+		env.devs[d] = sim.NewTrack(fmt.Sprintf("gpu%d", d), cfg.Record)
+		env.copies[d] = sim.NewTrack(fmt.Sprintf("copy%d", d), cfg.Record)
+	}
+	return env
+}
+
+// report assembles a metrics.Report from the environment after the sweep.
+func (env *epochEnvironment) report(cfg Config, strategy, scheduleDesc string, steps int, peakMem []int64) metrics.Report {
+	var end float64
+	for _, d := range env.devs {
+		if d.FreeAt() > end {
+			end = d.FreeAt()
+		}
+	}
+	ranks := make([]metrics.RankStats, len(env.devs))
+	for i, d := range env.devs {
+		var busy [sim.NumCategories]float64
+		for c := 0; c < sim.NumCategories; c++ {
+			busy[c] = d.Busy(sim.Category(c))
+		}
+		idle := end - d.TotalBusy()
+		if idle < 0 {
+			idle = 0 // guard against float accumulation residue
+		}
+		ranks[i] = metrics.RankStats{
+			Busy:         busy,
+			Idle:         idle,
+			PeakMemBytes: peakMem[i],
+		}
+	}
+	return metrics.Report{
+		Strategy:     strategy,
+		Workload:     cfg.Workload.Name,
+		System:       cfg.System.Name,
+		GlobalBatch:  cfg.GlobalBatch,
+		Steps:        steps,
+		EpochTime:    end,
+		Ranks:        ranks,
+		ScheduleDesc: scheduleDesc,
+	}
+}
+
+// Tracks exposes the environment's tracks of the last run for Gantt
+// rendering; executors return it alongside the report when recording.
+type Tracks struct {
+	Loader *sim.Track
+	Devs   []*sim.Track
+	Copies []*sim.Track
+}
+
+func (env *epochEnvironment) tracks() Tracks {
+	return Tracks{Loader: env.loader, Devs: env.devs, Copies: env.copies}
+}
+
+// exposedAllReduce returns the all-reduce time left visible after
+// overlapping with the backward pass.
+func exposedAllReduce(link hw.Link, bytes int64, k int, bwdTime, overlap float64) float64 {
+	t := link.AllReduceTime(bytes, k) - overlap*bwdTime
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// blockLabel renders "T3"/"S3" style labels for Gantt output.
+func blockLabel(prefix string, idx int) string { return fmt.Sprintf("%s%d", prefix, idx) }
+
+// teacherBlocks and studentBlocks are small accessors to keep executor
+// code readable.
+func teacherBlocks(cfg Config) []cost.Block { return cfg.Workload.Teacher.Net.Blocks }
+func studentBlocks(cfg Config) []cost.Block { return cfg.Workload.Student.Net.Blocks }

@@ -1,0 +1,254 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+
+	"pipebd/internal/hw"
+	"pipebd/internal/metrics"
+	"pipebd/internal/model"
+	"pipebd/internal/profilegen"
+	"pipebd/internal/sched"
+	"pipebd/internal/sim"
+)
+
+// quickCfg returns a truncated configuration that reaches steady state
+// but keeps test runtime in milliseconds.
+func quickCfg(w model.Workload, sys hw.System) Config {
+	return Config{Workload: w, System: sys, GlobalBatch: 256, MaxSteps: 40}
+}
+
+func plans(t *testing.T, w model.Workload, sys hw.System) (tr, ahd sched.Plan) {
+	t.Helper()
+	prof := profilegen.Measure(w, sys.GPUs[0], 256, sys.NumDevices(), 10)
+	return sched.TRContiguous(prof, sys.NumDevices()), sched.AHD(prof, sys, sched.DefaultAHDConfig())
+}
+
+func allReports(t *testing.T, w model.Workload, sys hw.System) map[string]metrics.Report {
+	t.Helper()
+	cfg := quickCfg(w, sys)
+	trPlan, ahdPlan := plans(t, w, sys)
+	return map[string]metrics.Report{
+		"DP":         RunDP(cfg),
+		"LS":         RunLS(cfg),
+		"TR":         RunTR(cfg, trPlan, false, "TR"),
+		"TR+DPU":     RunTR(cfg, trPlan, true, "TR+DPU"),
+		"TR+IR":      RunIR(cfg),
+		"TR+DPU+AHD": RunTR(cfg, ahdPlan, true, "TR+DPU+AHD"),
+	}
+}
+
+func TestAccountingSpansEpoch(t *testing.T) {
+	// For every strategy and rank: busy + idle == epoch time.
+	for _, w := range []model.Workload{model.NAS(false), model.Compression(true)} {
+		for name, rep := range allReports(t, w, hw.A6000x4()) {
+			for r, rank := range rep.Ranks {
+				total := rank.TotalBusy() + rank.Idle
+				if math.Abs(total-rep.EpochTime) > 1e-9*math.Max(1, rep.EpochTime) {
+					t.Errorf("%s/%s rank %d: busy+idle %v != epoch %v", w.Name, name, r, total, rep.EpochTime)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	w := model.NAS(false)
+	sys := hw.A6000x4()
+	a := allReports(t, w, sys)
+	b := allReports(t, w, sys)
+	for name := range a {
+		if a[name].EpochTime != b[name].EpochTime {
+			t.Errorf("%s: simulation not deterministic", name)
+		}
+	}
+}
+
+func TestPipeBDBeatsBaselinesEverywhere(t *testing.T) {
+	// The headline result: TR+DPU+AHD is fastest on all four workloads.
+	for _, w := range model.AllWorkloads() {
+		reps := allReports(t, w, hw.A6000x4())
+		best := reps["TR+DPU+AHD"].EpochTime
+		for name, rep := range reps {
+			if name == "TR+DPU+AHD" {
+				continue
+			}
+			if best > rep.EpochTime+1e-9 {
+				t.Errorf("%s: TR+DPU+AHD (%v) slower than %s (%v)", w.Name, best, name, rep.EpochTime)
+			}
+		}
+		if sp := reps["DP"].EpochTime / best; sp < 1.5 {
+			t.Errorf("%s: Pipe-BD speedup over DP only %.2fx", w.Name, sp)
+		}
+	}
+}
+
+func TestDPURemovesBubbles(t *testing.T) {
+	// Decoupled parameter update must never slow training down, and on
+	// workloads with imbalance it must strictly help.
+	for _, w := range model.AllWorkloads() {
+		cfg := quickCfg(w, hw.A6000x4())
+		trPlan, _ := plans(t, w, hw.A6000x4())
+		plain := RunTR(cfg, trPlan, false, "TR")
+		dpu := RunTR(cfg, trPlan, true, "TR+DPU")
+		if dpu.EpochTime > plain.EpochTime+1e-9 {
+			t.Errorf("%s: DPU slowed training: %v vs %v", w.Name, dpu.EpochTime, plain.EpochTime)
+		}
+	}
+}
+
+func TestLSCrossover(t *testing.T) {
+	// LS beats DP on CIFAR-10 but loses on ImageNet (paper §VII-A).
+	sys := hw.A6000x4()
+	for _, tc := range []struct {
+		w        model.Workload
+		lsFaster bool
+	}{
+		{model.NAS(false), true},
+		{model.NAS(true), false},
+		{model.Compression(false), true},
+		{model.Compression(true), false},
+	} {
+		cfg := quickCfg(tc.w, sys)
+		dp, ls := RunDP(cfg), RunLS(cfg)
+		if got := ls.EpochTime < dp.EpochTime; got != tc.lsFaster {
+			t.Errorf("%s: LS faster=%v, want %v (LS %v vs DP %v)",
+				tc.w.Name, got, tc.lsFaster, ls.EpochTime, dp.EpochTime)
+		}
+	}
+}
+
+func TestDPRedundantTeacherAndLoading(t *testing.T) {
+	// DP must execute far more teacher time and data loading than
+	// TR+DPU — the motivation of Fig. 2.
+	w := model.NAS(false)
+	sys := hw.A6000x4()
+	cfg := quickCfg(w, sys)
+	trPlan, _ := plans(t, w, sys)
+	dp := RunDP(cfg)
+	tr := RunTR(cfg, trPlan, true, "TR+DPU")
+	sumCat := func(r metrics.Report, c sim.Category) float64 {
+		var s float64
+		for _, rank := range r.Ranks {
+			s += rank.Busy[c]
+		}
+		return s
+	}
+	if sumCat(dp, sim.CatTeacherFwd) < 2*sumCat(tr, sim.CatTeacherFwd) {
+		t.Error("DP should execute at least 2x the teacher work of TR")
+	}
+	if sumCat(dp, sim.CatLoad) < 2*sumCat(tr, sim.CatLoad) {
+		t.Error("DP should spend at least 2x the loading time of TR")
+	}
+}
+
+func TestTRMemoryConcentratesOnRankZero(t *testing.T) {
+	// Fig. 7: under TR the early blocks (big feature maps) live on rank
+	// 0, which must have the highest peak memory.
+	w := model.NAS(true)
+	sys := hw.A6000x4()
+	cfg := quickCfg(w, sys)
+	trPlan, _ := plans(t, w, sys)
+	rep := RunTR(cfg, trPlan, true, "TR+DPU")
+	for r := 1; r < len(rep.Ranks); r++ {
+		if rep.Ranks[r].PeakMemBytes > rep.Ranks[0].PeakMemBytes {
+			t.Fatalf("rank %d memory %d exceeds rank 0's %d", r, rep.Ranks[r].PeakMemBytes, rep.Ranks[0].PeakMemBytes)
+		}
+	}
+	// AHD's batch splitting must reduce the rank-0 peak.
+	_, ahdPlan := plans(t, w, sys)
+	ahd := RunTR(cfg, ahdPlan, true, "TR+DPU+AHD")
+	if ahd.Ranks[0].PeakMemBytes >= rep.Ranks[0].PeakMemBytes {
+		t.Fatal("AHD should reduce rank-0 memory versus plain TR")
+	}
+}
+
+func TestIRMemoryHigherThanDP(t *testing.T) {
+	// Internal relaying stores every teacher and student block per
+	// device; its peak must exceed DP's.
+	w := model.NAS(false)
+	cfg := quickCfg(w, hw.A6000x4())
+	ir, dp := RunIR(cfg), RunDP(cfg)
+	if ir.PeakMemory() <= dp.PeakMemory() {
+		t.Fatalf("IR memory %d should exceed DP %d", ir.PeakMemory(), dp.PeakMemory())
+	}
+}
+
+func TestMaxStepsTruncation(t *testing.T) {
+	w := model.NAS(false)
+	cfg := quickCfg(w, hw.A6000x4())
+	cfg.MaxSteps = 5
+	rep := RunDP(cfg)
+	if rep.Steps != 5*w.NumBlocks() {
+		t.Fatalf("Steps = %d, want %d", rep.Steps, 5*w.NumBlocks())
+	}
+	full := cfg
+	full.MaxSteps = 10
+	if RunDP(full).EpochTime <= rep.EpochTime {
+		t.Fatal("more steps must take longer")
+	}
+}
+
+func TestRecordingProducesIntervals(t *testing.T) {
+	w := model.NAS(false)
+	cfg := quickCfg(w, hw.A6000x4())
+	cfg.Record = true
+	cfg.MaxSteps = 3
+	_, tracks := RunTRTracks(cfg, sched.InternalRelaying(4, 6), true, "TR+IR")
+	for d, dev := range tracks.Devs {
+		if len(dev.Intervals()) == 0 {
+			t.Fatalf("device %d recorded no intervals", d)
+		}
+	}
+	if len(tracks.Loader.Intervals()) == 0 {
+		t.Fatal("loader recorded no intervals")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	w := model.NAS(false)
+	for name, cfg := range map[string]Config{
+		"zero batch":    {Workload: w, System: hw.A6000x4(), GlobalBatch: 0},
+		"odd batch":     {Workload: w, System: hw.A6000x4(), GlobalBatch: 254},
+		"broken system": {Workload: w, System: hw.System{Name: "x"}, GlobalBatch: 256},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			RunDP(cfg)
+		}()
+	}
+}
+
+func TestBatchSensitivityShape(t *testing.T) {
+	// Fig. 6: Pipe-BD's advantage over DP grows as the batch shrinks
+	// (utilization gap) on CIFAR-10.
+	w := model.NAS(false)
+	sys := hw.A6000x4()
+	speedup := func(batch int) float64 {
+		cfg := Config{Workload: w, System: sys, GlobalBatch: batch, MaxSteps: 40}
+		prof := profilegen.Measure(w, sys.GPUs[0], batch, 4, 10)
+		tr := sched.TRContiguous(prof, 4)
+		return RunDP(cfg).EpochTime / RunTR(cfg, tr, true, "TR+DPU").EpochTime
+	}
+	if s128, s512 := speedup(128), speedup(512); s128 <= s512 {
+		t.Fatalf("speedup at batch 128 (%v) should exceed batch 512 (%v)", s128, s512)
+	}
+}
+
+func Test2080TiAHDSharesLessThanA6000(t *testing.T) {
+	// Fig. 5: the A6000's block-0 dominance is larger, so its AHD plan
+	// shares at least as many devices on the first group as the 2080Ti's.
+	w := model.NAS(true)
+	split := func(sys hw.System) int {
+		prof := profilegen.Measure(w, sys.GPUs[0], 256, 4, 10)
+		plan := sched.AHD(prof, sys, sched.DefaultAHDConfig())
+		return plan.Groups[0].Split()
+	}
+	if a, turing := split(hw.A6000x4()), split(hw.RTX2080Tix4()); a < turing {
+		t.Fatalf("A6000 first-group split %d < 2080Ti's %d", a, turing)
+	}
+}

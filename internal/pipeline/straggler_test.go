@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"testing"
+
+	"pipebd/internal/hw"
+	"pipebd/internal/model"
+	"pipebd/internal/profilegen"
+	"pipebd/internal/sched"
+)
+
+// Degraded-device (straggler) injection: per-device GPU models let us
+// slow one device down — thermal throttling, a failing card, a noisy
+// neighbour — and observe how each schedule degrades. This is the
+// fault-tolerance face of decoupled parameter update: without DPU every
+// step synchronizes on the straggler; with DPU only the relay neighbours
+// feel it.
+
+// withStraggler returns the system with device idx derated to the given
+// fraction of its compute and bandwidth.
+func withStraggler(sys hw.System, idx int, frac float64) hw.System {
+	gpus := append([]hw.GPU(nil), sys.GPUs...)
+	gpus[idx].PeakFLOPS *= frac
+	gpus[idx].MemBandwidth *= frac
+	gpus[idx].Name = gpus[idx].Name + " (throttled)"
+	out := sys
+	out.GPUs = gpus
+	return out
+}
+
+func TestStragglerHurtsBarrierScheduleMore(t *testing.T) {
+	// Slow down the last device to 40%: the barrier schedule (TR) must
+	// lose more than the decoupled one (TR+DPU), because every one of
+	// its steps waits for the straggler's update.
+	w := model.NAS(false)
+	healthy := hw.A6000x4()
+	sick := withStraggler(healthy, 3, 0.4)
+
+	prof := profilegen.Measure(w, healthy.GPUs[0], 256, 4, 10)
+	plan := sched.TRContiguous(prof, 4)
+
+	run := func(sys hw.System, dpu bool) float64 {
+		cfg := Config{Workload: w, System: sys, GlobalBatch: 256, MaxSteps: 40}
+		return RunTR(cfg, plan, dpu, "probe").EpochTime
+	}
+
+	barrierSlowdown := run(sick, false) / run(healthy, false)
+	dpuSlowdown := run(sick, true) / run(healthy, true)
+	if barrierSlowdown <= 1.01 {
+		t.Fatalf("straggler had no effect on barrier schedule (%.3fx)", barrierSlowdown)
+	}
+	if dpuSlowdown > barrierSlowdown+1e-9 {
+		t.Fatalf("DPU (%.3fx slowdown) should degrade no worse than the barrier schedule (%.3fx)",
+			dpuSlowdown, barrierSlowdown)
+	}
+}
+
+func TestHeteroPlannerRoutesAroundStraggler(t *testing.T) {
+	// Given a straggler, the heterogeneity-aware planner should produce
+	// a schedule at least as good as the homogeneous planner's (which
+	// believes all devices are healthy).
+	w := model.NAS(false)
+	sick := withStraggler(hw.A6000x4(), 0, 0.35)
+	cfg := Config{Workload: w, System: sick, GlobalBatch: 256, MaxSteps: 40}
+
+	prof := profilegen.Measure(w, hw.RTXA6000(), 256, 4, 10) // healthy profile: planner is blind
+	blind := sched.AHD(prof, sick, sched.DefaultAHDConfig())
+	aware := sched.AHDHetero(w, sick, 256, sched.DefaultHeteroConfig())
+
+	blindTime := RunTR(cfg, blind, true, "blind").EpochTime
+	awareTime := RunTR(cfg, aware, true, "aware").EpochTime
+	if awareTime > blindTime*1.001 {
+		t.Fatalf("straggler-aware plan (%v, %s) worse than blind plan (%v, %s)",
+			awareTime, aware.Describe(), blindTime, blind.Describe())
+	}
+}
+
+func TestStragglerShiftsShares(t *testing.T) {
+	// With a throttled member inside a shared group, proportional shares
+	// must shrink on the sick device.
+	w := model.NAS(false)
+	sick := withStraggler(hw.A6000x4(), 1, 0.5)
+	plan := sched.AHDHetero(w, sick, 256, sched.DefaultHeteroConfig())
+	for _, g := range plan.Groups {
+		if g.Split() < 2 || g.Shares == nil {
+			continue
+		}
+		for j, d := range g.Devices {
+			if d != 1 {
+				continue
+			}
+			// Device 1 is throttled: its share must be below the
+			// group's equal split.
+			if g.Shares[j] >= 256/g.Split() {
+				t.Fatalf("throttled device got share %d of %d-way group: %s",
+					g.Shares[j], g.Split(), plan.Describe())
+			}
+		}
+	}
+}

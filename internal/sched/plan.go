@@ -1,0 +1,150 @@
+// Package sched implements Pipe-BD's scheduling decisions: the contiguous
+// block distribution used by plain teacher relaying, the automatic hybrid
+// distribution (AHD) search over device-group/block-range compositions,
+// the internal-relaying special case, and the LPT bin packing used by the
+// layerwise-scheduling (LS) baseline.
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Group assigns a contiguous range of blocks to a contiguous range of
+// devices. A group with more than one device trains its blocks
+// data-parallel (the batch splits across members and gradients are
+// all-reduced within the group), which is AHD's extra degree of freedom.
+//
+// Shares optionally fixes each member's slice of the global batch; nil
+// means an equal split. Unequal shares are how the heterogeneous
+// extension (the paper's stated future work, §VIII) balances members of
+// different speeds: faster devices take proportionally larger slices.
+type Group struct {
+	Devices []int // contiguous device ranks
+	Blocks  []int // contiguous block indices
+	Shares  []int // per-member batch share; nil = equal split
+}
+
+// Split returns the number of devices sharing the group's blocks.
+func (g Group) Split() int { return len(g.Devices) }
+
+// MemberBatch returns member j's local batch for a global batch size.
+func (g Group) MemberBatch(globalBatch, j int) int {
+	if g.Shares == nil {
+		return globalBatch / g.Split()
+	}
+	return g.Shares[j]
+}
+
+// ValidateShares checks that explicit shares cover the global batch.
+func (g Group) ValidateShares(globalBatch int) error {
+	if g.Shares == nil {
+		return nil
+	}
+	if len(g.Shares) != g.Split() {
+		return fmt.Errorf("sched: group has %d shares for %d devices", len(g.Shares), g.Split())
+	}
+	sum := 0
+	for _, s := range g.Shares {
+		if s <= 0 {
+			return fmt.Errorf("sched: non-positive batch share %d", s)
+		}
+		sum += s
+	}
+	if sum != globalBatch {
+		return fmt.Errorf("sched: shares sum to %d, want %d", sum, globalBatch)
+	}
+	return nil
+}
+
+// Plan is a complete block-to-device distribution for teacher relaying:
+// an ordered list of groups covering all blocks and all devices exactly
+// once, in order (group i+1 receives group i's boundary activation).
+type Plan struct {
+	Name   string
+	Groups []Group
+}
+
+// Validate checks that the plan covers nDev devices and nBlocks blocks
+// exactly once each, contiguously and in order.
+func (p Plan) Validate(nDev, nBlocks int) error {
+	nextDev, nextBlock := 0, 0
+	for gi, g := range p.Groups {
+		if len(g.Devices) == 0 || len(g.Blocks) == 0 {
+			return fmt.Errorf("sched: plan %q group %d is empty", p.Name, gi)
+		}
+		for _, d := range g.Devices {
+			if d != nextDev {
+				return fmt.Errorf("sched: plan %q group %d device %d out of order (want %d)", p.Name, gi, d, nextDev)
+			}
+			nextDev++
+		}
+		for _, b := range g.Blocks {
+			if b != nextBlock {
+				return fmt.Errorf("sched: plan %q group %d block %d out of order (want %d)", p.Name, gi, b, nextBlock)
+			}
+			nextBlock++
+		}
+	}
+	if nextDev != nDev {
+		return fmt.Errorf("sched: plan %q covers %d devices, want %d", p.Name, nextDev, nDev)
+	}
+	if nextBlock != nBlocks {
+		return fmt.Errorf("sched: plan %q covers %d blocks, want %d", p.Name, nextBlock, nBlocks)
+	}
+	return nil
+}
+
+// Describe renders the plan the way the paper narrates Fig. 5 schedules,
+// e.g. "dev0-2: B0-B2 (3-way DP) | dev3: B3-B5".
+func (p Plan) Describe() string {
+	var parts []string
+	for _, g := range p.Groups {
+		dev := fmt.Sprintf("dev%d", g.Devices[0])
+		if len(g.Devices) > 1 {
+			dev = fmt.Sprintf("dev%d-%d", g.Devices[0], g.Devices[len(g.Devices)-1])
+		}
+		blk := fmt.Sprintf("B%d", g.Blocks[0])
+		if len(g.Blocks) > 1 {
+			blk = fmt.Sprintf("B%d-B%d", g.Blocks[0], g.Blocks[len(g.Blocks)-1])
+		}
+		s := fmt.Sprintf("%s: %s", dev, blk)
+		if len(g.Devices) > 1 {
+			s += fmt.Sprintf(" (%d-way DP)", len(g.Devices))
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, " | ")
+}
+
+// GroupOf returns the index of the group containing the given device.
+func (p Plan) GroupOf(device int) int {
+	for gi, g := range p.Groups {
+		for _, d := range g.Devices {
+			if d == device {
+				return gi
+			}
+		}
+	}
+	return -1
+}
+
+// seq returns [from, from+1, ..., to-1].
+func seq(from, to int) []int {
+	out := make([]int, 0, to-from)
+	for i := from; i < to; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// InternalRelaying returns the plan corresponding to the paper's TR+IR
+// ablation: a single group in which every device holds every block and
+// parallelism is pure data parallelism. It is the degenerate hybrid plan
+// where all blocks are split only along the batch dimension.
+func InternalRelaying(nDev, nBlocks int) Plan {
+	return Plan{
+		Name:   "internal-relaying",
+		Groups: []Group{{Devices: seq(0, nDev), Blocks: seq(0, nBlocks)}},
+	}
+}

@@ -1,0 +1,98 @@
+package tensor
+
+import "fmt"
+
+// ConvOutSize returns the spatial output size of a convolution with the
+// given input size, kernel, stride and symmetric padding.
+func ConvOutSize(in, kernel, stride, pad int) int {
+	return (in+2*pad-kernel)/stride + 1
+}
+
+// Im2Col unfolds an NCHW input into a matrix of shape
+// [C*KH*KW, N*OH*OW] so that a convolution becomes a single matrix
+// multiplication with a [Cout, C*KH*KW] weight matrix.
+//
+// Padding is zero-padding; stride applies to both spatial dimensions.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	if len(x.shape) != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col requires NCHW tensor, got shape %v", x.shape))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col produces empty output for input %v kernel %dx%d stride %d pad %d", x.shape, kh, kw, stride, pad))
+	}
+	out := New(c*kh*kw, n*oh*ow)
+	xd, od := x.data, out.data
+	cols := n * oh * ow
+	for ci := 0; ci < c; ci++ {
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				row := ((ci*kh)+ki)*kw + kj
+				base := row * cols
+				for ni := 0; ni < n; ni++ {
+					inBase := (ni*c + ci) * h * w
+					for oi := 0; oi < oh; oi++ {
+						ih := oi*stride - pad + ki
+						outBase := base + (ni*oh+oi)*ow
+						if ih < 0 || ih >= h {
+							continue // output already zero
+						}
+						inRow := inBase + ih*w
+						for oj := 0; oj < ow; oj++ {
+							iw := oj*stride - pad + kj
+							if iw < 0 || iw >= w {
+								continue
+							}
+							od[outBase+oj] = xd[inRow+iw]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Col2Im folds a [C*KH*KW, N*OH*OW] column matrix back into an NCHW tensor
+// of the given input geometry, accumulating overlapping contributions.
+// It is the adjoint of Im2Col and is used by convolution backward passes.
+func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(w, kw, stride, pad)
+	wantRows, wantCols := c*kh*kw, n*oh*ow
+	if len(cols.shape) != 2 || cols.shape[0] != wantRows || cols.shape[1] != wantCols {
+		panic(fmt.Sprintf("tensor: Col2Im input shape %v, want [%d %d]", cols.shape, wantRows, wantCols))
+	}
+	out := New(n, c, h, w)
+	cd, od := cols.data, out.data
+	total := wantCols
+	for ci := 0; ci < c; ci++ {
+		for ki := 0; ki < kh; ki++ {
+			for kj := 0; kj < kw; kj++ {
+				row := ((ci*kh)+ki)*kw + kj
+				base := row * total
+				for ni := 0; ni < n; ni++ {
+					outBase := (ni*c + ci) * h * w
+					for oi := 0; oi < oh; oi++ {
+						ih := oi*stride - pad + ki
+						if ih < 0 || ih >= h {
+							continue
+						}
+						colBase := base + (ni*oh+oi)*ow
+						outRow := outBase + ih*w
+						for oj := 0; oj < ow; oj++ {
+							iw := oj*stride - pad + kj
+							if iw < 0 || iw >= w {
+								continue
+							}
+							od[outRow+iw] += cd[colBase+oj]
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// convNaive computes a direct convolution used as a reference against the
+// im2col + matmul path.
+func convNaive(x, w *Tensor, stride, pad int) *Tensor {
+	n, c, h, wd := x.Shape()[0], x.Shape()[1], x.Shape()[2], x.Shape()[3]
+	cout, _, kh, kw := w.Shape()[0], w.Shape()[1], w.Shape()[2], w.Shape()[3]
+	oh := ConvOutSize(h, kh, stride, pad)
+	ow := ConvOutSize(wd, kw, stride, pad)
+	out := New(n, cout, oh, ow)
+	for ni := 0; ni < n; ni++ {
+		for co := 0; co < cout; co++ {
+			for oi := 0; oi < oh; oi++ {
+				for oj := 0; oj < ow; oj++ {
+					var s float32
+					for ci := 0; ci < c; ci++ {
+						for ki := 0; ki < kh; ki++ {
+							for kj := 0; kj < kw; kj++ {
+								ih, iw := oi*stride-pad+ki, oj*stride-pad+kj
+								if ih < 0 || ih >= h || iw < 0 || iw >= wd {
+									continue
+								}
+								s += x.At(ni, ci, ih, iw) * w.At(co, ci, ki, kj)
+							}
+						}
+					}
+					out.Set(s, ni, co, oi, oj)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestConvOutSize(t *testing.T) {
+	cases := []struct{ in, k, s, p, want int }{
+		{32, 3, 1, 1, 32},
+		{32, 3, 2, 1, 16},
+		{224, 7, 2, 3, 112},
+		{8, 2, 2, 0, 4},
+		{5, 3, 1, 0, 3},
+	}
+	for _, c := range cases {
+		if got := ConvOutSize(c.in, c.k, c.s, c.p); got != c.want {
+			t.Errorf("ConvOutSize(%d,%d,%d,%d) = %d, want %d", c.in, c.k, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestIm2ColMatchesNaiveConv(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	configs := []struct{ n, c, h, w, cout, k, stride, pad int }{
+		{1, 1, 4, 4, 1, 3, 1, 1},
+		{2, 3, 8, 8, 4, 3, 1, 1},
+		{1, 2, 7, 7, 3, 3, 2, 1},
+		{2, 4, 6, 6, 2, 1, 1, 0},
+		{1, 3, 9, 9, 2, 5, 2, 2},
+	}
+	for _, cfg := range configs {
+		x := Rand(rng, -1, 1, cfg.n, cfg.c, cfg.h, cfg.w)
+		w := Rand(rng, -1, 1, cfg.cout, cfg.c, cfg.k, cfg.k)
+		oh := ConvOutSize(cfg.h, cfg.k, cfg.stride, cfg.pad)
+		ow := ConvOutSize(cfg.w, cfg.k, cfg.stride, cfg.pad)
+
+		cols := Im2Col(x, cfg.k, cfg.k, cfg.stride, cfg.pad)
+		wm := w.Reshape(cfg.cout, cfg.c*cfg.k*cfg.k)
+		flat := MatMul(wm, cols) // [cout, n*oh*ow]
+
+		// Rearrange [cout, n*oh*ow] to NCHW.
+		got := New(cfg.n, cfg.cout, oh, ow)
+		for co := 0; co < cfg.cout; co++ {
+			for ni := 0; ni < cfg.n; ni++ {
+				for oi := 0; oi < oh; oi++ {
+					for oj := 0; oj < ow; oj++ {
+						got.Set(flat.At(co, (ni*oh+oi)*ow+oj), ni, co, oi, oj)
+					}
+				}
+			}
+		}
+		want := convNaive(x, w, cfg.stride, cfg.pad)
+		if !got.AllClose(want, 1e-4, 1e-4) {
+			t.Fatalf("im2col conv mismatch for config %+v", cfg)
+		}
+	}
+}
+
+// TestCol2ImIsAdjointOfIm2Col checks <Im2Col(x), y> == <x, Col2Im(y)>,
+// the defining property of an adjoint pair, which is exactly what the
+// convolution backward pass relies on.
+func TestCol2ImIsAdjointOfIm2Col(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 10; trial++ {
+		n, c := 1+rng.Intn(2), 1+rng.Intn(3)
+		h := 4 + rng.Intn(5)
+		w := 4 + rng.Intn(5)
+		k := 1 + 2*rng.Intn(2) // 1 or 3
+		stride := 1 + rng.Intn(2)
+		pad := rng.Intn(2)
+		x := Rand(rng, -1, 1, n, c, h, w)
+		cols := Im2Col(x, k, k, stride, pad)
+		y := Rand(rng, -1, 1, cols.Shape()...)
+		back := Col2Im(y, n, c, h, w, k, k, stride, pad)
+
+		var lhs, rhs float64
+		for i, v := range cols.Data() {
+			lhs += float64(v) * float64(y.Data()[i])
+		}
+		for i, v := range x.Data() {
+			rhs += float64(v) * float64(back.Data()[i])
+		}
+		if diff := lhs - rhs; diff > 1e-3 || diff < -1e-3 {
+			t.Fatalf("adjoint property violated: %v vs %v (n=%d c=%d h=%d w=%d k=%d s=%d p=%d)",
+				lhs, rhs, n, c, h, w, k, stride, pad)
+		}
+	}
+}
+
+func TestIm2ColShapes(t *testing.T) {
+	x := New(2, 3, 8, 8)
+	cols := Im2Col(x, 3, 3, 2, 1)
+	oh := ConvOutSize(8, 3, 2, 1)
+	if cols.Shape()[0] != 3*3*3 || cols.Shape()[1] != 2*oh*oh {
+		t.Fatalf("Im2Col shape = %v", cols.Shape())
+	}
+}
+
+func TestIm2ColPanicsOnNonNCHW(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Im2Col(New(3, 3), 3, 3, 1, 1)
+}
+
+func TestCol2ImPanicsOnWrongShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Col2Im(New(5, 5), 1, 1, 4, 4, 3, 3, 1, 1)
+}

@@ -1,0 +1,104 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns the matrix product a·b for 2-D tensors
+// (a: [m,k], b: [k,n] -> [m,n]).
+//
+// The kernel is a cache-friendly ikj loop; it is deliberately simple and
+// dependency-free, adequate for the small models exercised by the numeric
+// engine (performance experiments use the analytic simulator instead).
+func MatMul(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2-D tensors, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	out := New(m, n)
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes out = a·b, overwriting out. out must be [m,n].
+func MatMulInto(out, a, b *Tensor) {
+	m, k := a.shape[0], a.shape[1]
+	n := b.shape[1]
+	if out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto output shape %v, want [%d %d]", out.shape, m, n))
+	}
+	ad, bd, od := a.data, b.data, out.data
+	for i := range od {
+		od[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulTA returns aᵀ·b for 2-D tensors (a: [k,m], b: [k,n] -> [m,n]).
+func MatMulTA(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTA requires 2-D tensors, got %v and %v", a.shape, b.shape))
+	}
+	k, m := a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulTA inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	n := b.shape[1]
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	for p := 0; p < k; p++ {
+		arow := ad[p*m : (p+1)*m]
+		brow := bd[p*n : (p+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := od[i*n : (i+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTB returns a·bᵀ for 2-D tensors (a: [m,k], b: [n,k] -> [m,n]).
+func MatMulTB(a, b *Tensor) *Tensor {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTB requires 2-D tensors, got %v and %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulTB inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	n := b.shape[0]
+	out := New(m, n)
+	ad, bd, od := a.data, b.data, out.data
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			brow := bd[j*k : (j+1)*k]
+			var s float32
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			od[i*n+j] = s
+		}
+	}
+	return out
+}

@@ -1,0 +1,121 @@
+// Package trace renders simulator tracks as ASCII Gantt charts — the
+// textual equivalent of the paper's schedule illustrations (Fig. 3 and
+// Fig. 5b/5c). Each track becomes one row; busy intervals are drawn with
+// a per-category fill character and overlaid with their labels where
+// space allows.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"pipebd/internal/sim"
+)
+
+// fillChar maps categories to their fill characters.
+func fillChar(c sim.Category) byte {
+	switch c {
+	case sim.CatLoad:
+		return 'L'
+	case sim.CatTeacherFwd:
+		return 'T'
+	case sim.CatStudentFwd:
+		return 'S'
+	case sim.CatStudentBwd:
+		return 's'
+	case sim.CatUpdate:
+		return 'U'
+	case sim.CatComm:
+		return 'c'
+	case sim.CatAllReduce:
+		return 'A'
+	}
+	return '#'
+}
+
+// Gantt renders the given tracks over the time window [t0, t1] using the
+// given character width. Tracks must have been recorded (sim.NewTrack
+// with record=true). The output includes a time axis and a legend.
+func Gantt(tracks []*sim.Track, t0, t1 float64, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	if t1 <= t0 {
+		return "trace: empty time window\n"
+	}
+	scale := float64(width) / (t1 - t0)
+	nameW := 0
+	for _, tr := range tracks {
+		if len(tr.Name) > nameW {
+			nameW = len(tr.Name)
+		}
+	}
+
+	var b strings.Builder
+	// Time axis.
+	fmt.Fprintf(&b, "%*s  %s\n", nameW, "", axis(t0, t1, width))
+	for _, tr := range tracks {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, iv := range tr.Intervals() {
+			if iv.End <= t0 || iv.Start >= t1 {
+				continue
+			}
+			from := int((sim.Max(iv.Start, t0) - t0) * scale)
+			to := int((min(iv.End, t1) - t0) * scale)
+			if to <= from {
+				to = from + 1
+			}
+			if to > width {
+				to = width
+			}
+			fc := fillChar(iv.Cat)
+			for i := from; i < to; i++ {
+				row[i] = fc
+			}
+			// Overlay the label when it fits inside the span.
+			if iv.Label != "" && to-from >= len(iv.Label)+1 {
+				copy(row[from:], iv.Label)
+			}
+		}
+		fmt.Fprintf(&b, "%*s  %s\n", nameW, tr.Name, string(row))
+	}
+	b.WriteString(legend())
+	return b.String()
+}
+
+func axis(t0, t1 float64, width int) string {
+	left := fmt.Sprintf("%.1fms", t0*1e3)
+	right := fmt.Sprintf("%.1fms", t1*1e3)
+	pad := width - len(left) - len(right)
+	if pad < 1 {
+		pad = 1
+	}
+	return left + strings.Repeat(" ", pad) + right
+}
+
+func legend() string {
+	return "legend: L=load T=teacher-fwd S=student-fwd s=student-bwd U=update c=relay A=all-reduce .=idle\n"
+}
+
+// Window returns a [t0, t1] window that covers the given number of steady
+// steps starting after a warmup prefix, inferred from the span of the
+// longest track. It is a convenience for rendering mid-epoch behaviour.
+func Window(tracks []*sim.Track, warmupFrac, spanFrac float64) (t0, t1 float64) {
+	var end float64
+	for _, tr := range tracks {
+		if tr.FreeAt() > end {
+			end = tr.FreeAt()
+		}
+	}
+	return end * warmupFrac, end * (warmupFrac + spanFrac)
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"pipebd/internal/sim"
+)
+
+func recordedTrack() *sim.Track {
+	tr := sim.NewTrack("gpu0", true)
+	tr.Exec(0, 10e-3, sim.CatTeacherFwd, "T0")
+	tr.Exec(0, 20e-3, sim.CatStudentFwd, "S0")
+	tr.Exec(0, 5e-3, sim.CatUpdate, "U")
+	return tr
+}
+
+func TestGanttRendersRowsAndLegend(t *testing.T) {
+	tr := recordedTrack()
+	out := Gantt([]*sim.Track{tr}, 0, 35e-3, 70)
+	if !strings.Contains(out, "gpu0") {
+		t.Fatal("missing track name")
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Fatal("missing legend")
+	}
+	// Fill characters must appear proportionally: S spans 2x T.
+	countT := strings.Count(out, "T")
+	countS := strings.Count(out, "S")
+	if countS <= countT {
+		t.Fatalf("student span (%d) should exceed teacher span (%d)", countS, countT)
+	}
+	if !strings.Contains(out, "T0") || !strings.Contains(out, "S0") {
+		t.Fatal("labels not overlaid")
+	}
+}
+
+func TestGanttClipsWindow(t *testing.T) {
+	tr := recordedTrack()
+	out := Gantt([]*sim.Track{tr}, 12e-3, 30e-3, 60)
+	// Teacher interval [0,10ms) is outside the window.
+	if strings.Contains(out, "T0") {
+		t.Fatal("teacher interval should be clipped out")
+	}
+}
+
+func TestGanttEmptyWindow(t *testing.T) {
+	out := Gantt(nil, 5, 5, 40)
+	if !strings.Contains(out, "empty") {
+		t.Fatalf("expected empty-window notice, got %q", out)
+	}
+}
+
+func TestGanttIdleDots(t *testing.T) {
+	tr := sim.NewTrack("g", true)
+	tr.Exec(10e-3, 1e-3, sim.CatLoad, "DL") // idle before 10ms
+	out := Gantt([]*sim.Track{tr}, 0, 11e-3, 44)
+	row := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "g ") {
+			row = line
+		}
+	}
+	if !strings.Contains(row, "....") {
+		t.Fatalf("expected idle dots in %q", row)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	tr := recordedTrack()
+	t0, t1 := Window([]*sim.Track{tr}, 0.25, 0.5)
+	if t0 <= 0 || t1 <= t0 {
+		t.Fatalf("bad window [%v, %v]", t0, t1)
+	}
+	if t1 > tr.FreeAt() {
+		t.Fatal("window should stay within the track span")
+	}
+}
+
+func TestMinWidth(t *testing.T) {
+	tr := recordedTrack()
+	out := Gantt([]*sim.Track{tr}, 0, 35e-3, 1)
+	if len(out) == 0 {
+		t.Fatal("tiny width must still render")
+	}
+}

@@ -1,0 +1,158 @@
+// Package viz renders experiment results as ASCII charts: horizontal bar
+// charts for the speedup figures (Fig. 4-6), stacked bars for the Fig. 2
+// breakdown, and grouped bars for the Fig. 7 memory profile. The charts
+// are the terminal analogue of the paper's plots and are attached to
+// cmd/pipebd's output behind the -chart flag.
+package viz
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bar is one labelled value of a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to width characters, annotated
+// with their values using the given format (e.g. "%.2fx").
+func BarChart(title string, bars []Bar, width int, format string) string {
+	if width < 10 {
+		width = 10
+	}
+	var maxVal float64
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > maxVal {
+			maxVal = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	if maxVal <= 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	for _, b := range bars {
+		n := int(b.Value / maxVal * float64(width))
+		if n < 1 && b.Value > 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "%-*s |%s %s\n", labelW, b.Label,
+			strings.Repeat("#", n), fmt.Sprintf(format, b.Value))
+	}
+	return sb.String()
+}
+
+// Segment is one component of a stacked bar.
+type Segment struct {
+	Name  string
+	Value float64
+	Fill  byte
+}
+
+// StackedBar is one row of a stacked bar chart.
+type StackedBar struct {
+	Label    string
+	Segments []Segment
+}
+
+// Total returns the bar's height.
+func (b StackedBar) Total() float64 {
+	var s float64
+	for _, seg := range b.Segments {
+		s += seg.Value
+	}
+	return s
+}
+
+// StackedBarChart renders stacked horizontal bars (the Fig. 2 shape): all
+// bars share one scale, each segment drawn with its fill character, with
+// a legend of segment names.
+func StackedBarChart(title string, bars []StackedBar, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var maxVal float64
+	labelW := 0
+	for _, b := range bars {
+		if t := b.Total(); t > maxVal {
+			maxVal = t
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	if maxVal <= 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	for _, b := range bars {
+		fmt.Fprintf(&sb, "%-*s |", labelW, b.Label)
+		for _, seg := range b.Segments {
+			n := int(seg.Value / maxVal * float64(width))
+			sb.WriteString(strings.Repeat(string(seg.Fill), n))
+		}
+		fmt.Fprintf(&sb, " %.2f\n", b.Total())
+	}
+	// Legend.
+	if len(bars) > 0 {
+		sb.WriteString("legend: ")
+		for i, seg := range bars[0].Segments {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%c=%s", seg.Fill, seg.Name)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// GroupedBars renders groups of related bars (the Fig. 7 per-rank shape):
+// each group is a label plus one bar per series.
+func GroupedBars(title string, groups []string, series []string, values [][]float64, width int, format string) string {
+	var sb strings.Builder
+	sb.WriteString(title)
+	sb.WriteByte('\n')
+	var maxVal float64
+	for _, row := range values {
+		for _, v := range row {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	if maxVal <= 0 {
+		sb.WriteString("(no data)\n")
+		return sb.String()
+	}
+	labelW := 0
+	for _, s := range series {
+		if len(s) > labelW {
+			labelW = len(s)
+		}
+	}
+	for gi, g := range groups {
+		fmt.Fprintf(&sb, "%s\n", g)
+		for si, s := range series {
+			v := values[gi][si]
+			n := int(v / maxVal * float64(width))
+			if n < 1 && v > 0 {
+				n = 1
+			}
+			fmt.Fprintf(&sb, "  %-*s |%s %s\n", labelW, s,
+				strings.Repeat("#", n), fmt.Sprintf(format, v))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,106 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartScalesToWidth(t *testing.T) {
+	out := BarChart("speedups", []Bar{
+		{Label: "DP", Value: 1},
+		{Label: "Pipe-BD", Value: 4},
+	}, 40, "%.2fx")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	long := strings.Count(lines[2], "#")
+	short := strings.Count(lines[1], "#")
+	if long != 40 {
+		t.Fatalf("max bar should fill the width, got %d", long)
+	}
+	if short != 10 {
+		t.Fatalf("1/4 value should draw 10 chars, got %d", short)
+	}
+	if !strings.Contains(lines[2], "4.00x") {
+		t.Fatal("value annotation missing")
+	}
+}
+
+func TestBarChartTinyValueStillVisible(t *testing.T) {
+	out := BarChart("t", []Bar{{Label: "a", Value: 1000}, {Label: "b", Value: 0.001}}, 50, "%.3f")
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "b") && !strings.Contains(line, "#") {
+			t.Fatal("non-zero value must draw at least one char")
+		}
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	out := BarChart("t", nil, 40, "%.1f")
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestStackedBarChart(t *testing.T) {
+	bars := []StackedBar{
+		{Label: "Baseline", Segments: []Segment{
+			{Name: "load", Value: 2, Fill: 'L'},
+			{Name: "teacher", Value: 4, Fill: 'T'},
+			{Name: "student", Value: 10, Fill: 'S'},
+		}},
+		{Label: "Pipe-BD", Segments: []Segment{
+			{Name: "load", Value: 0.5, Fill: 'L'},
+			{Name: "teacher", Value: 1, Fill: 'T'},
+			{Name: "student", Value: 3, Fill: 'S'},
+		}},
+	}
+	out := StackedBarChart("fig2", bars, 64)
+	if !strings.Contains(out, "legend: L=load  T=teacher  S=student") {
+		t.Fatalf("missing legend in %q", out)
+	}
+	// Baseline row: 16 total over width 64 -> 4x scale: L=8, T=16, S=40.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Baseline") {
+			if strings.Count(line, "L") < 7 || strings.Count(line, "S") < 35 {
+				t.Fatalf("segment scaling off: %q", line)
+			}
+			if !strings.Contains(line, "16.00") {
+				t.Fatalf("missing total: %q", line)
+			}
+		}
+	}
+}
+
+func TestStackedBarTotal(t *testing.T) {
+	b := StackedBar{Segments: []Segment{{Value: 1}, {Value: 2.5}}}
+	if b.Total() != 3.5 {
+		t.Fatalf("Total = %v", b.Total())
+	}
+}
+
+func TestGroupedBars(t *testing.T) {
+	out := GroupedBars("fig7", []string{"cifar10", "imagenet"},
+		[]string{"DP", "TR"},
+		[][]float64{{0.4, 1.7}, {2.7, 10.9}}, 30, "%.1fGB")
+	if !strings.Contains(out, "cifar10") || !strings.Contains(out, "imagenet") {
+		t.Fatal("missing groups")
+	}
+	if !strings.Contains(out, "10.9GB") {
+		t.Fatal("missing values")
+	}
+	// The global max (10.9) fills the width.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "10.9GB") && strings.Count(line, "#") != 30 {
+			t.Fatalf("max bar should fill width: %q", line)
+		}
+	}
+}
+
+func TestGroupedBarsEmpty(t *testing.T) {
+	out := GroupedBars("t", nil, nil, nil, 30, "%.1f")
+	if !strings.Contains(out, "no data") {
+		t.Fatal("empty chart should say so")
+	}
+}
