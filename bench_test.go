@@ -22,6 +22,7 @@ import (
 	"pipebd/internal/pipeline"
 	"pipebd/internal/profilegen"
 	"pipebd/internal/sched"
+	"pipebd/internal/tensor"
 
 	"math/rand"
 )
@@ -122,7 +123,9 @@ func BenchmarkTable2TrainingResults(b *testing.B) {
 
 // BenchmarkNumericEquivalence measures the real concurrent engine: one
 // pipelined mini-epoch of actual float32 blockwise distillation (Table
-// II's training-quality evidence).
+// II's training-quality evidence), once per tensor compute backend. The
+// backends are bit-identical, so the sub-benchmarks differ only in how
+// the host's cores are used.
 func BenchmarkNumericEquivalence(b *testing.B) {
 	cfg := distill.DefaultTinyConfig()
 	data := dataset.NewRandom(rand.New(rand.NewSource(7)), 64, 3, cfg.Height, cfg.Width, 4)
@@ -131,10 +134,16 @@ func BenchmarkNumericEquivalence(b *testing.B) {
 		{Devices: []int{0}, Blocks: []int{0, 1}},
 		{Devices: []int{1}, Blocks: []int{2, 3}},
 	}}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		w := distill.NewTinyWorkbench(cfg)
-		engine.RunPipelined(w, batches, engine.Config{Plan: plan, DPU: true, LR: 0.05, Momentum: 0.9})
+	for _, name := range tensor.Backends() {
+		be, _ := tensor.Lookup(name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w := distill.NewTinyWorkbench(cfg)
+				engine.RunPipelined(w, batches, engine.Config{
+					Plan: plan, DPU: true, LR: 0.05, Momentum: 0.9, Backend: be,
+				})
+			}
+		})
 	}
 }
 

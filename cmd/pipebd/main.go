@@ -8,6 +8,15 @@
 //	pipebd -exp all                  # everything
 //	pipebd -exp fig4 -system 2080ti  # alternative hardware
 //	pipebd -exp table2 -quick        # truncated epochs, skip accuracy proxy
+//	pipebd -exp table2 -backend parallel            # multi-core numeric engine
+//	pipebd -exp table2 -backend parallel -workers 8 # explicit pool size
+//
+// The -backend flag selects the tensor compute backend for every numeric
+// (real float32 training) portion of the experiments: "serial" is the
+// single-threaded reference, "parallel" row-partitions GEMMs across a
+// bounded worker pool sized by GOMAXPROCS (override with -workers N).
+// Backends are bit-identical by contract, so results never depend on the
+// choice — only wall-clock does.
 package main
 
 import (
@@ -15,9 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"pipebd/internal/experiments"
 	"pipebd/internal/hw"
+	"pipebd/internal/tensor"
 )
 
 func main() {
@@ -27,7 +38,26 @@ func main() {
 	quick := flag.Bool("quick", false, "truncate epochs to 40 steps and skip the accuracy proxy")
 	chart := flag.Bool("chart", false, "append ASCII charts to figure output")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
+	backend := flag.String("backend", "serial", "tensor compute backend: "+strings.Join(tensor.Backends(), "|"))
+	workers := flag.Int("workers", 0, "parallel-backend worker count (0: GOMAXPROCS)")
 	flag.Parse()
+
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "pipebd: -workers must be >= 0, got %d\n", *workers)
+		os.Exit(2)
+	}
+	if *workers > 0 && *backend != "parallel" {
+		fmt.Fprintf(os.Stderr, "pipebd: -workers only applies to -backend parallel (got -backend %s)\n", *backend)
+		os.Exit(2)
+	}
+	if *workers > 0 {
+		tensor.SetDefault(tensor.NewParallel(*workers))
+	} else if be, ok := tensor.Lookup(*backend); ok {
+		tensor.SetDefault(be)
+	} else {
+		fmt.Fprintf(os.Stderr, "pipebd: unknown backend %q (want %s)\n", *backend, strings.Join(tensor.Backends(), " or "))
+		os.Exit(2)
+	}
 
 	var sys hw.System
 	switch *system {

@@ -13,8 +13,24 @@
 //     internal/engine) that validates the mathematical-equivalence claim
 //     with actual float32 training and goroutine-per-device pipelines.
 //
+// # Compute backends
+//
+// The numeric engine's kernels run on a pluggable tensor.Backend. Two
+// implementations ship: "serial", the single-threaded reference, and
+// "parallel", which row-partitions the GEMM family (and im2col/col2im and
+// elementwise ops) across a process-wide bounded worker pool sized by
+// GOMAXPROCS. Backends are bit-identical by contract — parallel
+// partitioning only ever splits along dimensions that keep each output
+// element's floating-point accumulation sequence intact — so the
+// engine's bit-equivalence guarantees hold on every backend, and backend
+// choice (tensor.SetDefault, engine.Config.Backend, or cmd/pipebd's
+// -backend/-workers flags) is purely a throughput knob. A scratch-buffer
+// arena (tensor.Arena) recycles im2col and gradient temporaries across
+// training steps, keeping the steady-state hot path allocation-light.
+//
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for
 // paper-versus-measured results, and cmd/pipebd for the experiment
 // runner. The benchmarks in bench_test.go regenerate each table and
-// figure under `go test -bench`.
+// figure under `go test -bench`; BenchmarkMatMul and BenchmarkConvForward
+// in internal/tensor and internal/nn compare the backends directly.
 package pipebd

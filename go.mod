@@ -1,0 +1,3 @@
+module pipebd
+
+go 1.24

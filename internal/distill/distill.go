@@ -61,6 +61,16 @@ func NewWorkbench(build func() []Pair) *Workbench {
 // Replica returns a fresh workbench with bit-identical initial weights.
 func (w *Workbench) Replica() *Workbench { return NewWorkbench(w.build) }
 
+// SetBackend routes every teacher and student block's compute through be.
+// Backends are bit-identical by contract, so this changes throughput,
+// never the training trajectory.
+func (w *Workbench) SetBackend(be tensor.Backend) {
+	for _, p := range w.Pairs {
+		nn.ApplyBackend(p.Teacher, be)
+		nn.ApplyBackend(p.Student, be)
+	}
+}
+
 // NumBlocks returns the number of block pairs.
 func (w *Workbench) NumBlocks() int { return len(w.Pairs) }
 

@@ -40,6 +40,12 @@ type Config struct {
 	LR, Momentum float32
 	// Buffer is the relay channel depth (pipeline depth); <= 0 means 2.
 	Buffer int
+	// Backend selects the tensor compute backend for every block replica
+	// (e.g. tensor.Lookup("parallel")). nil keeps whatever the workbench
+	// and the process default already use. All backends are bit-identical,
+	// so this is purely a throughput knob — the equivalence guarantees
+	// hold regardless.
+	Backend tensor.Backend
 }
 
 // Result collects the training trajectory.
@@ -130,6 +136,10 @@ type groupRuntime struct {
 	members [][]distill.Pair
 	opts    [][]*nn.SGD
 
+	// assembleMu latches the lazy allocation of assembled. It is
+	// per-group state: independent groups — and independent concurrent
+	// RunPipelined calls — must never contend on a shared lock.
+	assembleMu sync.Mutex
 	// assembled is the full-batch teacher output under construction.
 	assembled *tensor.Tensor
 	// assembledInput broadcasts the received input to group members.
@@ -167,6 +177,9 @@ func RunPipelined(w *distill.Workbench, batches []dataset.Batch, cfg Config) Res
 			src := w
 			if j > 0 {
 				src = w.Replica()
+			}
+			if cfg.Backend != nil {
+				src.SetBackend(cfg.Backend)
 			}
 			pairs := make([]distill.Pair, len(g.Blocks))
 			opts := make([]*nn.SGD, len(g.Blocks))
@@ -234,6 +247,10 @@ func runMember(gi int, gr *groupRuntime, j int, batches []dataset.Batch,
 	stepSync *barrier, groupLosses [][]float64) {
 	k := gr.Split()
 	nb := len(gr.Blocks)
+	// Every step reuses the same shapes, so this member's batch shard and
+	// all-reduce temporaries cycle through a private arena: steady-state
+	// steps allocate only the activations that cross goroutine boundaries.
+	scratch := tensor.NewArena()
 	for s := range batches {
 		// Receive the step's input: the data loader for the first
 		// group, the relayed teacher activation otherwise (line 8-9).
@@ -251,7 +268,8 @@ func runMember(gi int, gr *groupRuntime, j int, batches []dataset.Batch,
 			}
 		}
 
-		x := shardOf(full, j, k)
+		shard := shardOf(full, j, k, scratch)
+		x := shard
 		for bi := 0; bi < nb; bi++ {
 			pair := gr.members[j][bi]
 			params := pair.Student.Params()
@@ -284,8 +302,12 @@ func runMember(gi int, gr *groupRuntime, j int, batches []dataset.Batch,
 		// batch dimension (line 14).
 		if k > 1 {
 			gr.sync.Await() // all members finished backward
-			averageGroupGradients(gr, j)
+			averageGroupGradients(gr, j, scratch)
 			gr.sync.Await() // all members consumed others' gradients
+			// The shard is a private copy (k > 1) and the first block's
+			// backward cache no longer needs it once the step's gradients
+			// are installed; recycle it for the next step.
+			scratch.Release(shard)
 		}
 
 		// Decoupled parameter update (lines 15-16): update immediately,
@@ -309,12 +331,10 @@ func (gr *groupRuntime) assembleShard(shard *tensor.Tensor, j int) {
 	copy(gr.assembled.Data()[j*per:(j+1)*per], shard.Data())
 }
 
-var assemblyMu sync.Mutex
-
 // assemblyOnce lazily allocates the assembly buffer for this step.
 func (gr *groupRuntime) assemblyOnce(shard *tensor.Tensor, k int) {
-	assemblyMu.Lock()
-	defer assemblyMu.Unlock()
+	gr.assembleMu.Lock()
+	defer gr.assembleMu.Unlock()
 	if gr.assembled == nil {
 		shape := append([]int(nil), shard.Shape()...)
 		shape[0] *= k
@@ -326,7 +346,7 @@ func (gr *groupRuntime) assemblyOnce(shard *tensor.Tensor, k int) {
 // member sums all members' gradients in rank order into a private buffer,
 // scales by 1/k, and installs the result into its own gradient tensors
 // after a barrier. All replicas therefore apply bit-identical updates.
-func averageGroupGradients(gr *groupRuntime, j int) {
+func averageGroupGradients(gr *groupRuntime, j int, scratch *tensor.Arena) {
 	k := gr.Split()
 	inv := 1 / float32(k)
 	nb := len(gr.Blocks)
@@ -336,7 +356,7 @@ func averageGroupGradients(gr *groupRuntime, j int) {
 		params := gr.members[j][bi].Student.Params()
 		avg[bi] = make([]*tensor.Tensor, len(params))
 		for pi := range params {
-			sum := tensor.New(params[pi].Grad.Shape()...)
+			sum := scratch.GetZeroed(params[pi].Grad.Shape()...)
 			for r := 0; r < k; r++ {
 				tensor.AddInto(sum, gr.members[r][bi].Student.Params()[pi].Grad)
 			}
@@ -345,18 +365,19 @@ func averageGroupGradients(gr *groupRuntime, j int) {
 		}
 	}
 	gr.sync.Await() // everyone done reading raw gradients
-	// Phase 2: install.
+	// Phase 2: install, then recycle the buffers for the next step.
 	for bi := 0; bi < nb; bi++ {
 		params := gr.members[j][bi].Student.Params()
 		for pi := range params {
 			params[pi].Grad.CopyFrom(avg[bi][pi])
 		}
+		scratch.Release(avg[bi]...)
 	}
 }
 
-// shardOf slices member j's contiguous batch shard (copying, so members
-// never alias the same backing array).
-func shardOf(full *tensor.Tensor, j, k int) *tensor.Tensor {
+// shardOf slices member j's contiguous batch shard (copying into arena
+// scratch, so members never alias the same backing array).
+func shardOf(full *tensor.Tensor, j, k int, scratch *tensor.Arena) *tensor.Tensor {
 	if k == 1 {
 		return full
 	}
@@ -366,7 +387,7 @@ func shardOf(full *tensor.Tensor, j, k int) *tensor.Tensor {
 	}
 	per := shape[0] / k
 	elems := full.Numel() / shape[0]
-	out := tensor.New(append([]int{per}, shape[1:]...)...)
+	out := scratch.Get(append([]int{per}, shape[1:]...)...)
 	copy(out.Data(), full.Data()[j*per*elems:(j+1)*per*elems])
 	return out
 }

@@ -14,8 +14,15 @@ type Conv2d struct {
 	Weight                         *Param // [OutC, InC, K, K]
 	Bias                           *Param // [OutC], nil when disabled
 
-	// Backward cache.
+	be      tensor.Backend // nil: process default
+	scratch *tensor.Arena  // recycles im2col/GEMM temporaries across steps
+
+	// Backward cache. cols and flat double as cross-step scratch: they
+	// are recycled through the arena at the start of the next Forward,
+	// by which time the backward pass that read them has completed.
 	cols               *tensor.Tensor // im2col of the last input
+	flat               *tensor.Tensor // [OutC, N*OH*OW] GEMM output
+	ready              bool           // Forward(train=true) ran since last Backward reset
 	inN, inH, inW      int
 	lastOutH, lastOutW int
 }
@@ -34,6 +41,17 @@ func NewConv2d(rng *rand.Rand, inC, outC, kernel, stride, pad int, bias bool) *C
 	return c
 }
 
+// SetBackend routes the layer's im2col and GEMMs through be (nil
+// restores the process default).
+func (c *Conv2d) SetBackend(be tensor.Backend) { c.be = be }
+
+func (c *Conv2d) arena() *tensor.Arena {
+	if c.scratch == nil {
+		c.scratch = tensor.NewArena()
+	}
+	return c.scratch
+}
+
 // Forward computes the convolution of an NCHW input.
 func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	shape := x.Shape()
@@ -44,40 +62,66 @@ func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	oh := tensor.ConvOutSize(h, c.Kernel, c.Stride, c.Pad)
 	ow := tensor.ConvOutSize(w, c.Kernel, c.Stride, c.Pad)
 
-	cols := tensor.Im2Col(x, c.Kernel, c.Kernel, c.Stride, c.Pad)
+	be := backendOr(c.be)
+	ar := c.arena()
+	if train {
+		// The previous step's backward pass has consumed these by now.
+		ar.Release(c.cols, c.flat)
+	}
+	cols := ar.Get(c.InC*c.Kernel*c.Kernel, n*oh*ow)
+	be.Im2ColInto(cols, x, c.Kernel, c.Kernel, c.Stride, c.Pad)
 	wm := c.Weight.Value.Reshape(c.OutC, c.InC*c.Kernel*c.Kernel)
-	flat := tensor.MatMul(wm, cols) // [OutC, N*OH*OW]
+	flat := ar.Get(c.OutC, n*oh*ow)
+	be.MatMulInto(flat, wm, cols) // [OutC, N*OH*OW]
 
 	out := flatToNCHW(flat, n, c.OutC, oh, ow)
 	if c.Bias != nil {
 		addChannelBias(out, c.Bias.Value)
 	}
 	if train {
-		c.cols, c.inN, c.inH, c.inW = cols, n, h, w
+		c.cols, c.flat = cols, flat
+		c.ready = true
+		c.inN, c.inH, c.inW = n, h, w
 		c.lastOutH, c.lastOutW = oh, ow
+	} else {
+		// Evaluation forwards use transient scratch and must not disturb
+		// a pending backward cache: Forward(train) → Forward(eval) →
+		// Backward still differentiates the training batch.
+		ar.Release(cols, flat)
 	}
 	return out
 }
 
 // Backward propagates grad (NCHW) and accumulates dWeight/dBias.
 func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	if c.cols == nil {
+	if !c.ready {
 		panic("nn: Conv2d.Backward called before Forward(train=true)")
 	}
-	dFlat := nchwToFlat(grad, c.OutC) // [OutC, N*OH*OW]
+	be := backendOr(c.be)
+	ar := c.arena()
+	kk := c.InC * c.Kernel * c.Kernel
+	spatial := c.inN * c.lastOutH * c.lastOutW
+
+	dFlat := ar.Get(c.OutC, spatial) // [OutC, N*OH*OW]
+	nchwToFlatInto(dFlat, grad, c.OutC)
 
 	// dW = dFlat · colsᵀ, folded back to [OutC, InC, K, K].
-	dW := tensor.MatMulTB(dFlat, c.cols)
-	tensor.AddInto(c.Weight.Grad, dW.Reshape(c.Weight.Value.Shape()...))
+	dW := ar.Get(c.OutC, kk)
+	be.MatMulTBInto(dW, dFlat, c.cols)
+	be.Axpy(c.Weight.Grad, 1, dW.Reshape(c.Weight.Value.Shape()...))
 
 	if c.Bias != nil {
 		accumulateChannelBiasGrad(c.Bias.Grad, grad)
 	}
 
 	// dx = Col2Im(Wᵀ · dFlat).
-	wm := c.Weight.Value.Reshape(c.OutC, c.InC*c.Kernel*c.Kernel)
-	dCols := tensor.MatMulTA(wm, dFlat)
-	return tensor.Col2Im(dCols, c.inN, c.InC, c.inH, c.inW, c.Kernel, c.Kernel, c.Stride, c.Pad)
+	wm := c.Weight.Value.Reshape(c.OutC, kk)
+	dCols := ar.Get(kk, spatial)
+	be.MatMulTAInto(dCols, wm, dFlat)
+	dx := tensor.New(c.inN, c.InC, c.inH, c.inW)
+	be.Col2ImInto(dx, dCols, c.Kernel, c.Kernel, c.Stride, c.Pad)
+	ar.Release(dFlat, dW, dCols)
+	return dx
 }
 
 // Params returns weight (and bias when present).
@@ -230,8 +274,16 @@ func flatToNCHW(flat *tensor.Tensor, n, c, oh, ow int) *tensor.Tensor {
 // nchwToFlat rearranges NCHW to [C, N*OH*OW].
 func nchwToFlat(x *tensor.Tensor, c int) *tensor.Tensor {
 	n, oh, ow := x.Shape()[0], x.Shape()[2], x.Shape()[3]
+	out := tensor.New(c, n*oh*ow)
+	nchwToFlatInto(out, x, c)
+	return out
+}
+
+// nchwToFlatInto rearranges NCHW into a preallocated [C, N*OH*OW] tensor,
+// overwriting every element.
+func nchwToFlatInto(out, x *tensor.Tensor, c int) {
+	n, oh, ow := x.Shape()[0], x.Shape()[2], x.Shape()[3]
 	spatial := oh * ow
-	out := tensor.New(c, n*spatial)
 	xd, od := x.Data(), out.Data()
 	for ci := 0; ci < c; ci++ {
 		rowBase := ci * n * spatial
@@ -239,7 +291,6 @@ func nchwToFlat(x *tensor.Tensor, c int) *tensor.Tensor {
 			copy(od[rowBase+ni*spatial:rowBase+(ni+1)*spatial], xd[(ni*c+ci)*spatial:(ni*c+ci+1)*spatial])
 		}
 	}
-	return out
 }
 
 func addChannelBias(x *tensor.Tensor, bias *tensor.Tensor) {
@@ -274,6 +325,7 @@ func accumulateChannelBiasGrad(dst *tensor.Tensor, grad *tensor.Tensor) {
 }
 
 var (
-	_ Layer = (*Conv2d)(nil)
-	_ Layer = (*DWConv2d)(nil)
+	_ Layer       = (*Conv2d)(nil)
+	_ Layer       = (*DWConv2d)(nil)
+	_ BackendUser = (*Conv2d)(nil)
 )

@@ -13,6 +13,8 @@ type Linear struct {
 	Weight  *Param // [Out, In]
 	Bias    *Param // [Out], nil when disabled
 
+	be        tensor.Backend // nil: process default
+	scratch   *tensor.Arena  // recycles the dW temporary across steps
 	lastInput *tensor.Tensor
 }
 
@@ -28,13 +30,17 @@ func NewLinear(rng *rand.Rand, in, out int, bias bool) *Linear {
 	return l
 }
 
+// SetBackend routes the layer's GEMMs through be (nil restores the
+// process default).
+func (l *Linear) SetBackend(be tensor.Backend) { l.be = be }
+
 // Forward computes y = x·Wᵀ + b.
 func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	shape := x.Shape()
 	if len(shape) != 2 || shape[1] != l.In {
 		panic(fmt.Sprintf("nn: Linear expects [N,%d], got %v", l.In, shape))
 	}
-	out := tensor.MatMulTB(x, l.Weight.Value) // [N, Out]
+	out := tensor.MatMulTBWith(backendOr(l.be), x, l.Weight.Value) // [N, Out]
 	if l.Bias != nil {
 		n := shape[0]
 		od, bd := out.Data(), l.Bias.Value.Data()
@@ -56,9 +62,15 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if l.lastInput == nil {
 		panic("nn: Linear.Backward called before Forward(train=true)")
 	}
+	be := backendOr(l.be)
+	if l.scratch == nil {
+		l.scratch = tensor.NewArena()
+	}
 	// dW = gradᵀ · x  -> [Out, In]
-	dW := tensor.MatMulTA(grad, l.lastInput)
-	tensor.AddInto(l.Weight.Grad, dW)
+	dW := l.scratch.Get(l.Out, l.In)
+	be.MatMulTAInto(dW, grad, l.lastInput)
+	be.Axpy(l.Weight.Grad, 1, dW)
+	l.scratch.Release(dW)
 	if l.Bias != nil {
 		n := grad.Shape()[0]
 		gd, bd := grad.Data(), l.Bias.Grad.Data()
@@ -70,7 +82,7 @@ func (l *Linear) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dx = grad · W -> [N, In]
-	return tensor.MatMul(grad, l.Weight.Value)
+	return tensor.MatMulWith(be, grad, l.Weight.Value)
 }
 
 // Params returns weight (and bias when present).
@@ -81,4 +93,7 @@ func (l *Linear) Params() []*Param {
 	return []*Param{l.Weight}
 }
 
-var _ Layer = (*Linear)(nil)
+var (
+	_ Layer       = (*Linear)(nil)
+	_ BackendUser = (*Linear)(nil)
+)

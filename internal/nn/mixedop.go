@@ -24,6 +24,8 @@ type MixedOp struct {
 	Branches []Layer
 	Alpha    *Param // [len(Branches)]
 
+	be tensor.Backend // nil: process default
+
 	// Backward cache.
 	weights    []float64        // softmax(alpha) of the last forward
 	branchOuts []*tensor.Tensor // per-branch outputs of the last forward
@@ -62,9 +64,15 @@ func (m *MixedOp) softmaxAlpha() []float64 {
 	return w
 }
 
+// SetBackend routes the combination arithmetic through be (nil restores
+// the process default). Branch layers are configured separately; use
+// ApplyBackend to set a whole tree at once.
+func (m *MixedOp) SetBackend(be tensor.Backend) { m.be = be }
+
 // Forward computes the weighted sum of all candidate outputs.
 func (m *MixedOp) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	weights := m.softmaxAlpha()
+	be := backendOr(m.be)
 	var out *tensor.Tensor
 	var outs []*tensor.Tensor
 	for i, b := range m.Branches {
@@ -74,7 +82,7 @@ func (m *MixedOp) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		} else if !y.SameShape(out) {
 			panic(fmt.Sprintf("nn: MixedOp branch %d output %v mismatches %v", i, y.Shape(), out.Shape()))
 		}
-		tensor.AxpyInto(out, float32(weights[i]), y)
+		be.Axpy(out, float32(weights[i]), y)
 		if train {
 			outs = append(outs, y)
 		}
@@ -113,14 +121,19 @@ func (m *MixedOp) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	}
 
 	// Input gradient: sum of branch backwards on weight-scaled grads.
+	// Each branch gets its own scaled buffer: an identity-like branch
+	// (e.g. an empty Sequential) returns its input from Backward, so a
+	// shared buffer would alias dx and corrupt the accumulation.
+	be := backendOr(m.be)
 	var dx *tensor.Tensor
 	for i, b := range m.Branches {
-		scaled := tensor.Scale(grad, float32(m.weights[i]))
+		scaled := tensor.New(grad.Shape()...)
+		be.Scale(scaled, grad, float32(m.weights[i]))
 		d := b.Backward(scaled)
 		if dx == nil {
 			dx = d
 		} else {
-			tensor.AddInto(dx, d)
+			be.Axpy(dx, 1, d)
 		}
 	}
 	return dx
@@ -151,4 +164,7 @@ func (m *MixedOp) Derive() int {
 	return best
 }
 
-var _ Layer = (*MixedOp)(nil)
+var (
+	_ Layer       = (*MixedOp)(nil)
+	_ BackendUser = (*MixedOp)(nil)
+)

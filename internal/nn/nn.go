@@ -49,6 +49,47 @@ func ZeroGrads(params []*Param) {
 	}
 }
 
+// BackendUser is implemented by layers whose hot path runs on a
+// tensor.Backend (Linear, Conv2d, MixedOp). A nil backend means "use the
+// process default at call time".
+type BackendUser interface {
+	SetBackend(be tensor.Backend)
+}
+
+// ApplyBackend routes l and every nested layer through be, recursing into
+// containers (Sequential, Residual, MixedOp branches). Layers that do not
+// use a backend are left untouched. Because all backends are bit-identical
+// by contract, ApplyBackend never changes results — only how fast the
+// host computes them.
+func ApplyBackend(l Layer, be tensor.Backend) {
+	switch v := l.(type) {
+	case *Sequential:
+		for _, c := range v.Layers {
+			ApplyBackend(c, be)
+		}
+	case *Residual:
+		ApplyBackend(v.Body, be)
+	case *MixedOp:
+		v.SetBackend(be)
+		for _, c := range v.Branches {
+			ApplyBackend(c, be)
+		}
+	default:
+		if u, ok := l.(BackendUser); ok {
+			u.SetBackend(be)
+		}
+	}
+}
+
+// backendOr resolves a layer's configured backend, falling back to the
+// process default.
+func backendOr(be tensor.Backend) tensor.Backend {
+	if be != nil {
+		return be
+	}
+	return tensor.Default()
+}
+
 // Sequential chains layers; the output of layer i feeds layer i+1.
 type Sequential struct {
 	Layers []Layer

@@ -1,0 +1,56 @@
+package tensor
+
+// Arena recycles scratch tensors across training steps. Blockwise
+// distillation re-runs the same shapes every step, so the im2col column
+// matrices and gradient temporaries that dominate steady-state
+// allocations can be handed back after each use and reused on the next:
+// after warm-up, a layer's hot path allocates nothing.
+//
+// An Arena is deliberately not safe for concurrent use; the engine keeps
+// one per device goroutine and each layer keeps its own. Released tensors
+// must not be referenced again by the caller — Get may hand the same
+// backing array to the next request of equal element count.
+type Arena struct {
+	free map[int][]*Tensor // released tensors, keyed by element count
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{free: map[int][]*Tensor{}} }
+
+// Get returns a tensor of the given shape, reusing a released buffer of
+// equal element count when one is available. The contents are
+// unspecified; use GetZeroed when the kernel does not overwrite the whole
+// buffer.
+func (a *Arena) Get(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if list := a.free[n]; len(list) > 0 {
+		t := list[len(list)-1]
+		list[len(list)-1] = nil
+		a.free[n] = list[:len(list)-1]
+		t.shape = append(t.shape[:0], shape...)
+		return t
+	}
+	return New(shape...)
+}
+
+// GetZeroed is Get with the buffer cleared.
+func (a *Arena) GetZeroed(shape ...int) *Tensor {
+	t := a.Get(shape...)
+	t.Zero()
+	return t
+}
+
+// Release returns tensors to the arena for reuse. nil entries are
+// ignored, so callers can release not-yet-allocated scratch fields
+// unconditionally. Releasing a tensor twice, or releasing one that is
+// still referenced elsewhere, corrupts later computations — release only
+// buffers the arena's owner obtained from Get and no longer reads.
+func (a *Arena) Release(ts ...*Tensor) {
+	for _, t := range ts {
+		if t == nil {
+			continue
+		}
+		n := len(t.data)
+		a.free[n] = append(a.free[n], t)
+	}
+}

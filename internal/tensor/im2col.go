@@ -14,65 +14,136 @@ func ConvOutSize(in, kernel, stride, pad int) int {
 //
 // Padding is zero-padding; stride applies to both spatial dimensions.
 func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
-	if len(x.shape) != 4 {
-		panic(fmt.Sprintf("tensor: Im2Col requires NCHW tensor, got shape %v", x.shape))
-	}
-	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
-	oh := ConvOutSize(h, kh, stride, pad)
-	ow := ConvOutSize(w, kw, stride, pad)
-	if oh <= 0 || ow <= 0 {
-		panic(fmt.Sprintf("tensor: Im2Col produces empty output for input %v kernel %dx%d stride %d pad %d", x.shape, kh, kw, stride, pad))
-	}
+	return Im2ColWith(Default(), x, kh, kw, stride, pad)
+}
+
+// Im2ColWith is Im2Col on an explicit backend.
+func Im2ColWith(be Backend, x *Tensor, kh, kw, stride, pad int) *Tensor {
+	n, c, oh, ow := im2ColDims(x, kh, kw, stride, pad)
 	out := New(c*kh*kw, n*oh*ow)
-	xd, od := x.data, out.data
-	cols := n * oh * ow
-	for ci := 0; ci < c; ci++ {
-		for ki := 0; ki < kh; ki++ {
-			for kj := 0; kj < kw; kj++ {
-				row := ((ci*kh)+ki)*kw + kj
-				base := row * cols
-				for ni := 0; ni < n; ni++ {
-					inBase := (ni*c + ci) * h * w
-					for oi := 0; oi < oh; oi++ {
-						ih := oi*stride - pad + ki
-						outBase := base + (ni*oh+oi)*ow
-						if ih < 0 || ih >= h {
-							continue // output already zero
-						}
-						inRow := inBase + ih*w
-						for oj := 0; oj < ow; oj++ {
-							iw := oj*stride - pad + kj
-							if iw < 0 || iw >= w {
-								continue
-							}
-							od[outBase+oj] = xd[inRow+iw]
-						}
-					}
-				}
-			}
-		}
-	}
+	be.Im2ColInto(out, x, kh, kw, stride, pad)
 	return out
+}
+
+// Im2ColInto unfolds x into out, which must be [C*KH*KW, N*OH*OW]. The
+// whole buffer is overwritten (padding positions are zeroed), so out may
+// be recycled scratch.
+func Im2ColInto(out, x *Tensor, kh, kw, stride, pad int) {
+	Default().Im2ColInto(out, x, kh, kw, stride, pad)
 }
 
 // Col2Im folds a [C*KH*KW, N*OH*OW] column matrix back into an NCHW tensor
 // of the given input geometry, accumulating overlapping contributions.
 // It is the adjoint of Im2Col and is used by convolution backward passes.
 func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
-	oh := ConvOutSize(h, kh, stride, pad)
-	ow := ConvOutSize(w, kw, stride, pad)
+	return Col2ImWith(Default(), cols, n, c, h, w, kh, kw, stride, pad)
+}
+
+// Col2ImWith is Col2Im on an explicit backend.
+func Col2ImWith(be Backend, cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	checkCol2Im(cols, n, c, h, w, kh, kw, stride, pad)
+	out := New(n, c, h, w)
+	be.Col2ImInto(out, cols, kh, kw, stride, pad)
+	return out
+}
+
+// Col2ImInto folds cols into out (NCHW), overwriting it. cols must be
+// [C*KH*KW, N*OH*OW] for out's geometry.
+func Col2ImInto(out, cols *Tensor, kh, kw, stride, pad int) {
+	Default().Col2ImInto(out, cols, kh, kw, stride, pad)
+}
+
+// --- shape validation --------------------------------------------------------
+
+func im2ColDims(x *Tensor, kh, kw, stride, pad int) (n, c, oh, ow int) {
+	if len(x.shape) != 4 {
+		panic(fmt.Sprintf("tensor: Im2Col requires NCHW tensor, got shape %v", x.shape))
+	}
+	n, c = x.shape[0], x.shape[1]
+	h, w := x.shape[2], x.shape[3]
+	oh = ConvOutSize(h, kh, stride, pad)
+	ow = ConvOutSize(w, kw, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: Im2Col produces empty output for input %v kernel %dx%d stride %d pad %d", x.shape, kh, kw, stride, pad))
+	}
+	return n, c, oh, ow
+}
+
+func checkIm2ColOut(out, x *Tensor, kh, kw, stride, pad int) (n, c, h, w, oh, ow int) {
+	n, c, oh, ow = im2ColDims(x, kh, kw, stride, pad)
+	h, w = x.shape[2], x.shape[3]
+	if len(out.shape) != 2 || out.shape[0] != c*kh*kw || out.shape[1] != n*oh*ow {
+		panic(fmt.Sprintf("tensor: Im2ColInto output shape %v, want [%d %d]", out.shape, c*kh*kw, n*oh*ow))
+	}
+	return n, c, h, w, oh, ow
+}
+
+func checkCol2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) (oh, ow int) {
+	oh = ConvOutSize(h, kh, stride, pad)
+	ow = ConvOutSize(w, kw, stride, pad)
 	wantRows, wantCols := c*kh*kw, n*oh*ow
 	if len(cols.shape) != 2 || cols.shape[0] != wantRows || cols.shape[1] != wantCols {
 		panic(fmt.Sprintf("tensor: Col2Im input shape %v, want [%d %d]", cols.shape, wantRows, wantCols))
 	}
-	out := New(n, c, h, w)
-	cd, od := cols.data, out.data
-	total := wantCols
-	for ci := 0; ci < c; ci++ {
+	return oh, ow
+}
+
+// --- range kernels -----------------------------------------------------------
+
+// im2colRows fills output rows [lo,hi) of the column matrix. Each row is
+// owned by exactly one (channel, kernel-offset) triple, so row ranges are
+// disjoint and safe to fill in parallel.
+func im2colRows(od, xd []float32, n, c, h, w, kh, kw, oh, ow, stride, pad, lo, hi int) {
+	cols := n * oh * ow
+	for row := lo; row < hi; row++ {
+		kj := row % kw
+		ki := (row / kw) % kh
+		ci := row / (kw * kh)
+		base := row * cols
+		orow := od[base : base+cols]
+		for i := range orow {
+			orow[i] = 0
+		}
+		for ni := 0; ni < n; ni++ {
+			inBase := (ni*c + ci) * h * w
+			for oi := 0; oi < oh; oi++ {
+				ih := oi*stride - pad + ki
+				outBase := base + (ni*oh+oi)*ow
+				if ih < 0 || ih >= h {
+					continue // row already zeroed
+				}
+				inRow := inBase + ih*w
+				for oj := 0; oj < ow; oj++ {
+					iw := oj*stride - pad + kj
+					if iw < 0 || iw >= w {
+						continue
+					}
+					od[outBase+oj] = xd[inRow+iw]
+				}
+			}
+		}
+	}
+}
+
+// col2imChannels folds input channels [lo,hi) of the column matrix back
+// into the NCHW output. Overlapping kernel taps only ever accumulate
+// within one input channel, so partitioning along C keeps every output
+// element owned by a single range — and the (ki,kj,ni,oi,oj) accumulation
+// order inside a channel matches the serial reference exactly.
+func col2imChannels(od, cd []float32, n, c, h, w, kh, kw, oh, ow, stride, pad, lo, hi int) {
+	total := n * oh * ow
+	for ci := lo; ci < hi; ci++ {
+		for ni := 0; ni < n; ni++ {
+			base := (ni*c + ci) * h * w
+			blk := od[base : base+h*w]
+			for i := range blk {
+				blk[i] = 0
+			}
+		}
 		for ki := 0; ki < kh; ki++ {
 			for kj := 0; kj < kw; kj++ {
 				row := ((ci*kh)+ki)*kw + kj
-				base := row * total
+				rowBase := row * total
 				for ni := 0; ni < n; ni++ {
 					outBase := (ni*c + ci) * h * w
 					for oi := 0; oi < oh; oi++ {
@@ -80,7 +151,7 @@ func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
 						if ih < 0 || ih >= h {
 							continue
 						}
-						colBase := base + (ni*oh+oi)*ow
+						colBase := rowBase + (ni*oh+oi)*ow
 						outRow := outBase + ih*w
 						for oj := 0; oj < ow; oj++ {
 							iw := oj*stride - pad + kj
@@ -94,5 +165,4 @@ func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return out
 }

@@ -2,42 +2,146 @@ package tensor
 
 import "fmt"
 
+// The matmul family routes through the process-default Backend (see
+// backend.go); the *With variants select a backend explicitly. All
+// backends share the row-range kernels at the bottom of this file, so
+// every implementation produces bit-identical results: parallel backends
+// partition the output-row dimension only, leaving the per-element
+// accumulation order untouched.
+
 // MatMul returns the matrix product a·b for 2-D tensors
 // (a: [m,k], b: [k,n] -> [m,n]).
-//
-// The kernel is a cache-friendly ikj loop; it is deliberately simple and
-// dependency-free, adequate for the small models exercised by the numeric
-// engine (performance experiments use the analytic simulator instead).
-func MatMul(a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMul requires 2-D tensors, got %v and %v", a.shape, b.shape))
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
-	}
+func MatMul(a, b *Tensor) *Tensor { return MatMulWith(Default(), a, b) }
+
+// MatMulWith is MatMul on an explicit backend.
+func MatMulWith(be Backend, a, b *Tensor) *Tensor {
+	m, _, n := matMulDims(a, b)
 	out := New(m, n)
-	MatMulInto(out, a, b)
+	be.MatMulInto(out, a, b)
 	return out
 }
 
 // MatMulInto computes out = a·b, overwriting out. out must be [m,n].
-func MatMulInto(out, a, b *Tensor) {
-	m, k := a.shape[0], a.shape[1]
-	n := b.shape[1]
-	if out.shape[0] != m || out.shape[1] != n {
-		panic(fmt.Sprintf("tensor: MatMulInto output shape %v, want [%d %d]", out.shape, m, n))
+func MatMulInto(out, a, b *Tensor) { Default().MatMulInto(out, a, b) }
+
+// MatMulTA returns aᵀ·b for 2-D tensors (a: [k,m], b: [k,n] -> [m,n]).
+func MatMulTA(a, b *Tensor) *Tensor { return MatMulTAWith(Default(), a, b) }
+
+// MatMulTAWith is MatMulTA on an explicit backend.
+func MatMulTAWith(be Backend, a, b *Tensor) *Tensor {
+	m, _, n := matMulTADims(a, b)
+	out := New(m, n)
+	be.MatMulTAInto(out, a, b)
+	return out
+}
+
+// MatMulTAInto computes out = aᵀ·b, overwriting out. out must be [m,n].
+func MatMulTAInto(out, a, b *Tensor) { Default().MatMulTAInto(out, a, b) }
+
+// MatMulTB returns a·bᵀ for 2-D tensors (a: [m,k], b: [n,k] -> [m,n]).
+func MatMulTB(a, b *Tensor) *Tensor { return MatMulTBWith(Default(), a, b) }
+
+// MatMulTBWith is MatMulTB on an explicit backend.
+func MatMulTBWith(be Backend, a, b *Tensor) *Tensor {
+	m, _, n := matMulTBDims(a, b)
+	out := New(m, n)
+	be.MatMulTBInto(out, a, b)
+	return out
+}
+
+// MatMulTBInto computes out = a·bᵀ, overwriting out. out must be [m,n].
+func MatMulTBInto(out, a, b *Tensor) { Default().MatMulTBInto(out, a, b) }
+
+// --- shape validation --------------------------------------------------------
+
+func matMulDims(a, b *Tensor) (m, k, n int) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2-D tensors, got %v and %v", a.shape, b.shape))
 	}
-	ad, bd, od := a.data, b.data, out.data
-	for i := range od {
-		od[i] = 0
+	m, k = a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
 	}
-	for i := 0; i < m; i++ {
-		arow := ad[i*k : (i+1)*k]
+	return m, k, b.shape[1]
+}
+
+func matMulTADims(a, b *Tensor) (m, k, n int) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTA requires 2-D tensors, got %v and %v", a.shape, b.shape))
+	}
+	k, m = a.shape[0], a.shape[1]
+	if b.shape[0] != k {
+		panic(fmt.Sprintf("tensor: MatMulTA inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	return m, k, b.shape[1]
+}
+
+func matMulTBDims(a, b *Tensor) (m, k, n int) {
+	if len(a.shape) != 2 || len(b.shape) != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTB requires 2-D tensors, got %v and %v", a.shape, b.shape))
+	}
+	m, k = a.shape[0], a.shape[1]
+	if b.shape[1] != k {
+		panic(fmt.Sprintf("tensor: MatMulTB inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	return m, k, b.shape[0]
+}
+
+func checkOutShape(op string, out *Tensor, m, n int) {
+	if len(out.shape) != 2 || out.shape[0] != m || out.shape[1] != n {
+		panic(fmt.Sprintf("tensor: %s output shape %v, want [%d %d]", op, out.shape, m, n))
+	}
+}
+
+// --- row-range kernels -------------------------------------------------------
+
+// kcBlock tiles the reduction dimension so the active b-panel stays cache
+// resident. Tiles ascend, so for any output element the terms are still
+// added in ascending-p order — blocking never changes the result bits.
+const kcBlock = 256
+
+// matMulRows computes rows [lo,hi) of out = a·b with a cache-friendly
+// ikj loop (a: [m,k] row-major, b: [k,n] row-major).
+func matMulRows(od, ad, bd []float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		orow := od[i*n : (i+1)*n]
+		for j := range orow {
+			orow[j] = 0
+		}
+	}
+	for p0 := 0; p0 < k; p0 += kcBlock {
+		p1 := p0 + kcBlock
+		if p1 > k {
+			p1 = k
+		}
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			orow := od[i*n : (i+1)*n]
+			for p := p0; p < p1; p++ {
+				av := arow[p]
+				if av == 0 {
+					continue
+				}
+				brow := bd[p*n : (p+1)*n]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	}
+}
+
+// matMulTARows computes rows [lo,hi) of out = aᵀ·b (a: [k,m], b: [k,n]).
+// Row i of the output reads column i of a; p ascends for every element,
+// matching the serial reference order exactly.
+func matMulTARows(od, ad, bd []float32, k, m, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		orow := od[i*n : (i+1)*n]
+		for j := range orow {
+			orow[j] = 0
+		}
 		for p := 0; p < k; p++ {
-			av := arow[p]
+			av := ad[p*m+i]
 			if av == 0 {
 				continue
 			}
@@ -49,56 +153,19 @@ func MatMulInto(out, a, b *Tensor) {
 	}
 }
 
-// MatMulTA returns aᵀ·b for 2-D tensors (a: [k,m], b: [k,n] -> [m,n]).
-func MatMulTA(a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTA requires 2-D tensors, got %v and %v", a.shape, b.shape))
-	}
-	k, m := a.shape[0], a.shape[1]
-	if b.shape[0] != k {
-		panic(fmt.Sprintf("tensor: MatMulTA inner dimension mismatch %v x %v", a.shape, b.shape))
-	}
-	n := b.shape[1]
-	out := New(m, n)
-	ad, bd, od := a.data, b.data, out.data
-	for p := 0; p < k; p++ {
-		arow := ad[p*m : (p+1)*m]
-		brow := bd[p*n : (p+1)*n]
-		for i, av := range arow {
-			if av == 0 {
-				continue
-			}
-			orow := od[i*n : (i+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
-}
-
-// MatMulTB returns a·bᵀ for 2-D tensors (a: [m,k], b: [n,k] -> [m,n]).
-func MatMulTB(a, b *Tensor) *Tensor {
-	if len(a.shape) != 2 || len(b.shape) != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTB requires 2-D tensors, got %v and %v", a.shape, b.shape))
-	}
-	m, k := a.shape[0], a.shape[1]
-	if b.shape[1] != k {
-		panic(fmt.Sprintf("tensor: MatMulTB inner dimension mismatch %v x %v", a.shape, b.shape))
-	}
-	n := b.shape[0]
-	out := New(m, n)
-	ad, bd, od := a.data, b.data, out.data
-	for i := 0; i < m; i++ {
+// matMulTBRows computes rows [lo,hi) of out = a·bᵀ (a: [m,k], b: [n,k])
+// as dense row-dot-row products.
+func matMulTBRows(od, ad, bd []float32, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
 		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
 			brow := bd[j*k : (j+1)*k]
 			var s float32
 			for p, av := range arow {
 				s += av * brow[p]
 			}
-			od[i*n+j] = s
+			orow[j] = s
 		}
 	}
-	return out
 }

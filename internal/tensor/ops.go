@@ -5,13 +5,17 @@ import (
 	"math"
 )
 
+// Elementwise ops route through the process-default Backend; parallel
+// backends partition the flat index range, which cannot change results
+// because every element is computed independently. Reductions (Sum, Mean,
+// MaxAbs, L2Norm) stay serial on every backend: their accumulation order
+// is part of the bit-exactness contract.
+
 // Add returns a + b elementwise. Shapes must match.
 func Add(a, b *Tensor) *Tensor {
 	mustSameShape("Add", a, b)
 	out := New(a.shape...)
-	for i := range out.data {
-		out.data[i] = a.data[i] + b.data[i]
-	}
+	Default().Add(out, a, b)
 	return out
 }
 
@@ -19,9 +23,7 @@ func Add(a, b *Tensor) *Tensor {
 func Sub(a, b *Tensor) *Tensor {
 	mustSameShape("Sub", a, b)
 	out := New(a.shape...)
-	for i := range out.data {
-		out.data[i] = a.data[i] - b.data[i]
-	}
+	Default().Sub(out, a, b)
 	return out
 }
 
@@ -29,43 +31,25 @@ func Sub(a, b *Tensor) *Tensor {
 func Mul(a, b *Tensor) *Tensor {
 	mustSameShape("Mul", a, b)
 	out := New(a.shape...)
-	for i := range out.data {
-		out.data[i] = a.data[i] * b.data[i]
-	}
+	Default().Mul(out, a, b)
 	return out
 }
 
 // Scale returns a * s elementwise.
 func Scale(a *Tensor, s float32) *Tensor {
 	out := New(a.shape...)
-	for i := range out.data {
-		out.data[i] = a.data[i] * s
-	}
+	Default().Scale(out, a, s)
 	return out
 }
 
 // AddInto accumulates src into dst (dst += src). Shapes must match.
-func AddInto(dst, src *Tensor) {
-	mustSameShape("AddInto", dst, src)
-	for i := range dst.data {
-		dst.data[i] += src.data[i]
-	}
-}
+func AddInto(dst, src *Tensor) { Default().Axpy(dst, 1, src) }
 
 // AxpyInto computes dst += alpha*src. Shapes must match.
-func AxpyInto(dst *Tensor, alpha float32, src *Tensor) {
-	mustSameShape("AxpyInto", dst, src)
-	for i := range dst.data {
-		dst.data[i] += alpha * src.data[i]
-	}
-}
+func AxpyInto(dst *Tensor, alpha float32, src *Tensor) { Default().Axpy(dst, alpha, src) }
 
 // ScaleInPlace multiplies every element of t by s.
-func ScaleInPlace(t *Tensor, s float32) {
-	for i := range t.data {
-		t.data[i] *= s
-	}
-}
+func ScaleInPlace(t *Tensor, s float32) { Default().Scale(t, t, s) }
 
 // Sum returns the sum of all elements (accumulated in float64 for
 // determinism-friendly precision).
@@ -139,5 +123,37 @@ func L2Norm(t *Tensor) float64 {
 func mustSameShape(op string, a, b *Tensor) {
 	if !a.SameShape(b) {
 		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+}
+
+// --- index-range kernels -----------------------------------------------------
+
+func addRange(dd, ad, bd []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dd[i] = ad[i] + bd[i]
+	}
+}
+
+func subRange(dd, ad, bd []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dd[i] = ad[i] - bd[i]
+	}
+}
+
+func mulRange(dd, ad, bd []float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dd[i] = ad[i] * bd[i]
+	}
+}
+
+func scaleRange(dd, ad []float32, s float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dd[i] = ad[i] * s
+	}
+}
+
+func axpyRange(dd, sd []float32, alpha float32, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dd[i] += alpha * sd[i]
 	}
 }
