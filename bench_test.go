@@ -1,6 +1,5 @@
 // Benchmark harness: one benchmark per table and figure of the paper's
-// evaluation, plus ablation benches for the design choices called out in
-// DESIGN.md §6. Run with:
+// evaluation, plus ablation benches for the repository's design choices. Run with:
 //
 //	go test -bench=. -benchmem
 //
@@ -147,7 +146,7 @@ func BenchmarkNumericEquivalence(b *testing.B) {
 	}
 }
 
-// --- ablation benches (DESIGN.md §6) ----------------------------------------
+// --- ablation benches -------------------------------------------------------
 
 // BenchmarkAblationOccupancyModel compares Pipe-BD's speedup with and
 // without the occupancy derating — isolating how much of the win comes

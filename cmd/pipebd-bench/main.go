@@ -1,0 +1,173 @@
+// Command pipebd-bench captures the repository's performance baseline as
+// machine-readable JSON: MatMul and Conv2d-forward kernel throughput and
+// the numeric engine's pipeline-step rate, each measured on the serial
+// reference backend and the parallel backend. The output file (committed
+// as BENCH_PR2.json) gives later PRs a trajectory to compare against.
+//
+// Usage:
+//
+//	pipebd-bench -out BENCH_PR2.json          # full sizes
+//	pipebd-bench -out bench.json -quick       # small sizes for smoke tests
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"pipebd/internal/dataset"
+	"pipebd/internal/distill"
+	"pipebd/internal/engine"
+	"pipebd/internal/nn"
+	"pipebd/internal/sched"
+	"pipebd/internal/tensor"
+)
+
+// Record is one benchmark measurement.
+type Record struct {
+	Name      string  `json:"name"`
+	Backend   string  `json:"backend"`
+	NsPerOp   float64 `json:"ns_per_op"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	N         int     `json:"iterations"`
+	// MBPerSec is the data throughput for kernels that declare bytes
+	// moved (MatMul); 0 otherwise.
+	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+}
+
+// Report is the file layout of BENCH_PR2.json.
+type Report struct {
+	GoMaxProcs int      `json:"go_max_procs"`
+	GoVersion  string   `json:"go_version"`
+	Quick      bool     `json:"quick"`
+	Records    []Record `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "pipebd-bench: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pipebd-bench", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	out := fs.String("out", "BENCH_PR2.json", "output JSON path (- for stdout)")
+	quick := fs.Bool("quick", false, "small problem sizes (smoke testing)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(stdout, "Usage of %s:\n", fs.Name())
+			fs.SetOutput(stdout)
+			fs.PrintDefaults()
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+
+	backends := []tensor.Backend{tensor.Serial{}, tensor.NewParallel(0)}
+	report := Report{GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(), Quick: *quick}
+
+	matmulSizes := []int{128, 256, 512}
+	convBatch, convC, convHW := 8, 16, 28
+	stepBatches, stepBatch := 4, 16
+	if *quick {
+		matmulSizes = []int{32}
+		convBatch, convC, convHW = 2, 4, 8
+		stepBatches, stepBatch = 2, 8
+	}
+
+	// MatMul: the GEMM at the heart of Linear and (via im2col) Conv2d.
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range matmulSizes {
+		x := tensor.Rand(rng, -1, 1, size, size)
+		y := tensor.Rand(rng, -1, 1, size, size)
+		dst := tensor.New(size, size)
+		for _, be := range backends {
+			be := be
+			res := testing.Benchmark(func(b *testing.B) {
+				b.SetBytes(int64(2 * size * size * size * 4))
+				for i := 0; i < b.N; i++ {
+					be.MatMulInto(dst, x, y)
+				}
+			})
+			report.add(fmt.Sprintf("MatMul/%dx%dx%d", size, size, size), be.Name(), res)
+		}
+	}
+
+	// ConvForward: a full conv3x3 layer forward (im2col + GEMM + bias).
+	for _, be := range backends {
+		be := be
+		conv := nn.NewConv2d(rand.New(rand.NewSource(2)), convC, convC, 3, 1, 1, true)
+		conv.SetBackend(be)
+		x := tensor.Rand(rand.New(rand.NewSource(3)), -1, 1, convBatch, convC, convHW, convHW)
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				conv.Forward(x, false)
+			}
+		})
+		report.add(fmt.Sprintf("ConvForward/%dx%dx%dx%d", convBatch, convC, convHW, convHW), be.Name(), res)
+	}
+
+	// PipelineStep: one full hybrid-plan pipelined training pass over the
+	// tiny workbench; ops_per_sec × batches = training steps per second.
+	tiny := distill.DefaultTinyConfig()
+	data := dataset.NewRandom(rand.New(rand.NewSource(4)), stepBatches*stepBatch, 3, tiny.Height, tiny.Width, 4)
+	batches := data.Batches(stepBatch)
+	plan := sched.Plan{Name: "hybrid", Groups: []sched.Group{
+		{Devices: []int{0, 1}, Blocks: []int{0, 1}},
+		{Devices: []int{2}, Blocks: []int{2, 3}},
+	}}
+	for _, be := range backends {
+		be := be
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				w := distill.NewTinyWorkbench(tiny)
+				b.StartTimer()
+				engine.RunPipelined(w, batches, engine.Config{Plan: plan, DPU: true,
+					LR: 0.05, Momentum: 0.9, Backend: be})
+			}
+		})
+		report.add(fmt.Sprintf("PipelineStep/hybrid/%dsteps-batch%d", stepBatches, stepBatch), be.Name(), res)
+	}
+
+	data2, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data2 = append(data2, '\n')
+	if *out == "-" {
+		_, err = stdout.Write(data2)
+		return err
+	}
+	if err := os.WriteFile(*out, data2, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "pipebd-bench: wrote %d benchmarks to %s\n", len(report.Records), *out)
+	return nil
+}
+
+func (r *Report) add(name, backend string, res testing.BenchmarkResult) {
+	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	rec := Record{
+		Name:      name,
+		Backend:   backend,
+		NsPerOp:   nsPerOp,
+		OpsPerSec: 1e9 / nsPerOp,
+		N:         res.N,
+	}
+	if res.Bytes > 0 {
+		rec.MBPerSec = float64(res.Bytes) * float64(res.N) / res.T.Seconds() / 1e6
+	}
+	r.Records = append(r.Records, rec)
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{{"-out"}, {"stray"}} {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestRunQuickWritesReport produces a quick report and checks that every
+// benchmark family appears for both backends with sane numbers.
+func TestRunQuickWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	if err := run([]string{"-quick", "-out", path}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("parse report: %v", err)
+	}
+	if !rep.Quick || rep.GoMaxProcs < 1 {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	seen := map[string]map[string]bool{}
+	for _, r := range rep.Records {
+		if r.NsPerOp <= 0 || r.OpsPerSec <= 0 || r.N <= 0 {
+			t.Fatalf("degenerate record: %+v", r)
+		}
+		family := strings.SplitN(r.Name, "/", 2)[0]
+		if seen[family] == nil {
+			seen[family] = map[string]bool{}
+		}
+		seen[family][r.Backend] = true
+	}
+	for _, family := range []string{"MatMul", "ConvForward", "PipelineStep"} {
+		for _, backend := range []string{"serial", "parallel"} {
+			if !seen[family][backend] {
+				t.Errorf("missing %s on %s backend; got %+v", family, backend, seen)
+			}
+		}
+	}
+}
+
+// TestHelpPrintsUsage: -h must print flag documentation and succeed.
+func TestHelpPrintsUsage(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatalf("run(-h): %v", err)
+	}
+	if !strings.Contains(out.String(), "-out") {
+		t.Fatalf("-h output missing flag docs:\n%s", out.String())
+	}
+}

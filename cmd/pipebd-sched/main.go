@@ -6,8 +6,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pipebd/internal/hw"
@@ -18,11 +20,36 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "nas-cifar10",
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "pipebd-sched: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// run parses args and writes the schedule report to stdout. Split from
+// main for the smoke tests.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pipebd-sched", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	workload := fs.String("workload", "nas-cifar10",
 		"workload: nas-cifar10|nas-imagenet|compression-cifar10|compression-imagenet")
-	system := flag.String("system", "a6000", "system preset: a6000|2080ti")
-	batch := flag.Int("batch", 256, "global batch size")
-	flag.Parse()
+	system := fs.String("system", "a6000", "system preset: a6000|2080ti")
+	batch := fs.Int("batch", 256, "global batch size")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(stdout, "Usage of %s:\n", fs.Name())
+			fs.SetOutput(stdout)
+			fs.PrintDefaults()
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *batch <= 0 {
+		return fmt.Errorf("-batch must be positive, got %d", *batch)
+	}
 
 	var w model.Workload
 	switch *workload {
@@ -35,8 +62,7 @@ func main() {
 	case "compression-imagenet":
 		w = model.Compression(true)
 	default:
-		fmt.Fprintf(os.Stderr, "pipebd-sched: unknown workload %q\n", *workload)
-		os.Exit(2)
+		return fmt.Errorf("unknown workload %q", *workload)
 	}
 	var sys hw.System
 	switch *system {
@@ -45,14 +71,13 @@ func main() {
 	case "2080ti":
 		sys = hw.RTX2080Tix4()
 	default:
-		fmt.Fprintf(os.Stderr, "pipebd-sched: unknown system %q\n", *system)
-		os.Exit(2)
+		return fmt.Errorf("unknown system %q", *system)
 	}
 
 	n := sys.NumDevices()
 	prof := profilegen.Measure(w, sys.GPUs[0], *batch, n, 100)
 
-	fmt.Printf("Profile: %s on %s, global batch %d (times per step, ms)\n\n", w.Name, sys.Name, *batch)
+	fmt.Fprintf(stdout, "Profile: %s on %s, global batch %d (times per step, ms)\n\n", w.Name, sys.Name, *batch)
 	header := []string{"block", "T.fwd x1", "S.train x1", "x2 split", "x4 split", "student MB"}
 	var rows [][]string
 	for b := 0; b < prof.NumBlocks(); b++ {
@@ -65,10 +90,11 @@ func main() {
 			fmt.Sprintf("%.0f", float64(prof.StudentMem[b][0])/(1<<20)),
 		})
 	}
-	fmt.Print(metrics.Table(header, rows))
+	fmt.Fprint(stdout, metrics.Table(header, rows))
 
 	tr := sched.TRContiguous(prof, n)
 	ahd := sched.AHD(prof, sys, sched.DefaultAHDConfig())
-	fmt.Printf("\nTR plan  : %s\n", tr.Describe())
-	fmt.Printf("AHD plan : %s\n", ahd.Describe())
+	fmt.Fprintf(stdout, "\nTR plan  : %s\n", tr.Describe())
+	fmt.Fprintf(stdout, "AHD plan : %s\n", ahd.Describe())
+	return nil
 }

@@ -4,8 +4,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pipebd/internal/hw"
@@ -17,14 +19,39 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "nas-imagenet",
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "pipebd-trace: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+// run parses args and writes the Gantt timeline to stdout. Split from
+// main for the smoke tests.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pipebd-trace", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	workload := fs.String("workload", "nas-imagenet",
 		"workload: nas-cifar10|nas-imagenet|compression-cifar10|compression-imagenet")
-	system := flag.String("system", "a6000", "system preset: a6000|2080ti")
-	strategy := flag.String("strategy", "TR+DPU+AHD", "DP|LS|TR|TR+DPU|TR+IR|TR+DPU+AHD")
-	batch := flag.Int("batch", 256, "global batch size")
-	steps := flag.Int("steps", 5, "steps to simulate")
-	width := flag.Int("width", 120, "chart width in characters")
-	flag.Parse()
+	system := fs.String("system", "a6000", "system preset: a6000|2080ti")
+	strategy := fs.String("strategy", "TR+DPU+AHD", "DP|LS|TR|TR+DPU|TR+IR|TR+DPU+AHD")
+	batch := fs.Int("batch", 256, "global batch size")
+	steps := fs.Int("steps", 5, "steps to simulate")
+	width := fs.Int("width", 120, "chart width in characters")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(stdout, "Usage of %s:\n", fs.Name())
+			fs.SetOutput(stdout)
+			fs.PrintDefaults()
+			return nil
+		}
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *steps <= 0 || *batch <= 0 || *width <= 0 {
+		return fmt.Errorf("-steps, -batch, and -width must be positive")
+	}
 
 	var w model.Workload
 	switch *workload {
@@ -37,8 +64,7 @@ func main() {
 	case "compression-imagenet":
 		w = model.Compression(true)
 	default:
-		fmt.Fprintf(os.Stderr, "pipebd-trace: unknown workload %q\n", *workload)
-		os.Exit(2)
+		return fmt.Errorf("unknown workload %q", *workload)
 	}
 	var sys hw.System
 	switch *system {
@@ -47,8 +73,7 @@ func main() {
 	case "2080ti":
 		sys = hw.RTX2080Tix4()
 	default:
-		fmt.Fprintf(os.Stderr, "pipebd-trace: unknown system %q\n", *system)
-		os.Exit(2)
+		return fmt.Errorf("unknown system %q", *system)
 	}
 
 	cfg := pipeline.Config{Workload: w, System: sys, GlobalBatch: *batch,
@@ -77,16 +102,16 @@ func main() {
 		report, tk := pipeline.RunTRTracks(cfg, plan, true, "TR+DPU+AHD")
 		tracks, desc = tk, report.ScheduleDesc
 	default:
-		fmt.Fprintf(os.Stderr, "pipebd-trace: unknown strategy %q\n", *strategy)
-		os.Exit(2)
+		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
 
-	fmt.Printf("%s / %s / %s\nschedule: %s\n\n", w.Name, sys.Name, *strategy, desc)
+	fmt.Fprintf(stdout, "%s / %s / %s\nschedule: %s\n\n", w.Name, sys.Name, *strategy, desc)
 	var end float64
 	for _, d := range tracks.Devs {
 		if d.FreeAt() > end {
 			end = d.FreeAt()
 		}
 	}
-	fmt.Print(trace.Gantt(append(tracks.Devs, tracks.Loader), 0, end, *width))
+	fmt.Fprint(stdout, trace.Gantt(append(tracks.Devs, tracks.Loader), 0, end, *width))
+	return nil
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "mnist"}, // unknown workload
+		{"-system", "tpu"},     // unknown system
+		{"-strategy", "magic"}, // unknown strategy
+		{"-steps", "0"},        // non-positive steps
+		{"-width"},             // missing value
+		{"stray"},              // positional junk
+	}
+	for _, args := range cases {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+// TestRunEndToEnd renders a timeline for every strategy and checks the
+// Gantt header and device tracks appear.
+func TestRunEndToEnd(t *testing.T) {
+	for _, strategy := range []string{"DP", "LS", "TR", "TR+DPU", "TR+IR", "TR+DPU+AHD"} {
+		var out strings.Builder
+		args := []string{"-workload", "nas-imagenet", "-strategy", strategy, "-steps", "3", "-width", "80"}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run(%s): %v", strategy, err)
+		}
+		got := out.String()
+		if !strings.Contains(got, "schedule:") {
+			t.Errorf("%s output missing schedule header:\n%s", strategy, got)
+		}
+		if !strings.Contains(got, "gpu0") || !strings.Contains(got, "loader") {
+			t.Errorf("%s output has no device/loader tracks:\n%s", strategy, got)
+		}
+	}
+}
+
+// TestHelpPrintsUsage: -h must print flag documentation and succeed.
+func TestHelpPrintsUsage(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-h"}, &out); err != nil {
+		t.Fatalf("run(-h): %v", err)
+	}
+	if !strings.Contains(out.String(), "-strategy") {
+		t.Fatalf("-h output missing flag docs:\n%s", out.String())
+	}
+}

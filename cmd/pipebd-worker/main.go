@@ -1,0 +1,99 @@
+// Command pipebd-worker hosts Pipe-BD pipeline devices for a remote
+// coordinator: it listens for a coordinator connection (pipebd -cluster),
+// receives a plan assignment with a model spec and parameter snapshot,
+// runs the assigned devices' training loops, and streams activations,
+// gradients, and losses back over the length-prefixed TCP wire protocol.
+//
+// Usage:
+//
+//	pipebd-worker -listen 127.0.0.1:7710                # serve forever
+//	pipebd-worker -listen 127.0.0.1:7710 -sessions 1    # one session, then exit
+//	pipebd-worker -listen 127.0.0.1:0 -backend parallel # parallel kernels
+//
+// The bound address is printed as "pipebd-worker: listening on ADDR" so
+// scripts can scrape the port when listening on :0.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"pipebd/internal/cluster"
+	"pipebd/internal/cluster/transport"
+	"pipebd/internal/tensor"
+)
+
+func main() {
+	w, err := newWorker(os.Args[1:], os.Stdout)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return // usage already printed to stdout
+		}
+		fmt.Fprintf(os.Stderr, "pipebd-worker: %v\n", err)
+		os.Exit(2)
+	}
+	if err := w.Serve(); err != nil {
+		fmt.Fprintf(os.Stderr, "pipebd-worker: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// newWorker parses flags, applies the backend choice, binds the listener,
+// and returns the ready-to-Serve worker. Split from main for the smoke
+// tests.
+func newWorker(args []string, stdout io.Writer) (*cluster.Worker, error) {
+	fs := flag.NewFlagSet("pipebd-worker", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	listen := fs.String("listen", "127.0.0.1:7710", "TCP address to listen on (host:port; :0 picks a free port)")
+	sessions := fs.Int("sessions", 0, "coordinator sessions to serve before exiting (0: forever)")
+	backend := fs.String("backend", "", "process-default tensor backend: "+strings.Join(tensor.Backends(), "|")+" (coordinator may override per session)")
+	workers := fs.Int("workers", 0, "parallel-backend worker count (0: GOMAXPROCS)")
+	quiet := fs.Bool("quiet", false, "suppress per-session progress output")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintf(stdout, "Usage of %s:\n", fs.Name())
+			fs.SetOutput(stdout)
+			fs.PrintDefaults()
+		}
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *sessions < 0 {
+		return nil, fmt.Errorf("-sessions must be >= 0, got %d", *sessions)
+	}
+	if *workers < 0 {
+		return nil, fmt.Errorf("-workers must be >= 0, got %d", *workers)
+	}
+	if *workers > 0 && *backend != "" && *backend != "parallel" {
+		return nil, fmt.Errorf("-workers only applies to -backend parallel (got -backend %s)", *backend)
+	}
+	if *workers > 0 {
+		tensor.SetDefault(tensor.NewParallel(*workers))
+	} else if *backend != "" {
+		be, ok := tensor.Lookup(*backend)
+		if !ok {
+			return nil, fmt.Errorf("unknown backend %q (want %s)", *backend, strings.Join(tensor.Backends(), " or "))
+		}
+		tensor.SetDefault(be)
+	}
+
+	lis, err := transport.TCP{}.Listen(*listen)
+	if err != nil {
+		return nil, err
+	}
+	cfg := cluster.WorkerConfig{Sessions: *sessions}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(stdout, "pipebd-worker: "+format+"\n", args...)
+		}
+	}
+	w := cluster.NewWorker(lis, cfg)
+	fmt.Fprintf(stdout, "pipebd-worker: listening on %s\n", w.Addr())
+	return w, nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pipebd/internal/cluster"
+	"pipebd/internal/cluster/transport"
+	"pipebd/internal/dataset"
+	"pipebd/internal/distill"
+	"pipebd/internal/sched"
+)
+
+func TestNewWorkerFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-listen"},                             // missing value
+		{"-sessions", "-1"},                     // negative sessions
+		{"-workers", "-2"},                      // negative pool
+		{"-workers", "4", "-backend", "serial"}, // pool without parallel backend
+		{"-backend", "cuda"},                    // unknown backend
+		{"extra-arg"},                           // positional junk
+		{"-listen", "notaport"},                 // unbindable address
+	}
+	for _, args := range cases {
+		if w, err := newWorker(args, &strings.Builder{}); err == nil {
+			w.Close()
+			t.Errorf("newWorker(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func trainOnce(t *testing.T, net transport.Network, addr string) {
+	t.Helper()
+	tiny := distill.DefaultTinyConfig()
+	data := dataset.NewRandom(rand.New(rand.NewSource(7)), 2*8, 3, tiny.Height, tiny.Width, 4)
+	w := distill.NewTinyWorkbench(tiny)
+	plan := sched.Plan{Name: "tr", Groups: []sched.Group{
+		{Devices: []int{0}, Blocks: []int{0, 1}},
+		{Devices: []int{1}, Blocks: []int{2, 3}},
+	}}
+	res, err := cluster.Run(net, []string{addr}, w, data.Batches(8),
+		cluster.Config{Plan: plan, DPU: true, LR: 0.05, Momentum: 0.9, Spec: cluster.TinySpec(tiny)})
+	if err != nil {
+		t.Fatalf("cluster run against worker: %v", err)
+	}
+	if len(res.Loss) != 4 || len(res.Loss[0]) != 2 {
+		t.Fatalf("unexpected trajectory shape: %d blocks x %d steps", len(res.Loss), len(res.Loss[0]))
+	}
+	for b, row := range res.Loss {
+		for s, l := range row {
+			if !(l > 0) {
+				t.Fatalf("block %d step %d loss %v, want > 0", b, s, l)
+			}
+		}
+	}
+}
+
+// TestWorkerEndToEndTCP boots the binary's worker (flag parsing included)
+// on an ephemeral TCP port and trains one session against it.
+func TestWorkerEndToEndTCP(t *testing.T) {
+	var out strings.Builder
+	w, err := newWorker([]string{"-listen", "127.0.0.1:0", "-sessions", "1", "-quiet"}, &out)
+	if err != nil {
+		t.Fatalf("newWorker: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- w.Serve() }()
+	defer w.Close()
+
+	if !strings.Contains(out.String(), "listening on "+w.Addr()) {
+		t.Fatalf("startup banner missing address: %q", out.String())
+	}
+	trainOnce(t, transport.TCP{}, w.Addr())
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+}
+
+// TestWorkerLoopbackSmoke runs the same worker server the binary wraps
+// over the in-memory loopback transport: one session, no sockets.
+func TestWorkerLoopbackSmoke(t *testing.T) {
+	net := transport.NewLoopback()
+	lis, err := net.Listen("")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	w := cluster.NewWorker(lis, cluster.WorkerConfig{Sessions: 1})
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- w.Serve() }()
+	defer w.Close()
+
+	trainOnce(t, net, w.Addr())
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+}
+
+// TestHelpPrintsUsage: -h must print flag documentation and surface
+// flag.ErrHelp (main exits 0 on it).
+func TestHelpPrintsUsage(t *testing.T) {
+	var out strings.Builder
+	_, err := newWorker([]string{"-h"}, &out)
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("newWorker(-h): got %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(out.String(), "-listen") {
+		t.Fatalf("-h output missing flag docs:\n%s", out.String())
+	}
+}

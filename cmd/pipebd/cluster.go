@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"pipebd/internal/cluster"
+	"pipebd/internal/cluster/transport"
+	"pipebd/internal/dataset"
+	"pipebd/internal/distill"
+	"pipebd/internal/engine"
+	"pipebd/internal/sched"
+)
+
+// clusterOptions configures the multi-process training mode.
+type clusterOptions struct {
+	Workers  []string // worker addresses, in device-placement order
+	PlanName string   // tr | hybrid | ir
+	Steps    int
+	Batch    int
+	DPU      bool
+	Backend  string
+	Verify   bool // re-run in-process and require bit-identical results
+	Timeout  time.Duration
+}
+
+// clusterPlan maps the named schedule onto the tiny workbench's 4 blocks.
+func clusterPlan(name string) (sched.Plan, error) {
+	g := func(devs, blocks []int) sched.Group { return sched.Group{Devices: devs, Blocks: blocks} }
+	switch name {
+	case "tr":
+		return sched.Plan{Name: "tr", Groups: []sched.Group{
+			g([]int{0}, []int{0, 1}), g([]int{1}, []int{2, 3})}}, nil
+	case "hybrid":
+		return sched.Plan{Name: "hybrid", Groups: []sched.Group{
+			g([]int{0, 1}, []int{0, 1}), g([]int{2}, []int{2, 3})}}, nil
+	case "ir":
+		return sched.InternalRelaying(2, 4), nil
+	default:
+		return sched.Plan{}, fmt.Errorf("unknown cluster plan %q (want tr, hybrid, or ir)", name)
+	}
+}
+
+// runCluster trains the tiny compression workbench across the given
+// workers and, with opts.Verify, proves the run bit-identical to the
+// in-process pipeline.
+func runCluster(stdout io.Writer, opts clusterOptions) error {
+	plan, err := clusterPlan(opts.PlanName)
+	if err != nil {
+		return err
+	}
+	nDev := 0
+	for _, g := range plan.Groups {
+		nDev += g.Split()
+	}
+	if opts.Steps <= 0 || opts.Batch <= 0 {
+		return fmt.Errorf("cluster steps and batch must be positive (got %d, %d)", opts.Steps, opts.Batch)
+	}
+
+	tiny := distill.DefaultTinyConfig()
+	data := dataset.NewRandom(rand.New(rand.NewSource(7)), opts.Steps*opts.Batch, 3, tiny.Height, tiny.Width, 4)
+	batches := data.Batches(opts.Batch)
+
+	cfg := cluster.Config{
+		Plan: plan, DPU: opts.DPU, LR: 0.05, Momentum: 0.9,
+		Backend: opts.Backend, Spec: cluster.TinySpec(tiny),
+		JoinTimeout: opts.Timeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stdout, "pipebd: "+format+"\n", args...)
+		},
+	}
+	w := distill.NewTinyWorkbench(tiny)
+	fmt.Fprintf(stdout, "pipebd: cluster run: plan %s (%s), %d device(s) on %d worker(s), %d steps, batch %d, dpu=%v\n",
+		plan.Name, plan.Describe(), nDev, len(opts.Workers), opts.Steps, opts.Batch, opts.DPU)
+	start := time.Now()
+	res, err := cluster.Run(transport.TCP{}, opts.Workers, w, batches, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "pipebd: cluster run finished in %v\n", time.Since(start).Round(time.Millisecond))
+	final := res.FinalLoss()
+	parts := make([]string, len(final))
+	for b, l := range final {
+		parts[b] = fmt.Sprintf("B%d=%.6g", b, l)
+	}
+	fmt.Fprintf(stdout, "pipebd: final per-block losses: %s\n", strings.Join(parts, " "))
+
+	if !opts.Verify {
+		return nil
+	}
+	ref := distill.NewTinyWorkbench(tiny)
+	refRes := engine.RunPipelined(ref, batches, engine.Config{
+		Plan: plan, DPU: opts.DPU, LR: 0.05, Momentum: 0.9})
+	for b := range refRes.Loss {
+		for s := range refRes.Loss[b] {
+			if refRes.Loss[b][s] != res.Loss[b][s] {
+				return fmt.Errorf("verify failed: loss diverged at block %d step %d: cluster %v vs in-process %v",
+					b, s, res.Loss[b][s], refRes.Loss[b][s])
+			}
+		}
+	}
+	for b := 0; b < ref.NumBlocks(); b++ {
+		pw, pr := w.StudentParams(b), ref.StudentParams(b)
+		for i := range pw {
+			if !pw[i].Value.Equal(pr[i].Value) {
+				return fmt.Errorf("verify failed: trained weights diverged at block %d param %d (%s)",
+					b, i, pw[i].Name)
+			}
+		}
+	}
+	fmt.Fprintln(stdout, "pipebd: verify OK: cluster trajectory and trained weights are bit-identical to the in-process pipeline")
+	return nil
+}

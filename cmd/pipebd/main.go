@@ -11,6 +11,15 @@
 //	pipebd -exp table2 -backend parallel            # multi-core numeric engine
 //	pipebd -exp table2 -backend parallel -workers 8 # explicit pool size
 //
+// Cluster mode trains the numeric workbench across pipebd-worker
+// processes instead of running experiments:
+//
+//	pipebd -cluster 127.0.0.1:7710,127.0.0.1:7711 -cluster-plan hybrid
+//	pipebd -cluster 127.0.0.1:7710 -cluster-plan tr -verify
+//
+// -verify re-runs the same schedule in-process and requires the cluster's
+// loss trajectory and trained weights to match bit-for-bit.
+//
 // The -backend flag selects the tensor compute backend for every numeric
 // (real float32 training) portion of the experiments: "serial" is the
 // single-threaded reference, "parallel" row-partitions GEMMs across a
@@ -25,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"pipebd/internal/experiments"
 	"pipebd/internal/hw"
@@ -40,6 +50,13 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of tables")
 	backend := flag.String("backend", "serial", "tensor compute backend: "+strings.Join(tensor.Backends(), "|"))
 	workers := flag.Int("workers", 0, "parallel-backend worker count (0: GOMAXPROCS)")
+	clusterAddrs := flag.String("cluster", "", "comma-separated pipebd-worker addresses; enables cluster training mode")
+	clusterPlanName := flag.String("cluster-plan", "hybrid", "cluster schedule: tr|hybrid|ir")
+	clusterSteps := flag.Int("cluster-steps", 6, "cluster training steps")
+	clusterBatch := flag.Int("cluster-batch", 8, "cluster global batch size")
+	clusterDPU := flag.Bool("cluster-dpu", true, "decoupled parameter update in cluster mode")
+	clusterTimeout := flag.Duration("cluster-timeout", 10*time.Second, "per-worker join timeout in cluster mode")
+	verify := flag.Bool("verify", false, "cluster mode: require bit-identical match with the in-process pipeline")
 	flag.Parse()
 
 	if *workers < 0 {
@@ -57,6 +74,26 @@ func main() {
 	} else {
 		fmt.Fprintf(os.Stderr, "pipebd: unknown backend %q (want %s)\n", *backend, strings.Join(tensor.Backends(), " or "))
 		os.Exit(2)
+	}
+
+	if *clusterAddrs != "" {
+		opts := clusterOptions{
+			Workers:  strings.Split(*clusterAddrs, ","),
+			PlanName: *clusterPlanName,
+			Steps:    *clusterSteps,
+			Batch:    *clusterBatch,
+			DPU:      *clusterDPU,
+			Timeout:  *clusterTimeout,
+			Verify:   *verify,
+		}
+		if *backend != "serial" {
+			opts.Backend = *backend
+		}
+		if err := runCluster(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "pipebd: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	var sys hw.System

@@ -28,9 +28,21 @@
 // arena (tensor.Arena) recycles im2col and gradient temporaries across
 // training steps, keeping the steady-state hot path allocation-light.
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for
-// paper-versus-measured results, and cmd/pipebd for the experiment
-// runner. The benchmarks in bench_test.go regenerate each table and
-// figure under `go test -bench`; BenchmarkMatMul and BenchmarkConvForward
-// in internal/tensor and internal/nn compare the backends directly.
+// # Cluster execution
+//
+// The internal/cluster subsystem runs the same pipelined schedule across
+// worker processes: a coordinator (cmd/pipebd -cluster) maps a plan's
+// devices onto pipebd-worker processes over a pluggable transport
+// (in-memory loopback or length-prefixed TCP), broadcasts the model spec,
+// seed parameters, and batches, and routes teacher-relay activations and
+// intra-group gradient all-reduce frames between stages. Workers drive
+// the identical engine.RunMember device loop behind a transport-backed
+// engine.DeviceLink, and the wire codec carries floats bit-exactly, so a
+// cluster run reproduces RunPipelined's trajectory bit-for-bit.
+//
+// See README.md for the quickstart and architecture inventory and
+// ROADMAP.md for open items. The benchmarks in bench_test.go regenerate
+// each table and figure under `go test -bench`; cmd/pipebd-bench captures
+// kernel and pipeline-step throughput as JSON (BENCH_PR2.json), and
+// BenchmarkMatMul in internal/tensor compares the backends directly.
 package pipebd

@@ -1,0 +1,629 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pipebd/internal/cluster/transport"
+	"pipebd/internal/cluster/wire"
+	"pipebd/internal/dataset"
+	"pipebd/internal/distill"
+	"pipebd/internal/engine"
+	"pipebd/internal/sched"
+	"pipebd/internal/tensor"
+)
+
+// Config parameterizes a cluster run.
+type Config struct {
+	// Plan distributes blocks over devices exactly as in engine.Config.
+	Plan sched.Plan
+	// DPU enables decoupled parameter update; without it the coordinator
+	// runs a global per-step barrier across all devices.
+	DPU bool
+	// LR and Momentum configure each block's SGD optimizer.
+	LR, Momentum float32
+	// Buffer is the pipeline depth: how many batches may be in flight
+	// ahead of the slowest group-0 device; <= 0 means 2.
+	Buffer int
+	// Backend optionally names the tensor backend workers should use
+	// (bit-identical by contract, so purely a throughput knob).
+	Backend string
+	// Spec names the model the workers rebuild. Its architecture must
+	// match the workbench passed to Run.
+	Spec wire.ModelSpec
+	// JoinTimeout bounds how long the coordinator waits for each worker
+	// to come up; <= 0 means 10 seconds.
+	JoinTimeout time.Duration
+	// Logf receives progress lines; nil is silent.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator drives a cluster run: it joins the workers, maps the plan's
+// devices onto them, broadcasts the model spec, seed parameters, and
+// batches, and acts as the hub for the session's data flow — assembling
+// teacher-relay activation shards and forwarding them downstream,
+// performing the rank-ordered intra-group gradient reduction, counting
+// the global no-DPU step barrier, accumulating per-block losses, and
+// installing the trained weights it receives back.
+//
+// Every reduction the hub performs uses the exact floating-point
+// evaluation order of the in-process engine (rank-ordered sums, merge via
+// engine.MergeGroupLosses), so a cluster run's trajectory is bit-identical
+// to engine.RunPipelined's.
+type Coordinator struct {
+	net transport.Network
+	cfg Config
+}
+
+// NewCoordinator returns a coordinator that dials workers over net.
+func NewCoordinator(net transport.Network, cfg Config) *Coordinator {
+	return &Coordinator{net: net, cfg: cfg}
+}
+
+// Run is shorthand for NewCoordinator(net, cfg).Run(w, batches, addrs).
+func Run(net transport.Network, addrs []string, w *distill.Workbench, batches []dataset.Batch, cfg Config) (engine.Result, error) {
+	return NewCoordinator(net, cfg).Run(w, batches, addrs)
+}
+
+// PlaceDevices maps nDev device ranks onto nWorkers workers
+// contiguously, giving earlier workers one extra device when the split is
+// uneven. Workers beyond nDev receive no devices.
+func PlaceDevices(nDev, nWorkers int) [][]int {
+	if nWorkers <= 0 {
+		return nil
+	}
+	out := make([][]int, nWorkers)
+	base, extra := nDev/nWorkers, nDev%nWorkers
+	next := 0
+	for i := range out {
+		n := base
+		if i < extra {
+			n++
+		}
+		for d := 0; d < n; d++ {
+			out[i] = append(out[i], next)
+			next++
+		}
+	}
+	return out
+}
+
+// peerConn is the coordinator's handle on one joined worker.
+type peerConn struct {
+	addr    string
+	conn    transport.Conn
+	out     *outbox
+	devices []int
+}
+
+// devPlace locates a device rank within the plan.
+type devPlace struct {
+	gi int // group index
+	j  int // rank within the group
+}
+
+// run is the mutable state of one cluster session.
+type run struct {
+	co      *Coordinator
+	plan    sched.Plan
+	nb      int
+	steps   int
+	nDev    int
+	peers   []*peerConn
+	byDev   map[int]*peerConn
+	places  map[int]devPlace
+	workb   *distill.Workbench
+	batches []dataset.Batch
+
+	mu       sync.Mutex
+	outputs  []map[int]*gather      // [gi] step → collected activation shards
+	grads    []map[int]*gatherLists // [gi] step → collected gradient lists
+	barrier  map[int]int            // step → devices arrived (no-DPU only)
+	losses   [][][]float64          // [gi][j*nb+bi][step]
+	g0done   map[int]int            // step → group-0 members that completed it
+	credits  chan struct{}
+	done     int
+	finished chan struct{}
+
+	failOnce sync.Once
+	firstErr error
+	failed   chan struct{}
+}
+
+type gather struct {
+	parts []*tensor.Tensor
+	have  int
+}
+
+type gatherLists struct {
+	parts [][]*tensor.Tensor
+	have  int
+}
+
+// Run executes the pipelined plan across the workers at addrs and
+// returns the loss trajectory; w's student parameters are updated with
+// the trained weights the group leaders send back. The run is
+// bit-equivalent to engine.RunPipelined(w, batches, ...) with the same
+// plan and hyperparameters.
+func (c *Coordinator) Run(w *distill.Workbench, batches []dataset.Batch, addrs []string) (engine.Result, error) {
+	r, err := c.newRun(w, batches, addrs)
+	if err != nil {
+		return engine.Result{}, err
+	}
+	defer r.teardown()
+	if err := r.join(addrs); err != nil {
+		return engine.Result{}, err
+	}
+	r.start()
+	select {
+	case <-r.finished:
+	case <-r.failed:
+		return engine.Result{}, r.firstErr
+	}
+	// Graceful drain: every device reported Done, all frames consumed.
+	for _, p := range r.peers {
+		p.out.Enqueue(wire.Control(wire.KindDrain, wire.NoDev, wire.NoStep))
+	}
+	return r.result(), nil
+}
+
+func (c *Coordinator) newRun(w *distill.Workbench, batches []dataset.Batch, addrs []string) (*run, error) {
+	plan := c.cfg.Plan
+	nDev := 0
+	for _, g := range plan.Groups {
+		nDev += g.Split()
+	}
+	if err := plan.Validate(nDev, w.NumBlocks()); err != nil {
+		return nil, err
+	}
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("cluster: no batches")
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: no worker addresses")
+	}
+	for _, g := range plan.Groups {
+		if k := g.Split(); batches[0].X.Dim(0)%k != 0 {
+			return nil, fmt.Errorf("cluster: batch %d not divisible by group size %d", batches[0].X.Dim(0), k)
+		}
+	}
+	if c.cfg.Spec.Blocks != w.NumBlocks() {
+		return nil, fmt.Errorf("cluster: spec has %d blocks, workbench has %d", c.cfg.Spec.Blocks, w.NumBlocks())
+	}
+	buffer := c.cfg.Buffer
+	if buffer <= 0 {
+		buffer = 2
+	}
+	r := &run{
+		co: c, plan: plan, nb: w.NumBlocks(), steps: len(batches), nDev: nDev,
+		byDev: make(map[int]*peerConn), places: make(map[int]devPlace),
+		workb: w, batches: batches,
+		outputs:  make([]map[int]*gather, len(plan.Groups)),
+		grads:    make([]map[int]*gatherLists, len(plan.Groups)),
+		barrier:  make(map[int]int),
+		losses:   make([][][]float64, len(plan.Groups)),
+		g0done:   make(map[int]int),
+		credits:  make(chan struct{}, len(batches)+buffer),
+		finished: make(chan struct{}),
+		failed:   make(chan struct{}),
+	}
+	for gi, g := range plan.Groups {
+		r.outputs[gi] = make(map[int]*gather)
+		r.grads[gi] = make(map[int]*gatherLists)
+		r.losses[gi] = make([][]float64, len(g.Blocks)*g.Split())
+		for i := range r.losses[gi] {
+			r.losses[gi][i] = make([]float64, r.steps)
+		}
+		for j, d := range g.Devices {
+			r.places[d] = devPlace{gi: gi, j: j}
+		}
+	}
+	for i := 0; i < buffer; i++ {
+		r.credits <- struct{}{}
+	}
+	return r, nil
+}
+
+// join dials every worker (retrying while it comes up), performs the
+// hello handshake, and sends the session assignment.
+func (r *run) join(addrs []string) error {
+	placement := PlaceDevices(r.nDev, len(addrs))
+	snapshot := CaptureSnapshot(r.workb)
+	runCfg := wire.RunConfig{DPU: r.co.cfg.DPU, LR: r.co.cfg.LR, Momentum: r.co.cfg.Momentum,
+		Buffer: r.co.cfg.Buffer, Steps: r.steps, Backend: r.co.cfg.Backend}
+	for i, addr := range addrs {
+		if len(placement[i]) == 0 {
+			r.co.logf("worker %s: no devices to place, skipping", addr)
+			continue
+		}
+		conn, deadline, err := r.dialJoin(addr)
+		if err != nil {
+			return err
+		}
+		hello, err := recvDeadline(conn, deadline)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("cluster: worker %s handshake: %w", addr, err)
+		}
+		if hello.Kind != wire.KindHello {
+			conn.Close()
+			return fmt.Errorf("cluster: worker %s sent %v, want hello", addr, hello.Kind)
+		}
+		assign := &wire.Assign{Plan: r.plan, Spec: r.co.cfg.Spec, Run: runCfg,
+			Devices: placement[i], Snapshot: snapshot}
+		if err := conn.Send(wire.EncodeAssign(assign)); err != nil {
+			conn.Close()
+			return fmt.Errorf("cluster: worker %s assign: %w", addr, err)
+		}
+		p := &peerConn{addr: addr, conn: conn, out: newOutbox(conn), devices: placement[i]}
+		r.peers = append(r.peers, p)
+		for _, d := range placement[i] {
+			r.byDev[d] = p
+		}
+		r.co.logf("worker %s joined, hosting devices %v", addr, placement[i])
+	}
+	return nil
+}
+
+func (r *run) dialJoin(addr string) (transport.Conn, time.Time, error) {
+	timeout := r.co.cfg.JoinTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := r.net().Dial(addr)
+		if err == nil {
+			return conn, deadline, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, deadline, fmt.Errorf("cluster: worker %s did not join within %v: %w", addr, timeout, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// recvDeadline bounds a single handshake Recv by the join deadline: a
+// TCP connect can succeed against a silent or busy peer (listen backlog)
+// long before anything speaks, and Conn has no deadline of its own. On
+// timeout the connection is closed, which unblocks the pending Recv; the
+// spawned goroutine then drains into the buffered channel and exits.
+func recvDeadline(conn transport.Conn, deadline time.Time) (*wire.Frame, error) {
+	type result struct {
+		f   *wire.Frame
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		f, err := conn.Recv()
+		ch <- result{f, err}
+	}()
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.f, res.err
+	case <-timer.C:
+		conn.Close()
+		return nil, fmt.Errorf("cluster: no handshake before join deadline")
+	}
+}
+
+func (r *run) net() transport.Network { return r.co.net }
+
+// start launches the per-peer readers and the group-0 batch feeder.
+func (r *run) start() {
+	for _, p := range r.peers {
+		go func(p *peerConn) {
+			// A panic while handling a malformed-but-decodable frame must
+			// fail the run, not crash the coordinator process.
+			defer func() {
+				if rec := recover(); rec != nil {
+					r.fail(fmt.Errorf("cluster: handling frames from worker %s panicked: %v", p.addr, rec))
+				}
+			}()
+			for {
+				f, err := p.conn.Recv()
+				if err != nil {
+					select {
+					case <-r.finished: // normal teardown
+					default:
+						r.fail(fmt.Errorf("cluster: worker %s: %w", p.addr, err))
+					}
+					return
+				}
+				if err := r.handle(p, f); err != nil {
+					r.fail(err)
+					return
+				}
+			}
+		}(p)
+	}
+	go r.feed()
+}
+
+// feed streams the training batches to every member of the first group,
+// windowed by the pipeline depth: a new batch enters only when the
+// slowest group-0 member finishes an earlier step — the cluster analogue
+// of the in-process relay channel's backpressure.
+func (r *run) feed() {
+	g0 := r.plan.Groups[0]
+	for s, b := range r.batches {
+		select {
+		case <-r.credits:
+		case <-r.failed:
+			return
+		case <-r.finished:
+			return
+		}
+		r.broadcastTensor(wire.KindInput, g0.Devices, s, b.X)
+	}
+}
+
+// broadcastTensor sends one tensor to several devices, encoding the
+// payload once.
+func (r *run) broadcastTensor(kind wire.Kind, devs []int, step int, t *tensor.Tensor) {
+	payload := wire.EncodeTensor(kind, wire.NoDev, int32(step), t).Payload
+	for _, d := range devs {
+		r.byDev[d].out.Enqueue(&wire.Frame{Kind: kind, Dev: int32(d), Step: int32(step), Payload: payload})
+	}
+}
+
+func (r *run) fail(err error) {
+	r.failOnce.Do(func() {
+		r.firstErr = err
+		close(r.failed)
+	})
+}
+
+func (r *run) teardown() {
+	for _, p := range r.peers {
+		p.out.Close()
+		p.conn.Close()
+	}
+}
+
+// handle processes one inbound frame on the owning peer's reader
+// goroutine. Payload decoding — the hub's hottest work — happens here,
+// outside the session lock, so readers for different workers decode
+// concurrently; only the gather bookkeeping, reductions, and counters
+// run under r.mu (r.places is immutable once the readers start).
+func (r *run) handle(p *peerConn, f *wire.Frame) error {
+	dev := int(f.Dev)
+	place, ok := r.places[dev]
+	if !ok && f.Kind != wire.KindHello {
+		return fmt.Errorf("cluster: worker %s sent %v for unknown device %d", p.addr, f.Kind, f.Dev)
+	}
+	step := int(f.Step)
+	switch f.Kind {
+	case wire.KindHello:
+		return nil // late hello: harmless
+	case wire.KindOutput:
+		if place.gi >= len(r.plan.Groups)-1 {
+			return fmt.Errorf("cluster: last group relayed an output for step %d", step)
+		}
+		if r.plan.Groups[place.gi].Split() == 1 {
+			// Unsplit group: the shard IS the full batch. Forward the
+			// encoded payload verbatim — decoding and re-encoding it here
+			// would produce identical bytes (validation happens at the
+			// receiving worker's decode).
+			for _, d := range r.plan.Groups[place.gi+1].Devices {
+				r.byDev[d].out.Enqueue(&wire.Frame{Kind: wire.KindInput,
+					Dev: int32(d), Step: f.Step, Payload: f.Payload})
+			}
+			return nil
+		}
+		t, err := wire.DecodeTensor(f)
+		if err != nil {
+			return err
+		}
+		return r.onOutput(place, step, t)
+	case wire.KindGrads:
+		lists, err := wire.DecodeTensors(f)
+		if err != nil {
+			return err
+		}
+		return r.onGrads(place, step, lists)
+	case wire.KindStepDone:
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.barrier[step]++
+		if r.barrier[step] == r.nDev {
+			delete(r.barrier, step)
+			for _, peer := range r.peers {
+				peer.out.Enqueue(wire.Control(wire.KindStepGo, wire.NoDev, f.Step))
+			}
+		}
+		return nil
+	case wire.KindLosses:
+		vals, err := wire.DecodeLosses(f)
+		if err != nil {
+			return err
+		}
+		return r.onLosses(place, step, vals)
+	case wire.KindFinalParams:
+		params, err := wire.DecodeTensors(f)
+		if err != nil {
+			return err
+		}
+		return r.onFinalParams(place, params)
+	case wire.KindDone:
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		r.done++
+		if r.done == r.nDev {
+			close(r.finished)
+		}
+		return nil
+	default:
+		return fmt.Errorf("cluster: worker %s sent unexpected %v frame", p.addr, f.Kind)
+	}
+}
+
+// onOutput collects a split group's boundary-activation shards (the
+// k == 1 case forwards payloads directly in handle) and, once every
+// member's shard of the step arrived, assembles the full batch in rank
+// order and relays it to each member of the next group.
+func (r *run) onOutput(place devPlace, step int, t *tensor.Tensor) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := r.plan.Groups[place.gi].Split()
+	st := r.outputs[place.gi]
+	g := st[step]
+	if g == nil {
+		g = &gather{parts: make([]*tensor.Tensor, k)}
+		st[step] = g
+	}
+	if g.parts[place.j] != nil {
+		return fmt.Errorf("cluster: duplicate output from group %d rank %d step %d", place.gi, place.j, step)
+	}
+	g.parts[place.j] = t
+	g.have++
+	if g.have < k {
+		return nil
+	}
+	delete(st, step)
+	shape := append([]int(nil), g.parts[0].Shape()...)
+	shape[0] *= k
+	full := tensor.New(shape...)
+	per := g.parts[0].Numel()
+	for j, part := range g.parts {
+		if part.Numel() != per {
+			return fmt.Errorf("cluster: group %d step %d shard sizes differ", place.gi, step)
+		}
+		copy(full.Data()[j*per:(j+1)*per], part.Data())
+	}
+	r.broadcastTensor(wire.KindInput, r.plan.Groups[place.gi+1].Devices, step, full)
+	return nil
+}
+
+// onGrads collects a split group's gradient lists and, once complete,
+// performs the deterministic all-reduce — sum over member ranks 0..k-1,
+// scale by 1/k, exactly the in-process evaluation order — and returns the
+// mean to every member.
+func (r *run) onGrads(place devPlace, step int, lists []*tensor.Tensor) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := r.plan.Groups[place.gi].Split()
+	if k == 1 {
+		return fmt.Errorf("cluster: gradient frame from unsplit group %d", place.gi)
+	}
+	st := r.grads[place.gi]
+	g := st[step]
+	if g == nil {
+		g = &gatherLists{parts: make([][]*tensor.Tensor, k)}
+		st[step] = g
+	}
+	if g.parts[place.j] != nil {
+		return fmt.Errorf("cluster: duplicate gradients from group %d rank %d step %d", place.gi, place.j, step)
+	}
+	g.parts[place.j] = lists
+	g.have++
+	if g.have < k {
+		return nil
+	}
+	delete(st, step)
+	n := len(g.parts[0])
+	for rk, l := range g.parts {
+		if len(l) != n {
+			return fmt.Errorf("cluster: group %d step %d gradient counts differ", place.gi, step)
+		}
+		for pi, t := range l {
+			if !t.SameShape(g.parts[0][pi]) {
+				return fmt.Errorf("cluster: group %d step %d rank %d gradient %d shape %v, rank 0 has %v",
+					place.gi, step, rk, pi, t.Shape(), g.parts[0][pi].Shape())
+			}
+		}
+	}
+	inv := 1 / float32(k)
+	reduced := make([]*tensor.Tensor, n)
+	for pi := 0; pi < n; pi++ {
+		sum := tensor.New(g.parts[0][pi].Shape()...)
+		for rk := 0; rk < k; rk++ {
+			tensor.AddInto(sum, g.parts[rk][pi])
+		}
+		tensor.ScaleInPlace(sum, inv)
+		reduced[pi] = sum
+	}
+	payload := wire.EncodeTensors(wire.KindGradsReduced, wire.NoDev, int32(step), reduced).Payload
+	for _, d := range r.plan.Groups[place.gi].Devices {
+		r.byDev[d].out.Enqueue(&wire.Frame{Kind: wire.KindGradsReduced,
+			Dev: int32(d), Step: int32(step), Payload: payload})
+	}
+	return nil
+}
+
+// onLosses records a member's per-block losses and releases a pipeline
+// credit when the whole first group finishes a step.
+func (r *run) onLosses(place devPlace, step int, vals []float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	nbg := len(r.plan.Groups[place.gi].Blocks)
+	if len(vals) != nbg {
+		return fmt.Errorf("cluster: group %d rank %d reported %d losses, want %d", place.gi, place.j, len(vals), nbg)
+	}
+	if step < 0 || step >= r.steps {
+		return fmt.Errorf("cluster: loss report for step %d of %d", step, r.steps)
+	}
+	for bi, v := range vals {
+		r.losses[place.gi][place.j*nbg+bi][step] = v
+	}
+	if place.gi == 0 {
+		r.g0done[step]++
+		if r.g0done[step] == r.plan.Groups[0].Split() {
+			delete(r.g0done, step)
+			select {
+			case r.credits <- struct{}{}:
+			default:
+			}
+		}
+	}
+	return nil
+}
+
+// onFinalParams installs a group leader's trained student parameters
+// into the coordinator's workbench.
+func (r *run) onFinalParams(place devPlace, params []*tensor.Tensor) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if place.j != 0 {
+		return fmt.Errorf("cluster: final params from non-leader rank %d of group %d", place.j, place.gi)
+	}
+	var dst []*tensor.Tensor
+	for _, b := range r.plan.Groups[place.gi].Blocks {
+		for _, p := range r.workb.Pairs[b].Student.Params() {
+			dst = append(dst, p.Value)
+		}
+	}
+	if len(params) != len(dst) {
+		return fmt.Errorf("cluster: group %d returned %d trained params, workbench wants %d", place.gi, len(params), len(dst))
+	}
+	for i, t := range params {
+		if !t.SameShape(dst[i]) {
+			return fmt.Errorf("cluster: group %d trained param %d shape %v, want %v", place.gi, i, t.Shape(), dst[i].Shape())
+		}
+		dst[i].CopyFrom(t)
+	}
+	return nil
+}
+
+// result merges the per-member loss rows into the per-block trajectory,
+// through the same helper (and therefore the same float64 evaluation
+// order) as engine.RunPipelined.
+func (r *run) result() engine.Result {
+	res := engine.Result{Loss: make([][]float64, r.nb)}
+	for gi, g := range r.plan.Groups {
+		merged := engine.MergeGroupLosses(r.losses[gi], len(g.Blocks), g.Split(), r.steps)
+		for bi, b := range g.Blocks {
+			res.Loss[b] = merged[bi]
+		}
+	}
+	return res
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}

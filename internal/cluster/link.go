@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"pipebd/internal/cluster/transport"
+	"pipebd/internal/cluster/wire"
+	"pipebd/internal/tensor"
+)
+
+// sessionError escapes a device loop through panic/recover: the
+// engine.DeviceLink interface has no error returns (in-process links
+// cannot fail), so a transport failure aborts the loop via a typed panic
+// that the worker's device goroutine recovers and reports.
+type sessionError struct{ err error }
+
+func sessionFail(format string, args ...any) {
+	panic(sessionError{fmt.Errorf(format, args...)})
+}
+
+// recoverSession turns any device-loop panic into *errp. sessionError
+// carries a transport failure verbatim; anything else (e.g. a shape
+// panic from the engine on a decodable-but-invalid frame) is wrapped, so
+// one poisoned session can never crash a worker serving other
+// coordinators.
+func recoverSession(errp *error) {
+	switch r := recover().(type) {
+	case nil:
+	case sessionError:
+		if *errp == nil {
+			*errp = r.err
+		}
+	default:
+		if *errp == nil {
+			*errp = fmt.Errorf("cluster: device loop panicked: %v", r)
+		}
+	}
+}
+
+// outbox decouples frame production from the connection: Enqueue never
+// blocks (the queue is unbounded), a single writer goroutine drains it
+// into the conn, and the first send error sticks. This is what makes the
+// session layer deadlock-free — no protocol participant ever blocks on a
+// peer's receive window while holding work the peer is waiting for.
+type outbox struct {
+	q    *transport.FrameQueue
+	done chan struct{}
+	mu   sync.Mutex
+	err  error
+}
+
+func newOutbox(conn transport.Conn) *outbox {
+	o := &outbox{q: transport.NewFrameQueue(), done: make(chan struct{})}
+	go func() {
+		defer close(o.done)
+		for {
+			f, err := o.q.Pop()
+			if err != nil {
+				return // closed and drained
+			}
+			if o.Err() != nil {
+				continue // drain without sending after a failure
+			}
+			if err := conn.Send(f); err != nil {
+				o.fail(err)
+			}
+		}
+	}()
+	return o
+}
+
+// Enqueue queues a frame for sending; it never blocks.
+func (o *outbox) Enqueue(f *wire.Frame) {
+	if err := o.q.Push(f); err != nil {
+		o.fail(err)
+	}
+}
+
+// Close flushes queued frames and stops the writer.
+func (o *outbox) Close() {
+	o.q.Close()
+	<-o.done
+}
+
+func (o *outbox) fail(err error) {
+	o.mu.Lock()
+	if o.err == nil {
+		o.err = err
+	}
+	o.mu.Unlock()
+}
+
+// Err returns the first send error, if any.
+func (o *outbox) Err() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.err
+}
+
+// inbox is one device's view of the session's inbound frames, demuxed by
+// kind. The worker's router goroutine fills it; the device loop pops the
+// kind it is waiting for. fail wakes all waiters with an error.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	byKind map[wire.Kind][]*wire.Frame
+	err    error
+}
+
+func newInbox() *inbox {
+	b := &inbox{byKind: make(map[wire.Kind][]*wire.Frame)}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *inbox) put(f *wire.Frame) {
+	b.mu.Lock()
+	b.byKind[f.Kind] = append(b.byKind[f.Kind], f)
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+func (b *inbox) fail(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// next blocks for the next frame of the given kind.
+func (b *inbox) next(kind wire.Kind) (*wire.Frame, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.byKind[kind]) == 0 && b.err == nil {
+		b.cond.Wait()
+	}
+	if q := b.byKind[kind]; len(q) > 0 {
+		f := q[0]
+		q[0] = nil
+		b.byKind[kind] = q[1:]
+		return f, nil
+	}
+	return nil, b.err
+}
+
+// clusterLink implements engine.DeviceLink over the worker's connection
+// to the coordinator: inputs, reduced gradients, and barrier releases
+// arrive through the device's inbox; outputs, raw gradients, losses, and
+// barrier arrivals leave through the shared outbox. The coordinator does
+// the routing (relay assembly, rank-ordered gradient reduction, barrier
+// counting) — see coordinator.go for the matching hub logic.
+type clusterLink struct {
+	dev       int32
+	lastGroup bool // the last group relays no output
+	dpu       bool
+	in        *inbox
+	out       *outbox
+}
+
+func (l *clusterLink) recv(kind wire.Kind, step int) *wire.Frame {
+	f, err := l.in.next(kind)
+	if err != nil {
+		sessionFail("cluster: dev %d waiting for %v frame of step %d: %w", l.dev, kind, step, err)
+	}
+	if int(f.Step) != step {
+		sessionFail("cluster: dev %d got %v frame for step %d, want %d", l.dev, kind, f.Step, step)
+	}
+	return f
+}
+
+func (l *clusterLink) RecvInput(step int) *tensor.Tensor {
+	f := l.recv(wire.KindInput, step)
+	t, err := wire.DecodeTensor(f)
+	if err != nil {
+		sessionFail("cluster: dev %d decoding input of step %d: %w", l.dev, step, err)
+	}
+	return t
+}
+
+func (l *clusterLink) SendOutput(step int, out *tensor.Tensor) {
+	if l.lastGroup {
+		return
+	}
+	l.out.Enqueue(wire.EncodeTensor(wire.KindOutput, l.dev, int32(step), out))
+}
+
+func (l *clusterLink) AllReduce(step int, grads []*tensor.Tensor, scratch *tensor.Arena) {
+	l.out.Enqueue(wire.EncodeTensors(wire.KindGrads, l.dev, int32(step), grads))
+	f := l.recv(wire.KindGradsReduced, step)
+	reduced, err := wire.DecodeTensors(f)
+	if err != nil {
+		sessionFail("cluster: dev %d decoding reduced gradients of step %d: %w", l.dev, step, err)
+	}
+	if len(reduced) != len(grads) {
+		sessionFail("cluster: dev %d got %d reduced gradients, want %d", l.dev, len(reduced), len(grads))
+	}
+	for i, t := range reduced {
+		if !t.SameShape(grads[i]) {
+			sessionFail("cluster: dev %d reduced gradient %d shape %v, want %v", l.dev, i, t.Shape(), grads[i].Shape())
+		}
+		grads[i].CopyFrom(t)
+	}
+}
+
+func (l *clusterLink) ReportLosses(step int, losses []float64) {
+	l.out.Enqueue(wire.EncodeLosses(l.dev, int32(step), losses))
+}
+
+func (l *clusterLink) StepBarrier(step int) {
+	if l.dpu {
+		return
+	}
+	l.out.Enqueue(wire.Control(wire.KindStepDone, l.dev, int32(step)))
+	l.recv(wire.KindStepGo, step)
+}

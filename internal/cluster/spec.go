@@ -1,0 +1,109 @@
+// Package cluster executes the Pipe-BD pipelined schedule across worker
+// processes: a coordinator maps a sched.Plan's devices onto workers over
+// a pluggable transport, broadcasts the model spec, seed parameters, and
+// training batches, routes teacher-relay activations and intra-group
+// gradient all-reduce frames between pipeline stages, and streams back
+// per-block losses and the trained weights.
+//
+// Every worker runs the exact engine.RunMember device loop the in-process
+// pipeline uses, behind a transport-backed engine.DeviceLink, and all
+// floats cross the wire bit-exactly — so a cluster run reproduces
+// engine.RunPipelined's training trajectory bit-for-bit, on loopback and
+// TCP alike. The equivalence suite pins this, extending the paper's "no
+// modification to the mathematical formulation" claim across process
+// boundaries.
+package cluster
+
+import (
+	"fmt"
+
+	"pipebd/internal/cluster/wire"
+	"pipebd/internal/distill"
+	"pipebd/internal/nn"
+	"pipebd/internal/tensor"
+)
+
+// TinySpec describes the compression workbench (conv teacher, depthwise-
+// separable student) as a wire model spec.
+func TinySpec(cfg distill.TinyConfig) wire.ModelSpec {
+	return wire.ModelSpec{Name: "tiny", Seed: cfg.Seed, Blocks: cfg.Blocks,
+		Channels: cfg.Channels, Height: cfg.Height, Width: cfg.Width, Classes: cfg.Classes}
+}
+
+// SupernetSpec describes the mini-NAS workbench (MixedOp students) as a
+// wire model spec.
+func SupernetSpec(cfg distill.SupernetConfig) wire.ModelSpec {
+	return wire.ModelSpec{Name: "supernet", Seed: cfg.Seed, Blocks: cfg.Blocks,
+		Channels: cfg.Channels, Height: cfg.Height, Width: cfg.Width}
+}
+
+// BuildWorkbench reconstructs the workbench named by a spec. The
+// constructors are deterministic, so every process building the same spec
+// gets bit-identical initial weights (including the teacher's frozen
+// batch-norm statistics, which the parameter snapshot does not carry).
+func BuildWorkbench(spec wire.ModelSpec) (*distill.Workbench, error) {
+	switch spec.Name {
+	case "tiny":
+		return distill.NewTinyWorkbench(distill.TinyConfig{Seed: spec.Seed,
+			Blocks: spec.Blocks, Channels: spec.Channels, Height: spec.Height,
+			Width: spec.Width, Classes: spec.Classes}), nil
+	case "supernet":
+		return distill.NewTinySupernetWorkbench(distill.SupernetConfig{Seed: spec.Seed,
+			Blocks: spec.Blocks, Channels: spec.Channels, Height: spec.Height,
+			Width: spec.Width}), nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown model spec %q (want tiny or supernet)", spec.Name)
+	}
+}
+
+// CaptureSnapshot clones every teacher and student parameter of w — the
+// seed weights the coordinator broadcasts so worker replicas start from
+// the coordinator's exact state even if it has drifted from the spec's
+// initialization.
+func CaptureSnapshot(w *distill.Workbench) wire.Snapshot {
+	snap := wire.Snapshot{
+		Teacher: make([][]*tensor.Tensor, w.NumBlocks()),
+		Student: make([][]*tensor.Tensor, w.NumBlocks()),
+	}
+	for b, pair := range w.Pairs {
+		for _, p := range pair.Teacher.Params() {
+			snap.Teacher[b] = append(snap.Teacher[b], p.Value.Clone())
+		}
+		for _, p := range pair.Student.Params() {
+			snap.Student[b] = append(snap.Student[b], p.Value.Clone())
+		}
+	}
+	return snap
+}
+
+// InstallSnapshot copies snapshot values into w's parameters. Block and
+// parameter counts (and shapes) must match w's architecture.
+func InstallSnapshot(w *distill.Workbench, snap wire.Snapshot) error {
+	if len(snap.Teacher) != w.NumBlocks() || len(snap.Student) != w.NumBlocks() {
+		return fmt.Errorf("cluster: snapshot has %d/%d blocks, workbench has %d",
+			len(snap.Teacher), len(snap.Student), w.NumBlocks())
+	}
+	install := func(b int, side string, got []*tensor.Tensor, params []*nn.Param) error {
+		if len(got) != len(params) {
+			return fmt.Errorf("cluster: snapshot block %d has %d %s params, workbench has %d",
+				b, len(got), side, len(params))
+		}
+		for pi, t := range got {
+			if !t.SameShape(params[pi].Value) {
+				return fmt.Errorf("cluster: snapshot block %d %s param %d shape %v, workbench wants %v",
+					b, side, pi, t.Shape(), params[pi].Value.Shape())
+			}
+			params[pi].Value.CopyFrom(t)
+		}
+		return nil
+	}
+	for b, pair := range w.Pairs {
+		if err := install(b, "teacher", snap.Teacher[b], pair.Teacher.Params()); err != nil {
+			return err
+		}
+		if err := install(b, "student", snap.Student[b], pair.Student.Params()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

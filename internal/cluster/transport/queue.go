@@ -1,0 +1,65 @@
+package transport
+
+import (
+	"io"
+	"sync"
+
+	"pipebd/internal/cluster/wire"
+)
+
+// FrameQueue is an unbounded FIFO of frames with close semantics: Pop
+// drains remaining frames after Close and then reports io.EOF. Unbounded
+// on purpose — the cluster session layer guarantees progress by never
+// blocking a sender, and bounds memory via the pipeline's flow-control
+// window rather than the queue. Safe for concurrent use.
+type FrameQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	frames []*wire.Frame
+	closed bool
+}
+
+// NewFrameQueue returns an empty queue.
+func NewFrameQueue() *FrameQueue {
+	q := &FrameQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends a frame; it fails with io.ErrClosedPipe after Close.
+func (q *FrameQueue) Push(f *wire.Frame) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return io.ErrClosedPipe
+	}
+	q.frames = append(q.frames, f)
+	q.cond.Signal()
+	return nil
+}
+
+// Pop blocks for the next frame; after Close it drains the backlog and
+// then returns io.EOF.
+func (q *FrameQueue) Pop() (*wire.Frame, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.frames) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.frames) == 0 {
+		return nil, io.EOF
+	}
+	f := q.frames[0]
+	q.frames[0] = nil
+	q.frames = q.frames[1:]
+	return f, nil
+}
+
+// Close marks the queue finished; concurrent and future Pops drain and
+// then return io.EOF. Idempotent.
+func (q *FrameQueue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+}

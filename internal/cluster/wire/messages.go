@@ -1,0 +1,224 @@
+package wire
+
+import (
+	"fmt"
+
+	"pipebd/internal/dataset"
+	"pipebd/internal/sched"
+	"pipebd/internal/tensor"
+)
+
+// ModelSpec names a reproducible workbench constructor plus its sizing,
+// so a worker can rebuild a bit-identical replica of the coordinator's
+// model from the spec alone (the parameter snapshot then guards against
+// any drift in the coordinator's weights).
+type ModelSpec struct {
+	Name     string // registry name, e.g. "tiny" or "supernet"
+	Seed     int64
+	Blocks   int
+	Channels int
+	Height   int
+	Width    int
+	Classes  int
+}
+
+// RunConfig is the per-session training configuration.
+type RunConfig struct {
+	DPU      bool
+	LR       float32
+	Momentum float32
+	Buffer   int
+	Steps    int
+	Backend  string // tensor backend registry name; "" keeps the worker default
+}
+
+// Snapshot is a full parameter snapshot of a workbench, indexed
+// [block][param] in declaration order, for the frozen teacher and the
+// trainable student separately.
+type Snapshot struct {
+	Teacher [][]*tensor.Tensor
+	Student [][]*tensor.Tensor
+}
+
+// Assign is the session-setup message: everything a worker needs to host
+// its share of a plan's devices.
+type Assign struct {
+	Plan     sched.Plan
+	Spec     ModelSpec
+	Run      RunConfig
+	Devices  []int // device ranks hosted by the receiving worker
+	Snapshot Snapshot
+}
+
+// EncodeAssign packs an Assign into a frame.
+func EncodeAssign(a *Assign) *Frame {
+	w := NewWriter()
+	w.String(a.Plan.Name)
+	w.U32(uint32(len(a.Plan.Groups)))
+	for _, g := range a.Plan.Groups {
+		w.I32s(g.Devices)
+		w.I32s(g.Blocks)
+		w.I32s(g.Shares)
+	}
+	w.String(a.Spec.Name)
+	w.I64(a.Spec.Seed)
+	w.I32(int32(a.Spec.Blocks))
+	w.I32(int32(a.Spec.Channels))
+	w.I32(int32(a.Spec.Height))
+	w.I32(int32(a.Spec.Width))
+	w.I32(int32(a.Spec.Classes))
+	w.Bool(a.Run.DPU)
+	w.F32(a.Run.LR)
+	w.F32(a.Run.Momentum)
+	w.I32(int32(a.Run.Buffer))
+	w.I32(int32(a.Run.Steps))
+	w.String(a.Run.Backend)
+	w.I32s(a.Devices)
+	writeSnapshotHalf(w, a.Snapshot.Teacher)
+	writeSnapshotHalf(w, a.Snapshot.Student)
+	return &Frame{Kind: KindAssign, Dev: NoDev, Step: NoStep, Payload: w.Bytes()}
+}
+
+// DecodeAssign unpacks an Assign frame.
+func DecodeAssign(f *Frame) (*Assign, error) {
+	if f.Kind != KindAssign {
+		return nil, fmt.Errorf("wire: expected %v frame, got %v", KindAssign, f.Kind)
+	}
+	r := NewReader(f.Payload)
+	a := &Assign{}
+	a.Plan.Name = r.String()
+	ng := r.count(r.U32(), 12) // each group holds three counted slices
+	for i := 0; i < ng && r.Err() == nil; i++ {
+		g := sched.Group{Devices: r.I32s(), Blocks: r.I32s(), Shares: r.I32s()}
+		a.Plan.Groups = append(a.Plan.Groups, g)
+	}
+	a.Spec.Name = r.String()
+	a.Spec.Seed = r.I64()
+	a.Spec.Blocks = int(r.I32())
+	a.Spec.Channels = int(r.I32())
+	a.Spec.Height = int(r.I32())
+	a.Spec.Width = int(r.I32())
+	a.Spec.Classes = int(r.I32())
+	a.Run.DPU = r.Bool()
+	a.Run.LR = r.F32()
+	a.Run.Momentum = r.F32()
+	a.Run.Buffer = int(r.I32())
+	a.Run.Steps = int(r.I32())
+	a.Run.Backend = r.String()
+	a.Devices = r.I32s()
+	var err error
+	if a.Snapshot.Teacher, err = readSnapshotHalf(r); err != nil {
+		return nil, err
+	}
+	if a.Snapshot.Student, err = readSnapshotHalf(r); err != nil {
+		return nil, err
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func writeSnapshotHalf(w *Writer, blocks [][]*tensor.Tensor) {
+	w.U32(uint32(len(blocks)))
+	for _, params := range blocks {
+		w.Tensors(params)
+	}
+}
+
+func readSnapshotHalf(r *Reader) ([][]*tensor.Tensor, error) {
+	n := r.count(r.U32(), 4)
+	out := make([][]*tensor.Tensor, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.Tensors())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, r.Err()
+}
+
+// EncodeTensor packs a single tensor into a frame of the given kind
+// (KindInput or KindOutput).
+func EncodeTensor(kind Kind, dev, step int32, t *tensor.Tensor) *Frame {
+	w := NewWriter()
+	w.Tensor(t)
+	return &Frame{Kind: kind, Dev: dev, Step: step, Payload: w.Bytes()}
+}
+
+// DecodeTensor unpacks a single-tensor frame.
+func DecodeTensor(f *Frame) (*tensor.Tensor, error) {
+	r := NewReader(f.Payload)
+	t := r.Tensor()
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// EncodeTensors packs a tensor list into a frame of the given kind
+// (KindGrads, KindGradsReduced, or KindFinalParams).
+func EncodeTensors(kind Kind, dev, step int32, ts []*tensor.Tensor) *Frame {
+	w := NewWriter()
+	w.Tensors(ts)
+	return &Frame{Kind: kind, Dev: dev, Step: step, Payload: w.Bytes()}
+}
+
+// DecodeTensors unpacks a tensor-list frame.
+func DecodeTensors(f *Frame) ([]*tensor.Tensor, error) {
+	r := NewReader(f.Payload)
+	ts := r.Tensors()
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// EncodeLosses packs a device's per-block losses for one step.
+func EncodeLosses(dev, step int32, losses []float64) *Frame {
+	w := NewWriter()
+	w.F64s(losses)
+	return &Frame{Kind: KindLosses, Dev: dev, Step: step, Payload: w.Bytes()}
+}
+
+// DecodeLosses unpacks a losses frame.
+func DecodeLosses(f *Frame) ([]float64, error) {
+	r := NewReader(f.Payload)
+	v := r.F64s()
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// EncodeBatch packs a dataset batch (input tensor plus labels). An empty
+// batch — no tensor, no labels — encodes and decodes cleanly.
+func EncodeBatch(dev, step int32, b dataset.Batch) *Frame {
+	w := NewWriter()
+	w.Bool(b.X != nil)
+	if b.X != nil {
+		w.Tensor(b.X)
+	}
+	w.I32s(b.Labels)
+	return &Frame{Kind: KindBatch, Dev: dev, Step: step, Payload: w.Bytes()}
+}
+
+// DecodeBatch unpacks a batch frame.
+func DecodeBatch(f *Frame) (dataset.Batch, error) {
+	r := NewReader(f.Payload)
+	var b dataset.Batch
+	if r.Bool() {
+		b.X = r.Tensor()
+	}
+	b.Labels = r.I32s()
+	if err := r.Close(); err != nil {
+		return dataset.Batch{}, err
+	}
+	return b, nil
+}
+
+// Control returns a payload-free frame of the given kind (KindHello,
+// KindStepDone, KindStepGo, KindDone, KindDrain).
+func Control(kind Kind, dev, step int32) *Frame {
+	return &Frame{Kind: kind, Dev: dev, Step: step}
+}

@@ -1,0 +1,396 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pipebd/internal/dataset"
+	"pipebd/internal/sched"
+	"pipebd/internal/tensor"
+)
+
+func roundTripFrame(t *testing.T, f *Frame) *Frame {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("ReadFrame left %d bytes unconsumed", buf.Len())
+	}
+	return got
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := &Frame{Kind: KindLosses, Dev: 3, Step: 41, Payload: []byte{1, 2, 3}}
+	got := roundTripFrame(t, f)
+	if got.Kind != f.Kind || got.Dev != f.Dev || got.Step != f.Step || !bytes.Equal(got.Payload, f.Payload) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, f)
+	}
+}
+
+func TestFrameNoDevNoStep(t *testing.T) {
+	got := roundTripFrame(t, Control(KindHello, NoDev, NoStep))
+	if got.Dev != NoDev || got.Step != NoStep {
+		t.Fatalf("sentinel dev/step did not survive: %+v", got)
+	}
+}
+
+// TestTensorRoundTripExact is the codec's core property: every float32
+// bit pattern — including negative zero, infinities, NaN, and denormals —
+// survives a round trip bit-for-bit.
+func TestTensorRoundTripExact(t *testing.T) {
+	specials := []float32{
+		0, float32(math.Copysign(0, -1)), 1, -1,
+		float32(math.Inf(1)), float32(math.Inf(-1)), float32(math.NaN()),
+		math.SmallestNonzeroFloat32, math.MaxFloat32, 1e-42,
+	}
+	src := tensor.New(2, 5)
+	copy(src.Data(), specials)
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var ts *tensor.Tensor
+		if trial == 0 {
+			ts = src
+		} else {
+			rank := 1 + rng.Intn(4)
+			shape := make([]int, rank)
+			for i := range shape {
+				shape[i] = 1 + rng.Intn(5)
+			}
+			ts = tensor.Rand(rng, -10, 10, shape...)
+		}
+		f := EncodeTensor(KindInput, 0, int32(trial), ts)
+		got, err := DecodeTensor(roundTripFrame(t, f))
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if !got.SameShape(ts) {
+			t.Fatalf("trial %d: shape %v vs %v", trial, got.Shape(), ts.Shape())
+		}
+		for i, v := range ts.Data() {
+			if math.Float32bits(v) != math.Float32bits(got.Data()[i]) {
+				t.Fatalf("trial %d: element %d not bit-identical: %v vs %v", trial, i, v, got.Data()[i])
+			}
+		}
+	}
+}
+
+func TestTensorsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ts := []*tensor.Tensor{
+		tensor.Rand(rng, -1, 1, 3),
+		tensor.Rand(rng, -1, 1, 2, 3, 4),
+		tensor.Rand(rng, -1, 1, 1, 1, 1, 1),
+	}
+	got, err := DecodeTensors(roundTripFrame(t, EncodeTensors(KindGrads, 1, 2, ts)))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(ts) {
+		t.Fatalf("got %d tensors, want %d", len(got), len(ts))
+	}
+	for i := range ts {
+		if !got[i].Equal(ts[i]) {
+			t.Fatalf("tensor %d differs", i)
+		}
+	}
+	// An empty list round-trips too.
+	got, err = DecodeTensors(roundTripFrame(t, EncodeTensors(KindGrads, 1, 2, nil)))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty tensor list: got %v, %v", got, err)
+	}
+}
+
+func TestLossesRoundTrip(t *testing.T) {
+	vals := []float64{0.25, -3.5, math.Pi, 0}
+	got, err := DecodeLosses(roundTripFrame(t, EncodeLosses(2, 9, vals)))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("loss %d: %v vs %v", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := dataset.Batch{X: tensor.Rand(rng, -1, 1, 4, 3, 2, 2), Labels: []int{0, 3, 1, 2}}
+	got, err := DecodeBatch(roundTripFrame(t, EncodeBatch(0, 0, b)))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !got.X.Equal(b.X) {
+		t.Fatal("batch tensor differs")
+	}
+	for i := range b.Labels {
+		if got.Labels[i] != b.Labels[i] {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+}
+
+// TestEmptyBatchRoundTrip: a batch with no tensor and no labels is legal
+// on the wire (e.g. a drained loader) and must not error or panic.
+func TestEmptyBatchRoundTrip(t *testing.T) {
+	got, err := DecodeBatch(roundTripFrame(t, EncodeBatch(0, 0, dataset.Batch{})))
+	if err != nil {
+		t.Fatalf("decode empty batch: %v", err)
+	}
+	if got.X != nil || len(got.Labels) != 0 {
+		t.Fatalf("empty batch decoded to %+v", got)
+	}
+}
+
+func sampleAssign() *Assign {
+	rng := rand.New(rand.NewSource(4))
+	return &Assign{
+		Plan: sched.Plan{Name: "hybrid", Groups: []sched.Group{
+			{Devices: []int{0, 1}, Blocks: []int{0, 1}},
+			{Devices: []int{2}, Blocks: []int{2, 3}, Shares: nil},
+		}},
+		Spec:    ModelSpec{Name: "tiny", Seed: 42, Blocks: 4, Channels: 6, Height: 8, Width: 8},
+		Run:     RunConfig{DPU: true, LR: 0.05, Momentum: 0.9, Buffer: 2, Steps: 6, Backend: "serial"},
+		Devices: []int{0, 1},
+		Snapshot: Snapshot{
+			Teacher: [][]*tensor.Tensor{{tensor.Rand(rng, -1, 1, 2, 2)}, {}},
+			Student: [][]*tensor.Tensor{{tensor.Rand(rng, -1, 1, 3), tensor.Rand(rng, -1, 1, 1, 4)}, {tensor.Rand(rng, -1, 1, 2)}},
+		},
+	}
+}
+
+func TestAssignRoundTrip(t *testing.T) {
+	a := sampleAssign()
+	got, err := DecodeAssign(roundTripFrame(t, EncodeAssign(a)))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Plan.Name != a.Plan.Name || len(got.Plan.Groups) != len(a.Plan.Groups) {
+		t.Fatalf("plan mismatch: %+v", got.Plan)
+	}
+	for gi, g := range a.Plan.Groups {
+		gg := got.Plan.Groups[gi]
+		if len(gg.Devices) != len(g.Devices) || len(gg.Blocks) != len(g.Blocks) {
+			t.Fatalf("group %d mismatch: %+v vs %+v", gi, gg, g)
+		}
+	}
+	if got.Spec != a.Spec {
+		t.Fatalf("spec mismatch: %+v vs %+v", got.Spec, a.Spec)
+	}
+	if got.Run != a.Run {
+		t.Fatalf("run config mismatch: %+v vs %+v", got.Run, a.Run)
+	}
+	if len(got.Devices) != 2 || got.Devices[0] != 0 || got.Devices[1] != 1 {
+		t.Fatalf("devices mismatch: %v", got.Devices)
+	}
+	for bi := range a.Snapshot.Student {
+		for pi := range a.Snapshot.Student[bi] {
+			if !got.Snapshot.Student[bi][pi].Equal(a.Snapshot.Student[bi][pi]) {
+				t.Fatalf("student snapshot block %d param %d differs", bi, pi)
+			}
+		}
+	}
+	if !got.Snapshot.Teacher[0][0].Equal(a.Snapshot.Teacher[0][0]) {
+		t.Fatal("teacher snapshot differs")
+	}
+}
+
+// --- edge cases: every malformed input must error, never panic ---------------
+
+func encodeFrameBytes(t *testing.T, f *Frame) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f); err != nil {
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestTruncatedFrames feeds every proper prefix of valid frames to the
+// decoder; all must return an error (EOF before the header, unexpected
+// EOF inside it) and none may panic.
+func TestTruncatedFrames(t *testing.T) {
+	frames := [][]byte{
+		encodeFrameBytes(t, EncodeAssign(sampleAssign())),
+		encodeFrameBytes(t, EncodeTensor(KindInput, 0, 0, tensor.Ones(2, 3))),
+		encodeFrameBytes(t, EncodeLosses(0, 0, []float64{1, 2})),
+	}
+	for fi, full := range frames {
+		for n := 0; n < len(full); n++ {
+			f, err := ReadFrame(bytes.NewReader(full[:n]))
+			if err == nil {
+				t.Fatalf("frame %d truncated to %d bytes: decode succeeded (%+v)", fi, n, f)
+			}
+			if n == 0 && err != io.EOF {
+				t.Fatalf("clean EOF should yield io.EOF, got %v", err)
+			}
+			if n > 0 && err == io.EOF {
+				t.Fatalf("frame %d truncated to %d bytes: got bare io.EOF, want a mid-frame error", fi, n)
+			}
+		}
+	}
+}
+
+// TestTruncatedPayloads truncates the payload *content* while keeping the
+// header length consistent, exercising the payload readers' bounds
+// checks.
+func TestTruncatedPayloads(t *testing.T) {
+	a := EncodeAssign(sampleAssign())
+	for n := 0; n < len(a.Payload); n++ {
+		if _, err := DecodeAssign(&Frame{Kind: KindAssign, Dev: NoDev, Step: NoStep, Payload: a.Payload[:n]}); err == nil {
+			t.Fatalf("Assign payload truncated to %d bytes decoded successfully", n)
+		}
+	}
+	tf := EncodeTensor(KindInput, 0, 0, tensor.Ones(3, 3))
+	for n := 0; n < len(tf.Payload); n++ {
+		if _, err := DecodeTensor(&Frame{Kind: KindInput, Payload: tf.Payload[:n]}); err == nil {
+			t.Fatalf("tensor payload truncated to %d bytes decoded successfully", n)
+		}
+	}
+}
+
+// TestZeroDimTensorRejected: the engine has no zero- or negative-sized
+// dimensions; the decoder must reject them with an error (tensor.New
+// would panic).
+func TestZeroDimTensorRejected(t *testing.T) {
+	w := NewWriter()
+	w.U32(2) // rank 2
+	w.U32(3)
+	w.U32(0) // zero dimension
+	if _, err := DecodeTensor(&Frame{Kind: KindInput, Payload: w.Bytes()}); err == nil {
+		t.Fatal("zero-dimension tensor decoded successfully")
+	}
+	// Rank 0 is likewise rejected.
+	w = NewWriter()
+	w.U32(0)
+	if _, err := DecodeTensor(&Frame{Kind: KindInput, Payload: w.Bytes()}); err == nil {
+		t.Fatal("rank-0 tensor decoded successfully")
+	}
+	// Absurd rank is rejected before any allocation.
+	w = NewWriter()
+	w.U32(1 << 20)
+	if _, err := DecodeTensor(&Frame{Kind: KindInput, Payload: w.Bytes()}); err == nil {
+		t.Fatal("rank 2^20 tensor decoded successfully")
+	}
+}
+
+// TestOversizedTensorRejected: a shape whose element count overflows the
+// payload limit errors out instead of allocating.
+func TestOversizedTensorRejected(t *testing.T) {
+	w := NewWriter()
+	w.U32(4)
+	for i := 0; i < 4; i++ {
+		w.U32(1 << 16)
+	}
+	if _, err := DecodeTensor(&Frame{Kind: KindInput, Payload: w.Bytes()}); err == nil {
+		t.Fatal("2^64-element tensor decoded successfully")
+	}
+}
+
+// TestCrossVersionRejected: frames stamped with a different codec version
+// are refused with ErrVersion, regardless of content.
+func TestCrossVersionRejected(t *testing.T) {
+	raw := encodeFrameBytes(t, Control(KindHello, NoDev, NoStep))
+	raw[1] = Version + 1
+	_, err := ReadFrame(bytes.NewReader(raw))
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("version+1 frame: got %v, want ErrVersion", err)
+	}
+	raw[1] = 0
+	if _, err := ReadFrame(bytes.NewReader(raw)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("version-0 frame: got %v, want ErrVersion", err)
+	}
+}
+
+func TestBadMagicAndKindRejected(t *testing.T) {
+	raw := encodeFrameBytes(t, Control(KindHello, NoDev, NoStep))
+	raw[0] = 0x00
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	raw = encodeFrameBytes(t, Control(KindHello, NoDev, NoStep))
+	raw[2] = 0xEE
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestHugePayloadLengthRejected: a forged header length beyond MaxPayload
+// must error before allocating.
+func TestHugePayloadLengthRejected(t *testing.T) {
+	raw := encodeFrameBytes(t, Control(KindHello, NoDev, NoStep))
+	raw[12], raw[13], raw[14], raw[15] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := ReadFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("4 GiB payload length accepted")
+	}
+}
+
+// TestTrailingBytesRejected: kind-specific decoders must consume their
+// payload exactly.
+func TestTrailingBytesRejected(t *testing.T) {
+	f := EncodeLosses(0, 0, []float64{1})
+	f.Payload = append(f.Payload, 0xAB)
+	if _, err := DecodeLosses(f); err == nil {
+		t.Fatal("trailing payload byte accepted")
+	}
+}
+
+// TestForgedCountsRejected: collection counts far beyond the remaining
+// payload error out instead of allocating huge slices.
+func TestForgedCountsRejected(t *testing.T) {
+	w := NewWriter()
+	w.U32(0xFFFFFFF0) // losses count
+	if _, err := DecodeLosses(&Frame{Kind: KindLosses, Payload: w.Bytes()}); err == nil {
+		t.Fatal("forged losses count accepted")
+	}
+	w = NewWriter()
+	w.U32(0xFFFFFFF0) // tensor-list count
+	if _, err := DecodeTensors(&Frame{Kind: KindGrads, Payload: w.Bytes()}); err == nil {
+		t.Fatal("forged tensor count accepted")
+	}
+}
+
+func TestDecodeAssignWrongKind(t *testing.T) {
+	if _, err := DecodeAssign(Control(KindHello, NoDev, NoStep)); err == nil {
+		t.Fatal("DecodeAssign accepted a hello frame")
+	}
+}
+
+// TestStreamOfFrames: multiple frames on one stream decode in order —
+// the transport relies on frame boundaries being self-describing.
+func TestStreamOfFrames(t *testing.T) {
+	var buf bytes.Buffer
+	want := []*Frame{
+		Control(KindHello, NoDev, NoStep),
+		EncodeLosses(1, 0, []float64{0.5}),
+		EncodeTensor(KindInput, 2, 1, tensor.Ones(1, 2)),
+		Control(KindDrain, NoDev, NoStep),
+	}
+	for _, f := range want {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i, w := range want {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Kind != w.Kind || got.Dev != w.Dev || got.Step != w.Step {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, w)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("stream end: got %v, want io.EOF", err)
+	}
+}

@@ -1,0 +1,269 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"pipebd/internal/cluster/transport"
+	"pipebd/internal/cluster/wire"
+	"pipebd/internal/distill"
+	"pipebd/internal/engine"
+	"pipebd/internal/nn"
+	"pipebd/internal/tensor"
+)
+
+// WorkerConfig parameterizes a worker server.
+type WorkerConfig struct {
+	// Sessions bounds how many coordinator sessions to serve before
+	// Serve returns; 0 serves until the listener closes.
+	Sessions int
+	// Logf receives progress lines; nil is silent.
+	Logf func(format string, args ...any)
+}
+
+// Worker hosts pipeline devices for a coordinator: it accepts a
+// connection, receives an Assign (plan, model spec, run config, hosted
+// device ranks, seed parameters), rebuilds one workbench replica per
+// hosted device, and drives each through engine.RunMember — the same
+// device loop the in-process pipeline uses — over a transport-backed
+// DeviceLink. After the last step it returns each group leader's trained
+// student parameters and drains back to accepting the next session.
+type Worker struct {
+	lis transport.Listener
+	cfg WorkerConfig
+}
+
+// NewWorker wraps a bound listener in a worker server.
+func NewWorker(lis transport.Listener, cfg WorkerConfig) *Worker {
+	return &Worker{lis: lis, cfg: cfg}
+}
+
+// Addr returns the listener's bound address.
+func (w *Worker) Addr() string { return w.lis.Addr() }
+
+// Close stops the listener; a blocked Serve returns.
+func (w *Worker) Close() error { return w.lis.Close() }
+
+// Serve accepts and runs coordinator sessions until the listener closes
+// (returning nil) or the configured session count is reached. A failed
+// session is logged and does not stop the server.
+func (w *Worker) Serve() error {
+	for served := 0; w.cfg.Sessions == 0 || served < w.cfg.Sessions; served++ {
+		conn, err := w.lis.Accept()
+		if err != nil {
+			if errors.Is(err, transport.ErrClosed) || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		if err := w.serveSession(conn); err != nil {
+			w.logf("session failed: %v", err)
+		}
+		conn.Close()
+	}
+	return nil
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// hostedDevice is one pipeline device resident on this worker.
+type hostedDevice struct {
+	rank   int32
+	member engine.Member
+	link   *clusterLink
+	blocks []int // global block indices (for the final-params report)
+}
+
+func (w *Worker) serveSession(conn transport.Conn) error {
+	out := newOutbox(conn)
+	defer out.Close()
+	out.Enqueue(wire.Control(wire.KindHello, wire.NoDev, wire.NoStep))
+
+	first, err := conn.Recv()
+	if err != nil {
+		return fmt.Errorf("cluster: reading assign: %w", err)
+	}
+	assign, err := wire.DecodeAssign(first)
+	if err != nil {
+		return err
+	}
+	devices, err := w.buildDevices(assign, out)
+	if err != nil {
+		return err
+	}
+	w.logf("assigned %d device(s) of plan %q: %s", len(devices), assign.Plan.Name, assign.Plan.Describe())
+
+	// Router: demux inbound frames to device inboxes until the
+	// coordinator drains the session or the connection dies.
+	drained := make(chan struct{})
+	routerErr := make(chan error, 1)
+	go func() {
+		for {
+			f, err := conn.Recv()
+			if err != nil {
+				for _, d := range devices {
+					d.link.in.fail(fmt.Errorf("cluster: session connection lost: %w", err))
+				}
+				routerErr <- err
+				return
+			}
+			switch {
+			case f.Kind == wire.KindDrain:
+				close(drained)
+				routerErr <- nil
+				return
+			case f.Dev == wire.NoDev:
+				// Broadcast (step-go barriers): every hosted device gets it.
+				for _, d := range devices {
+					d.link.in.put(f)
+				}
+			default:
+				d := findDevice(devices, f.Dev)
+				if d == nil {
+					for _, dd := range devices {
+						dd.link.in.fail(fmt.Errorf("cluster: frame %v for device %d not hosted here", f.Kind, f.Dev))
+					}
+					routerErr <- fmt.Errorf("cluster: frame for unhosted device %d", f.Dev)
+					return
+				}
+				d.link.in.put(f)
+			}
+		}
+	}()
+
+	// Run every hosted device loop. A device that fails (transport loss
+	// or a panic on a decodable-but-invalid frame) poisons only this
+	// session: siblings are woken with the error and the caller closes
+	// the connection, so the coordinator observes the failure too.
+	var wg sync.WaitGroup
+	errs := make([]error, len(devices))
+	for i, d := range devices {
+		wg.Add(1)
+		go func(i int, d *hostedDevice) {
+			defer wg.Done()
+			errs[i] = runDevice(d, assign.Run.Steps, out)
+			if errs[i] != nil {
+				for _, dd := range devices {
+					dd.link.in.fail(errs[i])
+				}
+			}
+		}(i, d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	if err := out.Err(); err != nil {
+		return err
+	}
+	// Wait for the coordinator to confirm it consumed everything.
+	if err := <-routerErr; err != nil {
+		return err
+	}
+	<-drained
+	w.logf("session complete (%d steps)", assign.Run.Steps)
+	return nil
+}
+
+// runDevice drives one hosted device's training loop and, for group
+// leaders, reports the trained student weights; replicas are
+// bit-identical, so one copy suffices. All panics are contained to an
+// error.
+func runDevice(d *hostedDevice, steps int, out *outbox) (err error) {
+	defer recoverSession(&err)
+	engine.RunMember(d.member, steps, d.link)
+	if d.member.Rank == 0 {
+		var params []*tensor.Tensor
+		for _, pair := range d.member.Pairs {
+			for _, p := range pair.Student.Params() {
+				params = append(params, p.Value)
+			}
+		}
+		out.Enqueue(wire.EncodeTensors(wire.KindFinalParams, d.rank, wire.NoStep, params))
+	}
+	out.Enqueue(wire.Control(wire.KindDone, d.rank, wire.NoStep))
+	return nil
+}
+
+// buildDevices rebuilds a workbench replica for every hosted device rank
+// and wires up its member state and transport link.
+func (w *Worker) buildDevices(assign *wire.Assign, out *outbox) ([]*hostedDevice, error) {
+	nDev := 0
+	for _, g := range assign.Plan.Groups {
+		nDev += g.Split()
+	}
+	if err := assign.Plan.Validate(nDev, len(assign.Snapshot.Student)); err != nil {
+		return nil, err
+	}
+	var backend tensor.Backend
+	if assign.Run.Backend != "" {
+		be, ok := tensor.Lookup(assign.Run.Backend)
+		if !ok {
+			return nil, fmt.Errorf("cluster: assign names unknown backend %q", assign.Run.Backend)
+		}
+		backend = be
+	}
+	devices := make([]*hostedDevice, 0, len(assign.Devices))
+	for _, rank := range assign.Devices {
+		gi := assign.Plan.GroupOf(rank)
+		if gi < 0 {
+			return nil, fmt.Errorf("cluster: hosted device %d is not in plan %q", rank, assign.Plan.Name)
+		}
+		group := assign.Plan.Groups[gi]
+		j := -1
+		for idx, d := range group.Devices {
+			if d == rank {
+				j = idx
+			}
+		}
+		// Each member trains a private, bit-identical replica: rebuild
+		// from the deterministic spec, then overwrite the parameters with
+		// the coordinator's snapshot.
+		wb, err := BuildWorkbench(assign.Spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := InstallSnapshot(wb, assign.Snapshot); err != nil {
+			return nil, err
+		}
+		if backend != nil {
+			wb.SetBackend(backend)
+		}
+		pairs := make([]distill.Pair, len(group.Blocks))
+		opts := make([]*nn.SGD, len(group.Blocks))
+		for bi, b := range group.Blocks {
+			pairs[bi] = wb.Pairs[b]
+			opts[bi] = nn.NewSGD(assign.Run.LR, assign.Run.Momentum, 0)
+		}
+		devices = append(devices, &hostedDevice{
+			rank: int32(rank),
+			member: engine.Member{Group: gi, Rank: j, GroupSize: group.Split(),
+				Pairs: pairs, Opts: opts},
+			link: &clusterLink{dev: int32(rank),
+				lastGroup: gi == len(assign.Plan.Groups)-1,
+				dpu:       assign.Run.DPU,
+				in:        newInbox(), out: out},
+			blocks: group.Blocks,
+		})
+	}
+	return devices, nil
+}
+
+func findDevice(devices []*hostedDevice, rank int32) *hostedDevice {
+	for _, d := range devices {
+		if d.rank == rank {
+			return d
+		}
+	}
+	return nil
+}
+
+var _ engine.DeviceLink = (*clusterLink)(nil)

@@ -6,7 +6,7 @@
 // (or needed) here: the simulator only requires each dataset's loading
 // profile (sample count, storage bytes, decode cost), and the numeric
 // engine only requires a learnable task, which a synthetic teacher-labelled
-// dataset provides. See DESIGN.md §2 for the substitution rationale.
+// dataset provides.
 package dataset
 
 // Spec describes a dataset's loading profile and sample geometry. All

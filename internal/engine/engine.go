@@ -217,7 +217,11 @@ func RunPipelined(w *distill.Workbench, batches []dataset.Batch, cfg Config) Res
 			wg.Add(1)
 			go func(gi int, gr *groupRuntime, j int) {
 				defer wg.Done()
-				runMember(gi, gr, j, batches, stepSync, losses[gi])
+				m := Member{Group: gi, Rank: j, GroupSize: gr.Split(),
+					Pairs: gr.members[j], Opts: gr.opts[j]}
+				link := &memberLink{gr: gr, j: j, batches: batches,
+					stepSync: stepSync, losses: losses[gi]}
+				RunMember(m, steps, link)
 			}(gi, gr, j)
 		}
 	}
@@ -226,99 +230,33 @@ func RunPipelined(w *distill.Workbench, batches []dataset.Batch, cfg Config) Res
 	// Assemble the loss trajectory per block (mean over members).
 	res := Result{Loss: make([][]float64, nb)}
 	for gi, gr := range groups {
-		k := gr.Split()
+		merged := MergeGroupLosses(losses[gi], len(gr.Blocks), gr.Split(), steps)
 		for bi, b := range gr.Blocks {
-			merged := make([]float64, steps)
-			for s := 0; s < steps; s++ {
-				var sum float64
-				for j := 0; j < k; j++ {
-					sum += losses[gi][j*len(gr.Blocks)+bi][s]
-				}
-				merged[s] = sum / float64(k)
-			}
-			res.Loss[b] = merged
+			res.Loss[b] = merged[bi]
 		}
 	}
 	return res
 }
 
-// runMember is the device loop: Algorithm 1 of the paper.
-func runMember(gi int, gr *groupRuntime, j int, batches []dataset.Batch,
-	stepSync *barrier, groupLosses [][]float64) {
-	k := gr.Split()
-	nb := len(gr.Blocks)
-	// Every step reuses the same shapes, so this member's batch shard and
-	// all-reduce temporaries cycle through a private arena: steady-state
-	// steps allocate only the activations that cross goroutine boundaries.
-	scratch := tensor.NewArena()
-	for s := range batches {
-		// Receive the step's input: the data loader for the first
-		// group, the relayed teacher activation otherwise (line 8-9).
-		var full *tensor.Tensor
-		if gi == 0 {
-			full = batches[s].X
-		} else {
-			if j == 0 {
-				full = <-gr.in
-				gr.assembledInput = full
-				gr.sync.Await()
-			} else {
-				gr.sync.Await()
-				full = gr.assembledInput
+// MergeGroupLosses folds one group's per-member loss rows (indexed
+// j*nb+bi, the layout ReportLosses fills) into per-block means, summing
+// members in rank order before dividing — the float64 evaluation order is
+// part of the engine's bit-equivalence contract, so every runtime
+// (in-process and cluster coordinator) must merge through this helper.
+func MergeGroupLosses(groupLosses [][]float64, nb, k, steps int) [][]float64 {
+	merged := make([][]float64, nb)
+	for bi := 0; bi < nb; bi++ {
+		row := make([]float64, steps)
+		for s := 0; s < steps; s++ {
+			var sum float64
+			for j := 0; j < k; j++ {
+				sum += groupLosses[j*nb+bi][s]
 			}
+			row[s] = sum / float64(k)
 		}
-
-		shard := shardOf(full, j, k, scratch)
-		x := shard
-		for bi := 0; bi < nb; bi++ {
-			pair := gr.members[j][bi]
-			params := pair.Student.Params()
-			nn.ZeroGrads(params)
-			// Teacher forward (line 10), student forward/backward
-			// against the teacher activation (lines 12-13).
-			tOut, loss := distill.Step(pair, x)
-			groupLosses[j*nb+bi][s] = loss
-			x = tOut
-		}
-		outShard := x
-
-		// Relay the boundary activation to the next device (line 11).
-		// The send overlaps with the remaining work of other members
-		// thanks to the channel buffer.
-		if gr.out != nil {
-			if k == 1 {
-				gr.out <- outShard
-			} else {
-				gr.assembleShard(outShard, j)
-				gr.sync.Await()
-				if j == 0 {
-					gr.out <- gr.assembled
-					gr.assembled = nil
-				}
-			}
-		}
-
-		// Intra-group gradient sharing when AHD split a block along the
-		// batch dimension (line 14).
-		if k > 1 {
-			gr.sync.Await() // all members finished backward
-			averageGroupGradients(gr, j, scratch)
-			gr.sync.Await() // all members consumed others' gradients
-			// The shard is a private copy (k > 1) and the first block's
-			// backward cache no longer needs it once the step's gradients
-			// are installed; recycle it for the next step.
-			scratch.Release(shard)
-		}
-
-		// Decoupled parameter update (lines 15-16): update immediately,
-		// or wait for every device when DPU is disabled.
-		if stepSync != nil {
-			stepSync.Await()
-		}
-		for bi := 0; bi < nb; bi++ {
-			gr.opts[j][bi].Step(gr.members[j][bi].Student.Params())
-		}
+		merged[bi] = row
 	}
+	return merged
 }
 
 // assembleShard writes a member's teacher-output shard into the group's

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"pipebd/internal/dataset"
+	"pipebd/internal/distill"
+	"pipebd/internal/nn"
+	"pipebd/internal/tensor"
+)
+
+// DeviceLink is the communication seam of the device loop: everything a
+// pipeline device needs from the outside world during training. The
+// in-process implementation (memberLink) wires it to channels, barriers,
+// and shared memory; the cluster package implements it over a wire
+// transport so the very same loop runs inside a worker process.
+//
+// Implementations must preserve the engine's determinism contract:
+// RecvInput delivers the step's full-batch input exactly as the previous
+// stage produced it, and AllReduce leaves every member's gradient tensors
+// holding the rank-ordered mean (sum over member ranks 0..k-1, then scale
+// by 1/k) so all replicas apply bit-identical updates.
+type DeviceLink interface {
+	// RecvInput returns the full-batch input of the given step: the data
+	// loader's batch for the first group, the relayed teacher activation
+	// otherwise. The device loop only reads the returned tensor.
+	RecvInput(step int) *tensor.Tensor
+	// SendOutput relays the device's boundary activation for the step
+	// toward the next group (the member's shard when the group is split;
+	// links assemble shards in rank order). No-op for the last group.
+	SendOutput(step int, out *tensor.Tensor)
+	// AllReduce replaces each gradient tensor's contents with the
+	// deterministic intra-group mean. Only called when the group has more
+	// than one member. grads is the member's flattened gradient list
+	// (blocks in group order, params in declaration order); scratch may be
+	// used for temporaries.
+	AllReduce(step int, grads []*tensor.Tensor, scratch *tensor.Arena)
+	// ReportLosses publishes the member's per-block losses for the step.
+	// The slice is reused between steps: implementations must copy.
+	ReportLosses(step int, losses []float64)
+	// StepBarrier delays the parameter update until every device in the
+	// run finished the step's backward pass. No-op when decoupled
+	// parameter update (DPU) is enabled.
+	StepBarrier(step int)
+}
+
+// Member describes one pipeline device's role: its group, its rank within
+// the group, and its private block replicas with their optimizers.
+type Member struct {
+	Group     int // group index within the plan
+	Rank      int // rank j within the group
+	GroupSize int // number of members k sharing the group's blocks
+	Pairs     []distill.Pair
+	Opts      []*nn.SGD
+}
+
+// GradTensors returns the member's flattened gradient list in the order
+// AllReduce expects: blocks in group order, parameters in declaration
+// order. The tensors are stable across steps (gradients are zeroed in
+// place), so the slice is collected once per run.
+func (m Member) GradTensors() []*tensor.Tensor {
+	var grads []*tensor.Tensor
+	for _, p := range m.Pairs {
+		for _, prm := range p.Student.Params() {
+			grads = append(grads, prm.Grad)
+		}
+	}
+	return grads
+}
+
+// RunMember drives one device's step loop — Algorithm 1 of the paper —
+// for the given number of steps, with all communication routed through
+// link. It is the single device runtime shared by the in-process pipeline
+// (RunPipelined) and the multi-process cluster worker.
+func RunMember(m Member, steps int, link DeviceLink) {
+	k := m.GroupSize
+	nb := len(m.Pairs)
+	// Every step reuses the same shapes, so this member's batch shard and
+	// all-reduce temporaries cycle through a private arena: steady-state
+	// steps allocate only the activations that cross device boundaries.
+	scratch := tensor.NewArena()
+	losses := make([]float64, nb)
+	var grads []*tensor.Tensor
+	if k > 1 {
+		grads = m.GradTensors()
+	}
+	for s := 0; s < steps; s++ {
+		// Receive the step's input: the data loader for the first group,
+		// the relayed teacher activation otherwise (lines 8-9).
+		full := link.RecvInput(s)
+		shard := shardOf(full, m.Rank, k, scratch)
+		x := shard
+		for bi := 0; bi < nb; bi++ {
+			pair := m.Pairs[bi]
+			nn.ZeroGrads(pair.Student.Params())
+			// Teacher forward (line 10), student forward/backward against
+			// the teacher activation (lines 12-13).
+			tOut, loss := distill.Step(pair, x)
+			losses[bi] = loss
+			x = tOut
+		}
+
+		// Relay the boundary activation to the next device (line 11). The
+		// send overlaps with the remaining work of other members thanks to
+		// the link's buffering.
+		link.SendOutput(s, x)
+
+		// Intra-group gradient sharing when AHD split a block along the
+		// batch dimension (line 14).
+		if k > 1 {
+			link.AllReduce(s, grads, scratch)
+			// The shard is a private copy (k > 1) and the first block's
+			// backward cache no longer needs it once the step's gradients
+			// are installed; recycle it for the next step.
+			scratch.Release(shard)
+		}
+
+		link.ReportLosses(s, losses)
+
+		// Decoupled parameter update (lines 15-16): update immediately,
+		// or wait for every device when DPU is disabled.
+		link.StepBarrier(s)
+		for bi := 0; bi < nb; bi++ {
+			m.Opts[bi].Step(m.Pairs[bi].Student.Params())
+		}
+	}
+}
+
+// memberLink is the in-process DeviceLink: relay over channels, assembly
+// and all-reduce through the group's shared memory, barriers for
+// intra-group phases.
+type memberLink struct {
+	gr       *groupRuntime
+	j        int
+	batches  []dataset.Batch
+	stepSync *barrier    // nil when DPU is enabled
+	losses   [][]float64 // run-owned [member*nb+block][step] matrix
+}
+
+func (l *memberLink) RecvInput(step int) *tensor.Tensor {
+	if l.gr.in == nil {
+		return l.batches[step].X
+	}
+	if l.j == 0 {
+		full := <-l.gr.in
+		l.gr.assembledInput = full
+		l.gr.sync.Await()
+		return full
+	}
+	l.gr.sync.Await()
+	return l.gr.assembledInput
+}
+
+func (l *memberLink) SendOutput(step int, out *tensor.Tensor) {
+	gr := l.gr
+	if gr.out == nil {
+		return
+	}
+	if gr.Split() == 1 {
+		gr.out <- out
+		return
+	}
+	gr.assembleShard(out, l.j)
+	gr.sync.Await()
+	if l.j == 0 {
+		gr.out <- gr.assembled
+		gr.assembled = nil
+	}
+}
+
+func (l *memberLink) AllReduce(step int, grads []*tensor.Tensor, scratch *tensor.Arena) {
+	l.gr.sync.Await() // all members finished backward
+	averageGroupGradients(l.gr, l.j, scratch)
+	l.gr.sync.Await() // all members consumed others' gradients
+}
+
+func (l *memberLink) ReportLosses(step int, losses []float64) {
+	nb := len(l.gr.Blocks)
+	for bi, v := range losses {
+		l.losses[l.j*nb+bi][step] = v
+	}
+}
+
+func (l *memberLink) StepBarrier(step int) {
+	if l.stepSync != nil {
+		l.stepSync.Await()
+	}
+}
+
+var _ DeviceLink = (*memberLink)(nil)

@@ -3,7 +3,7 @@
 // host's shared data-loading path (disk/page cache plus CPU decode).
 //
 // Since no GPU hardware is available to this reproduction, devices are
-// analytic roofline models (DESIGN.md §2). A device's time for one kernel
+// analytic roofline models (see README.md). A device's time for one kernel
 // invocation moving `bytes` of memory traffic while performing `flops`
 // floating-point operations is
 //
