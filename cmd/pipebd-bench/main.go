@@ -1,12 +1,15 @@
 // Command pipebd-bench captures the repository's performance baseline as
-// machine-readable JSON: MatMul and Conv2d-forward kernel throughput and
-// the numeric engine's pipeline-step rate, each measured on the serial
-// reference backend and the parallel backend. The output file (committed
-// as BENCH_PR2.json) gives later PRs a trajectory to compare against.
+// machine-readable JSON: MatMul and Conv2d-forward kernel throughput, the
+// numeric engine's pipeline-step rate (each measured on the serial
+// reference backend and the parallel backend), and the cluster's
+// end-to-end run and fault-recovery latency on loopback — a fault-free
+// run versus the same run with one injected worker kill mid-stream. The
+// output file (committed as BENCH_PR3.json, alongside the PR2 baseline)
+// gives later PRs a trajectory to compare against.
 //
 // Usage:
 //
-//	pipebd-bench -out BENCH_PR2.json          # full sizes
+//	pipebd-bench -out BENCH_PR3.json          # full sizes
 //	pipebd-bench -out bench.json -quick       # small sizes for smoke tests
 package main
 
@@ -19,8 +22,12 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 
+	"pipebd/internal/cluster"
+	"pipebd/internal/cluster/transport"
+	"pipebd/internal/cluster/wire"
 	"pipebd/internal/dataset"
 	"pipebd/internal/distill"
 	"pipebd/internal/engine"
@@ -41,7 +48,7 @@ type Record struct {
 	MBPerSec float64 `json:"mb_per_sec,omitempty"`
 }
 
-// Report is the file layout of BENCH_PR2.json.
+// Report is the file layout of BENCH_PR3.json.
 type Report struct {
 	GoMaxProcs int      `json:"go_max_procs"`
 	GoVersion  string   `json:"go_version"`
@@ -59,7 +66,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pipebd-bench", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	out := fs.String("out", "BENCH_PR2.json", "output JSON path (- for stdout)")
+	out := fs.String("out", "BENCH_PR3.json", "output JSON path (- for stdout)")
 	quick := fs.Bool("quick", false, "small problem sizes (smoke testing)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -141,6 +148,36 @@ func run(args []string, stdout io.Writer) error {
 		report.add(fmt.Sprintf("PipelineStep/hybrid/%dsteps-batch%d", stepBatches, stepBatch), be.Name(), res)
 	}
 
+	// ClusterRun / ClusterRecovery: a full hybrid-plan cluster run on
+	// loopback workers, fault-free versus with one seeded worker kill
+	// mid-run. The delta between the two is the end-to-end recovery
+	// latency: death detection, re-placement dial, snapshot restore over
+	// the wire, and step replay.
+	clusterSteps := 6
+	if *quick {
+		clusterSteps = 3
+	}
+	for _, kill := range []bool{false, true} {
+		kill := kill
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				run := newClusterBenchRun(clusterSteps, stepBatch, kill)
+				b.StartTimer()
+				if err := run.exec(); err != nil {
+					b.Fatalf("cluster bench run (kill=%v): %v", kill, err)
+				}
+				b.StopTimer()
+				run.close()
+			}
+		})
+		name := fmt.Sprintf("ClusterRun/hybrid/%dsteps-batch%d", clusterSteps, stepBatch)
+		if kill {
+			name = fmt.Sprintf("ClusterRecovery/hybrid/%dsteps-batch%d-one-kill", clusterSteps, stepBatch)
+		}
+		report.add(name, "loopback", res)
+	}
+
 	data2, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -155,6 +192,72 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "pipebd-bench: wrote %d benchmarks to %s\n", len(report.Records), *out)
 	return nil
+}
+
+// clusterBenchRun is one prepared loopback cluster (2 workers, hybrid
+// plan) ready to execute, optionally with a chaos kill of the
+// second-group worker at the middle step.
+type clusterBenchRun struct {
+	net     transport.Network
+	addrs   []string
+	workers []*cluster.Worker
+	batches []dataset.Batch
+	cfg     cluster.Config
+	done    chan struct{}
+}
+
+func newClusterBenchRun(steps, batch int, kill bool) *clusterBenchRun {
+	tiny := distill.DefaultTinyConfig()
+	data := dataset.NewRandom(rand.New(rand.NewSource(5)), steps*batch, 3, tiny.Height, tiny.Width, 4)
+	inner := transport.NewLoopback()
+	r := &clusterBenchRun{
+		batches: data.Batches(batch),
+		done:    make(chan struct{}),
+		cfg: cluster.Config{
+			Plan: sched.Plan{Name: "hybrid", Groups: []sched.Group{
+				{Devices: []int{0, 1}, Blocks: []int{0, 1}},
+				{Devices: []int{2}, Blocks: []int{2, 3}},
+			}},
+			DPU: true, LR: 0.05, Momentum: 0.9,
+			Spec:        cluster.TinySpec(tiny),
+			MaxRestarts: 1, // snapshots on in both runs: the delta isolates recovery itself
+		},
+	}
+	r.net = inner
+	if kill {
+		r.net = transport.NewChaos(inner, transport.Fault{
+			Trigger: transport.Trigger{Conn: 1, Op: transport.OpRecv,
+				Kind: wire.KindLosses, Step: int32(steps / 2), Count: 1},
+			Action: transport.ActKill,
+		})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		lis, err := inner.Listen("")
+		if err != nil {
+			panic(err)
+		}
+		w := cluster.NewWorker(lis, cluster.WorkerConfig{Sessions: 1, Rejoin: true})
+		r.workers = append(r.workers, w)
+		r.addrs = append(r.addrs, w.Addr())
+		wg.Add(1)
+		go func() { defer wg.Done(); w.Serve() }()
+	}
+	go func() { wg.Wait(); close(r.done) }()
+	return r
+}
+
+func (r *clusterBenchRun) exec() error {
+	w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+	_, err := cluster.Run(r.net, r.addrs, w, r.batches, r.cfg)
+	return err
+}
+
+func (r *clusterBenchRun) close() {
+	for _, w := range r.workers {
+		w.Close()
+	}
+	<-r.done
 }
 
 func (r *Report) add(name, backend string, res testing.BenchmarkResult) {

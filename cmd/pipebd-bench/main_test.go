@@ -53,6 +53,13 @@ func TestRunQuickWritesReport(t *testing.T) {
 			}
 		}
 	}
+	// The recovery-latency pair: a fault-free cluster run and the same
+	// run surviving one injected worker kill.
+	for _, family := range []string{"ClusterRun", "ClusterRecovery"} {
+		if !seen[family]["loopback"] {
+			t.Errorf("missing %s on loopback; got %+v", family, seen)
+		}
+	}
 }
 
 // TestHelpPrintsUsage: -h must print flag documentation and succeed.

@@ -9,6 +9,10 @@
 //	pipebd-worker -listen 127.0.0.1:7710                # serve forever
 //	pipebd-worker -listen 127.0.0.1:7710 -sessions 1    # one session, then exit
 //	pipebd-worker -listen 127.0.0.1:0 -backend parallel # parallel kernels
+//	pipebd-worker -listen 127.0.0.1:7710 -sessions 1 -rejoin
+//	  # fault-tolerant: a killed session does not consume the budget, so
+//	  # the worker stays up for the coordinator's re-placement (resume)
+//	  # session and exits only after serving one session to completion
 //
 // The bound address is printed as "pipebd-worker: listening on ADDR" so
 // scripts can scrape the port when listening on :0.
@@ -50,6 +54,7 @@ func newWorker(args []string, stdout io.Writer) (*cluster.Worker, error) {
 	fs.SetOutput(io.Discard)
 	listen := fs.String("listen", "127.0.0.1:7710", "TCP address to listen on (host:port; :0 picks a free port)")
 	sessions := fs.Int("sessions", 0, "coordinator sessions to serve before exiting (0: forever)")
+	rejoin := fs.Bool("rejoin", false, "only count successful sessions toward -sessions, so the worker survives dropped sessions and re-joins the coordinator's recovery")
 	backend := fs.String("backend", "", "process-default tensor backend: "+strings.Join(tensor.Backends(), "|")+" (coordinator may override per session)")
 	workers := fs.Int("workers", 0, "parallel-backend worker count (0: GOMAXPROCS)")
 	quiet := fs.Bool("quiet", false, "suppress per-session progress output")
@@ -87,7 +92,7 @@ func newWorker(args []string, stdout io.Writer) (*cluster.Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := cluster.WorkerConfig{Sessions: *sessions}
+	cfg := cluster.WorkerConfig{Sessions: *sessions, Rejoin: *rejoin}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(stdout, "pipebd-worker: "+format+"\n", args...)

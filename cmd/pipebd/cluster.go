@@ -25,6 +25,17 @@ type clusterOptions struct {
 	Backend  string
 	Verify   bool // re-run in-process and require bit-identical results
 	Timeout  time.Duration
+	// MaxRestarts enables fault tolerance: up to this many dead workers
+	// are re-placed and replayed instead of failing the run.
+	MaxRestarts int
+	// Heartbeat asks workers for liveness beacons on this interval and
+	// declares one dead after 4 missed beats; 0 disables.
+	Heartbeat time.Duration
+	// ChaosKills injects this many seeded connection kills (derived from
+	// ChaosSeed) mid-run — the self-test for the recovery path, normally
+	// combined with -verify.
+	ChaosKills int
+	ChaosSeed  int64
 }
 
 // clusterPlan maps the named schedule onto the tiny workbench's 4 blocks.
@@ -68,19 +79,43 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 		Plan: plan, DPU: opts.DPU, LR: 0.05, Momentum: 0.9,
 		Backend: opts.Backend, Spec: cluster.TinySpec(tiny),
 		JoinTimeout: opts.Timeout,
+		MaxRestarts: opts.MaxRestarts,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stdout, "pipebd: "+format+"\n", args...)
 		},
 	}
+	if opts.Heartbeat > 0 {
+		cfg.HeartbeatInterval = opts.Heartbeat
+		cfg.HeartbeatTimeout = 4 * opts.Heartbeat
+	}
+	var net transport.Network = transport.TCP{}
+	var chaos *transport.Chaos
+	if opts.ChaosKills > 0 {
+		schedule := transport.RandomKills(opts.ChaosSeed, len(opts.Workers), opts.Steps, opts.ChaosKills)
+		for _, f := range schedule {
+			fmt.Fprintf(stdout, "pipebd: chaos schedule: %v\n", f)
+		}
+		chaos = transport.NewChaos(net, schedule...)
+		chaos.Logf = cfg.Logf
+		net = chaos
+	}
 	w := distill.NewTinyWorkbench(tiny)
-	fmt.Fprintf(stdout, "pipebd: cluster run: plan %s (%s), %d device(s) on %d worker(s), %d steps, batch %d, dpu=%v\n",
-		plan.Name, plan.Describe(), nDev, len(opts.Workers), opts.Steps, opts.Batch, opts.DPU)
+	fmt.Fprintf(stdout, "pipebd: cluster run: plan %s (%s), %d device(s) on %d worker(s), %d steps, batch %d, dpu=%v, max-restarts=%d\n",
+		plan.Name, plan.Describe(), nDev, len(opts.Workers), opts.Steps, opts.Batch, opts.DPU, opts.MaxRestarts)
 	start := time.Now()
-	res, err := cluster.Run(transport.TCP{}, opts.Workers, w, batches, cfg)
+	res, err := cluster.Run(net, opts.Workers, w, batches, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(stdout, "pipebd: cluster run finished in %v\n", time.Since(start).Round(time.Millisecond))
+	if chaos != nil {
+		if unfired := chaos.Unfired(); len(unfired) > 0 {
+			// A kill that never fired (e.g. aimed at a worker the plan never
+			// dialed) would make this self-test vacuous: the run "survived"
+			// nothing. Fail loudly instead.
+			return fmt.Errorf("chaos self-test invalid: %d of %d scheduled faults never fired (%v); pick a different -chaos-seed or fewer workers", len(unfired), opts.ChaosKills, unfired)
+		}
+	}
 	final := res.FinalLoss()
 	parts := make([]string, len(final))
 	for b, l := range final {

@@ -16,9 +16,17 @@
 //
 //	pipebd -cluster 127.0.0.1:7710,127.0.0.1:7711 -cluster-plan hybrid
 //	pipebd -cluster 127.0.0.1:7710 -cluster-plan tr -verify
+//	pipebd -cluster 127.0.0.1:7710,127.0.0.1:7711 \
+//	    -max-restarts 2 -chaos-kills 1 -chaos-seed 7 -verify
 //
 // -verify re-runs the same schedule in-process and requires the cluster's
 // loss trajectory and trained weights to match bit-for-bit.
+//
+// -max-restarts N enables fault tolerance: when a worker connection dies
+// (or goes silent past -cluster-heartbeat), the coordinator re-places its
+// devices on a surviving or re-joined worker, restores their per-step
+// snapshots, and replays — the result stays bit-identical, which the
+// chaos flags prove by injecting seeded kills under -verify.
 //
 // The -backend flag selects the tensor compute backend for every numeric
 // (real float32 training) portion of the experiments: "serial" is the
@@ -56,6 +64,10 @@ func main() {
 	clusterBatch := flag.Int("cluster-batch", 8, "cluster global batch size")
 	clusterDPU := flag.Bool("cluster-dpu", true, "decoupled parameter update in cluster mode")
 	clusterTimeout := flag.Duration("cluster-timeout", 10*time.Second, "per-worker join timeout in cluster mode")
+	maxRestarts := flag.Int("max-restarts", 0, "cluster mode: recover up to N dead workers by re-placing their devices and replaying from snapshots (0: a lost worker fails the run)")
+	clusterHeartbeat := flag.Duration("cluster-heartbeat", 0, "cluster mode: worker heartbeat interval; a worker silent for 4 intervals is declared dead (0: disable silence detection)")
+	chaosKills := flag.Int("chaos-kills", 0, "cluster mode: inject N seeded worker-connection kills mid-run (self-test for -max-restarts; combine with -verify)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "cluster mode: seed for the -chaos-kills schedule")
 	verify := flag.Bool("verify", false, "cluster mode: require bit-identical match with the in-process pipeline")
 	flag.Parse()
 
@@ -78,13 +90,21 @@ func main() {
 
 	if *clusterAddrs != "" {
 		opts := clusterOptions{
-			Workers:  strings.Split(*clusterAddrs, ","),
-			PlanName: *clusterPlanName,
-			Steps:    *clusterSteps,
-			Batch:    *clusterBatch,
-			DPU:      *clusterDPU,
-			Timeout:  *clusterTimeout,
-			Verify:   *verify,
+			Workers:     strings.Split(*clusterAddrs, ","),
+			PlanName:    *clusterPlanName,
+			Steps:       *clusterSteps,
+			Batch:       *clusterBatch,
+			DPU:         *clusterDPU,
+			Timeout:     *clusterTimeout,
+			Verify:      *verify,
+			MaxRestarts: *maxRestarts,
+			Heartbeat:   *clusterHeartbeat,
+			ChaosKills:  *chaosKills,
+			ChaosSeed:   *chaosSeed,
+		}
+		if opts.ChaosKills > 0 && opts.MaxRestarts < opts.ChaosKills {
+			fmt.Fprintf(os.Stderr, "pipebd: -chaos-kills %d needs -max-restarts >= %d to survive\n", opts.ChaosKills, opts.ChaosKills)
+			os.Exit(2)
 		}
 		if *backend != "serial" {
 			opts.Backend = *backend

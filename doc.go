@@ -40,9 +40,25 @@
 // engine.DeviceLink, and the wire codec carries floats bit-exactly, so a
 // cluster run reproduces RunPipelined's trajectory bit-for-bit.
 //
+// # Fault tolerance
+//
+// Cluster runs survive worker loss (cluster.Config.MaxRestarts): each
+// device streams a post-step snapshot (student parameters + optimizer
+// velocities) to the coordinator, which also retains undelivered inputs
+// and completed gradient reductions. When a worker's connection dies — or
+// goes silent past the heartbeat timeout — the coordinator re-places the
+// lost devices on a surviving or re-joined worker via a Resume frame,
+// restores the snapshots over the wire, and replays the affected steps;
+// replayed work is a pure function of the restored state, so the
+// recovered run's losses and trained weights stay bit-identical to a
+// fault-free run. transport.Chaos injects deterministic, seeded fault
+// schedules (connection kills, delays, truncated frames) to prove it,
+// both in the recovery test suite and from the CLI (-chaos-kills).
+//
 // See README.md for the quickstart and architecture inventory and
 // ROADMAP.md for open items. The benchmarks in bench_test.go regenerate
 // each table and figure under `go test -bench`; cmd/pipebd-bench captures
-// kernel and pipeline-step throughput as JSON (BENCH_PR2.json), and
+// kernel, pipeline-step, and cluster-recovery throughput as JSON
+// (BENCH_PR3.json; BENCH_PR2.json is the prior baseline), and
 // BenchmarkMatMul in internal/tensor compares the backends directly.
 package pipebd

@@ -37,6 +37,7 @@ func hybridPlan() sched.Plan {
 func startWorkers(t *testing.T, net transport.Network, n int, cfg WorkerConfig) []string {
 	t.Helper()
 	addrs := make([]string, n)
+	workers := make([]*Worker, n)
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		lis, err := net.Listen(listenAddr(net))
@@ -45,6 +46,7 @@ func startWorkers(t *testing.T, net transport.Network, n int, cfg WorkerConfig) 
 		}
 		w := NewWorker(lis, cfg)
 		addrs[i] = w.Addr()
+		workers[i] = w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -52,8 +54,15 @@ func startWorkers(t *testing.T, net transport.Network, n int, cfg WorkerConfig) 
 				t.Errorf("worker serve: %v", err)
 			}
 		}()
-		t.Cleanup(func() { w.Close(); wg.Wait() })
 	}
+	// Close every worker before waiting: a still-serving worker must not
+	// deadlock the wait for an already-closed sibling.
+	t.Cleanup(func() {
+		for _, w := range workers {
+			w.Close()
+		}
+		wg.Wait()
+	})
 	return addrs
 }
 

@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pipebd/internal/cluster/transport"
@@ -33,8 +35,22 @@ type Config struct {
 	// match the workbench passed to Run.
 	Spec wire.ModelSpec
 	// JoinTimeout bounds how long the coordinator waits for each worker
-	// to come up; <= 0 means 10 seconds.
+	// to come up (and, during recovery, how long one re-placement attempt
+	// may search for a live worker); <= 0 means 10 seconds.
 	JoinTimeout time.Duration
+	// MaxRestarts bounds how many dead-worker recoveries the run may
+	// perform: each time a worker connection dies (error or heartbeat
+	// timeout), the coordinator re-places its devices on a surviving or
+	// re-joined worker and replays from the per-device snapshots. 0
+	// disables fault tolerance — a lost worker fails the run — and also
+	// turns off the per-step snapshot traffic that recovery needs.
+	MaxRestarts int
+	// HeartbeatInterval asks each worker to emit a liveness beacon this
+	// often; HeartbeatTimeout declares a worker dead when nothing —
+	// beacon or data — arrives within it. Zero disables silence
+	// detection; connection errors still trigger recovery.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
 	// Logf receives progress lines; nil is silent.
 	Logf func(format string, args ...any)
 }
@@ -51,6 +67,16 @@ type Config struct {
 // evaluation order of the in-process engine (rank-ordered sums, merge via
 // engine.MergeGroupLosses), so a cluster run's trajectory is bit-identical
 // to engine.RunPipelined's.
+//
+// With MaxRestarts > 0 the hub is also the recovery authority: it retains
+// each device's latest post-step snapshot (parameters + optimizer
+// velocities), the inputs the device has not yet snapshotted past, and
+// the completed gradient reductions its group may still need. When a
+// worker dies, the hub re-places the lost devices on another worker via a
+// Resume frame and replays the affected steps; because every replayed
+// computation is a pure function of the restored state and the re-sent
+// inputs, the run's losses and trained weights remain bit-identical to a
+// fault-free run.
 type Coordinator struct {
 	net transport.Network
 	cfg Config
@@ -89,18 +115,47 @@ func PlaceDevices(nDev, nWorkers int) [][]int {
 	return out
 }
 
-// peerConn is the coordinator's handle on one joined worker.
+// peerConn is the coordinator's handle on one joined worker session.
 type peerConn struct {
 	addr    string
 	conn    transport.Conn
 	out     *outbox
 	devices []int
+
+	lastHeard atomic.Int64 // unix nanos of the last inbound frame
+	hbLost    atomic.Bool  // set by the heartbeat monitor before it kills the conn
+	dead      bool         // guarded by run.mu; set once when the peer is retired
 }
+
+func (p *peerConn) touch() { p.lastHeard.Store(time.Now().UnixNano()) }
 
 // devPlace locates a device rank within the plan.
 type devPlace struct {
 	gi int // group index
 	j  int // rank within the group
+}
+
+// devState is the coordinator's per-device ledger: where the device lives
+// in the plan, the recovery state needed to re-place it, and the
+// high-water marks that let the hub tell a replayed frame from a fresh
+// one. Mutable fields are guarded by run.mu; place is immutable.
+type devState struct {
+	place devPlace
+
+	// Recovery state (maintained only when fault tolerance is on).
+	snapStep int              // last step covered by the snapshot; -1 = seed
+	params   []*tensor.Tensor // student params after snapStep
+	velocity []*tensor.Tensor // SGD momentum after snapStep
+	inputs   map[int][]byte   // retained input payloads for steps > snapStep
+
+	// Replay high-water marks. Frames from one device arrive in step
+	// order on a single connection, so "step <= seen" identifies a replay
+	// of work the hub already incorporated.
+	outputSeen  int
+	lossSeen    int
+	barrierSeen int
+	stepGoSent  int // highest StepGo actually delivered to the device
+	done        bool
 }
 
 // run is the mutable state of one cluster session.
@@ -110,21 +165,30 @@ type run struct {
 	nb      int
 	steps   int
 	nDev    int
-	peers   []*peerConn
-	byDev   map[int]*peerConn
-	places  map[int]devPlace
 	workb   *distill.Workbench
 	batches []dataset.Batch
+	addrs   []string
+	runCfg  wire.RunConfig
+	ft      bool          // fault tolerance enabled (MaxRestarts > 0)
+	seedSnap wire.Snapshot // seed params, immutable; reused by every Resume
 
-	mu       sync.Mutex
-	outputs  []map[int]*gather      // [gi] step → collected activation shards
-	grads    []map[int]*gatherLists // [gi] step → collected gradient lists
-	barrier  map[int]int            // step → devices arrived (no-DPU only)
-	losses   [][][]float64          // [gi][j*nb+bi][step]
-	g0done   map[int]int            // step → group-0 members that completed it
-	credits  chan struct{}
-	done     int
-	finished chan struct{}
+	mu          sync.Mutex
+	peers       []*peerConn            // live worker sessions; dead ones are fully closed and dropped
+	byDev       map[int]*peerConn      // device rank → live peer (absent while dead)
+	devs        map[int]*devState      // device rank → ledger (map itself immutable)
+	groupParams [][]*tensor.Tensor     // [gi] workbench student params, flattened
+	outputs     []map[int]*gather      // [gi] step → collected activation shards
+	grads       []map[int]*gatherLists // [gi] step → collected gradient lists
+	reduceCache []map[int][]byte       // [gi] step → completed reduction payload
+	barrier     map[int]int            // step → devices arrived (no-DPU only)
+	stepGoThrough int                  // highest step whose barrier released
+	losses      [][][]float64          // [gi][j*nb+bi][step]
+	g0done      map[int]int            // step → group-0 members that completed it
+	credits     chan struct{}
+	done        int
+	restarts    int
+	closed      bool // teardown ran; no new peers may attach
+	finished    chan struct{}
 
 	failOnce sync.Once
 	firstErr error
@@ -145,7 +209,8 @@ type gatherLists struct {
 // returns the loss trajectory; w's student parameters are updated with
 // the trained weights the group leaders send back. The run is
 // bit-equivalent to engine.RunPipelined(w, batches, ...) with the same
-// plan and hyperparameters.
+// plan and hyperparameters — including runs that lose and recover
+// workers, when cfg.MaxRestarts allows it.
 func (c *Coordinator) Run(w *distill.Workbench, batches []dataset.Batch, addrs []string) (engine.Result, error) {
 	r, err := c.newRun(w, batches, addrs)
 	if err != nil {
@@ -162,9 +227,11 @@ func (c *Coordinator) Run(w *distill.Workbench, batches []dataset.Batch, addrs [
 		return engine.Result{}, r.firstErr
 	}
 	// Graceful drain: every device reported Done, all frames consumed.
+	r.mu.Lock()
 	for _, p := range r.peers {
 		p.out.Enqueue(wire.Control(wire.KindDrain, wire.NoDev, wire.NoStep))
 	}
+	r.mu.Unlock()
 	return r.result(), nil
 }
 
@@ -197,26 +264,52 @@ func (c *Coordinator) newRun(w *distill.Workbench, batches []dataset.Batch, addr
 	}
 	r := &run{
 		co: c, plan: plan, nb: w.NumBlocks(), steps: len(batches), nDev: nDev,
-		byDev: make(map[int]*peerConn), places: make(map[int]devPlace),
-		workb: w, batches: batches,
+		byDev: make(map[int]*peerConn), devs: make(map[int]*devState),
+		workb: w, batches: batches, addrs: addrs,
+		ft:       c.cfg.MaxRestarts > 0,
 		outputs:  make([]map[int]*gather, len(plan.Groups)),
 		grads:    make([]map[int]*gatherLists, len(plan.Groups)),
+		reduceCache: make([]map[int][]byte, len(plan.Groups)),
 		barrier:  make(map[int]int),
+		stepGoThrough: -1,
 		losses:   make([][][]float64, len(plan.Groups)),
 		g0done:   make(map[int]int),
 		credits:  make(chan struct{}, len(batches)+buffer),
 		finished: make(chan struct{}),
 		failed:   make(chan struct{}),
 	}
+	r.seedSnap = CaptureSnapshot(w)
+	r.runCfg = wire.RunConfig{DPU: c.cfg.DPU, LR: c.cfg.LR, Momentum: c.cfg.Momentum,
+		Buffer: c.cfg.Buffer, Steps: r.steps, Backend: c.cfg.Backend,
+		Snapshots:       r.ft,
+		HeartbeatMillis: int(c.cfg.HeartbeatInterval / time.Millisecond)}
+	r.groupParams = make([][]*tensor.Tensor, len(plan.Groups))
 	for gi, g := range plan.Groups {
 		r.outputs[gi] = make(map[int]*gather)
 		r.grads[gi] = make(map[int]*gatherLists)
+		r.reduceCache[gi] = make(map[int][]byte)
 		r.losses[gi] = make([][]float64, len(g.Blocks)*g.Split())
 		for i := range r.losses[gi] {
 			r.losses[gi][i] = make([]float64, r.steps)
 		}
+		for _, b := range g.Blocks {
+			for _, p := range w.Pairs[b].Student.Params() {
+				r.groupParams[gi] = append(r.groupParams[gi], p.Value)
+			}
+		}
 		for j, d := range g.Devices {
-			r.places[d] = devPlace{gi: gi, j: j}
+			ds := &devState{place: devPlace{gi: gi, j: j},
+				snapStep: -1, outputSeen: -1, lossSeen: -1, barrierSeen: -1, stepGoSent: -1}
+			if r.ft {
+				// Seed recovery state: a device that dies before its first
+				// snapshot resumes from the seed weights with zero momentum.
+				// The tensors are shared read-only across devices of the
+				// group — snapshots replace, never mutate, them.
+				ds.params = r.seedGroupParams(gi)
+				ds.velocity = zeroLike(ds.params)
+				ds.inputs = make(map[int][]byte)
+			}
+			r.devs[d] = ds
 		}
 	}
 	for i := 0; i < buffer; i++ {
@@ -225,13 +318,29 @@ func (c *Coordinator) newRun(w *distill.Workbench, batches []dataset.Batch, addr
 	return r, nil
 }
 
+// seedGroupParams returns the seed student parameters of a group,
+// flattened in the device's GradTensors order (blocks in group order,
+// params in declaration order), cloned from the immutable seed snapshot.
+func (r *run) seedGroupParams(gi int) []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, b := range r.plan.Groups[gi].Blocks {
+		out = append(out, r.seedSnap.Student[b]...)
+	}
+	return out
+}
+
+func zeroLike(ts []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ts))
+	for i, t := range ts {
+		out[i] = tensor.New(t.Shape()...)
+	}
+	return out
+}
+
 // join dials every worker (retrying while it comes up), performs the
 // hello handshake, and sends the session assignment.
 func (r *run) join(addrs []string) error {
 	placement := PlaceDevices(r.nDev, len(addrs))
-	snapshot := CaptureSnapshot(r.workb)
-	runCfg := wire.RunConfig{DPU: r.co.cfg.DPU, LR: r.co.cfg.LR, Momentum: r.co.cfg.Momentum,
-		Buffer: r.co.cfg.Buffer, Steps: r.steps, Backend: r.co.cfg.Backend}
 	for i, addr := range addrs {
 		if len(placement[i]) == 0 {
 			r.co.logf("worker %s: no devices to place, skipping", addr)
@@ -250,13 +359,14 @@ func (r *run) join(addrs []string) error {
 			conn.Close()
 			return fmt.Errorf("cluster: worker %s sent %v, want hello", addr, hello.Kind)
 		}
-		assign := &wire.Assign{Plan: r.plan, Spec: r.co.cfg.Spec, Run: runCfg,
-			Devices: placement[i], Snapshot: snapshot}
+		assign := &wire.Assign{Plan: r.plan, Spec: r.co.cfg.Spec, Run: r.runCfg,
+			Devices: placement[i], Snapshot: r.seedSnap}
 		if err := conn.Send(wire.EncodeAssign(assign)); err != nil {
 			conn.Close()
 			return fmt.Errorf("cluster: worker %s assign: %w", addr, err)
 		}
 		p := &peerConn{addr: addr, conn: conn, out: newOutbox(conn), devices: placement[i]}
+		p.touch()
 		r.peers = append(r.peers, p)
 		for _, d := range placement[i] {
 			r.byDev[d] = p
@@ -267,10 +377,7 @@ func (r *run) join(addrs []string) error {
 }
 
 func (r *run) dialJoin(addr string) (transport.Conn, time.Time, error) {
-	timeout := r.co.cfg.JoinTimeout
-	if timeout <= 0 {
-		timeout = 10 * time.Second
-	}
+	timeout := r.joinTimeout()
 	deadline := time.Now().Add(timeout)
 	for {
 		conn, err := r.net().Dial(addr)
@@ -282,6 +389,13 @@ func (r *run) dialJoin(addr string) (transport.Conn, time.Time, error) {
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
+}
+
+func (r *run) joinTimeout() time.Duration {
+	if t := r.co.cfg.JoinTimeout; t > 0 {
+		return t
+	}
+	return 10 * time.Second
 }
 
 // recvDeadline bounds a single handshake Recv by the join deadline: a
@@ -312,35 +426,88 @@ func recvDeadline(conn transport.Conn, deadline time.Time) (*wire.Frame, error) 
 
 func (r *run) net() transport.Network { return r.co.net }
 
-// start launches the per-peer readers and the group-0 batch feeder.
+// start launches the per-peer readers, the group-0 batch feeder, and —
+// when configured — the heartbeat monitor.
 func (r *run) start() {
-	for _, p := range r.peers {
-		go func(p *peerConn) {
-			// A panic while handling a malformed-but-decodable frame must
-			// fail the run, not crash the coordinator process.
-			defer func() {
-				if rec := recover(); rec != nil {
-					r.fail(fmt.Errorf("cluster: handling frames from worker %s panicked: %v", p.addr, rec))
-				}
-			}()
-			for {
-				f, err := p.conn.Recv()
-				if err != nil {
-					select {
-					case <-r.finished: // normal teardown
-					default:
-						r.fail(fmt.Errorf("cluster: worker %s: %w", p.addr, err))
-					}
-					return
-				}
-				if err := r.handle(p, f); err != nil {
-					r.fail(err)
-					return
-				}
-			}
-		}(p)
+	r.mu.Lock()
+	peers := append([]*peerConn(nil), r.peers...)
+	r.mu.Unlock()
+	for _, p := range peers {
+		r.startReader(p)
 	}
 	go r.feed()
+	if r.co.cfg.HeartbeatTimeout > 0 {
+		go r.monitorHeartbeats()
+	}
+}
+
+// startReader consumes one peer's inbound frames until the connection
+// dies. A connection error during a live run is a worker death: it goes
+// through handlePeerFailure, which recovers (re-places the devices) when
+// the restart budget allows and fails the run otherwise. Protocol errors
+// are never recovered — they mean a bug, not a crash.
+func (r *run) startReader(p *peerConn) {
+	go func() {
+		// A panic while handling a malformed-but-decodable frame must
+		// fail the run, not crash the coordinator process.
+		defer func() {
+			if rec := recover(); rec != nil {
+				r.fail(fmt.Errorf("cluster: handling frames from worker %s panicked: %v", p.addr, rec))
+			}
+		}()
+		for {
+			f, err := p.conn.Recv()
+			if err != nil {
+				select {
+				case <-r.finished: // normal teardown
+				case <-r.failed:
+				default:
+					if p.hbLost.Load() {
+						err = fmt.Errorf("heartbeat timeout after %v (%w)", r.co.cfg.HeartbeatTimeout, err)
+					}
+					r.handlePeerFailure(p, fmt.Errorf("cluster: worker %s: %w", p.addr, err))
+				}
+				return
+			}
+			p.touch()
+			if err := r.handle(p, f); err != nil {
+				r.fail(err)
+				return
+			}
+		}
+	}()
+}
+
+// monitorHeartbeats kills connections that have gone silent for longer
+// than the configured timeout; the reader's Recv then errors and the
+// normal failure/recovery path takes over.
+func (r *run) monitorHeartbeats() {
+	timeout := r.co.cfg.HeartbeatTimeout
+	tick := timeout / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.finished:
+			return
+		case <-r.failed:
+			return
+		case <-ticker.C:
+			r.mu.Lock()
+			peers := append([]*peerConn(nil), r.peers...)
+			r.mu.Unlock()
+			for _, p := range peers {
+				heard := time.Unix(0, p.lastHeard.Load())
+				if time.Since(heard) > timeout && p.hbLost.CompareAndSwap(false, true) {
+					r.co.logf("worker %s silent for over %v, declaring it dead", p.addr, timeout)
+					p.conn.Close()
+				}
+			}
+		}
+	}
 }
 
 // feed streams the training batches to every member of the first group,
@@ -357,16 +524,27 @@ func (r *run) feed() {
 		case <-r.finished:
 			return
 		}
-		r.broadcastTensor(wire.KindInput, g0.Devices, s, b.X)
+		payload := wire.EncodeTensor(wire.KindInput, wire.NoDev, int32(s), b.X).Payload
+		r.mu.Lock()
+		for _, d := range g0.Devices {
+			r.sendInputLocked(d, s, payload)
+		}
+		r.mu.Unlock()
 	}
 }
 
-// broadcastTensor sends one tensor to several devices, encoding the
-// payload once.
-func (r *run) broadcastTensor(kind wire.Kind, devs []int, step int, t *tensor.Tensor) {
-	payload := wire.EncodeTensor(kind, wire.NoDev, int32(step), t).Payload
-	for _, d := range devs {
-		r.byDev[d].out.Enqueue(&wire.Frame{Kind: kind, Dev: int32(d), Step: int32(step), Payload: payload})
+// sendInputLocked delivers one step's input payload to a device and, when
+// fault tolerance is on, retains it until the device's snapshot covers
+// the step. A device that is currently dead only records — the retained
+// payload is re-sent when the device is re-placed. Callers hold r.mu and
+// must deliver each device's inputs in increasing step order.
+func (r *run) sendInputLocked(dev, step int, payload []byte) {
+	ds := r.devs[dev]
+	if r.ft && step > ds.snapStep {
+		ds.inputs[step] = payload
+	}
+	if p := r.byDev[dev]; p != nil {
+		p.out.Enqueue(&wire.Frame{Kind: wire.KindInput, Dev: int32(dev), Step: int32(step), Payload: payload})
 	}
 }
 
@@ -377,10 +555,208 @@ func (r *run) fail(err error) {
 	})
 }
 
+// handlePeerFailure retires a dead peer and either re-places its devices
+// (within the restart budget) or fails the run. It runs on the dead
+// peer's reader goroutine; concurrent failures of different peers recover
+// independently.
+func (r *run) handlePeerFailure(p *peerConn, cause error) {
+	r.mu.Lock()
+	if p.dead || r.closed {
+		r.mu.Unlock()
+		return
+	}
+	p.dead = true
+	r.retirePeerLocked(p)
+	allDone := true
+	for _, d := range p.devices {
+		if !r.devs[d].done {
+			allDone = false
+		}
+	}
+	canRecover := r.ft && r.restarts < r.co.cfg.MaxRestarts
+	if !allDone && canRecover {
+		r.restarts++
+	}
+	r.mu.Unlock()
+
+	// Unblock a writer stuck in Send, then drain the outbox unsent.
+	p.conn.Close()
+	p.out.Kill()
+	p.out.Close()
+
+	if allDone {
+		// Every hosted device already completed; the lost connection
+		// cannot affect the result.
+		r.co.logf("worker %s dropped after finishing devices %v; no recovery needed", p.addr, p.devices)
+		return
+	}
+	if !canRecover {
+		r.fail(cause)
+		return
+	}
+	r.co.logf("worker %s lost (%v); re-placing devices %v", p.addr, cause, p.devices)
+	if err := r.recoverPeer(p); err != nil {
+		r.fail(fmt.Errorf("cluster: recovering devices %v after %w: %v", p.devices, cause, err))
+	}
+}
+
+// retirePeerLocked removes p from the live set; its devices stay detached
+// until a replacement attaches.
+func (r *run) retirePeerLocked(p *peerConn) {
+	for i, q := range r.peers {
+		if q == p {
+			r.peers = append(r.peers[:i], r.peers[i+1:]...)
+			break
+		}
+	}
+	for _, d := range p.devices {
+		delete(r.byDev, d)
+	}
+}
+
+// recoverPeer re-places a dead peer's devices: it builds a Resume frame
+// from the per-device snapshots, finds a worker to host them — the dead
+// peer's own address first (a restarted worker re-joining), then the
+// other configured workers (which accept the extra session alongside
+// their own) — and attaches the new connection, re-sending every retained
+// input the restored devices need to replay.
+func (r *run) recoverPeer(p *peerConn) error {
+	resume := r.buildResume(p.devices)
+	candidates := []string{p.addr}
+	for _, a := range r.addrs {
+		if a != p.addr {
+			candidates = append(candidates, a)
+		}
+	}
+	conn, addr, err := r.dialResume(candidates, resume)
+	if err != nil {
+		return err
+	}
+	np := &peerConn{addr: addr, conn: conn, out: newOutbox(conn), devices: p.devices}
+	np.touch()
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		conn.Close()
+		np.out.Kill()
+		np.out.Close()
+		return nil
+	}
+	r.peers = append(r.peers, np)
+	for _, d := range np.devices {
+		r.byDev[d] = np
+		ds := r.devs[d]
+		// The restored device consumed everything up to its snapshot;
+		// replay needs the retained inputs after it, in step order.
+		ds.stepGoSent = ds.snapStep
+		steps := make([]int, 0, len(ds.inputs))
+		for s := range ds.inputs {
+			steps = append(steps, s)
+		}
+		sort.Ints(steps)
+		for _, s := range steps {
+			np.out.Enqueue(&wire.Frame{Kind: wire.KindInput, Dev: int32(d), Step: int32(s), Payload: ds.inputs[s]})
+		}
+	}
+	r.mu.Unlock()
+	r.startReader(np)
+	r.co.logf("devices %v re-placed on worker %s (restart %d of %d), replaying from per-device snapshots",
+		p.devices, addr, r.restartCount(), r.co.cfg.MaxRestarts)
+	return nil
+}
+
+func (r *run) restartCount() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.restarts
+}
+
+// buildResume encodes the Resume frame for a set of devices from their
+// current snapshots.
+func (r *run) buildResume(devices []int) *wire.Frame {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	res := &wire.Resume{Assign: wire.Assign{Plan: r.plan, Spec: r.co.cfg.Spec,
+		Run: r.runCfg, Devices: devices, Snapshot: r.seedSnap}}
+	for _, d := range devices {
+		ds := r.devs[d]
+		res.States = append(res.States, wire.DeviceState{
+			Dev: d, Step: ds.snapStep, Params: ds.params, Velocity: ds.velocity})
+	}
+	return wire.EncodeResume(res)
+}
+
+// dialResume finds a worker to host a Resume session, cycling through the
+// candidate addresses until one accepts and handshakes, bounded by the
+// join timeout.
+func (r *run) dialResume(candidates []string, resume *wire.Frame) (transport.Conn, string, error) {
+	deadline := time.Now().Add(r.joinTimeout())
+	var lastErr error
+	for {
+		for _, addr := range candidates {
+			select {
+			case <-r.failed:
+				return nil, "", fmt.Errorf("cluster: run failed during recovery")
+			case <-r.finished:
+				return nil, "", fmt.Errorf("cluster: run finished during recovery")
+			default:
+			}
+			conn, err := r.net().Dial(addr)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			hello, err := recvDeadline(conn, deadline)
+			if err != nil {
+				conn.Close()
+				lastErr = err
+				continue
+			}
+			if hello.Kind != wire.KindHello {
+				conn.Close()
+				lastErr = fmt.Errorf("worker %s sent %v, want hello", addr, hello.Kind)
+				continue
+			}
+			if err := conn.Send(resume); err != nil {
+				conn.Close()
+				lastErr = err
+				continue
+			}
+			return conn, addr, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, "", fmt.Errorf("no worker accepted the re-placement within %v (last error: %v)", r.joinTimeout(), lastErr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// teardown closes every session. After a failure the connections close
+// first so an outbox writer stuck mid-Send is unblocked before its drain
+// is awaited — otherwise a peer that died with a full transport window
+// would leak the writer goroutine (and block Run) forever. On the
+// graceful path the outbox flushes first so the final Drain frames reach
+// the workers.
 func (r *run) teardown() {
-	for _, p := range r.peers {
-		p.out.Close()
-		p.conn.Close()
+	r.mu.Lock()
+	r.closed = true
+	peers := append([]*peerConn(nil), r.peers...)
+	r.mu.Unlock()
+	graceful := true
+	select {
+	case <-r.failed:
+		graceful = false
+	default:
+	}
+	for _, p := range peers {
+		if graceful {
+			p.out.Close()
+			p.conn.Close()
+		} else {
+			p.conn.Close()
+			p.out.Kill()
+			p.out.Close()
+		}
 	}
 }
 
@@ -388,18 +764,19 @@ func (r *run) teardown() {
 // goroutine. Payload decoding — the hub's hottest work — happens here,
 // outside the session lock, so readers for different workers decode
 // concurrently; only the gather bookkeeping, reductions, and counters
-// run under r.mu (r.places is immutable once the readers start).
+// run under r.mu (r.devs' map structure is immutable once readers start).
 func (r *run) handle(p *peerConn, f *wire.Frame) error {
 	dev := int(f.Dev)
-	place, ok := r.places[dev]
-	if !ok && f.Kind != wire.KindHello {
+	ds, ok := r.devs[dev]
+	if !ok && f.Kind != wire.KindHello && f.Kind != wire.KindHeartbeat {
 		return fmt.Errorf("cluster: worker %s sent %v for unknown device %d", p.addr, f.Kind, f.Dev)
 	}
 	step := int(f.Step)
 	switch f.Kind {
-	case wire.KindHello:
-		return nil // late hello: harmless
+	case wire.KindHello, wire.KindHeartbeat:
+		return nil // heartbeats already refreshed lastHeard; late hellos are harmless
 	case wire.KindOutput:
+		place := ds.place
 		if place.gi >= len(r.plan.Groups)-1 {
 			return fmt.Errorf("cluster: last group relayed an output for step %d", step)
 		}
@@ -408,9 +785,14 @@ func (r *run) handle(p *peerConn, f *wire.Frame) error {
 			// encoded payload verbatim — decoding and re-encoding it here
 			// would produce identical bytes (validation happens at the
 			// receiving worker's decode).
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			if step <= ds.outputSeen {
+				return r.replayOnly(ds, "output", step) // already forwarded downstream
+			}
+			ds.outputSeen = step
 			for _, d := range r.plan.Groups[place.gi+1].Devices {
-				r.byDev[d].out.Enqueue(&wire.Frame{Kind: wire.KindInput,
-					Dev: int32(d), Step: f.Step, Payload: f.Payload})
+				r.sendInputLocked(d, step, f.Payload)
 			}
 			return nil
 		}
@@ -418,39 +800,43 @@ func (r *run) handle(p *peerConn, f *wire.Frame) error {
 		if err != nil {
 			return err
 		}
-		return r.onOutput(place, step, t)
+		return r.onOutput(ds, step, t)
 	case wire.KindGrads:
 		lists, err := wire.DecodeTensors(f)
 		if err != nil {
 			return err
 		}
-		return r.onGrads(place, step, lists)
+		return r.onGrads(dev, ds, step, lists)
 	case wire.KindStepDone:
-		r.mu.Lock()
-		defer r.mu.Unlock()
-		r.barrier[step]++
-		if r.barrier[step] == r.nDev {
-			delete(r.barrier, step)
-			for _, peer := range r.peers {
-				peer.out.Enqueue(wire.Control(wire.KindStepGo, wire.NoDev, f.Step))
-			}
-		}
-		return nil
+		return r.onStepDone(dev, ds, step)
 	case wire.KindLosses:
 		vals, err := wire.DecodeLosses(f)
 		if err != nil {
 			return err
 		}
-		return r.onLosses(place, step, vals)
+		return r.onLosses(ds, step, vals)
+	case wire.KindSnapshot:
+		if !r.ft {
+			return nil // stray snapshot from a session we did not ask to send them
+		}
+		params, velocity, err := wire.DecodeDeviceSnapshot(f)
+		if err != nil {
+			return err
+		}
+		return r.onSnapshot(dev, ds, step, params, velocity)
 	case wire.KindFinalParams:
 		params, err := wire.DecodeTensors(f)
 		if err != nil {
 			return err
 		}
-		return r.onFinalParams(place, params)
+		return r.onFinalParams(ds.place, params)
 	case wire.KindDone:
 		r.mu.Lock()
 		defer r.mu.Unlock()
+		if ds.done {
+			return nil // replayed completion
+		}
+		ds.done = true
 		r.done++
 		if r.done == r.nDev {
 			close(r.finished)
@@ -461,13 +847,28 @@ func (r *run) handle(p *peerConn, f *wire.Frame) error {
 	}
 }
 
+// replayOnly guards the duplicate-frame paths: with fault tolerance on, a
+// duplicate is a legitimate replay and is dropped; without it, no replay
+// can exist, so a duplicate is a protocol violation.
+func (r *run) replayOnly(ds *devState, what string, step int) error {
+	if r.ft {
+		return nil
+	}
+	return fmt.Errorf("cluster: duplicate %s from group %d rank %d step %d", what, ds.place.gi, ds.place.j, step)
+}
+
 // onOutput collects a split group's boundary-activation shards (the
 // k == 1 case forwards payloads directly in handle) and, once every
 // member's shard of the step arrived, assembles the full batch in rank
 // order and relays it to each member of the next group.
-func (r *run) onOutput(place devPlace, step int, t *tensor.Tensor) error {
+func (r *run) onOutput(ds *devState, step int, t *tensor.Tensor) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	place := ds.place
+	if step <= ds.outputSeen {
+		return r.replayOnly(ds, "output", step)
+	}
+	ds.outputSeen = step
 	k := r.plan.Groups[place.gi].Split()
 	st := r.outputs[place.gi]
 	g := st[step]
@@ -494,20 +895,34 @@ func (r *run) onOutput(place devPlace, step int, t *tensor.Tensor) error {
 		}
 		copy(full.Data()[j*per:(j+1)*per], part.Data())
 	}
-	r.broadcastTensor(wire.KindInput, r.plan.Groups[place.gi+1].Devices, step, full)
+	payload := wire.EncodeTensor(wire.KindInput, wire.NoDev, int32(step), full).Payload
+	for _, d := range r.plan.Groups[place.gi+1].Devices {
+		r.sendInputLocked(d, step, payload)
+	}
 	return nil
 }
 
 // onGrads collects a split group's gradient lists and, once complete,
 // performs the deterministic all-reduce — sum over member ranks 0..k-1,
 // scale by 1/k, exactly the in-process evaluation order — and returns the
-// mean to every member.
-func (r *run) onGrads(place devPlace, step int, lists []*tensor.Tensor) error {
+// mean to every member. Completed reductions are cached (under fault
+// tolerance) until every member's snapshot passes the step, so a replayed
+// member re-requesting an old step gets the identical bytes back.
+func (r *run) onGrads(dev int, ds *devState, step int, lists []*tensor.Tensor) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	place := ds.place
 	k := r.plan.Groups[place.gi].Split()
 	if k == 1 {
 		return fmt.Errorf("cluster: gradient frame from unsplit group %d", place.gi)
+	}
+	if payload, ok := r.reduceCache[place.gi][step]; ok {
+		// Replay of an already-reduced step: answer from the cache.
+		if p := r.byDev[dev]; p != nil {
+			p.out.Enqueue(&wire.Frame{Kind: wire.KindGradsReduced,
+				Dev: int32(dev), Step: int32(step), Payload: payload})
+		}
+		return nil
 	}
 	st := r.grads[place.gi]
 	g := st[step]
@@ -516,7 +931,9 @@ func (r *run) onGrads(place devPlace, step int, lists []*tensor.Tensor) error {
 		st[step] = g
 	}
 	if g.parts[place.j] != nil {
-		return fmt.Errorf("cluster: duplicate gradients from group %d rank %d step %d", place.gi, place.j, step)
+		// The member's pre-crash gradients are already in the gather; the
+		// replayed copy is bit-identical by construction.
+		return r.replayOnly(ds, "gradients", step)
 	}
 	g.parts[place.j] = lists
 	g.have++
@@ -547,18 +964,66 @@ func (r *run) onGrads(place devPlace, step int, lists []*tensor.Tensor) error {
 		reduced[pi] = sum
 	}
 	payload := wire.EncodeTensors(wire.KindGradsReduced, wire.NoDev, int32(step), reduced).Payload
+	if r.ft {
+		r.reduceCache[place.gi][step] = payload
+	}
 	for _, d := range r.plan.Groups[place.gi].Devices {
-		r.byDev[d].out.Enqueue(&wire.Frame{Kind: wire.KindGradsReduced,
-			Dev: int32(d), Step: int32(step), Payload: payload})
+		if p := r.byDev[d]; p != nil {
+			p.out.Enqueue(&wire.Frame{Kind: wire.KindGradsReduced,
+				Dev: int32(d), Step: int32(step), Payload: payload})
+		}
 	}
 	return nil
 }
 
-// onLosses records a member's per-block losses and releases a pipeline
-// credit when the whole first group finishes a step.
-func (r *run) onLosses(place devPlace, step int, vals []float64) error {
+// onStepDone counts the global no-DPU barrier and releases it per device:
+// every device receives its own StepGo exactly once per step, tracked by
+// stepGoSent so replayed arrivals are re-answered (when the barrier
+// already released) without double-counting or double-delivery.
+func (r *run) onStepDone(dev int, ds *devState, step int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if step <= ds.barrierSeen {
+		// Replayed arrival: the count already includes this device. If the
+		// barrier has released, re-answer the restored device directly.
+		if err := r.replayOnly(ds, "step-done", step); err != nil {
+			return err
+		}
+		if step <= r.stepGoThrough && ds.stepGoSent < step {
+			r.sendStepGoLocked(dev, ds, step)
+		}
+		return nil
+	}
+	ds.barrierSeen = step
+	r.barrier[step]++
+	if r.barrier[step] == r.nDev {
+		delete(r.barrier, step)
+		r.stepGoThrough = step
+		for d, dds := range r.devs {
+			if dds.stepGoSent < step {
+				r.sendStepGoLocked(d, dds, step)
+			}
+		}
+	}
+	return nil
+}
+
+// sendStepGoLocked delivers one device's barrier release, if the device
+// is currently attached; a dead device's release is re-sent when its
+// replayed StepDone arrives after re-placement.
+func (r *run) sendStepGoLocked(dev int, ds *devState, step int) {
+	if p := r.byDev[dev]; p != nil {
+		p.out.Enqueue(wire.Control(wire.KindStepGo, int32(dev), int32(step)))
+		ds.stepGoSent = step
+	}
+}
+
+// onLosses records a member's per-block losses and releases a pipeline
+// credit when the whole first group finishes a step.
+func (r *run) onLosses(ds *devState, step int, vals []float64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	place := ds.place
 	nbg := len(r.plan.Groups[place.gi].Blocks)
 	if len(vals) != nbg {
 		return fmt.Errorf("cluster: group %d rank %d reported %d losses, want %d", place.gi, place.j, len(vals), nbg)
@@ -566,6 +1031,12 @@ func (r *run) onLosses(place devPlace, step int, vals []float64) error {
 	if step < 0 || step >= r.steps {
 		return fmt.Errorf("cluster: loss report for step %d of %d", step, r.steps)
 	}
+	if step <= ds.lossSeen {
+		// A replayed step recomputes bit-identical losses; the matrix and
+		// the pipeline credit already account for them.
+		return r.replayOnly(ds, "losses", step)
+	}
+	ds.lossSeen = step
 	for bi, v := range vals {
 		r.losses[place.gi][place.j*nbg+bi][step] = v
 	}
@@ -582,8 +1053,54 @@ func (r *run) onLosses(place devPlace, step int, vals []float64) error {
 	return nil
 }
 
+// onSnapshot installs a device's post-step recovery state and prunes the
+// retention the snapshot obsoletes: inputs the device will never replay
+// and reductions no member of its group can re-request.
+func (r *run) onSnapshot(dev int, ds *devState, step int, params, velocity []*tensor.Tensor) error {
+	expect := r.groupParams[ds.place.gi]
+	if len(params) != len(expect) {
+		return fmt.Errorf("cluster: device %d snapshot has %d params, group %d trains %d",
+			dev, len(params), ds.place.gi, len(expect))
+	}
+	for i, t := range params {
+		if !t.SameShape(expect[i]) || !velocity[i].SameShape(expect[i]) {
+			return fmt.Errorf("cluster: device %d snapshot param %d shape %v/%v, want %v",
+				dev, i, t.Shape(), velocity[i].Shape(), expect[i].Shape())
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if step <= ds.snapStep {
+		return r.replayOnly(ds, "snapshot", step)
+	}
+	ds.snapStep = step
+	ds.params = params
+	ds.velocity = velocity
+	for s := range ds.inputs {
+		if s <= step {
+			delete(ds.inputs, s)
+		}
+	}
+	gi := ds.place.gi
+	if len(r.reduceCache[gi]) > 0 {
+		minSnap := r.steps
+		for _, d := range r.plan.Groups[gi].Devices {
+			if s := r.devs[d].snapStep; s < minSnap {
+				minSnap = s
+			}
+		}
+		for s := range r.reduceCache[gi] {
+			if s <= minSnap {
+				delete(r.reduceCache[gi], s)
+			}
+		}
+	}
+	return nil
+}
+
 // onFinalParams installs a group leader's trained student parameters
-// into the coordinator's workbench.
+// into the coordinator's workbench. A replayed report re-installs the
+// identical values.
 func (r *run) onFinalParams(place devPlace, params []*tensor.Tensor) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()

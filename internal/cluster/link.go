@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -83,6 +84,18 @@ func (o *outbox) Close() {
 	<-o.done
 }
 
+// errOutboxKilled marks an outbox abandoned by Kill, not a real send
+// failure.
+var errOutboxKilled = errors.New("cluster: outbox killed")
+
+// Kill poisons the outbox so the writer drains without sending: queued
+// and future frames are discarded. Use on failure paths where the
+// connection is already dead — flushing there could block forever on a
+// peer that stopped reading.
+func (o *outbox) Kill() {
+	o.fail(errOutboxKilled)
+}
+
 func (o *outbox) fail(err error) {
 	o.mu.Lock()
 	if o.err == nil {
@@ -158,6 +171,11 @@ type clusterLink struct {
 	dpu       bool
 	in        *inbox
 	out       *outbox
+	// snapshot, when set, encodes the device's post-step recovery state
+	// (student params + optimizer velocities); FinishStep ships it to the
+	// coordinator after every step so a replacement device can replay
+	// from the latest completed step.
+	snapshot func(step int) *wire.Frame
 }
 
 func (l *clusterLink) recv(kind wire.Kind, step int) *wire.Frame {
@@ -215,4 +233,13 @@ func (l *clusterLink) StepBarrier(step int) {
 	}
 	l.out.Enqueue(wire.Control(wire.KindStepDone, l.dev, int32(step)))
 	l.recv(wire.KindStepGo, step)
+}
+
+// FinishStep implements engine.StepFinisher: once the step's updates are
+// installed, the device's state is exactly "trained through step" — the
+// snapshot the coordinator needs to re-place this device bit-identically.
+func (l *clusterLink) FinishStep(step int) {
+	if l.snapshot != nil {
+		l.out.Enqueue(l.snapshot(step))
+	}
 }

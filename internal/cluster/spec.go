@@ -12,6 +12,36 @@
 // TCP alike. The equivalence suite pins this, extending the paper's "no
 // modification to the mathematical formulation" claim across process
 // boundaries.
+//
+// # Snapshot/replay fault tolerance
+//
+// With Config.MaxRestarts > 0 a run survives worker loss. The protocol
+// adds three frames (wire codec v2):
+//
+//   - Heartbeat: workers beacon on Config.HeartbeatInterval so the
+//     coordinator can declare a silent worker dead (HeartbeatTimeout),
+//     not just one whose connection errors.
+//   - Snapshot: after every step, each device ships the state that makes
+//     its next step a pure function — student parameters and SGD
+//     momentum, captured right after the update. The coordinator keeps
+//     the latest per device, plus the inputs the device has not
+//     snapshotted past and the completed gradient reductions its group
+//     may re-request.
+//   - Resume: on a death the coordinator re-places the lost devices —
+//     dialing the dead worker's address first (a restarted pipebd-worker
+//     -rejoin), then the surviving workers, which host the extra session
+//     concurrently — and sends an Assign extended with the per-device
+//     states. The worker rebuilds the replicas, restores them, and runs
+//     the same device loop from snapStep+1.
+//
+// Replayed frames (outputs, gradients, losses, barrier arrivals) are
+// deduplicated against per-device high-water marks, so the hub
+// incorporates each step's contribution exactly once; replayed all-reduce
+// requests are answered from the reduction cache byte-for-byte. The
+// result: a run that loses and recovers workers produces losses and
+// trained weights bit-identical to a fault-free run — pinned by the
+// recovery suite under a deterministic transport.Chaos fault schedule on
+// loopback and TCP, with and without DPU.
 package cluster
 
 import (

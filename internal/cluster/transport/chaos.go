@@ -1,0 +1,301 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"pipebd/internal/cluster/wire"
+)
+
+// ErrChaos is wrapped by every failure the Chaos network injects, so
+// tests and recovery code can tell an injected fault from a real one.
+var ErrChaos = errors.New("transport: chaos fault injected")
+
+// Op selects which direction of a connection a chaos trigger watches.
+type Op uint8
+
+const (
+	// OpSend matches frames written by the wrapped (dialing) side.
+	OpSend Op = iota
+	// OpRecv matches frames read by the wrapped (dialing) side.
+	OpRecv
+)
+
+func (o Op) String() string {
+	if o == OpSend {
+		return "send"
+	}
+	return "recv"
+}
+
+// Action is what a fault does once its trigger fires.
+type Action uint8
+
+const (
+	// ActKill closes the connection abruptly; the matched operation (and
+	// every later one) fails, and the peer observes a broken stream. A
+	// matched Recv drops the received frame, modeling a crash before
+	// delivery.
+	ActKill Action = iota
+	// ActDelay sleeps for Fault.Delay before letting the operation
+	// proceed — pure latency, no data loss.
+	ActDelay
+	// ActTruncate (send only) delivers a frame whose payload was cut in
+	// half — the peer decodes a structurally broken message — and then
+	// kills the connection, modeling a crash mid-write.
+	ActTruncate
+)
+
+func (a Action) String() string {
+	switch a {
+	case ActKill:
+		return "kill"
+	case ActDelay:
+		return "delay"
+	default:
+		return "truncate"
+	}
+}
+
+// AnyStep is the Trigger.Step wildcard. (wire.NoStep is a real step value
+// carried by control frames, so the wildcard must be distinct from it.)
+const AnyStep int32 = -1 << 30
+
+// Trigger selects the frame a fault fires on. A frame matches when it
+// crosses the Conn-th dialed connection in direction Op with the given
+// Kind and Step; Count picks the Nth match (1-based, <= 1 meaning the
+// first). Kind 0 and Step AnyStep are wildcards.
+//
+// Because triggers key on protocol content (kind + step) rather than
+// wall-clock time, a schedule is reproducible: the same seed or literal
+// schedule injects the same fault at the same protocol position on every
+// run, regardless of machine speed.
+type Trigger struct {
+	Conn  int
+	Op    Op
+	Kind  wire.Kind
+	Step  int32
+	Count int
+}
+
+// Fault is one scheduled injection.
+type Fault struct {
+	Trigger
+	Action Action
+	Delay  time.Duration // ActDelay only
+}
+
+func (f Fault) String() string {
+	kind := "any-kind"
+	if f.Kind != 0 {
+		kind = f.Kind.String()
+	}
+	step := "any-step"
+	if f.Step != AnyStep {
+		step = fmt.Sprintf("step %d", f.Step)
+	}
+	return fmt.Sprintf("%v conn %d on %v of %s %s", f.Action, f.Conn, f.Op, kind, step)
+}
+
+// Chaos wraps a Network and injects a deterministic schedule of faults
+// into the connections it Dials (listeners pass through untouched, so
+// workers can share the inner network). It is both the recovery driver in
+// production-shaped tests — kill a worker's connection mid-run, assert
+// the run still finishes bit-identically — and a reusable scenario
+// generator via RandomKills.
+type Chaos struct {
+	inner Network
+	// Logf, when set, receives one line per injected fault.
+	Logf func(format string, args ...any)
+
+	mu     sync.Mutex
+	faults []*chaosFault
+	dials  int
+}
+
+type chaosFault struct {
+	Fault
+	matches int
+	fired   bool
+}
+
+// NewChaos wraps inner with the given fault schedule.
+func NewChaos(inner Network, schedule ...Fault) *Chaos {
+	c := &Chaos{inner: inner}
+	for _, f := range schedule {
+		c.faults = append(c.faults, &chaosFault{Fault: f})
+	}
+	return c
+}
+
+// RandomKills derives n kill faults from a seed: each closes a random
+// dialed connection (of the first conns) on receipt of a loss report for
+// a random step in [0, steps). Loss frames flow from every device on
+// every step, so a kill always lands mid-run — after join, before drain —
+// which is the window recovery must handle.
+func RandomKills(seed int64, conns, steps, n int) []Fault {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Fault, n)
+	for i := range out {
+		out[i] = Fault{
+			Trigger: Trigger{Conn: rng.Intn(conns), Op: OpRecv,
+				Kind: wire.KindLosses, Step: rng.Int31n(int32(steps)), Count: 1},
+			Action: ActKill,
+		}
+	}
+	return out
+}
+
+// Listen passes through to the wrapped network.
+func (c *Chaos) Listen(addr string) (Listener, error) { return c.inner.Listen(addr) }
+
+// Dial connects through the wrapped network and arms the faults scheduled
+// for this connection (by dial order, 0-based).
+func (c *Chaos) Dial(addr string) (Conn, error) {
+	conn, err := c.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	idx := c.dials
+	c.dials++
+	var armed []*chaosFault
+	for _, f := range c.faults {
+		if f.Conn == idx {
+			armed = append(armed, f)
+		}
+	}
+	c.mu.Unlock()
+	return &chaosConn{inner: conn, chaos: c, faults: armed}, nil
+}
+
+// Unfired returns the scheduled faults that have not fired (yet): a
+// fault aimed at a connection that was never dialed, or whose trigger
+// never matched. Self-tests should fail when a schedule did not fully
+// fire — otherwise a mis-aimed kill silently degrades a chaos run into a
+// fault-free one.
+func (c *Chaos) Unfired() []Fault {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Fault
+	for _, f := range c.faults {
+		if !f.fired {
+			out = append(out, f.Fault)
+		}
+	}
+	return out
+}
+
+func (c *Chaos) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+type chaosConn struct {
+	inner  Conn
+	chaos  *Chaos
+	mu     sync.Mutex
+	faults []*chaosFault
+	killed bool
+}
+
+// match reports the armed fault (if any) fired by a frame crossing in
+// direction op, advancing per-fault match counts.
+func (cc *chaosConn) match(op Op, f *wire.Frame) *chaosFault {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.killed {
+		return nil
+	}
+	for _, fl := range cc.faults {
+		if fl.fired || fl.Op != op {
+			continue
+		}
+		if fl.Kind != 0 && fl.Kind != f.Kind {
+			continue
+		}
+		if fl.Step != AnyStep && fl.Step != f.Step {
+			continue
+		}
+		fl.matches++
+		want := fl.Count
+		if want < 1 {
+			want = 1
+		}
+		if fl.matches < want {
+			continue
+		}
+		fl.fired = true
+		if fl.Action == ActKill || fl.Action == ActTruncate {
+			cc.killed = true
+		}
+		return fl
+	}
+	return nil
+}
+
+func (cc *chaosConn) dead() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.killed
+}
+
+func (cc *chaosConn) Send(f *wire.Frame) error {
+	if cc.dead() {
+		return fmt.Errorf("%w: connection killed", ErrChaos)
+	}
+	fl := cc.match(OpSend, f)
+	if fl == nil {
+		return cc.inner.Send(f)
+	}
+	cc.chaos.logf("chaos: %v fired on %v frame (dev %d step %d)", fl.Fault, f.Kind, f.Dev, f.Step)
+	switch fl.Action {
+	case ActDelay:
+		time.Sleep(fl.Delay)
+		return cc.inner.Send(f)
+	case ActTruncate:
+		mangled := &wire.Frame{Kind: f.Kind, Dev: f.Dev, Step: f.Step,
+			Payload: f.Payload[:len(f.Payload)/2]}
+		_ = cc.inner.Send(mangled)
+		cc.inner.Close()
+		return fmt.Errorf("%w: frame truncated mid-write", ErrChaos)
+	default: // ActKill: the frame is lost
+		cc.inner.Close()
+		return fmt.Errorf("%w: connection killed on send", ErrChaos)
+	}
+}
+
+func (cc *chaosConn) Recv() (*wire.Frame, error) {
+	if cc.dead() {
+		return nil, fmt.Errorf("%w: connection killed", ErrChaos)
+	}
+	f, err := cc.inner.Recv()
+	if err != nil {
+		return nil, err
+	}
+	fl := cc.match(OpRecv, f)
+	if fl == nil {
+		return f, nil
+	}
+	cc.chaos.logf("chaos: %v fired on %v frame (dev %d step %d)", fl.Fault, f.Kind, f.Dev, f.Step)
+	if fl.Action == ActDelay {
+		time.Sleep(fl.Delay)
+		return f, nil
+	}
+	// ActKill (and ActTruncate, nonsensical on recv, treated as kill):
+	// the received frame is dropped, as if the peer crashed before it
+	// was delivered.
+	cc.inner.Close()
+	return nil, fmt.Errorf("%w: connection killed on recv", ErrChaos)
+}
+
+func (cc *chaosConn) Close() error { return cc.inner.Close() }
+
+var (
+	_ Network = (*Chaos)(nil)
+	_ Conn    = (*chaosConn)(nil)
+)

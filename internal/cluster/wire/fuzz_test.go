@@ -13,7 +13,12 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(encodeSeed(Control(KindHello, NoDev, NoStep)))
 	f.Add(encodeSeed(EncodeLosses(0, 3, []float64{1.5, -2})))
 	f.Add(encodeSeed(EncodeAssign(&Assign{})))
+	f.Add(encodeSeed(Control(KindHeartbeat, NoDev, NoStep)))
+	f.Add(encodeSeed(EncodeDeviceSnapshot(1, 2, nil, nil)))
+	f.Add(encodeSeed(EncodeResume(&Resume{})))
 	f.Add([]byte{Magic, Version, byte(KindInput), 0})
+	f.Add([]byte{Magic, 1, byte(KindHello), 0}, // version skew: old peer
+	)
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data))
@@ -38,6 +43,8 @@ func FuzzReadFrame(f *testing.F) {
 		_, _ = DecodeTensors(&Frame{Kind: KindGrads, Payload: fr.Payload})
 		_, _ = DecodeLosses(&Frame{Kind: KindLosses, Payload: fr.Payload})
 		_, _ = DecodeBatch(&Frame{Kind: KindBatch, Payload: fr.Payload})
+		_, _, _ = DecodeDeviceSnapshot(&Frame{Kind: KindSnapshot, Payload: fr.Payload})
+		_, _ = DecodeResume(&Frame{Kind: KindResume, Payload: fr.Payload})
 	})
 }
 

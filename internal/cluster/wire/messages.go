@@ -30,6 +30,12 @@ type RunConfig struct {
 	Buffer   int
 	Steps    int
 	Backend  string // tensor backend registry name; "" keeps the worker default
+	// Snapshots asks each hosted device to send a KindSnapshot frame
+	// after every step, enabling the coordinator's replay-based recovery.
+	Snapshots bool
+	// HeartbeatMillis asks the worker to emit KindHeartbeat frames on this
+	// interval; <= 0 disables the beacon.
+	HeartbeatMillis int
 }
 
 // Snapshot is a full parameter snapshot of a workbench, indexed
@@ -50,9 +56,9 @@ type Assign struct {
 	Snapshot Snapshot
 }
 
-// EncodeAssign packs an Assign into a frame.
-func EncodeAssign(a *Assign) *Frame {
-	w := NewWriter()
+// writeAssignBody packs the Assign fields; shared by the Assign and
+// Resume frames so the two session-setup messages cannot drift apart.
+func writeAssignBody(w *Writer, a *Assign) {
 	w.String(a.Plan.Name)
 	w.U32(uint32(len(a.Plan.Groups)))
 	for _, g := range a.Plan.Groups {
@@ -73,18 +79,15 @@ func EncodeAssign(a *Assign) *Frame {
 	w.I32(int32(a.Run.Buffer))
 	w.I32(int32(a.Run.Steps))
 	w.String(a.Run.Backend)
+	w.Bool(a.Run.Snapshots)
+	w.I32(int32(a.Run.HeartbeatMillis))
 	w.I32s(a.Devices)
 	writeSnapshotHalf(w, a.Snapshot.Teacher)
 	writeSnapshotHalf(w, a.Snapshot.Student)
-	return &Frame{Kind: KindAssign, Dev: NoDev, Step: NoStep, Payload: w.Bytes()}
 }
 
-// DecodeAssign unpacks an Assign frame.
-func DecodeAssign(f *Frame) (*Assign, error) {
-	if f.Kind != KindAssign {
-		return nil, fmt.Errorf("wire: expected %v frame, got %v", KindAssign, f.Kind)
-	}
-	r := NewReader(f.Payload)
+// readAssignBody unpacks the Assign fields written by writeAssignBody.
+func readAssignBody(r *Reader) (*Assign, error) {
 	a := &Assign{}
 	a.Plan.Name = r.String()
 	ng := r.count(r.U32(), 12) // each group holds three counted slices
@@ -105,6 +108,8 @@ func DecodeAssign(f *Frame) (*Assign, error) {
 	a.Run.Buffer = int(r.I32())
 	a.Run.Steps = int(r.I32())
 	a.Run.Backend = r.String()
+	a.Run.Snapshots = r.Bool()
+	a.Run.HeartbeatMillis = int(r.I32())
 	a.Devices = r.I32s()
 	var err error
 	if a.Snapshot.Teacher, err = readSnapshotHalf(r); err != nil {
@@ -113,10 +118,132 @@ func DecodeAssign(f *Frame) (*Assign, error) {
 	if a.Snapshot.Student, err = readSnapshotHalf(r); err != nil {
 		return nil, err
 	}
+	return a, r.Err()
+}
+
+// EncodeAssign packs an Assign into a frame.
+func EncodeAssign(a *Assign) *Frame {
+	w := NewWriter()
+	writeAssignBody(w, a)
+	return &Frame{Kind: KindAssign, Dev: NoDev, Step: NoStep, Payload: w.Bytes()}
+}
+
+// DecodeAssign unpacks an Assign frame.
+func DecodeAssign(f *Frame) (*Assign, error) {
+	if f.Kind != KindAssign {
+		return nil, fmt.Errorf("wire: expected %v frame, got %v", KindAssign, f.Kind)
+	}
+	r := NewReader(f.Payload)
+	a, err := readAssignBody(r)
+	if err != nil {
+		return nil, err
+	}
 	if err := r.Close(); err != nil {
 		return nil, err
 	}
 	return a, nil
+}
+
+// DeviceState is one device's recovery state: the step it completed last
+// and the student parameters plus optimizer velocities it held right
+// after that step's update (its GradTensors order: blocks in group order,
+// parameters in declaration order). Step -1 means the device never
+// finished a step and Params/Velocity hold the seed state.
+type DeviceState struct {
+	Dev      int
+	Step     int
+	Params   []*tensor.Tensor
+	Velocity []*tensor.Tensor
+}
+
+// EncodeDeviceSnapshot packs one device's post-step recovery state.
+func EncodeDeviceSnapshot(dev, step int32, params, velocity []*tensor.Tensor) *Frame {
+	w := NewWriter()
+	w.Tensors(params)
+	w.Tensors(velocity)
+	return &Frame{Kind: KindSnapshot, Dev: dev, Step: step, Payload: w.Bytes()}
+}
+
+// DecodeDeviceSnapshot unpacks a snapshot frame into its parameter and
+// velocity lists. The two lists must have the same length.
+func DecodeDeviceSnapshot(f *Frame) (params, velocity []*tensor.Tensor, err error) {
+	r := NewReader(f.Payload)
+	params = r.Tensors()
+	velocity = r.Tensors()
+	if err := r.Close(); err != nil {
+		return nil, nil, err
+	}
+	if len(params) != len(velocity) {
+		return nil, nil, fmt.Errorf("wire: snapshot has %d params but %d velocities", len(params), len(velocity))
+	}
+	return params, velocity, nil
+}
+
+// Resume is the re-placement session-setup message: the full Assign a
+// fresh worker needs to rebuild the devices, plus the per-device states
+// to restore before replaying. States must cover every entry of
+// Assign.Devices exactly once.
+type Resume struct {
+	Assign
+	States []DeviceState
+}
+
+// EncodeResume packs a Resume into a frame.
+func EncodeResume(res *Resume) *Frame {
+	w := NewWriter()
+	writeAssignBody(w, &res.Assign)
+	w.U32(uint32(len(res.States)))
+	for _, st := range res.States {
+		w.I32(int32(st.Dev))
+		w.I32(int32(st.Step))
+		w.Tensors(st.Params)
+		w.Tensors(st.Velocity)
+	}
+	return &Frame{Kind: KindResume, Dev: NoDev, Step: NoStep, Payload: w.Bytes()}
+}
+
+// DecodeResume unpacks a Resume frame, validating that the states match
+// the assigned devices one-to-one.
+func DecodeResume(f *Frame) (*Resume, error) {
+	if f.Kind != KindResume {
+		return nil, fmt.Errorf("wire: expected %v frame, got %v", KindResume, f.Kind)
+	}
+	r := NewReader(f.Payload)
+	a, err := readAssignBody(r)
+	if err != nil {
+		return nil, err
+	}
+	res := &Resume{Assign: *a}
+	n := r.count(r.U32(), 16) // dev + step + two counted tensor lists
+	for i := 0; i < n && r.Err() == nil; i++ {
+		st := DeviceState{Dev: int(r.I32()), Step: int(r.I32())}
+		st.Params = r.Tensors()
+		st.Velocity = r.Tensors()
+		if len(st.Params) != len(st.Velocity) {
+			return nil, fmt.Errorf("wire: resume state for device %d has %d params but %d velocities",
+				st.Dev, len(st.Params), len(st.Velocity))
+		}
+		res.States = append(res.States, st)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	if len(res.States) != len(res.Devices) {
+		return nil, fmt.Errorf("wire: resume carries %d states for %d devices", len(res.States), len(res.Devices))
+	}
+	byDev := make(map[int]bool, len(res.States))
+	for _, st := range res.States {
+		if byDev[st.Dev] {
+			return nil, fmt.Errorf("wire: resume has duplicate state for device %d", st.Dev)
+		}
+		byDev[st.Dev] = true
+	}
+	for _, d := range res.Devices {
+		if !byDev[d] {
+			return nil, fmt.Errorf("wire: resume is missing state for device %d", d)
+		}
+	}
+	return res, nil
 }
 
 func writeSnapshotHalf(w *Writer, blocks [][]*tensor.Tensor) {

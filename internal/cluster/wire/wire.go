@@ -26,8 +26,10 @@ const (
 	// Magic is the first byte of every frame.
 	Magic = 0xBD
 	// Version is the codec version; frames with any other version are
-	// rejected by ReadFrame.
-	Version = 1
+	// rejected by ReadFrame. Version 2 added the fault-tolerance frames
+	// (Heartbeat, Snapshot, Resume), so a v1 worker and a v2 coordinator
+	// fail their handshake cleanly instead of mis-decoding recovery state.
+	Version = 2
 
 	headerLen = 16
 	// MaxPayload bounds a frame's payload so a corrupted or adversarial
@@ -81,6 +83,19 @@ const (
 	// KindBatch carries a full dataset batch (input tensor plus labels),
 	// for pipelines that also ship labels to the first group.
 	KindBatch
+	// KindHeartbeat is a liveness beacon a worker emits on an interval so
+	// the coordinator can declare it dead on silence (hang, partition)
+	// rather than only on a connection error.
+	KindHeartbeat
+	// KindSnapshot carries one device's recovery state after it finished a
+	// step: the student parameters and optimizer velocities the device
+	// would need to replay the next step bit-identically.
+	KindSnapshot
+	// KindResume is the session-setup message of a re-placement: an Assign
+	// plus the per-device snapshots (and step counters) to restore, sent
+	// instead of KindAssign when a coordinator moves a dead worker's
+	// devices onto a surviving or re-joined worker.
+	KindResume
 	kindEnd // sentinel: all valid kinds are below this
 )
 
@@ -89,7 +104,8 @@ var kindNames = map[Kind]string{
 	KindOutput: "output", KindGrads: "grads", KindGradsReduced: "grads-reduced",
 	KindStepDone: "step-done", KindStepGo: "step-go", KindLosses: "losses",
 	KindFinalParams: "final-params", KindDone: "done", KindDrain: "drain",
-	KindBatch: "batch",
+	KindBatch: "batch", KindHeartbeat: "heartbeat", KindSnapshot: "snapshot",
+	KindResume: "resume",
 }
 
 func (k Kind) String() string {

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"pipebd/internal/dataset"
@@ -202,6 +203,119 @@ func TestAssignRoundTrip(t *testing.T) {
 	}
 	if !got.Snapshot.Teacher[0][0].Equal(a.Snapshot.Teacher[0][0]) {
 		t.Fatal("teacher snapshot differs")
+	}
+}
+
+func TestDeviceSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	params := []*tensor.Tensor{tensor.Rand(rng, -1, 1, 3, 2), tensor.Rand(rng, -1, 1, 4)}
+	vels := []*tensor.Tensor{tensor.Rand(rng, -1, 1, 3, 2), tensor.New(4)}
+	f := roundTripFrame(t, EncodeDeviceSnapshot(2, 7, params, vels))
+	if f.Dev != 2 || f.Step != 7 {
+		t.Fatalf("snapshot header: %+v", f)
+	}
+	gp, gv, err := DecodeDeviceSnapshot(f)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	for i := range params {
+		if !gp[i].Equal(params[i]) || !gv[i].Equal(vels[i]) {
+			t.Fatalf("snapshot tensor %d differs", i)
+		}
+	}
+}
+
+func TestDeviceSnapshotCountMismatchRejected(t *testing.T) {
+	w := NewWriter()
+	w.Tensors([]*tensor.Tensor{tensor.Ones(2)})
+	w.Tensors(nil) // 1 param, 0 velocities
+	if _, _, err := DecodeDeviceSnapshot(&Frame{Kind: KindSnapshot, Payload: w.Bytes()}); err == nil {
+		t.Fatal("param/velocity count mismatch accepted")
+	}
+}
+
+func sampleResume() *Resume {
+	rng := rand.New(rand.NewSource(6))
+	res := &Resume{Assign: *sampleAssign()}
+	for _, d := range res.Devices {
+		res.States = append(res.States, DeviceState{
+			Dev: d, Step: 3,
+			Params:   []*tensor.Tensor{tensor.Rand(rng, -1, 1, 3), tensor.Rand(rng, -1, 1, 1, 4)},
+			Velocity: []*tensor.Tensor{tensor.Rand(rng, -1, 1, 3), tensor.New(1, 4)},
+		})
+	}
+	return res
+}
+
+func TestResumeRoundTrip(t *testing.T) {
+	res := sampleResume()
+	res.States[0].Step = -1 // never finished a step: seed state
+	got, err := DecodeResume(roundTripFrame(t, EncodeResume(res)))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Plan.Name != res.Plan.Name || got.Spec != res.Spec || got.Run != res.Run {
+		t.Fatalf("assign body mismatch: %+v", got.Assign)
+	}
+	if len(got.States) != len(res.States) {
+		t.Fatalf("got %d states, want %d", len(got.States), len(res.States))
+	}
+	for i, st := range res.States {
+		g := got.States[i]
+		if g.Dev != st.Dev || g.Step != st.Step {
+			t.Fatalf("state %d header: %+v vs %+v", i, g, st)
+		}
+		for pi := range st.Params {
+			if !g.Params[pi].Equal(st.Params[pi]) || !g.Velocity[pi].Equal(st.Velocity[pi]) {
+				t.Fatalf("state %d tensor %d differs", i, pi)
+			}
+		}
+	}
+}
+
+// TestResumeStateDeviceMismatchRejected: the decoder enforces the
+// one-state-per-assigned-device invariant so a worker never starts a
+// half-restored session.
+func TestResumeStateDeviceMismatchRejected(t *testing.T) {
+	res := sampleResume()
+	res.States = res.States[:1]
+	if _, err := DecodeResume(roundTripFrame(t, EncodeResume(res))); err == nil {
+		t.Fatal("missing device state accepted")
+	}
+	res = sampleResume()
+	res.States[1].Dev = res.States[0].Dev
+	if _, err := DecodeResume(roundTripFrame(t, EncodeResume(res))); err == nil {
+		t.Fatal("duplicate device state accepted")
+	}
+	res = sampleResume()
+	res.States[1].Dev = 99
+	if _, err := DecodeResume(roundTripFrame(t, EncodeResume(res))); err == nil {
+		t.Fatal("state for unassigned device accepted")
+	}
+}
+
+func TestResumeTruncatedPayloadRejected(t *testing.T) {
+	f := EncodeResume(sampleResume())
+	for n := 0; n < len(f.Payload); n += 7 {
+		if _, err := DecodeResume(&Frame{Kind: KindResume, Dev: NoDev, Step: NoStep, Payload: f.Payload[:n]}); err == nil {
+			t.Fatalf("Resume payload truncated to %d bytes decoded successfully", n)
+		}
+	}
+}
+
+// TestVersionSkewOldWorker models an un-upgraded (codec v1) worker
+// talking to this coordinator: its hello frame is stamped with version 1
+// and must be rejected with ErrVersion — a clean, diagnosable handshake
+// failure rather than a mis-decoded recovery frame.
+func TestVersionSkewOldWorker(t *testing.T) {
+	raw := encodeFrameBytes(t, Control(KindHello, NoDev, NoStep))
+	raw[1] = 1 // the pre-fault-tolerance codec version
+	_, err := ReadFrame(bytes.NewReader(raw))
+	if !errors.Is(err, ErrVersion) {
+		t.Fatalf("v1 hello: got %v, want ErrVersion", err)
+	}
+	if !strings.Contains(err.Error(), "version 1") || !strings.Contains(err.Error(), "2") {
+		t.Fatalf("version error should name both versions: %v", err)
 	}
 }
 

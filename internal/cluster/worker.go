@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"pipebd/internal/cluster/transport"
 	"pipebd/internal/cluster/wire"
@@ -19,17 +20,29 @@ type WorkerConfig struct {
 	// Sessions bounds how many coordinator sessions to serve before
 	// Serve returns; 0 serves until the listener closes.
 	Sessions int
+	// Rejoin keeps failed sessions from counting toward Sessions: a
+	// worker whose session dies (coordinator crash, connection loss,
+	// chaos kill) stays up to accept the replacement — the "re-joined
+	// worker" half of the coordinator's recovery path. Without it every
+	// accepted session counts, successful or not.
+	Rejoin bool
 	// Logf receives progress lines; nil is silent.
 	Logf func(format string, args ...any)
 }
 
 // Worker hosts pipeline devices for a coordinator: it accepts a
 // connection, receives an Assign (plan, model spec, run config, hosted
-// device ranks, seed parameters), rebuilds one workbench replica per
-// hosted device, and drives each through engine.RunMember — the same
-// device loop the in-process pipeline uses — over a transport-backed
-// DeviceLink. After the last step it returns each group leader's trained
-// student parameters and drains back to accepting the next session.
+// device ranks, seed parameters) — or a Resume, which additionally
+// restores per-device snapshots and replays from their step counters —
+// rebuilds one workbench replica per hosted device, and drives each
+// through engine.RunMember — the same device loop the in-process pipeline
+// uses — over a transport-backed DeviceLink. After the last step it
+// returns each group leader's trained student parameters and drains back
+// to accepting the next session.
+//
+// Sessions are served concurrently: a surviving worker can host a dead
+// sibling's re-placed devices in a second session while its own original
+// session keeps running.
 type Worker struct {
 	lis transport.Listener
 	cfg WorkerConfig
@@ -43,14 +56,21 @@ func NewWorker(lis transport.Listener, cfg WorkerConfig) *Worker {
 // Addr returns the listener's bound address.
 func (w *Worker) Addr() string { return w.lis.Addr() }
 
-// Close stops the listener; a blocked Serve returns.
+// Close stops the listener; a blocked Serve returns after in-flight
+// sessions finish.
 func (w *Worker) Close() error { return w.lis.Close() }
 
 // Serve accepts and runs coordinator sessions until the listener closes
-// (returning nil) or the configured session count is reached. A failed
-// session is logged and does not stop the server.
+// (returning nil) or the configured session count is reached — counting
+// every session, or only successful ones when Rejoin is set. Sessions run
+// concurrently; Serve waits for all in-flight sessions before returning.
+// A failed session is logged and does not stop the server.
 func (w *Worker) Serve() error {
-	for served := 0; w.cfg.Sessions == 0 || served < w.cfg.Sessions; served++ {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	var mu sync.Mutex
+	counted := 0
+	for {
 		conn, err := w.lis.Accept()
 		if err != nil {
 			if errors.Is(err, transport.ErrClosed) || errors.Is(err, net.ErrClosed) {
@@ -58,12 +78,29 @@ func (w *Worker) Serve() error {
 			}
 			return err
 		}
-		if err := w.serveSession(conn); err != nil {
-			w.logf("session failed: %v", err)
-		}
-		conn.Close()
+		wg.Add(1)
+		go func(conn transport.Conn) {
+			defer wg.Done()
+			err := w.serveSession(conn)
+			if err != nil {
+				w.logf("session failed: %v", err)
+			}
+			conn.Close()
+			if w.cfg.Sessions <= 0 {
+				return
+			}
+			mu.Lock()
+			if err == nil || !w.cfg.Rejoin {
+				counted++
+			}
+			reached := counted >= w.cfg.Sessions
+			mu.Unlock()
+			if reached {
+				// Session budget spent: stop accepting; Serve returns nil.
+				w.lis.Close()
+			}
+		}(conn)
 	}
-	return nil
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -77,6 +114,7 @@ type hostedDevice struct {
 	rank   int32
 	member engine.Member
 	link   *clusterLink
+	start  int   // first step to run (snapStep+1 on resume, else 0)
 	blocks []int // global block indices (for the final-params report)
 }
 
@@ -89,15 +127,64 @@ func (w *Worker) serveSession(conn transport.Conn) error {
 	if err != nil {
 		return fmt.Errorf("cluster: reading assign: %w", err)
 	}
-	assign, err := wire.DecodeAssign(first)
-	if err != nil {
-		return err
+	var assign *wire.Assign
+	var states map[int]wire.DeviceState
+	switch first.Kind {
+	case wire.KindAssign:
+		if assign, err = wire.DecodeAssign(first); err != nil {
+			return err
+		}
+	case wire.KindResume:
+		res, err := wire.DecodeResume(first)
+		if err != nil {
+			return err
+		}
+		assign = &res.Assign
+		states = make(map[int]wire.DeviceState, len(res.States))
+		for _, st := range res.States {
+			states[st.Dev] = st
+		}
+	default:
+		return fmt.Errorf("cluster: session opened with %v, want assign or resume", first.Kind)
 	}
+	// Liveness beacon, when the coordinator asked for one. It starts
+	// before the replica rebuild: device construction (and resume-state
+	// install) can take longer than the silence timeout, and a session
+	// declared dead during its own setup would burn a restart for nothing.
+	hbStop := make(chan struct{})
+	defer close(hbStop)
+	if assign.Run.HeartbeatMillis > 0 {
+		interval := time.Duration(assign.Run.HeartbeatMillis) * time.Millisecond
+		go func() {
+			ticker := time.NewTicker(interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-hbStop:
+					return
+				case <-ticker.C:
+					out.Enqueue(wire.Control(wire.KindHeartbeat, wire.NoDev, wire.NoStep))
+				}
+			}
+		}()
+	}
+
 	devices, err := w.buildDevices(assign, out)
 	if err != nil {
 		return err
 	}
-	w.logf("assigned %d device(s) of plan %q: %s", len(devices), assign.Plan.Name, assign.Plan.Describe())
+	if states != nil {
+		for _, d := range devices {
+			st := states[int(d.rank)]
+			if err := installDeviceState(d, st); err != nil {
+				return err
+			}
+			d.start = st.Step + 1
+		}
+		w.logf("resuming %d device(s) of plan %q from per-device snapshots", len(devices), assign.Plan.Name)
+	} else {
+		w.logf("assigned %d device(s) of plan %q: %s", len(devices), assign.Plan.Name, assign.Plan.Describe())
+	}
 
 	// Router: demux inbound frames to device inboxes until the
 	// coordinator drains the session or the connection dies.
@@ -119,7 +206,7 @@ func (w *Worker) serveSession(conn transport.Conn) error {
 				routerErr <- nil
 				return
 			case f.Dev == wire.NoDev:
-				// Broadcast (step-go barriers): every hosted device gets it.
+				// Broadcast: every hosted device gets it.
 				for _, d := range devices {
 					d.link.in.put(f)
 				}
@@ -173,13 +260,13 @@ func (w *Worker) serveSession(conn transport.Conn) error {
 	return nil
 }
 
-// runDevice drives one hosted device's training loop and, for group
-// leaders, reports the trained student weights; replicas are
-// bit-identical, so one copy suffices. All panics are contained to an
-// error.
+// runDevice drives one hosted device's training loop (from its start
+// step, nonzero when resuming) and, for group leaders, reports the
+// trained student weights; replicas are bit-identical, so one copy
+// suffices. All panics are contained to an error.
 func runDevice(d *hostedDevice, steps int, out *outbox) (err error) {
 	defer recoverSession(&err)
-	engine.RunMember(d.member, steps, d.link)
+	engine.RunMemberFrom(d.member, d.start, steps, d.link)
 	if d.member.Rank == 0 {
 		var params []*tensor.Tensor
 		for _, pair := range d.member.Pairs {
@@ -243,7 +330,7 @@ func (w *Worker) buildDevices(assign *wire.Assign, out *outbox) ([]*hostedDevice
 			pairs[bi] = wb.Pairs[b]
 			opts[bi] = nn.NewSGD(assign.Run.LR, assign.Run.Momentum, 0)
 		}
-		devices = append(devices, &hostedDevice{
+		d := &hostedDevice{
 			rank: int32(rank),
 			member: engine.Member{Group: gi, Rank: j, GroupSize: group.Split(),
 				Pairs: pairs, Opts: opts},
@@ -252,9 +339,66 @@ func (w *Worker) buildDevices(assign *wire.Assign, out *outbox) ([]*hostedDevice
 				dpu:       assign.Run.DPU,
 				in:        newInbox(), out: out},
 			blocks: group.Blocks,
-		})
+		}
+		if assign.Run.Snapshots {
+			d.link.snapshot = deviceSnapshotter(d)
+		}
+		devices = append(devices, d)
 	}
 	return devices, nil
+}
+
+// deviceSnapshotter returns the closure that captures a device's
+// post-step recovery state: every student parameter and its optimizer
+// velocity (zeros when momentum has not touched a parameter yet), in the
+// same flattened order the coordinator validates against.
+func deviceSnapshotter(d *hostedDevice) func(step int) *wire.Frame {
+	return func(step int) *wire.Frame {
+		var params, vels []*tensor.Tensor
+		for bi, pair := range d.member.Pairs {
+			for _, p := range pair.Student.Params() {
+				params = append(params, p.Value)
+				v := d.member.Opts[bi].Velocity(p)
+				if v == nil {
+					v = tensor.New(p.Value.Shape()...)
+				}
+				vels = append(vels, v)
+			}
+		}
+		// Encoding copies the data immediately, so sharing the live
+		// tensors here is safe: the next step's mutations happen after
+		// this frame's bytes are fixed.
+		return wire.EncodeDeviceSnapshot(d.rank, int32(step), params, vels)
+	}
+}
+
+// installDeviceState restores a resumed device to its snapshot: student
+// parameters and optimizer velocities as they were right after the
+// snapshot's step.
+func installDeviceState(d *hostedDevice, st wire.DeviceState) error {
+	var params []*nn.Param
+	var opts []*nn.SGD
+	for bi, pair := range d.member.Pairs {
+		for _, p := range pair.Student.Params() {
+			params = append(params, p)
+			opts = append(opts, d.member.Opts[bi])
+		}
+	}
+	if len(st.Params) != len(params) {
+		return fmt.Errorf("cluster: resume state for device %d has %d params, replica has %d",
+			d.rank, len(st.Params), len(params))
+	}
+	for i, p := range params {
+		if !st.Params[i].SameShape(p.Value) || !st.Velocity[i].SameShape(p.Value) {
+			return fmt.Errorf("cluster: resume state for device %d param %d shape %v/%v, want %v",
+				d.rank, i, st.Params[i].Shape(), st.Velocity[i].Shape(), p.Value.Shape())
+		}
+		p.Value.CopyFrom(st.Params[i])
+		// The decoded velocity tensor is private to this frame; the
+		// optimizer takes ownership and mutates it in place from here on.
+		opts[i].SetVelocity(p, st.Velocity[i])
+	}
+	return nil
 }
 
 func findDevice(devices []*hostedDevice, rank int32) *hostedDevice {
@@ -267,3 +411,4 @@ func findDevice(devices []*hostedDevice, rank int32) *hostedDevice {
 }
 
 var _ engine.DeviceLink = (*clusterLink)(nil)
+var _ engine.StepFinisher = (*clusterLink)(nil)

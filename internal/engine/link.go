@@ -42,6 +42,15 @@ type DeviceLink interface {
 	StepBarrier(step int)
 }
 
+// StepFinisher is an optional DeviceLink extension: when a link
+// implements it, RunMember calls FinishStep after a step's parameter
+// updates are installed — the point where the device's state is exactly
+// "trained through step s". The cluster link uses it to emit recovery
+// snapshots; the in-process link has no need for it.
+type StepFinisher interface {
+	FinishStep(step int)
+}
+
 // Member describes one pipeline device's role: its group, its rank within
 // the group, and its private block replicas with their optimizers.
 type Member struct {
@@ -71,6 +80,14 @@ func (m Member) GradTensors() []*tensor.Tensor {
 // link. It is the single device runtime shared by the in-process pipeline
 // (RunPipelined) and the multi-process cluster worker.
 func RunMember(m Member, steps int, link DeviceLink) {
+	RunMemberFrom(m, 0, steps, link)
+}
+
+// RunMemberFrom runs the device loop for steps [start, steps). It exists
+// for replay-based recovery: a device restored from a snapshot taken
+// after step start-1 resumes here and, fed the same inputs, reproduces
+// the remaining trajectory bit-identically.
+func RunMemberFrom(m Member, start, steps int, link DeviceLink) {
 	k := m.GroupSize
 	nb := len(m.Pairs)
 	// Every step reuses the same shapes, so this member's batch shard and
@@ -82,7 +99,8 @@ func RunMember(m Member, steps int, link DeviceLink) {
 	if k > 1 {
 		grads = m.GradTensors()
 	}
-	for s := 0; s < steps; s++ {
+	finisher, _ := link.(StepFinisher)
+	for s := start; s < steps; s++ {
 		// Receive the step's input: the data loader for the first group,
 		// the relayed teacher activation otherwise (lines 8-9).
 		full := link.RecvInput(s)
@@ -120,6 +138,9 @@ func RunMember(m Member, steps int, link DeviceLink) {
 		link.StepBarrier(s)
 		for bi := 0; bi < nb; bi++ {
 			m.Opts[bi].Step(m.Pairs[bi].Student.Params())
+		}
+		if finisher != nil {
+			finisher.FinishStep(s)
 		}
 	}
 }

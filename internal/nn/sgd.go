@@ -51,3 +51,20 @@ func (s *SGD) Step(params []*Param) {
 
 // ZeroGrad clears the gradients of the given parameters.
 func (s *SGD) ZeroGrad(params []*Param) { ZeroGrads(params) }
+
+// Velocity returns p's momentum buffer, or nil if no update has touched
+// it yet (equivalent to an all-zero buffer). Exposed so checkpoint /
+// recovery code can capture the optimizer state that, together with the
+// parameter values, makes an SGD trajectory replayable bit-for-bit.
+func (s *SGD) Velocity(p *Param) *tensor.Tensor { return s.velocity[p] }
+
+// SetVelocity installs v as p's momentum buffer (restoring a snapshot).
+// The optimizer takes ownership of v and mutates it in place on later
+// steps. A nil v clears the buffer back to the lazy-zero state.
+func (s *SGD) SetVelocity(p *Param, v *tensor.Tensor) {
+	if v == nil {
+		delete(s.velocity, p)
+		return
+	}
+	s.velocity[p] = v
+}
