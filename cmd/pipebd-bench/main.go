@@ -2,14 +2,18 @@
 // machine-readable JSON: MatMul and Conv2d-forward kernel throughput, the
 // numeric engine's pipeline-step rate (each measured on the serial
 // reference backend and the parallel backend), and the cluster's
-// end-to-end run and fault-recovery latency on loopback — a fault-free
-// run versus the same run with one injected worker kill mid-stream. The
-// output file (committed as BENCH_PR3.json, alongside the PR2 baseline)
-// gives later PRs a trajectory to compare against.
+// end-to-end latencies on loopback — a fault-free run, the same run with
+// one injected worker kill (worker-recovery latency), a snapshot-interval
+// sweep (k ∈ {1, 4, all} — snapshot traffic falls k-fold as k grows),
+// rank-0 dedup on versus off (dedup cuts a split group's snapshot
+// traffic k-fold again), a durable run persisting its ledger, and a full
+// coordinator crash + ResumeRun cycle. The output file (committed as
+// BENCH_PR4.json, alongside the PR2/PR3 baselines) gives later PRs a
+// trajectory to compare against.
 //
 // Usage:
 //
-//	pipebd-bench -out BENCH_PR3.json          # full sizes
+//	pipebd-bench -out BENCH_PR4.json          # full sizes
 //	pipebd-bench -out bench.json -quick       # small sizes for smoke tests
 package main
 
@@ -24,6 +28,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"pipebd/internal/cluster"
 	"pipebd/internal/cluster/transport"
@@ -48,7 +53,7 @@ type Record struct {
 	MBPerSec float64 `json:"mb_per_sec,omitempty"`
 }
 
-// Report is the file layout of BENCH_PR3.json.
+// Report is the file layout of BENCH_PR4.json.
 type Report struct {
 	GoMaxProcs int      `json:"go_max_procs"`
 	GoVersion  string   `json:"go_version"`
@@ -66,7 +71,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pipebd-bench", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	out := fs.String("out", "BENCH_PR3.json", "output JSON path (- for stdout)")
+	out := fs.String("out", "BENCH_PR4.json", "output JSON path (- for stdout)")
 	quick := fs.Bool("quick", false, "small problem sizes (smoke testing)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -157,26 +162,80 @@ func run(args []string, stdout io.Writer) error {
 	if *quick {
 		clusterSteps = 3
 	}
-	for _, kill := range []bool{false, true} {
-		kill := kill
+	clusterBench := func(name string, o clusterBenchOpts) {
 		res := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
-				run := newClusterBenchRun(clusterSteps, stepBatch, kill)
+				run := newClusterBenchRun(o)
 				b.StartTimer()
 				if err := run.exec(); err != nil {
-					b.Fatalf("cluster bench run (kill=%v): %v", kill, err)
+					b.Fatalf("cluster bench run %s: %v", name, err)
 				}
 				b.StopTimer()
 				run.close()
 			}
 		})
-		name := fmt.Sprintf("ClusterRun/hybrid/%dsteps-batch%d", clusterSteps, stepBatch)
-		if kill {
-			name = fmt.Sprintf("ClusterRecovery/hybrid/%dsteps-batch%d-one-kill", clusterSteps, stepBatch)
-		}
 		report.add(name, "loopback", res)
 	}
+	base := clusterBenchOpts{steps: clusterSteps, batch: stepBatch}
+	clusterBench(fmt.Sprintf("ClusterRun/hybrid/%dsteps-batch%d", clusterSteps, stepBatch), base)
+	killOpts := base
+	killOpts.kill = true
+	clusterBench(fmt.Sprintf("ClusterRecovery/hybrid/%dsteps-batch%d-one-kill", clusterSteps, stepBatch), killOpts)
+
+	// Snapshot-interval sweep: k = 1 (every step), k = 4, and k = steps
+	// ("all": one snapshot at the end of the run). Snapshot traffic falls
+	// k-fold as k grows; the remaining cost is the run itself.
+	for _, every := range []int{1, 4, clusterSteps} {
+		o := base
+		o.snapEvery = every
+		clusterBench(fmt.Sprintf("ClusterSnapshotInterval/hybrid/%dsteps-batch%d-every-%d",
+			clusterSteps, stepBatch, every), o)
+	}
+
+	// Rank-0 dedup: the hybrid plan's first group is 2-way split, so
+	// dedup halves its snapshot traffic (k-fold for k-way groups) while
+	// the tail group is unaffected.
+	for _, dedup := range []bool{false, true} {
+		o := base
+		o.snapEvery = 1
+		o.dedup = dedup
+		clusterBench(fmt.Sprintf("ClusterSnapshotDedup/hybrid/%dsteps-batch%d-dedup-%v",
+			clusterSteps, stepBatch, dedup), o)
+	}
+
+	// ClusterDurableRun: the same fault-free run persisting every piece of
+	// recovery state to an on-disk ledger — the durability overhead.
+	durable := base
+	durable.durable = true
+	clusterBench(fmt.Sprintf("ClusterDurableRun/hybrid/%dsteps-batch%d", clusterSteps, stepBatch), durable)
+
+	// CoordinatorResume: a durable run is crashed mid-stream (seeded kill,
+	// no restart budget), then the timed section restarts the coordinator
+	// from the ledger — manifest load, record replay, worker
+	// re-attachment, and step replay through to completion.
+	resumeRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			o := base
+			o.kill = true
+			o.durable = true
+			o.crash = true
+			run := newClusterBenchRun(o)
+			if err := run.exec(); err == nil {
+				b.Fatal("rigged durable run did not crash")
+			}
+			b.StartTimer()
+			if _, _, err := cluster.ResumeRun(run.inner, run.ledgerDir, cluster.ResumeConfig{
+				JoinTimeout: 10 * time.Second,
+			}); err != nil {
+				b.Fatalf("coordinator resume: %v", err)
+			}
+			b.StopTimer()
+			run.close()
+		}
+	})
+	report.add(fmt.Sprintf("CoordinatorResume/hybrid/%dsteps-batch%d", clusterSteps, stepBatch), "loopback", resumeRes)
 
 	data2, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
@@ -194,24 +253,39 @@ func run(args []string, stdout io.Writer) error {
 	return nil
 }
 
-// clusterBenchRun is one prepared loopback cluster (2 workers, hybrid
-// plan) ready to execute, optionally with a chaos kill of the
-// second-group worker at the middle step.
-type clusterBenchRun struct {
-	net     transport.Network
-	addrs   []string
-	workers []*cluster.Worker
-	batches []dataset.Batch
-	cfg     cluster.Config
-	done    chan struct{}
+// clusterBenchOpts selects a prepared loopback cluster's shape: a chaos
+// kill of the second-group worker at the middle step (recovered within
+// the budget, or — with crash — failing a durable run so ResumeRun can be
+// timed), the snapshot policy, and on-disk ledger persistence.
+type clusterBenchOpts struct {
+	steps, batch int
+	kill         bool
+	snapEvery    int
+	dedup        bool
+	durable      bool
+	crash        bool // no restart budget: the kill fails the run
 }
 
-func newClusterBenchRun(steps, batch int, kill bool) *clusterBenchRun {
+// clusterBenchRun is one prepared loopback cluster (2 workers, hybrid
+// plan) ready to execute.
+type clusterBenchRun struct {
+	inner     transport.Network
+	net       transport.Network
+	addrs     []string
+	workers   []*cluster.Worker
+	batches   []dataset.Batch
+	cfg       cluster.Config
+	ledgerDir string
+	done      chan struct{}
+}
+
+func newClusterBenchRun(o clusterBenchOpts) *clusterBenchRun {
 	tiny := distill.DefaultTinyConfig()
-	data := dataset.NewRandom(rand.New(rand.NewSource(5)), steps*batch, 3, tiny.Height, tiny.Width, 4)
+	data := dataset.NewRandom(rand.New(rand.NewSource(5)), o.steps*o.batch, 3, tiny.Height, tiny.Width, 4)
 	inner := transport.NewLoopback()
 	r := &clusterBenchRun{
-		batches: data.Batches(batch),
+		inner:   inner,
+		batches: data.Batches(o.batch),
 		done:    make(chan struct{}),
 		cfg: cluster.Config{
 			Plan: sched.Plan{Name: "hybrid", Groups: []sched.Group{
@@ -220,14 +294,26 @@ func newClusterBenchRun(steps, batch int, kill bool) *clusterBenchRun {
 			}},
 			DPU: true, LR: 0.05, Momentum: 0.9,
 			Spec:        cluster.TinySpec(tiny),
-			MaxRestarts: 1, // snapshots on in both runs: the delta isolates recovery itself
+			MaxRestarts: 1, // snapshots on in every variant: deltas isolate the mechanism under test
+			Snapshot:    cluster.SnapshotPolicy{Interval: o.snapEvery, Rank0Dedup: o.dedup},
 		},
 	}
+	if o.crash {
+		r.cfg.MaxRestarts = 0
+	}
+	if o.durable {
+		dir, err := os.MkdirTemp("", "pipebd-bench-ledger-*")
+		if err != nil {
+			panic(err)
+		}
+		r.ledgerDir = dir
+		r.cfg.LedgerDir = dir
+	}
 	r.net = inner
-	if kill {
+	if o.kill {
 		r.net = transport.NewChaos(inner, transport.Fault{
 			Trigger: transport.Trigger{Conn: 1, Op: transport.OpRecv,
-				Kind: wire.KindLosses, Step: int32(steps / 2), Count: 1},
+				Kind: wire.KindLosses, Step: int32(o.steps / 2), Count: 1},
 			Action: transport.ActKill,
 		})
 	}
@@ -258,6 +344,9 @@ func (r *clusterBenchRun) close() {
 		w.Close()
 	}
 	<-r.done
+	if r.ledgerDir != "" {
+		os.RemoveAll(r.ledgerDir)
+	}
 }
 
 func (r *Report) add(name, backend string, res testing.BenchmarkResult) {

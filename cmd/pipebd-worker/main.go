@@ -12,7 +12,10 @@
 //	pipebd-worker -listen 127.0.0.1:7710 -sessions 1 -rejoin
 //	  # fault-tolerant: a killed session does not consume the budget, so
 //	  # the worker stays up for the coordinator's re-placement (resume)
-//	  # session and exits only after serving one session to completion
+//	  # session and exits only after serving one session to completion.
+//	  # The same flag covers a coordinator crash: when the coordinator is
+//	  # restarted from its ledger (pipebd -resume), the worker accepts the
+//	  # re-attachment session exactly like a re-placement
 //
 // The bound address is printed as "pipebd-worker: listening on ADDR" so
 // scripts can scrape the port when listening on :0.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"pipebd/internal/cluster"
+	"pipebd/internal/cluster/ledger"
 	"pipebd/internal/cluster/transport"
 	"pipebd/internal/dataset"
 	"pipebd/internal/distill"
@@ -31,11 +32,59 @@ type clusterOptions struct {
 	// Heartbeat asks workers for liveness beacons on this interval and
 	// declares one dead after 4 missed beats; 0 disables.
 	Heartbeat time.Duration
+	// Ledger makes the run durable: the coordinator persists its state
+	// under this directory so a killed pipebd can restart with -resume.
+	Ledger string
+	// SnapInterval is the snapshot interval k (0: every step when fault
+	// tolerance is on); SnapDedup ships one snapshot per split group.
+	SnapInterval int
+	SnapDedup    bool
 	// ChaosKills injects this many seeded connection kills (derived from
 	// ChaosSeed) mid-run — the self-test for the recovery path, normally
 	// combined with -verify.
 	ChaosKills int
 	ChaosSeed  int64
+}
+
+// validate rejects option combinations before any socket is touched.
+func (o clusterOptions) validate() error {
+	if len(o.Workers) == 0 {
+		return fmt.Errorf("cluster mode needs at least one worker address")
+	}
+	if o.Steps <= 0 || o.Batch <= 0 {
+		return fmt.Errorf("cluster steps and batch must be positive (got %d, %d)", o.Steps, o.Batch)
+	}
+	if o.SnapInterval < 0 {
+		return fmt.Errorf("-snapshot-interval must be >= 0, got %d", o.SnapInterval)
+	}
+	if (o.SnapInterval > 0 || o.SnapDedup) && o.MaxRestarts <= 0 && o.Ledger == "" {
+		return fmt.Errorf("snapshot policy flags need -max-restarts or -ledger (snapshots exist for recovery)")
+	}
+	// A kill beyond the restart budget means the run is expected to die.
+	// That is a configuration mistake — unless a ledger makes the death
+	// resumable, which is exactly how the resume path is self-tested.
+	if o.ChaosKills > 0 && o.MaxRestarts < o.ChaosKills && o.Ledger == "" {
+		return fmt.Errorf("-chaos-kills %d needs -max-restarts >= %d to survive (or -ledger to resume from)", o.ChaosKills, o.ChaosKills)
+	}
+	return nil
+}
+
+// resumeOptions configures pipebd -resume: everything that defines the
+// run lives in the ledger manifest, so only operational overrides remain.
+type resumeOptions struct {
+	Dir         string   // ledger directory (required)
+	Workers     []string // override manifest worker addresses; nil reuses them
+	Timeout     time.Duration
+	MaxRestarts int // 0 reuses the manifest's budget
+	Heartbeat   time.Duration
+	Verify      bool
+}
+
+func (o resumeOptions) validate() error {
+	if o.Dir == "" {
+		return fmt.Errorf("-resume needs a ledger directory")
+	}
+	return nil
 }
 
 // clusterPlan maps the named schedule onto the tiny workbench's 4 blocks.
@@ -59,6 +108,9 @@ func clusterPlan(name string) (sched.Plan, error) {
 // workers and, with opts.Verify, proves the run bit-identical to the
 // in-process pipeline.
 func runCluster(stdout io.Writer, opts clusterOptions) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
 	plan, err := clusterPlan(opts.PlanName)
 	if err != nil {
 		return err
@@ -66,9 +118,6 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 	nDev := 0
 	for _, g := range plan.Groups {
 		nDev += g.Split()
-	}
-	if opts.Steps <= 0 || opts.Batch <= 0 {
-		return fmt.Errorf("cluster steps and batch must be positive (got %d, %d)", opts.Steps, opts.Batch)
 	}
 
 	tiny := distill.DefaultTinyConfig()
@@ -80,6 +129,10 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 		Backend: opts.Backend, Spec: cluster.TinySpec(tiny),
 		JoinTimeout: opts.Timeout,
 		MaxRestarts: opts.MaxRestarts,
+		Snapshot:    cluster.SnapshotPolicy{Interval: opts.SnapInterval, Rank0Dedup: opts.SnapDedup},
+		LedgerDir:   opts.Ledger,
+		LedgerMeta: fmt.Sprintf("pipebd -cluster %s -cluster-plan %s -cluster-steps %d -cluster-batch %d",
+			strings.Join(opts.Workers, ","), opts.PlanName, opts.Steps, opts.Batch),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stdout, "pipebd: "+format+"\n", args...)
 		},
@@ -102,6 +155,10 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 	w := distill.NewTinyWorkbench(tiny)
 	fmt.Fprintf(stdout, "pipebd: cluster run: plan %s (%s), %d device(s) on %d worker(s), %d steps, batch %d, dpu=%v, max-restarts=%d\n",
 		plan.Name, plan.Describe(), nDev, len(opts.Workers), opts.Steps, opts.Batch, opts.DPU, opts.MaxRestarts)
+	if opts.Ledger != "" {
+		fmt.Fprintf(stdout, "pipebd: durable run: ledger at %s (restart a killed coordinator with: pipebd -resume %s)\n",
+			opts.Ledger, opts.Ledger)
+	}
 	start := time.Now()
 	res, err := cluster.Run(net, opts.Workers, w, batches, cfg)
 	if err != nil {
@@ -129,6 +186,14 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 	ref := distill.NewTinyWorkbench(tiny)
 	refRes := engine.RunPipelined(ref, batches, engine.Config{
 		Plan: plan, DPU: opts.DPU, LR: 0.05, Momentum: 0.9})
+	return verifyBitIdentical(stdout, res, w, refRes, ref)
+}
+
+// verifyBitIdentical requires a run's loss trajectory and trained student
+// weights to match an in-process reference bit-for-bit — the CLI face of
+// the cluster's equivalence guarantee, shared by -cluster -verify and
+// -resume -verify.
+func verifyBitIdentical(stdout io.Writer, res engine.Result, w *distill.Workbench, refRes engine.Result, ref *distill.Workbench) error {
 	for b := range refRes.Loss {
 		for s := range refRes.Loss[b] {
 			if refRes.Loss[b][s] != res.Loss[b][s] {
@@ -148,4 +213,66 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 	}
 	fmt.Fprintln(stdout, "pipebd: verify OK: cluster trajectory and trained weights are bit-identical to the in-process pipeline")
 	return nil
+}
+
+// runResume restarts a killed coordinator from its ledger directory: the
+// manifest supplies the plan, model, hyperparameters, batches, and worker
+// addresses; the record log supplies the crash-time hub state. With
+// opts.Verify the finished run is additionally checked bit-identical
+// against a fresh in-process pipeline built from the same manifest.
+func runResume(stdout io.Writer, opts resumeOptions) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(stdout, "pipebd: "+format+"\n", args...)
+	}
+	fmt.Fprintf(stdout, "pipebd: resuming coordinator from ledger %s\n", opts.Dir)
+	start := time.Now()
+	res, w, err := cluster.ResumeRun(transport.TCP{}, opts.Dir, cluster.ResumeConfig{
+		Addrs:             opts.Workers,
+		JoinTimeout:       opts.Timeout,
+		MaxRestarts:       opts.MaxRestarts,
+		HeartbeatInterval: opts.Heartbeat,
+		HeartbeatTimeout:  heartbeatTimeout(opts.Heartbeat),
+		Logf:              logf,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "pipebd: resumed run finished in %v\n", time.Since(start).Round(time.Millisecond))
+	final := res.FinalLoss()
+	parts := make([]string, len(final))
+	for b, l := range final {
+		parts[b] = fmt.Sprintf("B%d=%.6g", b, l)
+	}
+	fmt.Fprintf(stdout, "pipebd: final per-block losses: %s\n", strings.Join(parts, " "))
+	if !opts.Verify {
+		return nil
+	}
+	// The manifest pins everything the reference needs; re-read it so the
+	// comparison cannot drift from what was actually resumed.
+	led, man, _, err := ledger.Open(opts.Dir)
+	if err != nil {
+		return err
+	}
+	led.Close()
+	ref, err := cluster.BuildWorkbench(man.Assign.Spec)
+	if err != nil {
+		return err
+	}
+	if err := cluster.InstallSnapshot(ref, man.Assign.Snapshot); err != nil {
+		return err
+	}
+	refRes := engine.RunPipelined(ref, man.Batches, engine.Config{
+		Plan: man.Assign.Plan, DPU: man.Assign.Run.DPU,
+		LR: man.Assign.Run.LR, Momentum: man.Assign.Run.Momentum})
+	return verifyBitIdentical(stdout, res, w, refRes, ref)
+}
+
+func heartbeatTimeout(interval time.Duration) time.Duration {
+	if interval <= 0 {
+		return 0
+	}
+	return 4 * interval
 }

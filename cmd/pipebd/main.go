@@ -28,6 +28,21 @@
 // snapshots, and replays — the result stays bit-identical, which the
 // chaos flags prove by injecting seeded kills under -verify.
 //
+// -ledger DIR makes the run durable: the coordinator persists a manifest
+// and an append-only record of its recovery state, so the coordinator
+// process itself can be killed and restarted:
+//
+//	pipebd -cluster 127.0.0.1:7710,127.0.0.1:7711 -ledger /tmp/run1
+//	# ... pipebd dies mid-run (crash, OOM, kill -9) ...
+//	pipebd -resume /tmp/run1 -verify
+//
+// The resumed run re-attaches the workers (start them with -rejoin so a
+// dropped session does not consume their budget), replays from the
+// persisted snapshots, and finishes bit-identical to an uninterrupted
+// run. -snapshot-interval k trades snapshot traffic for replay length
+// (snapshot every k-th step); -snapshot-dedup ships one snapshot per
+// split group instead of one per member.
+//
 // The -backend flag selects the tensor compute backend for every numeric
 // (real float32 training) portion of the experiments: "serial" is the
 // single-threaded reference, "parallel" row-partitions GEMMs across a
@@ -64,8 +79,12 @@ func main() {
 	clusterBatch := flag.Int("cluster-batch", 8, "cluster global batch size")
 	clusterDPU := flag.Bool("cluster-dpu", true, "decoupled parameter update in cluster mode")
 	clusterTimeout := flag.Duration("cluster-timeout", 10*time.Second, "per-worker join timeout in cluster mode")
-	maxRestarts := flag.Int("max-restarts", 0, "cluster mode: recover up to N dead workers by re-placing their devices and replaying from snapshots (0: a lost worker fails the run)")
+	maxRestarts := flag.Int("max-restarts", 0, "cluster mode: recover up to N dead workers by re-placing their devices and replaying from snapshots (0: a lost worker fails the run); with -resume, 0 reuses the manifest's budget and a negative value disables worker recovery")
 	clusterHeartbeat := flag.Duration("cluster-heartbeat", 0, "cluster mode: worker heartbeat interval; a worker silent for 4 intervals is declared dead (0: disable silence detection)")
+	ledgerDir := flag.String("ledger", "", "cluster mode: persist the coordinator's run state under this directory so a killed pipebd can restart with -resume")
+	snapInterval := flag.Int("snapshot-interval", 0, "cluster mode: device snapshot interval k — snapshot every k-th step (0: every step when fault tolerance is on)")
+	snapDedup := flag.Bool("snapshot-dedup", false, "cluster mode: ship one snapshot per split group (rank 0) instead of one per member")
+	resumeDir := flag.String("resume", "", "restart a killed coordinator from this ledger directory (plan, model, batches, and workers come from the manifest; -cluster overrides the worker addresses)")
 	chaosKills := flag.Int("chaos-kills", 0, "cluster mode: inject N seeded worker-connection kills mid-run (self-test for -max-restarts; combine with -verify)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "cluster mode: seed for the -chaos-kills schedule")
 	verify := flag.Bool("verify", false, "cluster mode: require bit-identical match with the in-process pipeline")
@@ -88,23 +107,40 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *clusterAddrs != "" {
-		opts := clusterOptions{
-			Workers:     strings.Split(*clusterAddrs, ","),
-			PlanName:    *clusterPlanName,
-			Steps:       *clusterSteps,
-			Batch:       *clusterBatch,
-			DPU:         *clusterDPU,
+	if *resumeDir != "" {
+		opts := resumeOptions{
+			Dir:         *resumeDir,
 			Timeout:     *clusterTimeout,
-			Verify:      *verify,
 			MaxRestarts: *maxRestarts,
 			Heartbeat:   *clusterHeartbeat,
-			ChaosKills:  *chaosKills,
-			ChaosSeed:   *chaosSeed,
+			Verify:      *verify,
 		}
-		if opts.ChaosKills > 0 && opts.MaxRestarts < opts.ChaosKills {
-			fmt.Fprintf(os.Stderr, "pipebd: -chaos-kills %d needs -max-restarts >= %d to survive\n", opts.ChaosKills, opts.ChaosKills)
-			os.Exit(2)
+		if *clusterAddrs != "" {
+			opts.Workers = strings.Split(*clusterAddrs, ",")
+		}
+		if err := runResume(os.Stdout, opts); err != nil {
+			fmt.Fprintf(os.Stderr, "pipebd: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *clusterAddrs != "" {
+		opts := clusterOptions{
+			Workers:      strings.Split(*clusterAddrs, ","),
+			PlanName:     *clusterPlanName,
+			Steps:        *clusterSteps,
+			Batch:        *clusterBatch,
+			DPU:          *clusterDPU,
+			Timeout:      *clusterTimeout,
+			Verify:       *verify,
+			MaxRestarts:  *maxRestarts,
+			Heartbeat:    *clusterHeartbeat,
+			Ledger:       *ledgerDir,
+			SnapInterval: *snapInterval,
+			SnapDedup:    *snapDedup,
+			ChaosKills:   *chaosKills,
+			ChaosSeed:    *chaosSeed,
 		}
 		if *backend != "serial" {
 			opts.Backend = *backend

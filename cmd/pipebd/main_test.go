@@ -1,0 +1,130 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pipebd/internal/cluster"
+	"pipebd/internal/cluster/transport"
+)
+
+// TestClusterOptionsValidate pins the flag-combination checks of cluster
+// mode, including the new snapshot-policy flags.
+func TestClusterOptionsValidate(t *testing.T) {
+	good := clusterOptions{Workers: []string{"w"}, PlanName: "hybrid", Steps: 4, Batch: 8}
+	if err := good.validate(); err != nil {
+		t.Fatalf("good options rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*clusterOptions)
+		want string
+	}{
+		{"no workers", func(o *clusterOptions) { o.Workers = nil }, "worker"},
+		{"zero steps", func(o *clusterOptions) { o.Steps = 0 }, "positive"},
+		{"zero batch", func(o *clusterOptions) { o.Batch = 0 }, "positive"},
+		{"negative interval", func(o *clusterOptions) { o.MaxRestarts = 1; o.SnapInterval = -1 }, "snapshot-interval"},
+		{"policy without recovery", func(o *clusterOptions) { o.SnapInterval = 3 }, "max-restarts or -ledger"},
+		{"dedup without recovery", func(o *clusterOptions) { o.SnapDedup = true }, "max-restarts or -ledger"},
+		{"chaos beyond budget", func(o *clusterOptions) { o.ChaosKills = 2; o.MaxRestarts = 1 }, "chaos-kills"},
+	}
+	for _, c := range cases {
+		o := good
+		c.mut(&o)
+		err := o.validate()
+		if err == nil {
+			t.Errorf("%s: validate succeeded", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+
+	// Policy flags become valid once a recovery mechanism is configured.
+	o := good
+	o.SnapInterval, o.SnapDedup, o.MaxRestarts = 3, true, 1
+	if err := o.validate(); err != nil {
+		t.Fatalf("policy with -max-restarts rejected: %v", err)
+	}
+	o = good
+	o.SnapInterval, o.Ledger = 3, "/tmp/led"
+	if err := o.validate(); err != nil {
+		t.Fatalf("policy with -ledger rejected: %v", err)
+	}
+}
+
+// TestRunResumeBadLedgerDir: -resume against a missing or empty directory
+// must fail with a clean error, not hang dialing workers.
+func TestRunResumeBadLedgerDir(t *testing.T) {
+	var out strings.Builder
+	if err := runResume(&out, resumeOptions{}); err == nil || !strings.Contains(err.Error(), "ledger directory") {
+		t.Fatalf("empty dir: got %v", err)
+	}
+	err := runResume(&out, resumeOptions{Dir: filepath.Join(t.TempDir(), "absent")})
+	if err == nil {
+		t.Fatal("resume of absent directory succeeded")
+	}
+	if !strings.Contains(err.Error(), "manifest") {
+		t.Fatalf("error should point at the missing manifest: %v", err)
+	}
+}
+
+// startTCPWorkers boots n real TCP worker servers in-process (the same
+// server the pipebd-worker binary wraps) with rejoin semantics, so a
+// crashed coordinator session does not consume their session budget.
+func startTCPWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		lis, err := transport.TCP{}.Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		w := cluster.NewWorker(lis, cluster.WorkerConfig{Sessions: 1, Rejoin: true})
+		addrs[i] = w.Addr()
+		wg.Add(1)
+		go func() { defer wg.Done(); w.Serve() }()
+		t.Cleanup(func() { w.Close() })
+	}
+	t.Cleanup(wg.Wait)
+	return addrs
+}
+
+// TestClusterCrashThenResumeEndToEnd drives the two CLI entry points the
+// way an operator would: a durable cluster run dies mid-stream (seeded
+// chaos kill with no restart budget — the coordinator-crash stand-in),
+// then -resume finishes it from the ledger and -verify proves the result
+// bit-identical to the in-process pipeline.
+func TestClusterCrashThenResumeEndToEnd(t *testing.T) {
+	addrs := startTCPWorkers(t, 2)
+	dir := filepath.Join(t.TempDir(), "ledger")
+	var out strings.Builder
+	err := runCluster(&out, clusterOptions{
+		Workers: addrs, PlanName: "hybrid", Steps: 6, Batch: 8, DPU: true,
+		Timeout:      10 * time.Second,
+		Ledger:       dir,
+		SnapInterval: 2, SnapDedup: true,
+		ChaosKills: 1, ChaosSeed: 7,
+	})
+	if err == nil {
+		t.Fatalf("rigged cluster run finished; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "durable run: ledger at "+dir) {
+		t.Fatalf("ledger banner missing; output:\n%s", out.String())
+	}
+
+	out.Reset()
+	if err := runResume(&out, resumeOptions{
+		Dir: dir, Timeout: 10 * time.Second, Verify: true,
+	}); err != nil {
+		t.Fatalf("resume failed: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verify OK") {
+		t.Fatalf("verify did not report success; output:\n%s", out.String())
+	}
+}

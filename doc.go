@@ -55,10 +55,30 @@
 // schedules (connection kills, delays, truncated frames) to prove it,
 // both in the recovery test suite and from the CLI (-chaos-kills).
 //
+// Snapshot traffic follows a policy (cluster.Config.Snapshot): interval k
+// snapshots every k-th step, and rank-0 dedup ships one snapshot per
+// split group instead of one per member, committed only once every
+// member's losses, output shards, and barrier arrivals are accounted for.
+//
+// # Durable runs
+//
+// The coordinator itself stops being a single point of failure when a
+// run is durable (cluster.Config.LedgerDir, cmd/pipebd -ledger): the
+// internal/cluster/ledger package persists the run's manifest (plan,
+// model spec, hyperparameters, batches, seed weights) via atomic rename
+// and every piece of recovery state — snapshots, retained inputs, output
+// shards, gradient reductions, loss rows, barrier releases — to an
+// append-only, CRC-framed record log. cluster.ResumeRun (cmd/pipebd
+// -resume) restarts a killed coordinator from that ledger: it replays
+// the log up to the last complete record (a tail torn by the kill is
+// truncated away), re-attaches every worker through the wire Resume
+// machinery, and finishes the run bit-identical to an uninterrupted one.
+//
 // See README.md for the quickstart and architecture inventory and
 // ROADMAP.md for open items. The benchmarks in bench_test.go regenerate
 // each table and figure under `go test -bench`; cmd/pipebd-bench captures
-// kernel, pipeline-step, and cluster-recovery throughput as JSON
-// (BENCH_PR3.json; BENCH_PR2.json is the prior baseline), and
-// BenchmarkMatMul in internal/tensor compares the backends directly.
+// kernel, pipeline-step, cluster-recovery, and coordinator-resume
+// throughput as JSON (BENCH_PR4.json; BENCH_PR2/PR3.json are the prior
+// baselines), and BenchmarkMatMul in internal/tensor compares the
+// backends directly.
 package pipebd

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pipebd/internal/cluster/ledger"
 	"pipebd/internal/cluster/transport"
 	"pipebd/internal/cluster/wire"
 	"pipebd/internal/dataset"
@@ -15,6 +16,10 @@ import (
 	"pipebd/internal/sched"
 	"pipebd/internal/tensor"
 )
+
+// SnapshotPolicy is the cluster-facing alias of the wire-level snapshot
+// policy: interval-k snapshots plus rank-0 dedup for split groups.
+type SnapshotPolicy = wire.SnapshotPolicy
 
 // Config parameterizes a cluster run.
 type Config struct {
@@ -42,9 +47,28 @@ type Config struct {
 	// perform: each time a worker connection dies (error or heartbeat
 	// timeout), the coordinator re-places its devices on a surviving or
 	// re-joined worker and replays from the per-device snapshots. 0
-	// disables fault tolerance — a lost worker fails the run — and also
-	// turns off the per-step snapshot traffic that recovery needs.
+	// disables worker-loss tolerance — a lost worker fails the run — and,
+	// unless LedgerDir makes the run durable, also turns off the snapshot
+	// traffic that recovery needs.
 	MaxRestarts int
+	// Snapshot tunes the recovery-snapshot traffic when fault tolerance
+	// is on (MaxRestarts > 0 or LedgerDir set): Interval k makes devices
+	// snapshot every k-th step (replay covers up to k steps instead of
+	// one), and Rank0Dedup ships one member snapshot per split group
+	// instead of k bit-identical copies. The zero policy means "every
+	// step, every member" — exactly the pre-policy behavior. Configuring
+	// a non-zero policy without fault tolerance is an error.
+	Snapshot SnapshotPolicy
+	// LedgerDir, when set, makes the run durable: the coordinator
+	// persists its manifest and every piece of recovery state (snapshots,
+	// retained inputs, output shards, reductions, loss rows, barrier
+	// releases) to an on-disk ledger in this directory, so a killed
+	// coordinator can be restarted with ResumeRun and finish the run
+	// bit-identically. The directory must not already hold a run.
+	LedgerDir string
+	// LedgerMeta is an opaque note stored in the ledger manifest (e.g.
+	// the CLI invocation), for provenance only.
+	LedgerMeta string
 	// HeartbeatInterval asks each worker to emit a liveness beacon this
 	// often; HeartbeatTimeout declares a worker dead when nothing —
 	// beacon or data — arrives within it. Zero disables silence
@@ -158,37 +182,55 @@ type devState struct {
 	done        bool
 }
 
+// pendingSnap is a rank-0 snapshot awaiting group-level commit: under
+// Rank0Dedup the parameters are authoritative for every member, but the
+// group's snapshot step may only advance once each member has accounted
+// for the covered steps (losses, relayed output shards, barrier
+// arrivals) — otherwise a member resumed from the committed step would
+// skip replaying work the hub never incorporated, leaving loss rows or
+// gathers permanently incomplete.
+type pendingSnap struct {
+	step     int
+	params   []*tensor.Tensor
+	velocity []*tensor.Tensor
+}
+
 // run is the mutable state of one cluster session.
 type run struct {
-	co      *Coordinator
-	plan    sched.Plan
-	nb      int
-	steps   int
-	nDev    int
-	workb   *distill.Workbench
-	batches []dataset.Batch
-	addrs   []string
-	runCfg  wire.RunConfig
-	ft      bool          // fault tolerance enabled (MaxRestarts > 0)
-	seedSnap wire.Snapshot // seed params, immutable; reused by every Resume
+	co       *Coordinator
+	plan     sched.Plan
+	nb       int
+	steps    int
+	nDev     int
+	workb    *distill.Workbench
+	batches  []dataset.Batch
+	addrs    []string
+	runCfg   wire.RunConfig
+	ft       bool                // fault tolerance enabled (MaxRestarts > 0 or durable)
+	policy   wire.SnapshotPolicy // effective snapshot policy (zero when !ft)
+	seedSnap wire.Snapshot       // seed params, immutable; reused by every Resume
 
-	mu          sync.Mutex
-	peers       []*peerConn            // live worker sessions; dead ones are fully closed and dropped
-	byDev       map[int]*peerConn      // device rank → live peer (absent while dead)
-	devs        map[int]*devState      // device rank → ledger (map itself immutable)
-	groupParams [][]*tensor.Tensor     // [gi] workbench student params, flattened
-	outputs     []map[int]*gather      // [gi] step → collected activation shards
-	grads       []map[int]*gatherLists // [gi] step → collected gradient lists
-	reduceCache []map[int][]byte       // [gi] step → completed reduction payload
-	barrier     map[int]int            // step → devices arrived (no-DPU only)
-	stepGoThrough int                  // highest step whose barrier released
-	losses      [][][]float64          // [gi][j*nb+bi][step]
-	g0done      map[int]int            // step → group-0 members that completed it
-	credits     chan struct{}
-	done        int
-	restarts    int
-	closed      bool // teardown ran; no new peers may attach
-	finished    chan struct{}
+	mu             sync.Mutex
+	led            *ledger.Ledger         // durable-run store; nil for in-memory-only runs
+	peers          []*peerConn            // live worker sessions; dead ones are fully closed and dropped
+	byDev          map[int]*peerConn      // device rank → live peer (absent while dead)
+	devs           map[int]*devState      // device rank → ledger (map itself immutable)
+	groupParams    [][]*tensor.Tensor     // [gi] workbench student params, flattened
+	outputs        []map[int]*gather      // [gi] step → collected activation shards
+	grads          []map[int]*gatherLists // [gi] step → collected gradient lists
+	reduceCache    []map[int][]byte       // [gi] step → completed reduction payload
+	pend           [][]pendingSnap        // [gi] uncommitted rank-0 snapshots (Rank0Dedup only)
+	barrier        map[int]int            // step → devices arrived (no-DPU only)
+	stepGoThrough  int                    // highest step whose barrier released
+	losses         [][][]float64          // [gi][j*nb+bi][step]
+	g0done         map[int]int            // step → group-0 members that completed it
+	credits        chan struct{}
+	fedThrough     int   // highest batch step delivered to group 0
+	groupInThrough []int // [gi] highest input step ever delivered to the group
+	done           int
+	restarts       int
+	closed         bool // teardown ran; no new peers may attach
+	finished       chan struct{}
 
 	failOnce sync.Once
 	firstErr error
@@ -216,10 +258,30 @@ func (c *Coordinator) Run(w *distill.Workbench, batches []dataset.Batch, addrs [
 	if err != nil {
 		return engine.Result{}, err
 	}
+	if c.cfg.LedgerDir != "" {
+		led, err := ledger.Create(c.cfg.LedgerDir, &ledger.Manifest{
+			Assign:      wire.Assign{Plan: r.plan, Spec: c.cfg.Spec, Run: r.runCfg, Snapshot: r.seedSnap},
+			Addrs:       addrs,
+			Batches:     batches,
+			MaxRestarts: c.cfg.MaxRestarts,
+			Meta:        c.cfg.LedgerMeta,
+		})
+		if err != nil {
+			return engine.Result{}, err
+		}
+		r.led = led
+	}
 	defer r.teardown()
 	if err := r.join(addrs); err != nil {
 		return engine.Result{}, err
 	}
+	return c.execute(r)
+}
+
+// execute drives a prepared run (fresh or resumed) to completion: start
+// the readers, feeder, and monitor, wait for every device's Done, then
+// drain the sessions gracefully.
+func (c *Coordinator) execute(r *run) (engine.Result, error) {
 	r.start()
 	select {
 	case <-r.finished:
@@ -262,26 +324,38 @@ func (c *Coordinator) newRun(w *distill.Workbench, batches []dataset.Batch, addr
 	if buffer <= 0 {
 		buffer = 2
 	}
+	ft := c.cfg.MaxRestarts > 0 || c.cfg.LedgerDir != ""
+	policy, err := effectivePolicy(c.cfg.Snapshot, ft)
+	if err != nil {
+		return nil, err
+	}
 	r := &run{
 		co: c, plan: plan, nb: w.NumBlocks(), steps: len(batches), nDev: nDev,
 		byDev: make(map[int]*peerConn), devs: make(map[int]*devState),
 		workb: w, batches: batches, addrs: addrs,
-		ft:       c.cfg.MaxRestarts > 0,
-		outputs:  make([]map[int]*gather, len(plan.Groups)),
-		grads:    make([]map[int]*gatherLists, len(plan.Groups)),
-		reduceCache: make([]map[int][]byte, len(plan.Groups)),
-		barrier:  make(map[int]int),
-		stepGoThrough: -1,
-		losses:   make([][][]float64, len(plan.Groups)),
-		g0done:   make(map[int]int),
-		credits:  make(chan struct{}, len(batches)+buffer),
-		finished: make(chan struct{}),
-		failed:   make(chan struct{}),
+		ft:             ft,
+		policy:         policy,
+		outputs:        make([]map[int]*gather, len(plan.Groups)),
+		grads:          make([]map[int]*gatherLists, len(plan.Groups)),
+		reduceCache:    make([]map[int][]byte, len(plan.Groups)),
+		pend:           make([][]pendingSnap, len(plan.Groups)),
+		barrier:        make(map[int]int),
+		stepGoThrough:  -1,
+		losses:         make([][][]float64, len(plan.Groups)),
+		g0done:         make(map[int]int),
+		credits:        make(chan struct{}, len(batches)+buffer),
+		fedThrough:     -1,
+		groupInThrough: make([]int, len(plan.Groups)),
+		finished:       make(chan struct{}),
+		failed:         make(chan struct{}),
+	}
+	for gi := range r.groupInThrough {
+		r.groupInThrough[gi] = -1
 	}
 	r.seedSnap = CaptureSnapshot(w)
 	r.runCfg = wire.RunConfig{DPU: c.cfg.DPU, LR: c.cfg.LR, Momentum: c.cfg.Momentum,
 		Buffer: c.cfg.Buffer, Steps: r.steps, Backend: c.cfg.Backend,
-		Snapshots:       r.ft,
+		Snap:            policy,
 		HeartbeatMillis: int(c.cfg.HeartbeatInterval / time.Millisecond)}
 	r.groupParams = make([][]*tensor.Tensor, len(plan.Groups))
 	for gi, g := range plan.Groups {
@@ -316,6 +390,45 @@ func (c *Coordinator) newRun(w *distill.Workbench, batches []dataset.Batch, addr
 		r.credits <- struct{}{}
 	}
 	return r, nil
+}
+
+// effectivePolicy resolves the configured snapshot policy against the
+// run's fault-tolerance mode: the zero policy defaults to every-step
+// per-member snapshots when recovery is possible and to no snapshots at
+// all otherwise, while an explicit policy without any recovery mechanism
+// is a configuration error (pure wasted traffic).
+func effectivePolicy(p wire.SnapshotPolicy, ft bool) (wire.SnapshotPolicy, error) {
+	if p.Interval < 0 {
+		return wire.SnapshotPolicy{}, fmt.Errorf("cluster: snapshot interval must be >= 0, got %d", p.Interval)
+	}
+	if !ft {
+		if p.Interval > 0 || p.Rank0Dedup {
+			return wire.SnapshotPolicy{}, fmt.Errorf("cluster: snapshot policy %+v needs fault tolerance (MaxRestarts > 0 or LedgerDir)", p)
+		}
+		return wire.SnapshotPolicy{}, nil
+	}
+	if p.Interval == 0 {
+		p.Interval = 1
+	}
+	// The policy shipped to workers must satisfy the wire-level contract
+	// they re-validate on receipt.
+	if err := p.Validate(); err != nil {
+		return wire.SnapshotPolicy{}, err
+	}
+	return p, nil
+}
+
+// logRecord appends one record to the run's ledger; a durable run that
+// cannot persist its state must fail rather than silently lose the
+// resume guarantee. Callers hold r.mu, so the log's record order matches
+// the mutation order exactly.
+func (r *run) logRecord(rec *ledger.Record) {
+	if r.led == nil {
+		return
+	}
+	if err := r.led.Append(rec); err != nil {
+		r.fail(err)
+	}
 }
 
 // seedGroupParams returns the seed student parameters of a group,
@@ -513,10 +626,15 @@ func (r *run) monitorHeartbeats() {
 // feed streams the training batches to every member of the first group,
 // windowed by the pipeline depth: a new batch enters only when the
 // slowest group-0 member finishes an earlier step — the cluster analogue
-// of the in-process relay channel's backpressure.
+// of the in-process relay channel's backpressure. A resumed run picks up
+// after the highest step the previous coordinator already fed (steps
+// before it are re-sent from the retained inputs at attach time).
 func (r *run) feed() {
 	g0 := r.plan.Groups[0]
-	for s, b := range r.batches {
+	r.mu.Lock()
+	start := r.fedThrough + 1
+	r.mu.Unlock()
+	for s := start; s < r.steps; s++ {
 		select {
 		case <-r.credits:
 		case <-r.failed:
@@ -524,27 +642,55 @@ func (r *run) feed() {
 		case <-r.finished:
 			return
 		}
-		payload := wire.EncodeTensor(wire.KindInput, wire.NoDev, int32(s), b.X).Payload
+		payload := wire.EncodeTensor(wire.KindInput, wire.NoDev, int32(s), r.batches[s].X).Payload
 		r.mu.Lock()
-		for _, d := range g0.Devices {
-			r.sendInputLocked(d, s, payload)
-		}
+		r.sendGroupInputLocked(g0.Devices, s, payload)
 		r.mu.Unlock()
 	}
 }
 
-// sendInputLocked delivers one step's input payload to a device and, when
-// fault tolerance is on, retains it until the device's snapshot covers
-// the step. A device that is currently dead only records — the retained
-// payload is re-sent when the device is re-placed. Callers hold r.mu and
-// must deliver each device's inputs in increasing step order.
-func (r *run) sendInputLocked(dev, step int, payload []byte) {
-	ds := r.devs[dev]
-	if r.ft && step > ds.snapStep {
-		ds.inputs[step] = payload
+// applyInputLocked retains one step's input payload for every listed
+// device whose snapshot has not covered the step yet, and advances the
+// per-group delivery high-water marks. It is the state mutation shared by
+// live delivery and ledger restore; it reports whether any device
+// retained the payload.
+func (r *run) applyInputLocked(devs []int, step int, payload []byte) bool {
+	retained := false
+	if r.ft {
+		for _, d := range devs {
+			ds := r.devs[d]
+			if step > ds.snapStep {
+				ds.inputs[step] = payload
+				retained = true
+			}
+		}
 	}
-	if p := r.byDev[dev]; p != nil {
-		p.out.Enqueue(&wire.Frame{Kind: wire.KindInput, Dev: int32(dev), Step: int32(step), Payload: payload})
+	gi := r.devs[devs[0]].place.gi
+	if step > r.groupInThrough[gi] {
+		r.groupInThrough[gi] = step
+	}
+	if gi == 0 && step > r.fedThrough {
+		r.fedThrough = step
+	}
+	return retained
+}
+
+// sendGroupInputLocked delivers one step's input payload to every member
+// of a group: retain (fault tolerance), persist (durable runs), then
+// enqueue to each attached member. A device that is currently dead only
+// records — the retained payload is re-sent when the device is re-placed.
+// Callers hold r.mu and must deliver each device's inputs in increasing
+// step order. The retain→log→enqueue order is what makes a coordinator
+// crash at any point consistent: an input a worker ever saw is always
+// either persisted or covered by a later snapshot.
+func (r *run) sendGroupInputLocked(devs []int, step int, payload []byte) {
+	if r.applyInputLocked(devs, step, payload) {
+		r.logRecord(ledger.Input(devs, step, payload))
+	}
+	for _, d := range devs {
+		if p := r.byDev[d]; p != nil {
+			p.out.Enqueue(&wire.Frame{Kind: wire.KindInput, Dev: int32(d), Step: int32(step), Payload: payload})
+		}
 	}
 }
 
@@ -632,7 +778,21 @@ func (r *run) recoverPeer(p *peerConn) error {
 	if err != nil {
 		return err
 	}
-	np := &peerConn{addr: addr, conn: conn, out: newOutbox(conn), devices: p.devices}
+	np, ok := r.attachResumed(conn, addr, p.devices)
+	if !ok {
+		return nil
+	}
+	r.startReader(np)
+	r.co.logf("devices %v re-placed on worker %s (restart %d of %d), replaying from per-device snapshots",
+		p.devices, addr, r.restartCount(), r.co.cfg.MaxRestarts)
+	return nil
+}
+
+// attachResumed registers a freshly handshaken Resume session and queues
+// the retained inputs its restored devices need to replay. It reports
+// false — after cleaning the connection up — when the run already closed.
+func (r *run) attachResumed(conn transport.Conn, addr string, devices []int) (*peerConn, bool) {
+	np := &peerConn{addr: addr, conn: conn, out: newOutbox(conn), devices: devices}
 	np.touch()
 	r.mu.Lock()
 	if r.closed {
@@ -640,10 +800,10 @@ func (r *run) recoverPeer(p *peerConn) error {
 		conn.Close()
 		np.out.Kill()
 		np.out.Close()
-		return nil
+		return nil, false
 	}
 	r.peers = append(r.peers, np)
-	for _, d := range np.devices {
+	for _, d := range devices {
 		r.byDev[d] = np
 		ds := r.devs[d]
 		// The restored device consumed everything up to its snapshot;
@@ -659,10 +819,7 @@ func (r *run) recoverPeer(p *peerConn) error {
 		}
 	}
 	r.mu.Unlock()
-	r.startReader(np)
-	r.co.logf("devices %v re-placed on worker %s (restart %d of %d), replaying from per-device snapshots",
-		p.devices, addr, r.restartCount(), r.co.cfg.MaxRestarts)
-	return nil
+	return np, true
 }
 
 func (r *run) restartCount() int {
@@ -741,6 +898,9 @@ func (r *run) teardown() {
 	r.mu.Lock()
 	r.closed = true
 	peers := append([]*peerConn(nil), r.peers...)
+	if r.led != nil {
+		r.led.Close()
+	}
 	r.mu.Unlock()
 	graceful := true
 	select {
@@ -791,16 +951,15 @@ func (r *run) handle(p *peerConn, f *wire.Frame) error {
 				return r.replayOnly(ds, "output", step) // already forwarded downstream
 			}
 			ds.outputSeen = step
-			for _, d := range r.plan.Groups[place.gi+1].Devices {
-				r.sendInputLocked(d, step, f.Payload)
-			}
+			r.sendGroupInputLocked(r.plan.Groups[place.gi+1].Devices, step, f.Payload)
+			r.tryCommitLocked(place.gi)
 			return nil
 		}
 		t, err := wire.DecodeTensor(f)
 		if err != nil {
 			return err
 		}
-		return r.onOutput(ds, step, t)
+		return r.onOutput(ds, step, t, f.Payload)
 	case wire.KindGrads:
 		lists, err := wire.DecodeTensors(f)
 		if err != nil {
@@ -858,16 +1017,31 @@ func (r *run) replayOnly(ds *devState, what string, step int) error {
 }
 
 // onOutput collects a split group's boundary-activation shards (the
-// k == 1 case forwards payloads directly in handle) and, once every
-// member's shard of the step arrived, assembles the full batch in rank
-// order and relays it to each member of the next group.
-func (r *run) onOutput(ds *devState, step int, t *tensor.Tensor) error {
+// k == 1 case forwards payloads directly in handle). The shard is
+// persisted before it enters the gather — a member whose snapshot later
+// passes this step will never re-send it, so a restarted coordinator must
+// already hold it — and once every member's shard of the step arrived,
+// applyOutputLocked assembles the full batch in rank order and relays it
+// to each member of the next group.
+func (r *run) onOutput(ds *devState, step int, t *tensor.Tensor, payload []byte) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	place := ds.place
 	if step <= ds.outputSeen {
 		return r.replayOnly(ds, "output", step)
 	}
+	r.logRecord(ledger.Output(int(r.plan.Groups[ds.place.gi].Devices[ds.place.j]), step, payload))
+	if err := r.applyOutputLocked(ds, step, t); err != nil {
+		return err
+	}
+	r.tryCommitLocked(ds.place.gi)
+	return nil
+}
+
+// applyOutputLocked is the gather mutation shared by live shard arrivals
+// and ledger restore: record the member's shard and, when the step's
+// gather completes, assemble and forward the full batch downstream.
+func (r *run) applyOutputLocked(ds *devState, step int, t *tensor.Tensor) error {
+	place := ds.place
 	ds.outputSeen = step
 	k := r.plan.Groups[place.gi].Split()
 	st := r.outputs[place.gi]
@@ -896,9 +1070,7 @@ func (r *run) onOutput(ds *devState, step int, t *tensor.Tensor) error {
 		copy(full.Data()[j*per:(j+1)*per], part.Data())
 	}
 	payload := wire.EncodeTensor(wire.KindInput, wire.NoDev, int32(step), full).Payload
-	for _, d := range r.plan.Groups[place.gi+1].Devices {
-		r.sendInputLocked(d, step, payload)
-	}
+	r.sendGroupInputLocked(r.plan.Groups[place.gi+1].Devices, step, payload)
 	return nil
 }
 
@@ -966,6 +1138,11 @@ func (r *run) onGrads(dev int, ds *devState, step int, lists []*tensor.Tensor) e
 	payload := wire.EncodeTensors(wire.KindGradsReduced, wire.NoDev, int32(step), reduced).Payload
 	if r.ft {
 		r.reduceCache[place.gi][step] = payload
+		// Persist before answering: a member that receives the reduction
+		// can snapshot past the step and never re-send its gradients, so a
+		// restarted coordinator must be able to answer the other members'
+		// replays from the persisted cache.
+		r.logRecord(ledger.Reduction(place.gi, step, payload))
 	}
 	for _, d := range r.plan.Groups[place.gi].Devices {
 		if p := r.byDev[d]; p != nil {
@@ -999,12 +1176,17 @@ func (r *run) onStepDone(dev int, ds *devState, step int) error {
 	if r.barrier[step] == r.nDev {
 		delete(r.barrier, step)
 		r.stepGoThrough = step
+		// Only the release is persisted: an unreleased barrier means no
+		// device completed the step, so every device re-arrives on replay
+		// and the count rebuilds itself.
+		r.logRecord(ledger.Barrier(step))
 		for d, dds := range r.devs {
 			if dds.stepGoSent < step {
 				r.sendStepGoLocked(d, dds, step)
 			}
 		}
 	}
+	r.tryCommitLocked(ds.place.gi)
 	return nil
 }
 
@@ -1036,6 +1218,18 @@ func (r *run) onLosses(ds *devState, step int, vals []float64) error {
 		// the pipeline credit already account for them.
 		return r.replayOnly(ds, "losses", step)
 	}
+	r.logRecord(ledger.Losses(int(r.plan.Groups[place.gi].Devices[place.j]), step, vals))
+	r.applyLossesLocked(ds, step, vals)
+	r.tryCommitLocked(place.gi)
+	return nil
+}
+
+// applyLossesLocked is the loss-row mutation shared by live reports and
+// ledger restore: fill the matrix and release a pipeline credit when the
+// whole first group finishes a step.
+func (r *run) applyLossesLocked(ds *devState, step int, vals []float64) {
+	place := ds.place
+	nbg := len(r.plan.Groups[place.gi].Blocks)
 	ds.lossSeen = step
 	for bi, v := range vals {
 		r.losses[place.gi][place.j*nbg+bi][step] = v
@@ -1050,17 +1244,53 @@ func (r *run) onLosses(ds *devState, step int, vals []float64) error {
 			}
 		}
 	}
+}
+
+// onSnapshot handles a device's post-step recovery state. Under the
+// per-member policy it installs directly; under Rank0Dedup the frame must
+// come from the group's rank 0 and only becomes the group's committed
+// snapshot once every member has accounted for the covered steps.
+func (r *run) onSnapshot(dev int, ds *devState, step int, params, velocity []*tensor.Tensor) error {
+	if err := r.checkSnapshotShapes(dev, ds.place.gi, params, velocity); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if step <= ds.snapStep {
+		return r.replayOnly(ds, "snapshot", step)
+	}
+	if !r.policy.Rank0Dedup {
+		r.logRecord(ledger.DevSnapshot(dev, step, params, velocity))
+		r.applyDevSnapshotLocked(ds, step, params, velocity)
+		return nil
+	}
+	if ds.place.j != 0 {
+		return fmt.Errorf("cluster: snapshot from rank %d of group %d under rank-0 dedup", ds.place.j, ds.place.gi)
+	}
+	gi := ds.place.gi
+	// A re-placed rank 0 replays past its commit point and re-emits
+	// pending snapshots; replace rather than duplicate (bit-identical by
+	// the replica guarantee).
+	replaced := false
+	for i := range r.pend[gi] {
+		if r.pend[gi][i].step == step {
+			r.pend[gi][i] = pendingSnap{step: step, params: params, velocity: velocity}
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		r.pend[gi] = append(r.pend[gi], pendingSnap{step: step, params: params, velocity: velocity})
+	}
+	r.tryCommitLocked(gi)
 	return nil
 }
 
-// onSnapshot installs a device's post-step recovery state and prunes the
-// retention the snapshot obsoletes: inputs the device will never replay
-// and reductions no member of its group can re-request.
-func (r *run) onSnapshot(dev int, ds *devState, step int, params, velocity []*tensor.Tensor) error {
-	expect := r.groupParams[ds.place.gi]
+func (r *run) checkSnapshotShapes(dev, gi int, params, velocity []*tensor.Tensor) error {
+	expect := r.groupParams[gi]
 	if len(params) != len(expect) {
 		return fmt.Errorf("cluster: device %d snapshot has %d params, group %d trains %d",
-			dev, len(params), ds.place.gi, len(expect))
+			dev, len(params), gi, len(expect))
 	}
 	for i, t := range params {
 		if !t.SameShape(expect[i]) || !velocity[i].SameShape(expect[i]) {
@@ -1068,11 +1298,14 @@ func (r *run) onSnapshot(dev int, ds *devState, step int, params, velocity []*te
 				dev, i, t.Shape(), velocity[i].Shape(), expect[i].Shape())
 		}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if step <= ds.snapStep {
-		return r.replayOnly(ds, "snapshot", step)
-	}
+	return nil
+}
+
+// applyDevSnapshotLocked installs one device's snapshot and prunes the
+// retention it obsoletes: inputs the device will never replay and
+// reductions no member of its group can re-request. Shared by live
+// per-member snapshots and ledger restore.
+func (r *run) applyDevSnapshotLocked(ds *devState, step int, params, velocity []*tensor.Tensor) {
 	ds.snapStep = step
 	ds.params = params
 	ds.velocity = velocity
@@ -1081,21 +1314,97 @@ func (r *run) onSnapshot(dev int, ds *devState, step int, params, velocity []*te
 			delete(ds.inputs, s)
 		}
 	}
-	gi := ds.place.gi
-	if len(r.reduceCache[gi]) > 0 {
-		minSnap := r.steps
-		for _, d := range r.plan.Groups[gi].Devices {
-			if s := r.devs[d].snapStep; s < minSnap {
-				minSnap = s
-			}
+	r.pruneReductionsLocked(ds.place.gi)
+}
+
+func (r *run) pruneReductionsLocked(gi int) {
+	if len(r.reduceCache[gi]) == 0 {
+		return
+	}
+	minSnap := r.steps
+	for _, d := range r.plan.Groups[gi].Devices {
+		if s := r.devs[d].snapStep; s < minSnap {
+			minSnap = s
 		}
-		for s := range r.reduceCache[gi] {
-			if s <= minSnap {
-				delete(r.reduceCache[gi], s)
+	}
+	for s := range r.reduceCache[gi] {
+		if s <= minSnap {
+			delete(r.reduceCache[gi], s)
+		}
+	}
+}
+
+// accountedLocked returns the highest step the device has fully accounted
+// for at the hub: its loss row is recorded and — where the protocol
+// demands it — its output shard was incorporated and its barrier arrival
+// counted. A group snapshot may only commit up to the minimum of its
+// members' accounted steps; anything further would let a resumed member
+// skip replaying work the hub never saw.
+func (r *run) accountedLocked(ds *devState) int {
+	a := ds.lossSeen
+	if ds.place.gi < len(r.plan.Groups)-1 && ds.outputSeen < a {
+		a = ds.outputSeen
+	}
+	if !r.co.cfg.DPU && ds.barrierSeen < a {
+		a = ds.barrierSeen
+	}
+	return a
+}
+
+// tryCommitLocked advances a group's committed snapshot to the newest
+// pending rank-0 snapshot every member has accounted for. No-op unless
+// rank-0 dedup is active and a pending snapshot exists.
+func (r *run) tryCommitLocked(gi int) {
+	if !r.policy.Rank0Dedup || len(r.pend[gi]) == 0 {
+		return
+	}
+	acct := r.steps
+	for _, d := range r.plan.Groups[gi].Devices {
+		if a := r.accountedLocked(r.devs[d]); a < acct {
+			acct = a
+		}
+	}
+	best := -1
+	for i, p := range r.pend[gi] {
+		if p.step <= acct && (best < 0 || p.step > r.pend[gi][best].step) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return
+	}
+	p := r.pend[gi][best]
+	r.logRecord(ledger.GroupSnapshot(gi, p.step, p.params, p.velocity))
+	r.applyGroupSnapshotLocked(gi, p.step, p.params, p.velocity)
+}
+
+// applyGroupSnapshotLocked commits one group-level snapshot: every member
+// adopts the (bit-identical) parameters, retained inputs and reductions
+// the commit obsoletes are pruned, and older pending snapshots drop.
+// Shared by live commits and ledger restore.
+func (r *run) applyGroupSnapshotLocked(gi, step int, params, velocity []*tensor.Tensor) {
+	for _, d := range r.plan.Groups[gi].Devices {
+		ds := r.devs[d]
+		if step <= ds.snapStep {
+			continue
+		}
+		ds.snapStep = step
+		ds.params = params
+		ds.velocity = velocity
+		for s := range ds.inputs {
+			if s <= step {
+				delete(ds.inputs, s)
 			}
 		}
 	}
-	return nil
+	r.pruneReductionsLocked(gi)
+	kept := r.pend[gi][:0]
+	for _, p := range r.pend[gi] {
+		if p.step > step {
+			kept = append(kept, p)
+		}
+	}
+	r.pend[gi] = kept
 }
 
 // onFinalParams installs a group leader's trained student parameters

@@ -1,0 +1,397 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pipebd/internal/cluster/ledger"
+	"pipebd/internal/cluster/transport"
+	"pipebd/internal/cluster/wire"
+	"pipebd/internal/distill"
+	"pipebd/internal/engine"
+)
+
+// The durable tests rig a "coordinator crash" deterministically: a chaos
+// kill severs a coordinator connection while MaxRestarts is 0, so the
+// run fails exactly as a SIGKILLed coordinator would leave it — ledger
+// written through the crash point, workers orphaned mid-session (they
+// survive via Rejoin, awaiting re-attachment). The CI job covers the
+// literal kill -9 of a real pipebd process over TCP.
+const stepsPerRun = 5
+
+// TestCoordinatorKillResume is the durable-run acceptance matrix: a
+// coordinator killed at the first, a middle, and the last step — on
+// loopback and on real TCP, at snapshot interval 1 and k > 1 — must be
+// restartable via ResumeRun with losses AND trained weights bit-identical
+// to the fault-free in-process engine.RunPipelined.
+func TestCoordinatorKillResume(t *testing.T) {
+	leakCheck(t)
+	batches := tinyBatches(stepsPerRun, 8)
+	p := hybridPlan()
+	ref := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+	refRes := engine.RunPipelined(ref, batches, engine.Config{Plan: p, DPU: true, LR: 0.05, Momentum: 0.9})
+
+	transports := map[string]func() transport.Network{
+		"loopback": func() transport.Network { return transport.NewLoopback() },
+		"tcp":      func() transport.Network { return transport.TCP{} },
+	}
+	for name, mkNet := range transports {
+		for _, interval := range []int{1, 3} {
+			for _, killStep := range []int32{0, stepsPerRun / 2, stepsPerRun - 1} {
+				label := fmt.Sprintf("%s/interval-%d/kill-step-%d", name, interval, killStep)
+				t.Run(label, func(t *testing.T) {
+					inner := mkNet()
+					addrs := startWorkers(t, inner, 2, WorkerConfig{Sessions: 1, Rejoin: true})
+					dir := filepath.Join(t.TempDir(), "ledger")
+					chaos := transport.NewChaos(inner, killLosses(1, killStep))
+					w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+					_, err := Run(chaos, addrs, w, batches, Config{
+						Plan: p, DPU: true, LR: 0.05, Momentum: 0.9,
+						Spec:        TinySpec(distill.DefaultTinyConfig()),
+						Snapshot:    SnapshotPolicy{Interval: interval},
+						LedgerDir:   dir,
+						JoinTimeout: 10 * time.Second,
+					})
+					if err == nil {
+						t.Fatal("rigged run finished despite the injected coordinator crash")
+					}
+					if !errors.Is(err, transport.ErrChaos) {
+						t.Fatalf("crash should surface the injected fault: %v", err)
+					}
+
+					logf, logs := captureLog()
+					res, w2, err := ResumeRun(inner, dir, ResumeConfig{
+						JoinTimeout: 10 * time.Second, Logf: logf,
+					})
+					if err != nil {
+						t.Fatalf("resume failed: %v\nlog:\n%s", err, logs())
+					}
+					if !strings.Contains(logs(), "re-attached to worker") {
+						t.Fatalf("resume did not re-attach workers; log:\n%s", logs())
+					}
+					lossesBitIdentical(t, label, res, refRes)
+					weightsBitIdentical(t, label, w2, ref)
+				})
+			}
+		}
+	}
+}
+
+// TestCoordinatorKillResumeDedup runs the crash/resume cycle with rank-0
+// dedup on the split group, with and without the global step barrier
+// (DPU off exercises the barrier-arrival half of the commit accounting).
+// The loss matrix comparison doubles as the completeness check: a dropped
+// member loss row would diverge from the fault-free reference.
+func TestCoordinatorKillResumeDedup(t *testing.T) {
+	leakCheck(t)
+	batches := tinyBatches(stepsPerRun, 8)
+	p := hybridPlan()
+	refs := map[bool]*distill.Workbench{}
+	refRes := map[bool]engine.Result{}
+	for _, dpu := range []bool{false, true} {
+		ref := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+		refRes[dpu] = engine.RunPipelined(ref, batches, engine.Config{Plan: p, DPU: dpu, LR: 0.05, Momentum: 0.9})
+		refs[dpu] = ref
+	}
+	for _, dpu := range []bool{false, true} {
+		for _, interval := range []int{1, 2} {
+			for _, conn := range []int{0, 1} { // kill the split-group worker and the tail worker
+				label := fmt.Sprintf("dpu=%v/interval-%d/kill-conn-%d", dpu, interval, conn)
+				t.Run(label, func(t *testing.T) {
+					inner := transport.NewLoopback()
+					addrs := startWorkers(t, inner, 2, WorkerConfig{Sessions: 1, Rejoin: true})
+					dir := filepath.Join(t.TempDir(), "ledger")
+					chaos := transport.NewChaos(inner, killLosses(conn, stepsPerRun/2))
+					w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+					_, err := Run(chaos, addrs, w, batches, Config{
+						Plan: p, DPU: dpu, LR: 0.05, Momentum: 0.9,
+						Spec:        TinySpec(distill.DefaultTinyConfig()),
+						Snapshot:    SnapshotPolicy{Interval: interval, Rank0Dedup: true},
+						LedgerDir:   dir,
+						JoinTimeout: 10 * time.Second,
+					})
+					if err == nil {
+						t.Fatal("rigged run finished despite the injected coordinator crash")
+					}
+					res, w2, err := ResumeRun(inner, dir, ResumeConfig{JoinTimeout: 10 * time.Second})
+					if err != nil {
+						t.Fatalf("resume failed: %v", err)
+					}
+					lossesBitIdentical(t, label, res, refRes[dpu])
+					weightsBitIdentical(t, label, w2, refs[dpu])
+				})
+			}
+		}
+	}
+}
+
+// TestDoubleCrashResume kills the coordinator, kills the RESUMED
+// coordinator too, and resumes again: the ledger keeps growing across
+// generations, so the third coordinator restores state written by both
+// predecessors and still lands bit-identical.
+func TestDoubleCrashResume(t *testing.T) {
+	leakCheck(t)
+	batches := tinyBatches(stepsPerRun, 8)
+	p := hybridPlan()
+	ref := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+	refRes := engine.RunPipelined(ref, batches, engine.Config{Plan: p, DPU: true, LR: 0.05, Momentum: 0.9})
+
+	inner := transport.NewLoopback()
+	addrs := startWorkers(t, inner, 2, WorkerConfig{Sessions: 1, Rejoin: true})
+	dir := filepath.Join(t.TempDir(), "ledger")
+
+	chaos := transport.NewChaos(inner, killLosses(1, 1))
+	w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+	if _, err := Run(chaos, addrs, w, batches, Config{
+		Plan: p, DPU: true, LR: 0.05, Momentum: 0.9,
+		Spec:     TinySpec(distill.DefaultTinyConfig()),
+		Snapshot: SnapshotPolicy{Interval: 2}, LedgerDir: dir,
+		JoinTimeout: 10 * time.Second,
+	}); err == nil {
+		t.Fatal("first rigged run finished")
+	}
+
+	// Second generation: resume through a chaos net that kills again.
+	chaos2 := transport.NewChaos(inner, killLosses(1, 3))
+	if _, _, err := ResumeRun(chaos2, dir, ResumeConfig{JoinTimeout: 10 * time.Second}); err == nil {
+		t.Fatal("second rigged run finished")
+	}
+
+	res, w3, err := ResumeRun(inner, dir, ResumeConfig{JoinTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("second resume failed: %v", err)
+	}
+	lossesBitIdentical(t, "double crash", res, refRes)
+	weightsBitIdentical(t, "double crash", w3, ref)
+}
+
+// TestResumeOfCompletedRun: resuming a ledger whose run already finished
+// must replay the trailing steps idempotently and return the identical
+// result — the degenerate case a too-late resume script will hit.
+func TestResumeOfCompletedRun(t *testing.T) {
+	leakCheck(t)
+	batches := tinyBatches(4, 8)
+	p := hybridPlan()
+	ref := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+	refRes := engine.RunPipelined(ref, batches, engine.Config{Plan: p, DPU: true, LR: 0.05, Momentum: 0.9})
+
+	inner := transport.NewLoopback()
+	addrs := startWorkers(t, inner, 2, WorkerConfig{Sessions: 2, Rejoin: true})
+	dir := filepath.Join(t.TempDir(), "ledger")
+	w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+	res, err := Run(inner, addrs, w, batches, Config{
+		Plan: p, DPU: true, LR: 0.05, Momentum: 0.9,
+		Spec:     TinySpec(distill.DefaultTinyConfig()),
+		Snapshot: SnapshotPolicy{Interval: 3}, LedgerDir: dir,
+		JoinTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("durable run failed: %v", err)
+	}
+	lossesBitIdentical(t, "durable run", res, refRes)
+
+	res2, w2, err := ResumeRun(inner, dir, ResumeConfig{JoinTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("resume of completed run failed: %v", err)
+	}
+	lossesBitIdentical(t, "resume of completed run", res2, refRes)
+	weightsBitIdentical(t, "resume of completed run", w2, ref)
+}
+
+// TestResumedRunSurvivesWorkerLoss composes the two recovery layers: the
+// resumed coordinator itself loses a worker mid-replay and must re-place
+// it within the resumed run's restart budget, still bit-identical.
+func TestResumedRunSurvivesWorkerLoss(t *testing.T) {
+	leakCheck(t)
+	batches := tinyBatches(stepsPerRun, 8)
+	p := hybridPlan()
+	ref := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+	refRes := engine.RunPipelined(ref, batches, engine.Config{Plan: p, DPU: true, LR: 0.05, Momentum: 0.9})
+
+	inner := transport.NewLoopback()
+	addrs := startWorkers(t, inner, 2, WorkerConfig{Sessions: 1, Rejoin: true})
+	dir := filepath.Join(t.TempDir(), "ledger")
+	chaos := transport.NewChaos(inner, killLosses(1, 1))
+	w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+	if _, err := Run(chaos, addrs, w, batches, Config{
+		Plan: p, DPU: true, LR: 0.05, Momentum: 0.9,
+		Spec:        TinySpec(distill.DefaultTinyConfig()),
+		LedgerDir:   dir,
+		JoinTimeout: 10 * time.Second,
+	}); err == nil {
+		t.Fatal("rigged run finished")
+	}
+
+	// The resumed run loses worker conn 1 (dial order of rejoinAll) on a
+	// later step and must recover it with its own restart budget.
+	chaos2 := transport.NewChaos(inner, killLosses(1, stepsPerRun-1))
+	logf, logs := captureLog()
+	res, w2, err := ResumeRun(chaos2, dir, ResumeConfig{
+		JoinTimeout: 10 * time.Second, MaxRestarts: 1, Logf: logf,
+	})
+	if err != nil {
+		t.Fatalf("resume with worker loss failed: %v\nlog:\n%s", err, logs())
+	}
+	if !strings.Contains(logs(), "re-placed on worker") {
+		t.Fatalf("worker loss during resume did not trigger re-placement; log:\n%s", logs())
+	}
+	lossesBitIdentical(t, "resume + worker loss", res, refRes)
+	weightsBitIdentical(t, "resume + worker loss", w2, ref)
+}
+
+// TestSnapshotPolicyEdgeCases is the table-driven policy suite: interval
+// beyond the run length (resume replays everything from the seed),
+// interval 1, dedup defaults, and the validation errors.
+func TestSnapshotPolicyEdgeCases(t *testing.T) {
+	t.Run("interval-longer-than-run", func(t *testing.T) {
+		leakCheck(t)
+		batches := tinyBatches(3, 8)
+		p := hybridPlan()
+		ref := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+		refRes := engine.RunPipelined(ref, batches, engine.Config{Plan: p, DPU: true, LR: 0.05, Momentum: 0.9})
+
+		inner := transport.NewLoopback()
+		addrs := startWorkers(t, inner, 2, WorkerConfig{Sessions: 1, Rejoin: true})
+		dir := filepath.Join(t.TempDir(), "ledger")
+		chaos := transport.NewChaos(inner, killLosses(1, 1))
+		w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+		if _, err := Run(chaos, addrs, w, batches, Config{
+			Plan: p, DPU: true, LR: 0.05, Momentum: 0.9,
+			Spec:        TinySpec(distill.DefaultTinyConfig()),
+			Snapshot:    SnapshotPolicy{Interval: 100}, // no step ever snapshots
+			LedgerDir:   dir,
+			JoinTimeout: 10 * time.Second,
+		}); err == nil {
+			t.Fatal("rigged run finished")
+		}
+		// No snapshot can exist; resume must replay the whole run from the
+		// seed weights, fed purely by retained inputs.
+		_, _, rep, err := ledger.Open(dir)
+		if err != nil {
+			t.Fatalf("ledger open: %v", err)
+		}
+		for _, rec := range rep.Records {
+			if rec.Type == ledger.TypeDevSnapshot || rec.Type == ledger.TypeGroupSnapshot {
+				t.Fatalf("interval 100 still persisted a %v record", rec.Type)
+			}
+		}
+		res, w2, err := ResumeRun(inner, dir, ResumeConfig{JoinTimeout: 10 * time.Second})
+		if err != nil {
+			t.Fatalf("seed-replay resume failed: %v", err)
+		}
+		lossesBitIdentical(t, "interval > steps", res, refRes)
+		weightsBitIdentical(t, "interval > steps", w2, ref)
+	})
+
+	t.Run("validation-errors", func(t *testing.T) {
+		batches := tinyBatches(2, 8)
+		w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+		net := transport.NewLoopback()
+		base := Config{Plan: hybridPlan(), LR: 0.05,
+			Spec: TinySpec(distill.DefaultTinyConfig()), MaxRestarts: 1}
+
+		bad := base
+		bad.Snapshot = SnapshotPolicy{Interval: -2}
+		if _, err := Run(net, []string{"x"}, w, batches, bad); err == nil || !strings.Contains(err.Error(), "interval") {
+			t.Fatalf("negative interval accepted: %v", err)
+		}
+		bad = base
+		bad.MaxRestarts = 0
+		bad.Snapshot = SnapshotPolicy{Interval: 2}
+		if _, err := Run(net, []string{"x"}, w, batches, bad); err == nil || !strings.Contains(err.Error(), "fault tolerance") {
+			t.Fatalf("policy without fault tolerance accepted: %v", err)
+		}
+		bad = base
+		bad.MaxRestarts = 0
+		bad.Snapshot = SnapshotPolicy{Rank0Dedup: true}
+		if _, err := Run(net, []string{"x"}, w, batches, bad); err == nil {
+			t.Fatal("dedup without fault tolerance accepted")
+		}
+		if _, err := effectivePolicy(wire.SnapshotPolicy{Rank0Dedup: true}, true); err != nil {
+			t.Fatalf("dedup with default interval rejected: %v", err)
+		}
+		if p, _ := effectivePolicy(wire.SnapshotPolicy{}, true); p.Interval != 1 {
+			t.Fatalf("zero policy under fault tolerance resolved to %+v, want interval 1", p)
+		}
+		if p, err := effectivePolicy(wire.SnapshotPolicy{}, false); err != nil || p.Enabled() {
+			t.Fatalf("zero policy without fault tolerance resolved to %+v (%v)", p, err)
+		}
+	})
+
+	t.Run("dedup-ships-one-snapshot-per-group", func(t *testing.T) {
+		batches := tinyBatches(4, 8)
+		p := hybridPlan()
+		inner := transport.NewLoopback()
+		addrs := startWorkers(t, inner, 2, WorkerConfig{Sessions: 1, Rejoin: true})
+		dir := filepath.Join(t.TempDir(), "ledger")
+		w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+		if _, err := Run(inner, addrs, w, batches, Config{
+			Plan: p, DPU: true, LR: 0.05, Momentum: 0.9,
+			Spec:      TinySpec(distill.DefaultTinyConfig()),
+			Snapshot:  SnapshotPolicy{Interval: 2, Rank0Dedup: true},
+			LedgerDir: dir, JoinTimeout: 10 * time.Second,
+		}); err != nil {
+			t.Fatalf("durable dedup run failed: %v", err)
+		}
+		_, _, rep, err := ledger.Open(dir)
+		if err != nil {
+			t.Fatalf("ledger open: %v", err)
+		}
+		groups := map[int]bool{}
+		for _, rec := range rep.Records {
+			switch rec.Type {
+			case ledger.TypeDevSnapshot:
+				t.Fatal("rank-0 dedup still persisted a per-member snapshot")
+			case ledger.TypeGroupSnapshot:
+				groups[rec.Group] = true
+				if (rec.Step+1)%2 != 0 {
+					t.Fatalf("interval 2 committed a snapshot at step %d", rec.Step)
+				}
+			}
+		}
+		if !groups[0] || !groups[1] {
+			t.Fatalf("expected committed snapshots for both groups, got %v", groups)
+		}
+	})
+}
+
+// TestResumeErrors: a missing or unusable ledger directory surfaces a
+// clean error, and resuming with an address override reaches the workers
+// even when the manifest's addresses are stale.
+func TestResumeErrors(t *testing.T) {
+	if _, _, err := ResumeRun(transport.NewLoopback(), filepath.Join(t.TempDir(), "absent"), ResumeConfig{}); err == nil {
+		t.Fatal("resume of absent ledger dir succeeded")
+	}
+
+	// Stale manifest addresses, fresh override.
+	batches := tinyBatches(3, 8)
+	p := hybridPlan()
+	ref := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+	refRes := engine.RunPipelined(ref, batches, engine.Config{Plan: p, DPU: true, LR: 0.05, Momentum: 0.9})
+	inner := transport.NewLoopback()
+	addrs := startWorkers(t, inner, 2, WorkerConfig{Sessions: 1, Rejoin: true})
+	dir := filepath.Join(t.TempDir(), "ledger")
+	chaos := transport.NewChaos(inner, killLosses(1, 0))
+	w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+	if _, err := Run(chaos, addrs, w, batches, Config{
+		Plan: p, DPU: true, LR: 0.05, Momentum: 0.9,
+		Spec: TinySpec(distill.DefaultTinyConfig()), LedgerDir: dir,
+		JoinTimeout: 10 * time.Second,
+	}); err == nil {
+		t.Fatal("rigged run finished")
+	}
+	// Resume against fresh workers at new addresses.
+	addrs2 := startWorkers(t, inner, 2, WorkerConfig{Sessions: 1, Rejoin: true})
+	res, w2, err := ResumeRun(inner, dir, ResumeConfig{
+		Addrs: addrs2, JoinTimeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("resume with address override failed: %v", err)
+	}
+	lossesBitIdentical(t, "address override", res, refRes)
+	weightsBitIdentical(t, "address override", w2, ref)
+}

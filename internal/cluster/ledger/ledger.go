@@ -1,0 +1,509 @@
+// Package ledger is the durable-run store of the cluster coordinator: a
+// versioned, crash-safe on-disk codec that persists everything a
+// restarted coordinator needs to resume a run bit-identically — the
+// immutable session setup in a manifest written via atomic rename, and
+// the mutable hub state (per-device snapshots, retained inputs, completed
+// gradient reductions, emitted loss rows, barrier releases) as an
+// append-only record log.
+//
+// Crash semantics: every record carries a CRC over its payload, so a
+// coordinator killed mid-append leaves at most one torn record at the
+// tail. Open tolerates that — it replays the log up to the last complete
+// record, truncates the torn tail, and reports how many bytes it dropped —
+// while a corrupt or version-skewed manifest is a hard error (the
+// manifest is written once, atomically, before any record, so it can
+// never be legitimately half-written). Records reuse the wire package's
+// payload codec, so every float crosses the disk boundary bit-exactly,
+// which the resume path's bit-equivalence guarantee depends on.
+package ledger
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"pipebd/internal/cluster/wire"
+	"pipebd/internal/dataset"
+	"pipebd/internal/tensor"
+)
+
+const (
+	// Version is the on-disk format version; manifests stamped with any
+	// other version are rejected by Open.
+	Version = 1
+
+	// ManifestName and LogName are the two files a ledger directory holds.
+	ManifestName = "MANIFEST"
+	LogName      = "records.log"
+
+	manifestMagic = "PBDL"
+	recMagic      = 0xD1
+	recHeaderLen  = 10 // magic, type, payload length u32, payload crc32
+)
+
+// ErrVersion is wrapped by Open errors caused by a manifest written by a
+// different ledger format version.
+var ErrVersion = errors.New("ledger: version mismatch")
+
+// Manifest is the immutable setup of a durable run: the full session
+// assignment (plan, model spec, run config including the snapshot policy,
+// and the seed parameter snapshot — the Devices field is unused), the
+// worker addresses, the training batches, and the worker-loss budget. It
+// is everything a fresh process needs to rebuild the coordinator's
+// workbench and re-drive the run; Meta is an opaque slot for the caller
+// (e.g. CLI options for provenance).
+type Manifest struct {
+	Assign      wire.Assign
+	Addrs       []string
+	Batches     []dataset.Batch
+	MaxRestarts int
+	Meta        string
+}
+
+// Type identifies a record's kind in the log.
+type Type uint8
+
+const (
+	// TypeDevSnapshot is one device's post-step recovery state (student
+	// parameters + optimizer velocities), emitted under the per-member
+	// snapshot policy.
+	TypeDevSnapshot Type = iota + 1
+	// TypeGroupSnapshot is a committed group-level snapshot under rank-0
+	// dedup: one parameter set standing in for every member of the group.
+	TypeGroupSnapshot
+	// TypeInput is an input payload delivered to (and retained for) a set
+	// of devices — the data batch for group 0, the assembled relay
+	// activation otherwise.
+	TypeInput
+	// TypeOutput is one split-group member's boundary-activation shard as
+	// received by the hub. Persisting shards individually is what keeps a
+	// half-assembled gather recoverable: a member that snapshotted past
+	// the step will never re-send its shard, so the restarted hub must
+	// already hold it.
+	TypeOutput
+	// TypeReduction is a completed intra-group gradient reduction.
+	TypeReduction
+	// TypeLosses is one device's per-block loss row for one step.
+	TypeLosses
+	// TypeBarrier marks a released no-DPU step barrier.
+	TypeBarrier
+	typeEnd // sentinel: all valid types are below this
+)
+
+var typeNames = map[Type]string{
+	TypeDevSnapshot: "dev-snapshot", TypeGroupSnapshot: "group-snapshot",
+	TypeInput: "input", TypeOutput: "output", TypeReduction: "reduction",
+	TypeLosses: "losses", TypeBarrier: "barrier",
+}
+
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("type(%d)", uint8(t))
+}
+
+// Record is one logged mutation of the coordinator's recovery state. The
+// populated fields depend on Type; the rest are zero.
+type Record struct {
+	Type  Type
+	Dev   int   // TypeDevSnapshot, TypeOutput, TypeLosses
+	Group int   // TypeGroupSnapshot, TypeReduction
+	Step  int   // every type
+	Devs  []int // TypeInput: receiving device ranks
+
+	Params   []*tensor.Tensor // snapshots: student parameters
+	Velocity []*tensor.Tensor // snapshots: optimizer velocities
+	Payload  []byte           // TypeInput, TypeOutput, TypeReduction: encoded frame payload
+	Losses   []float64        // TypeLosses
+}
+
+// DevSnapshot builds a per-member snapshot record.
+func DevSnapshot(dev, step int, params, velocity []*tensor.Tensor) *Record {
+	return &Record{Type: TypeDevSnapshot, Dev: dev, Step: step, Params: params, Velocity: velocity}
+}
+
+// GroupSnapshot builds a committed group-level snapshot record.
+func GroupSnapshot(group, step int, params, velocity []*tensor.Tensor) *Record {
+	return &Record{Type: TypeGroupSnapshot, Group: group, Step: step, Params: params, Velocity: velocity}
+}
+
+// Input builds a retained-input record for a set of devices (one record
+// per group delivery, not per device, so split groups do not multiply the
+// logged payload k-fold).
+func Input(devs []int, step int, payload []byte) *Record {
+	return &Record{Type: TypeInput, Devs: devs, Step: step, Payload: payload}
+}
+
+// Output builds a received-shard record for a split-group member.
+func Output(dev, step int, payload []byte) *Record {
+	return &Record{Type: TypeOutput, Dev: dev, Step: step, Payload: payload}
+}
+
+// Reduction builds a completed-reduction record.
+func Reduction(group, step int, payload []byte) *Record {
+	return &Record{Type: TypeReduction, Group: group, Step: step, Payload: payload}
+}
+
+// Losses builds a loss-row record.
+func Losses(dev, step int, vals []float64) *Record {
+	return &Record{Type: TypeLosses, Dev: dev, Step: step, Losses: vals}
+}
+
+// Barrier builds a barrier-release record.
+func Barrier(step int) *Record {
+	return &Record{Type: TypeBarrier, Step: step}
+}
+
+func (rec *Record) encode() ([]byte, error) {
+	w := wire.NewWriter()
+	switch rec.Type {
+	case TypeDevSnapshot:
+		w.I32(int32(rec.Dev))
+		w.I32(int32(rec.Step))
+		w.Tensors(rec.Params)
+		w.Tensors(rec.Velocity)
+	case TypeGroupSnapshot:
+		w.I32(int32(rec.Group))
+		w.I32(int32(rec.Step))
+		w.Tensors(rec.Params)
+		w.Tensors(rec.Velocity)
+	case TypeInput:
+		w.I32s(rec.Devs)
+		w.I32(int32(rec.Step))
+		w.Blob(rec.Payload)
+	case TypeOutput:
+		w.I32(int32(rec.Dev))
+		w.I32(int32(rec.Step))
+		w.Blob(rec.Payload)
+	case TypeReduction:
+		w.I32(int32(rec.Group))
+		w.I32(int32(rec.Step))
+		w.Blob(rec.Payload)
+	case TypeLosses:
+		w.I32(int32(rec.Dev))
+		w.I32(int32(rec.Step))
+		w.F64s(rec.Losses)
+	case TypeBarrier:
+		w.I32(int32(rec.Step))
+	default:
+		return nil, fmt.Errorf("ledger: cannot encode record %v", rec.Type)
+	}
+	if len(w.Bytes()) > wire.MaxPayload {
+		return nil, fmt.Errorf("ledger: %v record payload %d exceeds limit %d", rec.Type, len(w.Bytes()), wire.MaxPayload)
+	}
+	return w.Bytes(), nil
+}
+
+func decodeRecord(t Type, payload []byte) (*Record, error) {
+	r := wire.NewReader(payload)
+	rec := &Record{Type: t}
+	switch t {
+	case TypeDevSnapshot:
+		rec.Dev = int(r.I32())
+		rec.Step = int(r.I32())
+		rec.Params = r.Tensors()
+		rec.Velocity = r.Tensors()
+	case TypeGroupSnapshot:
+		rec.Group = int(r.I32())
+		rec.Step = int(r.I32())
+		rec.Params = r.Tensors()
+		rec.Velocity = r.Tensors()
+	case TypeInput:
+		rec.Devs = r.I32s()
+		rec.Step = int(r.I32())
+		rec.Payload = r.Blob()
+	case TypeOutput:
+		rec.Dev = int(r.I32())
+		rec.Step = int(r.I32())
+		rec.Payload = r.Blob()
+	case TypeReduction:
+		rec.Group = int(r.I32())
+		rec.Step = int(r.I32())
+		rec.Payload = r.Blob()
+	case TypeLosses:
+		rec.Dev = int(r.I32())
+		rec.Step = int(r.I32())
+		rec.Losses = r.F64s()
+	case TypeBarrier:
+		rec.Step = int(r.I32())
+	default:
+		return nil, fmt.Errorf("ledger: unknown record %v", t)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	if t == TypeDevSnapshot || t == TypeGroupSnapshot {
+		if len(rec.Params) != len(rec.Velocity) {
+			return nil, fmt.Errorf("ledger: %v record has %d params but %d velocities", t, len(rec.Params), len(rec.Velocity))
+		}
+	}
+	return rec, nil
+}
+
+// Replay is the result of reading a ledger's record log.
+type Replay struct {
+	// Records holds every complete record, in append order.
+	Records []*Record
+	// TornBytes counts the trailing bytes Open dropped because they did
+	// not form a complete, checksummed record — the residue of a
+	// coordinator killed mid-append. 0 for a cleanly written log.
+	TornBytes int
+}
+
+// Ledger is an open durable-run store: the manifest is on disk and the
+// record log is positioned for appending. Append is safe for concurrent
+// use; the coordinator serializes appends under its session lock anyway
+// so record order matches mutation order.
+type Ledger struct {
+	dir string
+
+	mu sync.Mutex
+	f  *os.File
+}
+
+// Dir returns the ledger's directory.
+func (l *Ledger) Dir() string { return l.dir }
+
+// Create initializes dir as a fresh ledger: it writes the manifest via
+// write-to-temp + atomic rename and creates an empty record log. A
+// directory that already holds a manifest is rejected — resuming an
+// existing run must go through Open, and two runs must never interleave
+// records in one log.
+func Create(dir string, m *Manifest) (*Ledger, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	manifestPath := filepath.Join(dir, ManifestName)
+	if _, err := os.Stat(manifestPath); err == nil {
+		return nil, fmt.Errorf("ledger: %s already holds a run manifest (resume it instead of starting a new run)", dir)
+	}
+	blob, err := encodeManifest(m)
+	if err != nil {
+		return nil, err
+	}
+	tmp := manifestPath + ".tmp"
+	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	if err := os.Rename(tmp, manifestPath); err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, LogName), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	return &Ledger{dir: dir, f: f}, nil
+}
+
+// Open loads an existing ledger: it decodes and validates the manifest
+// (corrupt or version-skewed manifests are errors), replays the record
+// log up to the last complete record, truncates any torn tail so later
+// appends extend a consistent log, and returns the ledger positioned for
+// appending.
+//
+// Open takes no lock on the directory: the caller (operator or
+// supervisor) must ensure at most one coordinator appends at a time.
+// Two concurrent resumes would interleave records from divergent states
+// — an advisory flock is a known hardening item (an O_EXCL lock file
+// would go stale after the very SIGKILL resume exists to handle).
+func Open(dir string) (*Ledger, *Manifest, *Replay, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("ledger: reading manifest: %w", err)
+	}
+	m, err := decodeManifest(raw)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	logPath := filepath.Join(dir, LogName)
+	logRaw, err := os.ReadFile(logPath)
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, nil, nil, fmt.Errorf("ledger: reading record log: %w", err)
+	}
+	replay, good := replayLog(logRaw)
+	if replay.TornBytes > 0 {
+		if err := os.Truncate(logPath, int64(good)); err != nil {
+			return nil, nil, nil, fmt.Errorf("ledger: truncating torn tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("ledger: %w", err)
+	}
+	return &Ledger{dir: dir, f: f}, m, replay, nil
+}
+
+// replayLog parses records until the first incomplete or corrupt one and
+// returns them with the offset of the last complete record's end.
+func replayLog(raw []byte) (*Replay, int) {
+	rep := &Replay{}
+	off := 0
+	for {
+		rec, n := parseRecord(raw[off:])
+		if rec == nil {
+			break
+		}
+		rep.Records = append(rep.Records, rec)
+		off += n
+	}
+	rep.TornBytes = len(raw) - off
+	return rep, off
+}
+
+// frameRecord wraps an encoded record payload in the log framing:
+// magic, type, length, checksum.
+func frameRecord(t Type, payload []byte) []byte {
+	buf := make([]byte, recHeaderLen+len(payload))
+	buf[0] = recMagic
+	buf[1] = uint8(t)
+	binary.LittleEndian.PutUint32(buf[2:6], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[6:10], crc32.ChecksumIEEE(payload))
+	copy(buf[recHeaderLen:], payload)
+	return buf
+}
+
+// parseRecord decodes one record from the head of raw, returning nil when
+// raw does not start with a complete, checksummed, decodable record.
+func parseRecord(raw []byte) (*Record, int) {
+	if len(raw) < recHeaderLen || raw[0] != recMagic {
+		return nil, 0
+	}
+	t := Type(raw[1])
+	if t == 0 || t >= typeEnd {
+		return nil, 0
+	}
+	n := binary.LittleEndian.Uint32(raw[2:6])
+	if n > wire.MaxPayload || int(n) > len(raw)-recHeaderLen {
+		return nil, 0
+	}
+	payload := raw[recHeaderLen : recHeaderLen+int(n)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(raw[6:10]) {
+		return nil, 0
+	}
+	rec, err := decodeRecord(t, payload)
+	if err != nil {
+		return nil, 0
+	}
+	return rec, recHeaderLen + int(n)
+}
+
+// Append writes one record to the log. The write reaches the operating
+// system before Append returns, so a coordinator killed any time after
+// has the record (process death does not lose page-cache contents —
+// surviving power loss would additionally need fsync, which the replay
+// design deliberately trades away for append latency).
+func (l *Ledger) Append(rec *Record) error {
+	payload, err := rec.encode()
+	if err != nil {
+		return err
+	}
+	buf := frameRecord(rec.Type, payload)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("ledger: append after close")
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("ledger: appending %v record: %w", rec.Type, err)
+	}
+	return nil
+}
+
+// Close releases the record log. Appends after Close fail.
+func (l *Ledger) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// --- manifest codec ----------------------------------------------------------
+
+// encodeManifest lays out: magic, version u32, payload length u32,
+// payload crc32, payload.
+func encodeManifest(m *Manifest) ([]byte, error) {
+	w := wire.NewWriter()
+	w.Blob(wire.EncodeAssign(&m.Assign).Payload)
+	w.U32(uint32(len(m.Addrs)))
+	for _, a := range m.Addrs {
+		w.String(a)
+	}
+	w.I32(int32(m.MaxRestarts))
+	w.U32(uint32(len(m.Batches)))
+	for _, b := range m.Batches {
+		w.Blob(wire.EncodeBatch(wire.NoDev, wire.NoStep, b).Payload)
+	}
+	w.String(m.Meta)
+	payload := w.Bytes()
+	if len(payload) > wire.MaxPayload {
+		return nil, fmt.Errorf("ledger: manifest payload %d exceeds limit %d", len(payload), wire.MaxPayload)
+	}
+	hdr := make([]byte, 16)
+	copy(hdr, manifestMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], Version)
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload))
+	return append(hdr, payload...), nil
+}
+
+func decodeManifest(raw []byte) (*Manifest, error) {
+	if len(raw) < 16 {
+		return nil, fmt.Errorf("ledger: manifest truncated to %d bytes", len(raw))
+	}
+	if string(raw[:4]) != manifestMagic {
+		return nil, fmt.Errorf("ledger: bad manifest magic %q (not a pipebd ledger)", raw[:4])
+	}
+	if v := binary.LittleEndian.Uint32(raw[4:8]); v != Version {
+		return nil, fmt.Errorf("%w: manifest version %d, this ledger speaks %d", ErrVersion, v, Version)
+	}
+	n := binary.LittleEndian.Uint32(raw[8:12])
+	if int64(n) != int64(len(raw)-16) {
+		return nil, fmt.Errorf("ledger: manifest payload length %d, file holds %d", n, len(raw)-16)
+	}
+	payload := raw[16:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(raw[12:16]) {
+		return nil, fmt.Errorf("ledger: manifest checksum mismatch (corrupt manifest)")
+	}
+	r := wire.NewReader(payload)
+	m := &Manifest{}
+	assignBlob := r.Blob()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	assign, err := wire.DecodeAssign(&wire.Frame{Kind: wire.KindAssign, Payload: assignBlob})
+	if err != nil {
+		return nil, fmt.Errorf("ledger: manifest assignment: %w", err)
+	}
+	m.Assign = *assign
+	nAddrs := r.U32()
+	for i := uint32(0); i < nAddrs && r.Err() == nil; i++ {
+		m.Addrs = append(m.Addrs, r.String())
+	}
+	m.MaxRestarts = int(r.I32())
+	nBatches := r.U32()
+	for i := uint32(0); i < nBatches && r.Err() == nil; i++ {
+		blob := r.Blob()
+		if r.Err() != nil {
+			break
+		}
+		b, err := wire.DecodeBatch(&wire.Frame{Kind: wire.KindBatch, Payload: blob})
+		if err != nil {
+			return nil, fmt.Errorf("ledger: manifest batch %d: %w", i, err)
+		}
+		m.Batches = append(m.Batches, b)
+	}
+	m.Meta = r.String()
+	if err := r.Close(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

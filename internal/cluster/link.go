@@ -173,9 +173,10 @@ type clusterLink struct {
 	out       *outbox
 	// snapshot, when set, encodes the device's post-step recovery state
 	// (student params + optimizer velocities); FinishStep ships it to the
-	// coordinator after every step so a replacement device can replay
-	// from the latest completed step.
+	// coordinator after every step the session's snapshot policy covers,
+	// so a replacement device can replay from the latest covered step.
 	snapshot func(step int) *wire.Frame
+	snap     wire.SnapshotPolicy
 }
 
 func (l *clusterLink) recv(kind wire.Kind, step int) *wire.Frame {
@@ -238,8 +239,11 @@ func (l *clusterLink) StepBarrier(step int) {
 // FinishStep implements engine.StepFinisher: once the step's updates are
 // installed, the device's state is exactly "trained through step" — the
 // snapshot the coordinator needs to re-place this device bit-identically.
+// The policy's interval gates emission: with interval k only every k-th
+// step ships, trading k-fold less snapshot traffic for up to k replayed
+// steps on recovery.
 func (l *clusterLink) FinishStep(step int) {
-	if l.snapshot != nil {
+	if l.snapshot != nil && l.snap.Covers(step) {
 		l.out.Enqueue(l.snapshot(step))
 	}
 }

@@ -1,0 +1,276 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"pipebd/internal/cluster/ledger"
+	"pipebd/internal/cluster/transport"
+	"pipebd/internal/cluster/wire"
+	"pipebd/internal/distill"
+	"pipebd/internal/engine"
+)
+
+// ResumeConfig holds the operational knobs of a resumed run — everything
+// else (plan, model spec, hyperparameters, snapshot policy, batches, seed
+// weights) comes from the ledger manifest, so the resumed trajectory
+// cannot drift from the original by a flag mismatch.
+type ResumeConfig struct {
+	// Addrs overrides the manifest's worker addresses; nil reuses them.
+	Addrs []string
+	// JoinTimeout bounds each re-attachment attempt; <= 0 means 10s.
+	JoinTimeout time.Duration
+	// MaxRestarts is the worker-loss budget of the resumed run; 0 reuses
+	// the manifest's budget, negative disables worker-loss recovery (the
+	// run stays durable either way — its ledger keeps growing, so a
+	// failed resume can itself be resumed).
+	MaxRestarts int
+	// HeartbeatInterval/HeartbeatTimeout configure silence detection;
+	// zero values reuse the manifest's heartbeat interval (with the
+	// conventional 4x timeout) when one was set.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// Logf receives progress lines; nil is silent.
+	Logf func(format string, args ...any)
+}
+
+// ResumeRun restarts a killed coordinator from its on-disk ledger: it
+// reloads the manifest, replays the record log into a fresh hub state,
+// rebuilds the coordinator's workbench from the model spec and seed
+// snapshot, re-attaches every worker through the wire Resume machinery
+// (each device restored to its last persisted snapshot), and drives the
+// run to completion. The returned losses and the returned workbench's
+// trained student weights are bit-identical to what the uninterrupted
+// run — and therefore the fault-free engine.RunPipelined — would have
+// produced, for any snapshot interval and with or without rank-0 dedup.
+//
+// The resumed run keeps appending to the same ledger, so a resume that is
+// itself killed can be resumed again.
+func ResumeRun(net transport.Network, dir string, rc ResumeConfig) (engine.Result, *distill.Workbench, error) {
+	led, man, rep, err := ledger.Open(dir)
+	if err != nil {
+		return engine.Result{}, nil, err
+	}
+	w, err := BuildWorkbench(man.Assign.Spec)
+	if err != nil {
+		led.Close()
+		return engine.Result{}, nil, err
+	}
+	if err := InstallSnapshot(w, man.Assign.Snapshot); err != nil {
+		led.Close()
+		return engine.Result{}, nil, err
+	}
+	addrs := rc.Addrs
+	if len(addrs) == 0 {
+		addrs = man.Addrs
+	}
+	maxRestarts := rc.MaxRestarts
+	switch {
+	case maxRestarts == 0:
+		maxRestarts = man.MaxRestarts
+	case maxRestarts < 0:
+		maxRestarts = 0
+	}
+	cfg := Config{
+		Plan:     man.Assign.Plan,
+		DPU:      man.Assign.Run.DPU,
+		LR:       man.Assign.Run.LR,
+		Momentum: man.Assign.Run.Momentum,
+		Buffer:   man.Assign.Run.Buffer,
+		Backend:  man.Assign.Run.Backend,
+		Spec:     man.Assign.Spec,
+		Snapshot: man.Assign.Run.Snap,
+		// LedgerDir marks the run durable for the fault-tolerance switch;
+		// the already-open ledger below is reused rather than re-created.
+		LedgerDir:         dir,
+		JoinTimeout:       rc.JoinTimeout,
+		MaxRestarts:       maxRestarts,
+		HeartbeatInterval: rc.HeartbeatInterval,
+		HeartbeatTimeout:  rc.HeartbeatTimeout,
+		Logf:              rc.Logf,
+	}
+	if cfg.HeartbeatInterval == 0 && man.Assign.Run.HeartbeatMillis > 0 {
+		cfg.HeartbeatInterval = time.Duration(man.Assign.Run.HeartbeatMillis) * time.Millisecond
+		cfg.HeartbeatTimeout = 4 * cfg.HeartbeatInterval
+	}
+	c := NewCoordinator(net, cfg)
+	r, err := c.newRun(w, man.Batches, addrs)
+	if err != nil {
+		led.Close()
+		return engine.Result{}, nil, err
+	}
+	r.led = led
+	defer r.teardown()
+	if err := r.restore(rep); err != nil {
+		return engine.Result{}, nil, err
+	}
+	c.logf("ledger %s: restored %d records (%d torn bytes dropped); re-attaching %d worker(s)",
+		dir, len(rep.Records), rep.TornBytes, len(addrs))
+	if err := r.rejoinAll(); err != nil {
+		return engine.Result{}, nil, err
+	}
+	res, err := c.execute(r)
+	if err != nil {
+		return engine.Result{}, nil, err
+	}
+	return res, w, nil
+}
+
+// restore replays the ledger's records through the same state mutations
+// the live handlers use, reconstructing the hub exactly as it stood after
+// the last persisted record: committed snapshots, retained inputs,
+// half-assembled gathers, the reduction cache, the loss matrix, and the
+// replay high-water marks. It runs before any worker attaches, so sends
+// inside the shared helpers are naturally suppressed (no peer is mapped)
+// while forwards of gathers that completed unpersisted are re-logged.
+func (r *run) restore(rep *ledger.Replay) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, rec := range rep.Records {
+		if err := r.restoreRecordLocked(rec); err != nil {
+			return fmt.Errorf("cluster: ledger record %d (%v): %w", i, rec.Type, err)
+		}
+	}
+	// Marks with no record of their own:
+	// - Barrier arrivals are implied by releases: a released step was
+	//   reached by every device, an unreleased one by no completed device,
+	//   so every device re-arrives on replay.
+	// - An unsplit group's relayed outputs are implied by the inputs
+	//   forwarded to the next group (the payload is forwarded verbatim, so
+	//   no separate output record exists).
+	for _, ds := range r.devs {
+		if !r.co.cfg.DPU && r.stepGoThrough > ds.barrierSeen {
+			ds.barrierSeen = r.stepGoThrough
+		}
+	}
+	for gi, g := range r.plan.Groups[:len(r.plan.Groups)-1] {
+		if g.Split() != 1 {
+			continue
+		}
+		ds := r.devs[g.Devices[0]]
+		if t := r.groupInThrough[gi+1]; t > ds.outputSeen {
+			ds.outputSeen = t
+		}
+	}
+	// The credit window: restore released one credit per completed
+	// group-0 step; consume one for every step already fed so the
+	// in-flight count picks up where the crashed coordinator left off.
+	for s := 0; s <= r.fedThrough; s++ {
+		select {
+		case <-r.credits:
+		default:
+			// More completed than fed can only under-drain, never block.
+			return nil
+		}
+	}
+	return nil
+}
+
+func (r *run) restoreRecordLocked(rec *ledger.Record) error {
+	switch rec.Type {
+	case ledger.TypeDevSnapshot:
+		ds, ok := r.devs[rec.Dev]
+		if !ok {
+			return fmt.Errorf("unknown device %d", rec.Dev)
+		}
+		if err := r.checkSnapshotShapes(rec.Dev, ds.place.gi, rec.Params, rec.Velocity); err != nil {
+			return err
+		}
+		if rec.Step > ds.snapStep {
+			r.applyDevSnapshotLocked(ds, rec.Step, rec.Params, rec.Velocity)
+		}
+	case ledger.TypeGroupSnapshot:
+		if rec.Group < 0 || rec.Group >= len(r.plan.Groups) {
+			return fmt.Errorf("unknown group %d", rec.Group)
+		}
+		if err := r.checkSnapshotShapes(r.plan.Groups[rec.Group].Devices[0], rec.Group, rec.Params, rec.Velocity); err != nil {
+			return err
+		}
+		r.applyGroupSnapshotLocked(rec.Group, rec.Step, rec.Params, rec.Velocity)
+	case ledger.TypeInput:
+		if len(rec.Devs) == 0 {
+			return fmt.Errorf("input record without devices")
+		}
+		for _, d := range rec.Devs {
+			if _, ok := r.devs[d]; !ok {
+				return fmt.Errorf("unknown device %d", d)
+			}
+		}
+		r.applyInputLocked(rec.Devs, rec.Step, rec.Payload)
+	case ledger.TypeOutput:
+		ds, ok := r.devs[rec.Dev]
+		if !ok {
+			return fmt.Errorf("unknown device %d", rec.Dev)
+		}
+		if ds.place.gi >= len(r.plan.Groups)-1 || r.plan.Groups[ds.place.gi].Split() == 1 {
+			return fmt.Errorf("output record for device %d of a non-sharding group", rec.Dev)
+		}
+		if rec.Step <= ds.outputSeen {
+			return nil // duplicate across resume generations
+		}
+		t, err := wire.DecodeTensor(&wire.Frame{Kind: wire.KindOutput, Payload: rec.Payload})
+		if err != nil {
+			return err
+		}
+		return r.applyOutputLocked(ds, rec.Step, t)
+	case ledger.TypeReduction:
+		if rec.Group < 0 || rec.Group >= len(r.plan.Groups) {
+			return fmt.Errorf("unknown group %d", rec.Group)
+		}
+		r.reduceCache[rec.Group][rec.Step] = rec.Payload
+	case ledger.TypeLosses:
+		ds, ok := r.devs[rec.Dev]
+		if !ok {
+			return fmt.Errorf("unknown device %d", rec.Dev)
+		}
+		if len(rec.Losses) != len(r.plan.Groups[ds.place.gi].Blocks) {
+			return fmt.Errorf("loss row has %d entries, group %d trains %d blocks",
+				len(rec.Losses), ds.place.gi, len(r.plan.Groups[ds.place.gi].Blocks))
+		}
+		if rec.Step < 0 || rec.Step >= r.steps {
+			return fmt.Errorf("loss step %d outside run of %d", rec.Step, r.steps)
+		}
+		if rec.Step > ds.lossSeen {
+			r.applyLossesLocked(ds, rec.Step, rec.Losses)
+		}
+	case ledger.TypeBarrier:
+		if rec.Step > r.stepGoThrough {
+			r.stepGoThrough = rec.Step
+		}
+	default:
+		return fmt.Errorf("unsupported record")
+	}
+	return nil
+}
+
+// rejoinAll re-attaches every worker of a resumed run: the original
+// contiguous placement is rebuilt and each worker receives a wire Resume
+// session restoring its devices to their persisted snapshots — the same
+// machinery a single dead worker's re-placement uses, applied to the
+// whole cluster at once. When a worker's own address no longer answers,
+// its devices fall back to any other configured worker.
+func (r *run) rejoinAll() error {
+	placement := PlaceDevices(r.nDev, len(r.addrs))
+	for i, addr := range r.addrs {
+		if len(placement[i]) == 0 {
+			r.co.logf("worker %s: no devices to place, skipping", addr)
+			continue
+		}
+		resume := r.buildResume(placement[i])
+		candidates := []string{addr}
+		for _, a := range r.addrs {
+			if a != addr {
+				candidates = append(candidates, a)
+			}
+		}
+		conn, got, err := r.dialResume(candidates, resume)
+		if err != nil {
+			return fmt.Errorf("cluster: re-attaching devices %v: %w", placement[i], err)
+		}
+		if _, ok := r.attachResumed(conn, got, placement[i]); !ok {
+			return fmt.Errorf("cluster: run closed while re-attaching workers")
+		}
+		r.co.logf("devices %v re-attached to worker %s, replaying from the ledger", placement[i], got)
+	}
+	return nil
+}

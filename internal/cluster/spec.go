@@ -42,6 +42,28 @@
 // trained weights bit-identical to a fault-free run — pinned by the
 // recovery suite under a deterministic transport.Chaos fault schedule on
 // loopback and TCP, with and without DPU.
+//
+// # Snapshot policy
+//
+// Config.Snapshot replaces the v2 all-or-nothing snapshot switch:
+// Interval k makes each device snapshot every k-th step (recovery then
+// replays up to k steps from the last covered one), and Rank0Dedup ships
+// one snapshot per split group — the members are bit-identical replicas —
+// committed at the hub only once every member's losses, output shards,
+// and barrier arrivals are accounted for, so a member resumed from the
+// committed step never skips work the hub still needs.
+//
+// # Durable runs and coordinator restart
+//
+// With Config.LedgerDir the hub persists its entire recovery state — the
+// manifest (plan, spec, run config, batches, seed weights) plus every
+// snapshot, retained input, output shard, completed reduction, loss row,
+// and barrier release — to an internal/cluster/ledger store. ResumeRun
+// restarts a killed coordinator from that directory: it replays the
+// record log, re-attaches every worker via the same Resume machinery
+// single-worker recovery uses, and finishes the run with losses and
+// trained weights bit-identical to an uninterrupted run; the resumed run
+// keeps appending, so it can itself be killed and resumed again.
 package cluster
 
 import (

@@ -22,6 +22,44 @@ type ModelSpec struct {
 	Classes  int
 }
 
+// SnapshotPolicy governs the recovery-snapshot traffic of a session. It
+// replaced the v2 codec's all-or-nothing Snapshots flag: the interval
+// trades snapshot bandwidth against replay length, and rank-0 dedup
+// exploits the engine's replica guarantee (all members of a split group
+// hold bit-identical parameters after every step) to ship one member
+// snapshot per group instead of k.
+type SnapshotPolicy struct {
+	// Interval asks each snapshotting device to emit its recovery state
+	// after every k-th step (steps k-1, 2k-1, ...). 0 disables snapshots;
+	// negative intervals are invalid.
+	Interval int
+	// Rank0Dedup restricts snapshot emission to each group's rank-0
+	// member. The coordinator commits the group snapshot only once every
+	// member has accounted for the covered steps (losses, relayed
+	// outputs, barrier arrivals), so replayed loss rows stay complete.
+	Rank0Dedup bool
+}
+
+// Enabled reports whether the policy asks for any snapshots at all.
+func (p SnapshotPolicy) Enabled() bool { return p.Interval > 0 }
+
+// Covers reports whether a device finishing the given step should emit
+// (or a committed snapshot may exist for) that step under the policy.
+func (p SnapshotPolicy) Covers(step int) bool {
+	return p.Interval > 0 && (step+1)%p.Interval == 0
+}
+
+// Validate rejects malformed policies.
+func (p SnapshotPolicy) Validate() error {
+	if p.Interval < 0 {
+		return fmt.Errorf("wire: snapshot interval must be >= 0, got %d", p.Interval)
+	}
+	if p.Rank0Dedup && p.Interval == 0 {
+		return fmt.Errorf("wire: snapshot rank-0 dedup needs snapshots enabled (interval >= 1)")
+	}
+	return nil
+}
+
 // RunConfig is the per-session training configuration.
 type RunConfig struct {
 	DPU      bool
@@ -30,9 +68,9 @@ type RunConfig struct {
 	Buffer   int
 	Steps    int
 	Backend  string // tensor backend registry name; "" keeps the worker default
-	// Snapshots asks each hosted device to send a KindSnapshot frame
-	// after every step, enabling the coordinator's replay-based recovery.
-	Snapshots bool
+	// Snap schedules the KindSnapshot frames that feed the coordinator's
+	// replay-based recovery; the zero policy disables them.
+	Snap SnapshotPolicy
 	// HeartbeatMillis asks the worker to emit KindHeartbeat frames on this
 	// interval; <= 0 disables the beacon.
 	HeartbeatMillis int
@@ -79,7 +117,8 @@ func writeAssignBody(w *Writer, a *Assign) {
 	w.I32(int32(a.Run.Buffer))
 	w.I32(int32(a.Run.Steps))
 	w.String(a.Run.Backend)
-	w.Bool(a.Run.Snapshots)
+	w.I32(int32(a.Run.Snap.Interval))
+	w.Bool(a.Run.Snap.Rank0Dedup)
 	w.I32(int32(a.Run.HeartbeatMillis))
 	w.I32s(a.Devices)
 	writeSnapshotHalf(w, a.Snapshot.Teacher)
@@ -108,7 +147,8 @@ func readAssignBody(r *Reader) (*Assign, error) {
 	a.Run.Buffer = int(r.I32())
 	a.Run.Steps = int(r.I32())
 	a.Run.Backend = r.String()
-	a.Run.Snapshots = r.Bool()
+	a.Run.Snap.Interval = int(r.I32())
+	a.Run.Snap.Rank0Dedup = r.Bool()
 	a.Run.HeartbeatMillis = int(r.I32())
 	a.Devices = r.I32s()
 	var err error

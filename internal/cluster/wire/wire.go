@@ -27,9 +27,11 @@ const (
 	Magic = 0xBD
 	// Version is the codec version; frames with any other version are
 	// rejected by ReadFrame. Version 2 added the fault-tolerance frames
-	// (Heartbeat, Snapshot, Resume), so a v1 worker and a v2 coordinator
-	// fail their handshake cleanly instead of mis-decoding recovery state.
-	Version = 2
+	// (Heartbeat, Snapshot, Resume); version 3 replaced RunConfig's
+	// all-or-nothing Snapshots flag with a SnapshotPolicy (interval k plus
+	// rank-0 dedup for split groups), so an un-upgraded peer fails its
+	// handshake cleanly instead of mis-decoding the session setup.
+	Version = 3
 
 	headerLen = 16
 	// MaxPayload bounds a frame's payload so a corrupted or adversarial
@@ -247,6 +249,14 @@ func (w *Writer) String(s string) {
 	w.buf = append(w.buf, s...)
 }
 
+// Blob appends a length-prefixed byte slice, bounded by MaxPayload (the
+// payloads the cluster nests — encoded frames inside ledger records — can
+// far exceed the maxString name bound).
+func (w *Writer) Blob(b []byte) {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
 // I32s appends a count-prefixed int32 slice.
 func (w *Writer) I32s(vs []int) {
 	w.U32(uint32(len(vs)))
@@ -391,6 +401,21 @@ func (r *Reader) String() string {
 	}
 	b := r.take(int(n))
 	return string(b)
+}
+
+// Blob reads a length-prefixed byte slice (copied, so the result does not
+// alias the payload buffer).
+func (r *Reader) Blob() []byte {
+	n := r.U32()
+	if n > MaxPayload {
+		r.fail("blob length %d exceeds limit %d", n, MaxPayload)
+		return nil
+	}
+	b := r.take(int(n))
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
 }
 
 // count validates a collection count against the bytes that could

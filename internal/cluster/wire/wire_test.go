@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"math"
 	"math/rand"
@@ -160,8 +161,9 @@ func sampleAssign() *Assign {
 			{Devices: []int{0, 1}, Blocks: []int{0, 1}},
 			{Devices: []int{2}, Blocks: []int{2, 3}, Shares: nil},
 		}},
-		Spec:    ModelSpec{Name: "tiny", Seed: 42, Blocks: 4, Channels: 6, Height: 8, Width: 8},
-		Run:     RunConfig{DPU: true, LR: 0.05, Momentum: 0.9, Buffer: 2, Steps: 6, Backend: "serial"},
+		Spec: ModelSpec{Name: "tiny", Seed: 42, Blocks: 4, Channels: 6, Height: 8, Width: 8},
+		Run: RunConfig{DPU: true, LR: 0.05, Momentum: 0.9, Buffer: 2, Steps: 6, Backend: "serial",
+			Snap: SnapshotPolicy{Interval: 3, Rank0Dedup: true}},
 		Devices: []int{0, 1},
 		Snapshot: Snapshot{
 			Teacher: [][]*tensor.Tensor{{tensor.Rand(rng, -1, 1, 2, 2)}, {}},
@@ -303,19 +305,84 @@ func TestResumeTruncatedPayloadRejected(t *testing.T) {
 	}
 }
 
-// TestVersionSkewOldWorker models an un-upgraded (codec v1) worker
-// talking to this coordinator: its hello frame is stamped with version 1
-// and must be rejected with ErrVersion — a clean, diagnosable handshake
-// failure rather than a mis-decoded recovery frame.
+// TestVersionSkewOldWorker models an un-upgraded worker talking to this
+// coordinator: its hello frame is stamped with an older codec version and
+// must be rejected with ErrVersion — a clean, diagnosable handshake
+// failure rather than a mis-decoded session setup (the v2→v3 transition
+// moved RunConfig's snapshot fields, so a mis-decode would silently
+// scramble the policy).
 func TestVersionSkewOldWorker(t *testing.T) {
-	raw := encodeFrameBytes(t, Control(KindHello, NoDev, NoStep))
-	raw[1] = 1 // the pre-fault-tolerance codec version
-	_, err := ReadFrame(bytes.NewReader(raw))
-	if !errors.Is(err, ErrVersion) {
-		t.Fatalf("v1 hello: got %v, want ErrVersion", err)
+	for _, old := range []byte{1, 2} {
+		raw := encodeFrameBytes(t, Control(KindHello, NoDev, NoStep))
+		raw[1] = old
+		_, err := ReadFrame(bytes.NewReader(raw))
+		if !errors.Is(err, ErrVersion) {
+			t.Fatalf("v%d hello: got %v, want ErrVersion", old, err)
+		}
+		if !strings.Contains(err.Error(), fmt.Sprintf("version %d", old)) || !strings.Contains(err.Error(), "3") {
+			t.Fatalf("version error should name both versions: %v", err)
+		}
 	}
-	if !strings.Contains(err.Error(), "version 1") || !strings.Contains(err.Error(), "2") {
-		t.Fatalf("version error should name both versions: %v", err)
+}
+
+// TestSnapshotPolicy pins the policy helpers the worker and coordinator
+// both rely on: which steps an interval covers, and which policies are
+// rejected.
+func TestSnapshotPolicy(t *testing.T) {
+	if (SnapshotPolicy{}).Enabled() {
+		t.Fatal("zero policy reports enabled")
+	}
+	p := SnapshotPolicy{Interval: 3}
+	var covered []int
+	for s := 0; s < 7; s++ {
+		if p.Covers(s) {
+			covered = append(covered, s)
+		}
+	}
+	if len(covered) != 2 || covered[0] != 2 || covered[1] != 5 {
+		t.Fatalf("interval 3 covered %v, want [2 5]", covered)
+	}
+	if (SnapshotPolicy{Interval: 1}).Covers(0) != true {
+		t.Fatal("interval 1 must cover every step")
+	}
+	if err := (SnapshotPolicy{Interval: -1}).Validate(); err == nil {
+		t.Fatal("negative interval validated")
+	}
+	if err := (SnapshotPolicy{Rank0Dedup: true}).Validate(); err == nil {
+		t.Fatal("dedup without snapshots validated")
+	}
+	if err := (SnapshotPolicy{Interval: 4, Rank0Dedup: true}).Validate(); err != nil {
+		t.Fatalf("valid policy rejected: %v", err)
+	}
+}
+
+// TestBlobRoundTrip: the length-prefixed byte-slice primitive added for
+// ledger records must round-trip (including empty) and must not alias
+// the source payload.
+func TestBlobRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Blob([]byte{9, 8, 7})
+	w.Blob(nil)
+	r := NewReader(w.Bytes())
+	got := r.Blob()
+	if len(got) != 3 || got[0] != 9 || got[2] != 7 {
+		t.Fatalf("blob round trip: %v", got)
+	}
+	got[0] = 0
+	if w.Bytes()[4] == 0 {
+		t.Fatal("decoded blob aliases the payload buffer")
+	}
+	if b := r.Blob(); len(b) != 0 {
+		t.Fatalf("empty blob decoded to %v", b)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// A truncated blob errors instead of panicking.
+	r = NewReader(w.Bytes()[:5])
+	r.Blob()
+	if r.Err() == nil {
+		t.Fatal("truncated blob decoded successfully")
 	}
 }
 

@@ -290,6 +290,12 @@ func (w *Worker) buildDevices(assign *wire.Assign, out *outbox) ([]*hostedDevice
 	if err := assign.Plan.Validate(nDev, len(assign.Snapshot.Student)); err != nil {
 		return nil, err
 	}
+	// Reject malformed session policies up front (e.g. a skewed or buggy
+	// coordinator asking for dedup with snapshots disabled) instead of
+	// silently hosting a session whose recovery contract cannot hold.
+	if err := assign.Run.Snap.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: assign snapshot policy: %w", err)
+	}
 	var backend tensor.Backend
 	if assign.Run.Backend != "" {
 		be, ok := tensor.Lookup(assign.Run.Backend)
@@ -340,8 +346,14 @@ func (w *Worker) buildDevices(assign *wire.Assign, out *outbox) ([]*hostedDevice
 				in:        newInbox(), out: out},
 			blocks: group.Blocks,
 		}
-		if assign.Run.Snapshots {
+		// Snapshot emission follows the session's policy: every member
+		// under the per-member policy, only each group's rank 0 under
+		// dedup (replicas are bit-identical after every step, so one copy
+		// carries the whole group); the interval gating lives in the
+		// link's FinishStep.
+		if assign.Run.Snap.Enabled() && (!assign.Run.Snap.Rank0Dedup || j == 0) {
 			d.link.snapshot = deviceSnapshotter(d)
+			d.link.snap = assign.Run.Snap
 		}
 		devices = append(devices, d)
 	}
