@@ -12,18 +12,13 @@ package pipebd
 import (
 	"testing"
 
-	"pipebd/internal/dataset"
-	"pipebd/internal/distill"
-	"pipebd/internal/engine"
+	"pipebd/internal/bench"
 	"pipebd/internal/experiments"
 	"pipebd/internal/hw"
 	"pipebd/internal/model"
 	"pipebd/internal/pipeline"
 	"pipebd/internal/profilegen"
 	"pipebd/internal/sched"
-	"pipebd/internal/tensor"
-
-	"math/rand"
 )
 
 // benchOpts truncates simulated passes so benchmark iterations stay fast
@@ -124,25 +119,13 @@ func BenchmarkTable2TrainingResults(b *testing.B) {
 // pipelined mini-epoch of actual float32 blockwise distillation (Table
 // II's training-quality evidence), once per tensor compute backend. The
 // backends are bit-identical, so the sub-benchmarks differ only in how
-// the host's cores are used.
+// the host's cores are used. The definition lives in the shared registry
+// (internal/bench), which cmd/pipebd-bench measures too — one source of
+// truth for both harnesses.
 func BenchmarkNumericEquivalence(b *testing.B) {
-	cfg := distill.DefaultTinyConfig()
-	data := dataset.NewRandom(rand.New(rand.NewSource(7)), 64, 3, cfg.Height, cfg.Width, 4)
-	batches := data.Batches(8)
-	plan := sched.Plan{Name: "tr", Groups: []sched.Group{
-		{Devices: []int{0}, Blocks: []int{0, 1}},
-		{Devices: []int{1}, Blocks: []int{2, 3}},
-	}}
-	for _, name := range tensor.Backends() {
-		be, _ := tensor.Lookup(name)
-		b.Run(name, func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				w := distill.NewTinyWorkbench(cfg)
-				engine.RunPipelined(w, batches, engine.Config{
-					Plan: plan, DPU: true, LR: 0.05, Momentum: 0.9, Backend: be,
-				})
-			}
-		})
+	for _, c := range bench.Pipeline(false) {
+		c := c
+		b.Run(c.Name+"/"+c.Backend, func(b *testing.B) { c.Run(b) })
 	}
 }
 

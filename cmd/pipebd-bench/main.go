@@ -1,20 +1,26 @@
 // Command pipebd-bench captures the repository's performance baseline as
-// machine-readable JSON: MatMul and Conv2d-forward kernel throughput, the
-// numeric engine's pipeline-step rate (each measured on the serial
-// reference backend and the parallel backend), and the cluster's
-// end-to-end latencies on loopback — a fault-free run, the same run with
-// one injected worker kill (worker-recovery latency), a snapshot-interval
-// sweep (k ∈ {1, 4, all} — snapshot traffic falls k-fold as k grows),
-// rank-0 dedup on versus off (dedup cuts a split group's snapshot
-// traffic k-fold again), a durable run persisting its ledger, and a full
-// coordinator crash + ResumeRun cycle. The output file (committed as
-// BENCH_PR4.json, alongside the PR2/PR3 baselines) gives later PRs a
+// machine-readable JSON: the kernel sweep from the shared registry
+// (internal/bench — the GEMM family, fused conv layers, and the numeric
+// engine's pipeline-step rate, each on the serial and parallel backends),
+// plus the cluster's end-to-end latencies on loopback — a fault-free run,
+// the same run with one injected worker kill, a snapshot-interval sweep,
+// rank-0 dedup on versus off, a durable run persisting its ledger, and a
+// full coordinator crash + ResumeRun cycle. The output file (committed as
+// BENCH_PR5.json, alongside the PR2–PR4 baselines) gives later PRs a
 // trajectory to compare against.
+//
+// Every record carries the GOMAXPROCS it ran under, and -procs sweeps the
+// registry suite across several values in one invocation (the committed
+// PR2/PR4 baselines were taken at GOMAXPROCS=1). -compare prints
+// per-benchmark deltas against an older report so perf PRs don't eyeball
+// JSON.
 //
 // Usage:
 //
-//	pipebd-bench -out BENCH_PR4.json          # full sizes
-//	pipebd-bench -out bench.json -quick       # small sizes for smoke tests
+//	pipebd-bench -out BENCH_PR5.json -procs 1,4    # full sizes, two widths
+//	pipebd-bench -out bench.json -quick            # small sizes for smoke tests
+//	pipebd-bench -quick -compare BENCH_PR4.json    # run, then print deltas
+//	pipebd-bench -in new.json -compare old.json    # compare two existing files
 package main
 
 import (
@@ -26,25 +32,30 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"pipebd/internal/bench"
 	"pipebd/internal/cluster"
 	"pipebd/internal/cluster/transport"
 	"pipebd/internal/cluster/wire"
 	"pipebd/internal/dataset"
 	"pipebd/internal/distill"
-	"pipebd/internal/engine"
-	"pipebd/internal/nn"
 	"pipebd/internal/sched"
-	"pipebd/internal/tensor"
 )
 
 // Record is one benchmark measurement.
 type Record struct {
-	Name      string  `json:"name"`
-	Backend   string  `json:"backend"`
+	Name    string `json:"name"`
+	Backend string `json:"backend"`
+	// Procs is the GOMAXPROCS the measurement ran under. Records in
+	// pre-PR5 baselines lack it; readers default those to the report's
+	// go_max_procs.
+	Procs     int     `json:"procs,omitempty"`
 	NsPerOp   float64 `json:"ns_per_op"`
 	OpsPerSec float64 `json:"ops_per_sec"`
 	N         int     `json:"iterations"`
@@ -53,7 +64,7 @@ type Record struct {
 	MBPerSec float64 `json:"mb_per_sec,omitempty"`
 }
 
-// Report is the file layout of BENCH_PR4.json.
+// Report is the file layout of BENCH_PR5.json.
 type Report struct {
 	GoMaxProcs int      `json:"go_max_procs"`
 	GoVersion  string   `json:"go_version"`
@@ -71,8 +82,11 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pipebd-bench", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	out := fs.String("out", "BENCH_PR4.json", "output JSON path (- for stdout)")
+	out := fs.String("out", "BENCH_PR5.json", "output JSON path (- for stdout)")
 	quick := fs.Bool("quick", false, "small problem sizes (smoke testing)")
+	procsFlag := fs.String("procs", "", "comma-separated GOMAXPROCS values to sweep the registry suite across (default: current)")
+	compare := fs.String("compare", "", "older report JSON to diff the produced (or -in) report against")
+	in := fs.String("in", "", "load an existing report instead of benchmarking (for -compare); suppresses -out")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			fmt.Fprintf(stdout, "Usage of %s:\n", fs.Name())
@@ -86,80 +100,156 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
 
-	backends := []tensor.Backend{tensor.Serial{}, tensor.NewParallel(0)}
-	report := Report{GoMaxProcs: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(), Quick: *quick}
+	hostProcs := runtime.GOMAXPROCS(0)
+	report := Report{GoMaxProcs: hostProcs, GoVersion: runtime.Version(), Quick: *quick}
 
-	matmulSizes := []int{128, 256, 512}
-	convBatch, convC, convHW := 8, 16, 28
-	stepBatches, stepBatch := 4, 16
-	if *quick {
-		matmulSizes = []int{32}
-		convBatch, convC, convHW = 2, 4, 8
-		stepBatches, stepBatch = 2, 8
-	}
-
-	// MatMul: the GEMM at the heart of Linear and (via im2col) Conv2d.
-	rng := rand.New(rand.NewSource(1))
-	for _, size := range matmulSizes {
-		x := tensor.Rand(rng, -1, 1, size, size)
-		y := tensor.Rand(rng, -1, 1, size, size)
-		dst := tensor.New(size, size)
-		for _, be := range backends {
-			be := be
-			res := testing.Benchmark(func(b *testing.B) {
-				b.SetBytes(int64(2 * size * size * size * 4))
-				for i := 0; i < b.N; i++ {
-					be.MatMulInto(dst, x, y)
-				}
-			})
-			report.add(fmt.Sprintf("MatMul/%dx%dx%d", size, size, size), be.Name(), res)
+	if *in != "" {
+		loaded, err := loadReport(*in)
+		if err != nil {
+			return err
 		}
-	}
-
-	// ConvForward: a full conv3x3 layer forward (im2col + GEMM + bias).
-	for _, be := range backends {
-		be := be
-		conv := nn.NewConv2d(rand.New(rand.NewSource(2)), convC, convC, 3, 1, 1, true)
-		conv.SetBackend(be)
-		x := tensor.Rand(rand.New(rand.NewSource(3)), -1, 1, convBatch, convC, convHW, convHW)
-		res := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				conv.Forward(x, false)
+		report = *loaded
+	} else {
+		procsList, err := parseProcs(*procsFlag, hostProcs)
+		if err != nil {
+			return err
+		}
+		for _, p := range procsList {
+			runtime.GOMAXPROCS(p)
+			for _, c := range bench.All(*quick) {
+				c := c
+				res := testing.Benchmark(func(b *testing.B) {
+					if c.Bytes > 0 {
+						b.SetBytes(c.Bytes)
+					}
+					c.Run(b)
+				})
+				report.add(c.Name, c.Backend, p, res)
 			}
-		})
-		report.add(fmt.Sprintf("ConvForward/%dx%dx%dx%d", convBatch, convC, convHW, convHW), be.Name(), res)
+		}
+		// Cluster benches run once, at the widest swept value: they
+		// measure transport + engine latency, not kernel scaling.
+		widest := procsList[0]
+		for _, p := range procsList {
+			widest = max(widest, p)
+		}
+		runtime.GOMAXPROCS(widest)
+		clusterSuite(&report, *quick, widest)
+		runtime.GOMAXPROCS(hostProcs)
 	}
 
-	// PipelineStep: one full hybrid-plan pipelined training pass over the
-	// tiny workbench; ops_per_sec × batches = training steps per second.
-	tiny := distill.DefaultTinyConfig()
-	data := dataset.NewRandom(rand.New(rand.NewSource(4)), stepBatches*stepBatch, 3, tiny.Height, tiny.Width, 4)
-	batches := data.Batches(stepBatch)
-	plan := sched.Plan{Name: "hybrid", Groups: []sched.Group{
-		{Devices: []int{0, 1}, Blocks: []int{0, 1}},
-		{Devices: []int{2}, Blocks: []int{2, 3}},
-	}}
-	for _, be := range backends {
-		be := be
-		res := testing.Benchmark(func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				w := distill.NewTinyWorkbench(tiny)
-				b.StartTimer()
-				engine.RunPipelined(w, batches, engine.Config{Plan: plan, DPU: true,
-					LR: 0.05, Momentum: 0.9, Backend: be})
-			}
-		})
-		report.add(fmt.Sprintf("PipelineStep/hybrid/%dsteps-batch%d", stepBatches, stepBatch), be.Name(), res)
+	if *compare != "" {
+		old, err := loadReport(*compare)
+		if err != nil {
+			return err
+		}
+		printCompare(stdout, *compare, old, &report)
 	}
 
-	// ClusterRun / ClusterRecovery: a full hybrid-plan cluster run on
-	// loopback workers, fault-free versus with one seeded worker kill
-	// mid-run. The delta between the two is the end-to-end recovery
-	// latency: death detection, re-placement dial, snapshot restore over
-	// the wire, and step replay.
+	if *in != "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "pipebd-bench: wrote %d benchmarks to %s\n", len(report.Records), *out)
+	return nil
+}
+
+func parseProcs(s string, def int) ([]int, error) {
+	if s == "" {
+		return []int{def}, nil
+	}
+	var list []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -procs value %q", part)
+		}
+		list = append(list, v)
+	}
+	return list, nil
+}
+
+func loadReport(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// recordKey identifies a benchmark across reports. Records without a
+// per-record procs value (pre-PR5 baselines) inherit the report header's.
+func recordKey(r Record, rep *Report) string {
+	procs := r.Procs
+	if procs == 0 {
+		procs = rep.GoMaxProcs
+	}
+	return fmt.Sprintf("%s|%s|%d", r.Name, r.Backend, procs)
+}
+
+// printCompare prints per-benchmark deltas between two reports: speedup
+// is old/new ns_per_op, so >1 is faster. Benchmarks present on only one
+// side are listed separately.
+func printCompare(w io.Writer, oldPath string, old, cur *Report) {
+	oldByKey := map[string]Record{}
+	for _, r := range old.Records {
+		oldByKey[recordKey(r, old)] = r
+	}
+	fmt.Fprintf(w, "comparing against %s (GOMAXPROCS=%d, %s)\n", oldPath, old.GoMaxProcs, old.GoVersion)
+	if old.Quick != cur.Quick {
+		fmt.Fprintf(w, "warning: quick-mode mismatch (old=%v new=%v); sizes differ\n", old.Quick, cur.Quick)
+	}
+	fmt.Fprintf(w, "%-52s %-9s %5s %14s %14s %9s\n", "benchmark", "backend", "procs", "old ns/op", "new ns/op", "speedup")
+	var missing []string
+	for _, r := range cur.Records {
+		key := recordKey(r, cur)
+		procs := r.Procs
+		if procs == 0 {
+			procs = cur.GoMaxProcs
+		}
+		o, ok := oldByKey[key]
+		if !ok {
+			missing = append(missing, fmt.Sprintf("only in new report: %s/%s@%d", r.Name, r.Backend, procs))
+			continue
+		}
+		delete(oldByKey, key)
+		fmt.Fprintf(w, "%-52s %-9s %5d %14.0f %14.0f %8.2fx\n",
+			r.Name, r.Backend, procs, o.NsPerOp, r.NsPerOp, o.NsPerOp/r.NsPerOp)
+	}
+	var stale []string
+	for key := range oldByKey {
+		stale = append(stale, "only in old report: "+strings.ReplaceAll(key, "|", "/"))
+	}
+	sort.Strings(stale)
+	for _, line := range append(missing, stale...) {
+		fmt.Fprintln(w, line)
+	}
+}
+
+// clusterSuite appends the cluster end-to-end latency benches: a
+// fault-free hybrid-plan run, worker-kill recovery, the snapshot-interval
+// sweep, rank-0 dedup on/off, a durable (ledger-persisting) run, and a
+// coordinator crash + resume cycle.
+func clusterSuite(report *Report, quick bool, procs int) {
+	stepBatch := 16
 	clusterSteps := 6
-	if *quick {
+	if quick {
+		stepBatch = 8
 		clusterSteps = 3
 	}
 	clusterBench := func(name string, o clusterBenchOpts) {
@@ -175,7 +265,7 @@ func run(args []string, stdout io.Writer) error {
 				run.close()
 			}
 		})
-		report.add(name, "loopback", res)
+		report.add(name, "loopback", procs, res)
 	}
 	base := clusterBenchOpts{steps: clusterSteps, batch: stepBatch}
 	clusterBench(fmt.Sprintf("ClusterRun/hybrid/%dsteps-batch%d", clusterSteps, stepBatch), base)
@@ -235,22 +325,7 @@ func run(args []string, stdout io.Writer) error {
 			run.close()
 		}
 	})
-	report.add(fmt.Sprintf("CoordinatorResume/hybrid/%dsteps-batch%d", clusterSteps, stepBatch), "loopback", resumeRes)
-
-	data2, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	data2 = append(data2, '\n')
-	if *out == "-" {
-		_, err = stdout.Write(data2)
-		return err
-	}
-	if err := os.WriteFile(*out, data2, 0o644); err != nil {
-		return err
-	}
-	fmt.Fprintf(stdout, "pipebd-bench: wrote %d benchmarks to %s\n", len(report.Records), *out)
-	return nil
+	report.add(fmt.Sprintf("CoordinatorResume/hybrid/%dsteps-batch%d", clusterSteps, stepBatch), "loopback", procs, resumeRes)
 }
 
 // clusterBenchOpts selects a prepared loopback cluster's shape: a chaos
@@ -349,11 +424,12 @@ func (r *clusterBenchRun) close() {
 	}
 }
 
-func (r *Report) add(name, backend string, res testing.BenchmarkResult) {
+func (r *Report) add(name, backend string, procs int, res testing.BenchmarkResult) {
 	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
 	rec := Record{
 		Name:      name,
 		Backend:   backend,
+		Procs:     procs,
 		NsPerOp:   nsPerOp,
 		OpsPerSec: 1e9 / nsPerOp,
 		N:         res.N,

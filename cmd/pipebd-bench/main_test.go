@@ -62,6 +62,62 @@ func TestRunQuickWritesReport(t *testing.T) {
 	}
 }
 
+// TestCompareMode diffs two synthetic reports through -in/-compare: the
+// table must pair records by (name, backend, procs), default the procs of
+// pre-PR5 records to the report header, compute old/new speedups, and
+// call out benchmarks present on only one side.
+func TestCompareMode(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep Report) string {
+		raw, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	// Old baseline: no per-record procs (pre-PR5 layout), header procs 1.
+	oldPath := write("old.json", Report{GoMaxProcs: 1, Records: []Record{
+		{Name: "MatMul/64", Backend: "serial", NsPerOp: 4000, OpsPerSec: 250000, N: 10},
+		{Name: "Gone/1", Backend: "serial", NsPerOp: 5, OpsPerSec: 2e8, N: 10},
+	}})
+	newPath := write("new.json", Report{GoMaxProcs: 1, Records: []Record{
+		{Name: "MatMul/64", Backend: "serial", Procs: 1, NsPerOp: 1000, OpsPerSec: 1e6, N: 10},
+		{Name: "Fresh/1", Backend: "serial", Procs: 4, NsPerOp: 7, OpsPerSec: 1.4e8, N: 10},
+	}})
+	var out strings.Builder
+	if err := run([]string{"-in", newPath, "-compare", oldPath}, &out); err != nil {
+		t.Fatalf("run compare: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{"4.00x", "MatMul/64", "only in new report: Fresh/1/serial@4", "only in old report: Gone/1/serial/1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("compare output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "wrote") {
+		t.Errorf("-in mode must not write a report:\n%s", got)
+	}
+}
+
+// TestParseProcs covers the -procs sweep flag.
+func TestParseProcs(t *testing.T) {
+	if got, err := parseProcs("", 3); err != nil || len(got) != 1 || got[0] != 3 {
+		t.Fatalf("parseProcs(\"\") = %v, %v", got, err)
+	}
+	if got, err := parseProcs("1, 4", 3); err != nil || len(got) != 2 || got[0] != 1 || got[1] != 4 {
+		t.Fatalf("parseProcs(\"1, 4\") = %v, %v", got, err)
+	}
+	for _, bad := range []string{"0", "x", "1,,2", "-2"} {
+		if _, err := parseProcs(bad, 3); err == nil {
+			t.Errorf("parseProcs(%q) succeeded, want error", bad)
+		}
+	}
+}
+
 // TestHelpPrintsUsage: -h must print flag documentation and succeed.
 func TestHelpPrintsUsage(t *testing.T) {
 	var out strings.Builder

@@ -1,0 +1,222 @@
+// Package bench is the repository's single registry of compute
+// benchmarks: kernel sweeps (the GEMM family and the fused conv GEMMs),
+// layer-level conv forward/backward, and the pipelined engine step. Both
+// the root benchmark harness (bench_test.go via go test -bench) and
+// cmd/pipebd-bench (the JSON baseline writer) consume these definitions,
+// so a benchmark exists exactly once and the two entry points can never
+// drift apart.
+//
+// Backends are constructed per call: the parallel backend gets a
+// dedicated pool sized by the GOMAXPROCS in effect at construction, so a
+// harness that sweeps GOMAXPROCS values (pipebd-bench -procs) measures
+// pools of the right width instead of a stale shared pool.
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"pipebd/internal/dataset"
+	"pipebd/internal/distill"
+	"pipebd/internal/engine"
+	"pipebd/internal/nn"
+	"pipebd/internal/sched"
+	"pipebd/internal/tensor"
+)
+
+// Case is one benchmark: Run executes the measured operation b.N times
+// (using the timer controls where per-iteration setup must be excluded).
+// Bytes, when non-zero, is the per-operation data volume for throughput
+// reporting (the GEMM convention: 2·m·k·n·4); harnesses apply it via
+// b.SetBytes before calling Run.
+type Case struct {
+	Name    string
+	Backend string
+	Bytes   int64
+	Run     func(b *testing.B)
+}
+
+// parallelPools caches one parallel backend per pool width: Pool workers
+// live for the life of the process (there is no Stop), so constructing a
+// fresh backend per registry call would leak a pool per call. One cached
+// pool per distinct GOMAXPROCS value bounds the goroutine count no
+// matter how often the registry or a -procs sweep re-enumerates cases.
+var (
+	parallelMu    sync.Mutex
+	parallelPools = map[int]*tensor.Parallel{}
+)
+
+func backends() []tensor.Backend {
+	procs := runtime.GOMAXPROCS(0)
+	parallelMu.Lock()
+	defer parallelMu.Unlock()
+	p, ok := parallelPools[procs]
+	if !ok {
+		p = tensor.NewParallel(procs)
+		parallelPools[procs] = p
+	}
+	return []tensor.Backend{tensor.Serial{}, p}
+}
+
+// Kernel returns the GEMM-family kernel sweep: square MatMul at several
+// sizes plus the transposed variants that dominate Linear and Conv2d
+// backward passes, per backend.
+func Kernel(quick bool) []Case {
+	matmulSizes := []int{128, 256, 512}
+	taSize, tbSize := 256, 256
+	if quick {
+		matmulSizes = []int{32}
+		taSize, tbSize = 32, 32
+	}
+	var cases []Case
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range matmulSizes {
+		x := tensor.Rand(rng, -1, 1, size, size)
+		y := tensor.Rand(rng, -1, 1, size, size)
+		dst := tensor.New(size, size)
+		for _, be := range backends() {
+			be := be
+			cases = append(cases, Case{
+				Name:    fmt.Sprintf("MatMul/%dx%dx%d", size, size, size),
+				Backend: be.Name(),
+				Bytes:   int64(2 * size * size * size * 4),
+				Run: func(b *testing.B) {
+					for i := 0; i < b.N; i++ {
+						be.MatMulInto(dst, x, y)
+					}
+				},
+			})
+		}
+	}
+	ta := tensor.Rand(rng, -1, 1, taSize, taSize)
+	tb := tensor.Rand(rng, -1, 1, taSize, taSize)
+	tdst := tensor.New(taSize, taSize)
+	for _, be := range backends() {
+		be := be
+		cases = append(cases, Case{
+			Name:    fmt.Sprintf("MatMulTA/%dx%dx%d", taSize, taSize, taSize),
+			Backend: be.Name(),
+			Bytes:   int64(2 * taSize * taSize * taSize * 4),
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					be.MatMulTAInto(tdst, ta, tb)
+				}
+			},
+		})
+		cases = append(cases, Case{
+			Name:    fmt.Sprintf("MatMulTB/%dx%dx%d", tbSize, tbSize, tbSize),
+			Backend: be.Name(),
+			Bytes:   int64(2 * tbSize * tbSize * tbSize * 4),
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					be.MatMulTBInto(tdst, ta, tb)
+				}
+			},
+		})
+	}
+	imN, imC, imHW := 8, 32, 28
+	if quick {
+		imN, imC, imHW = 2, 4, 8
+	}
+	ix := tensor.Rand(rand.New(rand.NewSource(3)), -1, 1, imN, imC, imHW, imHW)
+	iout := tensor.New(imC*3*3, imN*imHW*imHW)
+	for _, be := range backends() {
+		be := be
+		cases = append(cases, Case{
+			Name:    fmt.Sprintf("Im2Col/%dx%dx%dx%d", imN, imC, imHW, imHW),
+			Backend: be.Name(),
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					be.Im2ColInto(iout, ix, 3, 3, 1, 1)
+				}
+			},
+		})
+	}
+	return cases
+}
+
+// Conv returns the layer-level convolution benches: a conv3x3 forward
+// (fused im2col GEMM + bias) and a full forward+backward training step,
+// per backend.
+func Conv(quick bool) []Case {
+	convBatch, convC, convHW := 8, 16, 28
+	if quick {
+		convBatch, convC, convHW = 2, 4, 8
+	}
+	var cases []Case
+	for _, be := range backends() {
+		be := be
+		conv := nn.NewConv2d(rand.New(rand.NewSource(2)), convC, convC, 3, 1, 1, true)
+		conv.SetBackend(be)
+		x := tensor.Rand(rand.New(rand.NewSource(3)), -1, 1, convBatch, convC, convHW, convHW)
+		grad := tensor.Rand(rand.New(rand.NewSource(4)), -1, 1, convBatch, convC, convHW, convHW)
+		cases = append(cases, Case{
+			Name:    fmt.Sprintf("ConvForward/%dx%dx%dx%d", convBatch, convC, convHW, convHW),
+			Backend: be.Name(),
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					conv.Forward(x, false)
+				}
+			},
+		})
+		cases = append(cases, Case{
+			Name:    fmt.Sprintf("ConvTrainStep/%dx%dx%dx%d", convBatch, convC, convHW, convHW),
+			Backend: be.Name(),
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					conv.Forward(x, true)
+					conv.Backward(grad)
+				}
+			},
+		})
+	}
+	return cases
+}
+
+// Pipeline returns the engine-level bench: one full hybrid-plan
+// pipelined training pass over the tiny workbench, per backend.
+func Pipeline(quick bool) []Case {
+	stepBatches, stepBatch := 4, 16
+	if quick {
+		stepBatches, stepBatch = 2, 8
+	}
+	tiny := distill.DefaultTinyConfig()
+	data := dataset.NewRandom(rand.New(rand.NewSource(4)), stepBatches*stepBatch, 3, tiny.Height, tiny.Width, 4)
+	batches := data.Batches(stepBatch)
+	plan := sched.Plan{Name: "hybrid", Groups: []sched.Group{
+		{Devices: []int{0, 1}, Blocks: []int{0, 1}},
+		{Devices: []int{2}, Blocks: []int{2, 3}},
+	}}
+	var cases []Case
+	for _, be := range backends() {
+		be := be
+		cases = append(cases, Case{
+			Name:    fmt.Sprintf("PipelineStep/hybrid/%dsteps-batch%d", stepBatches, stepBatch),
+			Backend: be.Name(),
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					// Workbench construction is setup, not the measured
+					// step (the PR2–PR4 baselines excluded it too).
+					b.StopTimer()
+					w := distill.NewTinyWorkbench(tiny)
+					b.StartTimer()
+					engine.RunPipelined(w, batches, engine.Config{Plan: plan, DPU: true,
+						LR: 0.05, Momentum: 0.9, Backend: be})
+				}
+			},
+		})
+	}
+	return cases
+}
+
+// All returns every registry benchmark: kernels, conv layers, pipeline.
+func All(quick bool) []Case {
+	var cases []Case
+	cases = append(cases, Kernel(quick)...)
+	cases = append(cases, Conv(quick)...)
+	cases = append(cases, Pipeline(quick)...)
+	return cases
+}

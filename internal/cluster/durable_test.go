@@ -269,11 +269,14 @@ func TestSnapshotPolicyEdgeCases(t *testing.T) {
 			t.Fatal("rigged run finished")
 		}
 		// No snapshot can exist; resume must replay the whole run from the
-		// seed weights, fed purely by retained inputs.
-		_, _, rep, err := ledger.Open(dir)
+		// seed weights, fed purely by retained inputs. Close the
+		// inspection handle before resuming: Open holds the single-writer
+		// flock.
+		led, _, rep, err := ledger.Open(dir)
 		if err != nil {
 			t.Fatalf("ledger open: %v", err)
 		}
+		led.Close()
 		for _, rec := range rep.Records {
 			if rec.Type == ledger.TypeDevSnapshot || rec.Type == ledger.TypeGroupSnapshot {
 				t.Fatalf("interval 100 still persisted a %v record", rec.Type)
@@ -337,10 +340,11 @@ func TestSnapshotPolicyEdgeCases(t *testing.T) {
 		}); err != nil {
 			t.Fatalf("durable dedup run failed: %v", err)
 		}
-		_, _, rep, err := ledger.Open(dir)
+		led, _, rep, err := ledger.Open(dir)
 		if err != nil {
 			t.Fatalf("ledger open: %v", err)
 		}
+		led.Close()
 		groups := map[int]bool{}
 		for _, rec := range rep.Records {
 			switch rec.Type {

@@ -278,23 +278,39 @@ func Create(dir string, m *Manifest) (*Ledger, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("ledger: %w", err)
 	}
+	// Take the flock on the record log before touching the manifest:
+	// of two racing Creates (or a Create racing a live Open) the loser
+	// must fail here, before it can rename its manifest over the
+	// winner's or truncate the winner's live log.
+	f, err := os.OpenFile(filepath.Join(dir, LogName), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ledger: %w", err)
+	}
+	if err := lockFile(f, dir); err != nil {
+		f.Close()
+		return nil, err
+	}
 	manifestPath := filepath.Join(dir, ManifestName)
 	if _, err := os.Stat(manifestPath); err == nil {
+		f.Close()
 		return nil, fmt.Errorf("ledger: %s already holds a run manifest (resume it instead of starting a new run)", dir)
 	}
 	blob, err := encodeManifest(m)
 	if err != nil {
+		f.Close()
 		return nil, err
 	}
 	tmp := manifestPath + ".tmp"
 	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+		f.Close()
 		return nil, fmt.Errorf("ledger: %w", err)
 	}
 	if err := os.Rename(tmp, manifestPath); err != nil {
+		f.Close()
 		return nil, fmt.Errorf("ledger: %w", err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, LogName), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
-	if err != nil {
+	if err := f.Truncate(0); err != nil {
+		f.Close()
 		return nil, fmt.Errorf("ledger: %w", err)
 	}
 	return &Ledger{dir: dir, f: f}, nil
@@ -306,11 +322,14 @@ func Create(dir string, m *Manifest) (*Ledger, error) {
 // appends extend a consistent log, and returns the ledger positioned for
 // appending.
 //
-// Open takes no lock on the directory: the caller (operator or
-// supervisor) must ensure at most one coordinator appends at a time.
-// Two concurrent resumes would interleave records from divergent states
-// — an advisory flock is a known hardening item (an O_EXCL lock file
-// would go stale after the very SIGKILL resume exists to handle).
+// Open takes a non-blocking advisory flock on the record log (released
+// by Close, or by the kernel when the process dies): a second Open of
+// the same directory while the first ledger is live fails fast, so two
+// concurrent resumes can never interleave records from divergent
+// states. Advisory locking — not an O_EXCL lock file — survives the
+// very SIGKILL resume exists to handle without going stale. The lock is
+// taken before the torn-tail truncation so a concurrent writer's live
+// tail is never clipped.
 func Open(dir string) (*Ledger, *Manifest, *Replay, error) {
 	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
 	if err != nil {
@@ -321,19 +340,25 @@ func Open(dir string) (*Ledger, *Manifest, *Replay, error) {
 		return nil, nil, nil, err
 	}
 	logPath := filepath.Join(dir, LogName)
+	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("ledger: %w", err)
+	}
+	if err := lockFile(f, dir); err != nil {
+		f.Close()
+		return nil, nil, nil, err
+	}
 	logRaw, err := os.ReadFile(logPath)
 	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		f.Close()
 		return nil, nil, nil, fmt.Errorf("ledger: reading record log: %w", err)
 	}
 	replay, good := replayLog(logRaw)
 	if replay.TornBytes > 0 {
 		if err := os.Truncate(logPath, int64(good)); err != nil {
+			f.Close()
 			return nil, nil, nil, fmt.Errorf("ledger: truncating torn tail: %w", err)
 		}
-	}
-	f, err := os.OpenFile(logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, nil, nil, fmt.Errorf("ledger: %w", err)
 	}
 	return &Ledger{dir: dir, f: f}, m, replay, nil
 }

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package ledger
+
+import "os"
+
+// lockFile is a no-op on platforms without advisory flock; the caller
+// must ensure single-writer discipline externally.
+func lockFile(f *os.File, dir string) error { return nil }

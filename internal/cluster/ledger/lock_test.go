@@ -1,0 +1,46 @@
+//go:build unix
+
+package ledger
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOpenRejectsConcurrentWriter pins the single-writer guarantee: while
+// one ledger handle is live (from Create or Open), a second Open of the
+// same directory must fail fast instead of interleaving records, and the
+// lock must release on Close so a legitimate sequential resume proceeds.
+func TestOpenRejectsConcurrentWriter(t *testing.T) {
+	dir := t.TempDir()
+	led := mustCreate(t, dir, sampleManifest())
+
+	// Create holds the lock: a concurrent resume must be rejected.
+	if _, _, _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("Open while Create's handle is live: err = %v, want lock error", err)
+	}
+	if err := led.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// First resume takes the lock; a second concurrent resume fails.
+	first, _, _, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	if _, _, _, err := Open(dir); err == nil || !strings.Contains(err.Error(), "locked") {
+		t.Fatalf("second concurrent Open: err = %v, want lock error", err)
+	}
+
+	// Releasing the first handle unblocks the next resume.
+	if err := first.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	second, _, _, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after lock release: %v", err)
+	}
+	if err := second.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

@@ -1,0 +1,27 @@
+//go:build unix
+
+package ledger
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking advisory flock on the open record log.
+// Advisory locking (not O_EXCL lock files) is deliberate: the kernel
+// drops an flock when the holder dies, so a coordinator killed by the
+// very SIGKILL that resume exists to handle leaves nothing stale behind,
+// while two live processes appending to one log — which would interleave
+// records from divergent states — fail fast instead.
+func lockFile(f *os.File, dir string) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return fmt.Errorf("ledger: %s is locked by another coordinator (concurrent resume?)", dir)
+	}
+	return fmt.Errorf("ledger: locking %s: %w", dir, err)
+}

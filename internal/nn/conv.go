@@ -8,21 +8,24 @@ import (
 )
 
 // Conv2d is a standard 2-D convolution with square kernels, symmetric
-// zero-padding, and optional bias, implemented via im2col + matmul.
+// zero-padding, and optional bias, implemented via the backend's fused
+// im2col GEMMs: kernel taps are packed straight from the input into the
+// GEMM's panel layout, so no column matrix is ever materialized.
 type Conv2d struct {
 	InC, OutC, Kernel, Stride, Pad int
 	Weight                         *Param // [OutC, InC, K, K]
 	Bias                           *Param // [OutC], nil when disabled
 
 	be      tensor.Backend // nil: process default
-	scratch *tensor.Arena  // recycles im2col/GEMM temporaries across steps
+	scratch *tensor.Arena  // recycles GEMM temporaries across steps
 
-	// Backward cache. cols and flat double as cross-step scratch: they
-	// are recycled through the arena at the start of the next Forward,
-	// by which time the backward pass that read them has completed.
-	cols               *tensor.Tensor // im2col of the last input
-	flat               *tensor.Tensor // [OutC, N*OH*OW] GEMM output
-	ready              bool           // Forward(train=true) ran since last Backward reset
+	// Backward cache. The fused conv GEMMs (ConvForwardInto /
+	// ConvGradWeightInto) gather kernel taps straight from the input, so
+	// the layer no longer materializes an im2col column matrix at all —
+	// backward only needs the input tensor itself, which is retained by
+	// reference like Linear does.
+	lastInput          *tensor.Tensor
+	ready              bool // Forward(train=true) ran since last Backward reset
 	inN, inH, inW      int
 	lastOutH, lastOutW int
 }
@@ -64,31 +67,24 @@ func (c *Conv2d) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 	be := backendOr(c.be)
 	ar := c.arena()
-	if train {
-		// The previous step's backward pass has consumed these by now.
-		ar.Release(c.cols, c.flat)
-	}
-	cols := ar.Get(c.InC*c.Kernel*c.Kernel, n*oh*ow)
-	be.Im2ColInto(cols, x, c.Kernel, c.Kernel, c.Stride, c.Pad)
 	wm := c.Weight.Value.Reshape(c.OutC, c.InC*c.Kernel*c.Kernel)
 	flat := ar.Get(c.OutC, n*oh*ow)
-	be.MatMulInto(flat, wm, cols) // [OutC, N*OH*OW]
+	be.ConvForwardInto(flat, wm, x, c.Kernel, c.Kernel, c.Stride, c.Pad) // [OutC, N*OH*OW]
 
 	out := flatToNCHW(flat, n, c.OutC, oh, ow)
+	ar.Release(flat) // copied into out; safe to recycle immediately
 	if c.Bias != nil {
 		addChannelBias(out, c.Bias.Value)
 	}
 	if train {
-		c.cols, c.flat = cols, flat
+		c.lastInput = x
 		c.ready = true
 		c.inN, c.inH, c.inW = n, h, w
 		c.lastOutH, c.lastOutW = oh, ow
-	} else {
-		// Evaluation forwards use transient scratch and must not disturb
-		// a pending backward cache: Forward(train) → Forward(eval) →
-		// Backward still differentiates the training batch.
-		ar.Release(cols, flat)
 	}
+	// Evaluation forwards leave the backward cache untouched:
+	// Forward(train) → Forward(eval) → Backward still differentiates the
+	// training batch.
 	return out
 }
 
@@ -105,9 +101,10 @@ func (c *Conv2d) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	dFlat := ar.Get(c.OutC, spatial) // [OutC, N*OH*OW]
 	nchwToFlatInto(dFlat, grad, c.OutC)
 
-	// dW = dFlat · colsᵀ, folded back to [OutC, InC, K, K].
+	// dW = dFlat · im2col(x)ᵀ, gathered straight from the cached input
+	// and folded back to [OutC, InC, K, K].
 	dW := ar.Get(c.OutC, kk)
-	be.MatMulTBInto(dW, dFlat, c.cols)
+	be.ConvGradWeightInto(dW, dFlat, c.lastInput, c.Kernel, c.Kernel, c.Stride, c.Pad)
 	be.Axpy(c.Weight.Grad, 1, dW.Reshape(c.Weight.Value.Shape()...))
 
 	if c.Bias != nil {

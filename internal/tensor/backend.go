@@ -50,6 +50,18 @@ type Backend interface {
 	// Col2ImInto folds cols ([C*KH*KW, N*OH*OW]) into out (NCHW),
 	// overwriting out entirely.
 	Col2ImInto(out, cols *Tensor, kh, kw, stride, pad int)
+
+	// ConvForwardInto computes out = w·im2col(x) — the Conv2d forward
+	// GEMM fused with the im2col lowering, packing kernel taps straight
+	// from the NCHW input so no column matrix is materialized.
+	// w: [OutC, C*KH*KW], out: [OutC, N*OH*OW]. Bit-identical to
+	// Im2ColInto followed by MatMulInto.
+	ConvForwardInto(out, w, x *Tensor, kh, kw, stride, pad int)
+	// ConvGradWeightInto computes out = grad·im2col(x)ᵀ — the Conv2d
+	// weight-gradient GEMM, fused likewise. grad: [OutC, N*OH*OW],
+	// out: [OutC, C*KH*KW]. Bit-identical to Im2ColInto followed by
+	// MatMulTBInto.
+	ConvGradWeightInto(out, grad, x *Tensor, kh, kw, stride, pad int)
 }
 
 // --- process default ---------------------------------------------------------
@@ -128,21 +140,33 @@ func (Serial) Name() string { return "serial" }
 func (Serial) MatMulInto(out, a, b *Tensor) {
 	m, k, n := matMulDims(a, b)
 	checkOutShape("MatMulInto", out, m, n)
-	matMulRows(out.data, a.data, b.data, k, n, 0, m)
+	matMulDriver(nil, out.data, a.data, b.data, m, k, n)
 }
 
 // MatMulTAInto implements Backend.
 func (Serial) MatMulTAInto(out, a, b *Tensor) {
 	m, k, n := matMulTADims(a, b)
 	checkOutShape("MatMulTAInto", out, m, n)
-	matMulTARows(out.data, a.data, b.data, k, m, n, 0, m)
+	matMulTADriver(nil, out.data, a.data, b.data, m, k, n)
 }
 
 // MatMulTBInto implements Backend.
 func (Serial) MatMulTBInto(out, a, b *Tensor) {
 	m, k, n := matMulTBDims(a, b)
 	checkOutShape("MatMulTBInto", out, m, n)
-	matMulTBRows(out.data, a.data, b.data, k, n, 0, m)
+	matMulTBDriver(nil, out.data, a.data, b.data, m, k, n)
+}
+
+// ConvForwardInto implements Backend.
+func (Serial) ConvForwardInto(out, w, x *Tensor, kh, kw, stride, pad int) {
+	g, m, k, n := checkConvForward(out, w, x, kh, kw, stride, pad)
+	convForwardDriver(nil, out.data, w.data, x.data, g, m, k, n)
+}
+
+// ConvGradWeightInto implements Backend.
+func (Serial) ConvGradWeightInto(out, grad, x *Tensor, kh, kw, stride, pad int) {
+	g, m, k, n := checkConvGradWeight(out, grad, x, kh, kw, stride, pad)
+	convGradWeightDriver(nil, out.data, grad.data, x.data, g, m, k, n)
 }
 
 // Add implements Backend.

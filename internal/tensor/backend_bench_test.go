@@ -1,61 +1,33 @@
-package tensor
+package tensor_test
+
+// Kernel benchmarks live in the shared registry (internal/bench) so this
+// harness and cmd/pipebd-bench measure identical definitions; this file
+// only adapts them to go test -bench. At GOMAXPROCS >= 4 the parallel
+// backend is expected to beat serial on the larger GEMMs; on a
+// single-core host the two collapse to the same packed kernels.
 
 import (
 	"fmt"
-	"math/rand"
 	"testing"
+
+	"pipebd/internal/bench"
 )
 
-// BenchmarkMatMul compares the serial reference against the parallel
-// backend over square GEMMs. At GOMAXPROCS >= 4 the 512 case is expected
-// to run >= 2x faster on the parallel backend; on a single-core host the
-// two collapse to the same kernel (ParallelFor runs inline).
-func BenchmarkMatMul(b *testing.B) {
-	rng := rand.New(rand.NewSource(1))
-	for _, size := range []int{64, 128, 256, 512} {
-		x := Rand(rng, -1, 1, size, size)
-		y := Rand(rng, -1, 1, size, size)
-		out := New(size, size)
-		for _, be := range []Backend{Serial{}, NewParallel(0)} {
-			b.Run(fmt.Sprintf("%d/%s", size, be.Name()), func(b *testing.B) {
-				b.SetBytes(int64(2 * size * size * size * 4))
-				for i := 0; i < b.N; i++ {
-					be.MatMulInto(out, x, y)
-				}
-			})
-		}
-	}
-}
-
-// BenchmarkMatMulTB mirrors BenchmarkMatMul for the a·bᵀ kernel that
-// dominates Linear forward passes.
-func BenchmarkMatMulTB(b *testing.B) {
-	rng := rand.New(rand.NewSource(2))
-	for _, size := range []int{64, 256} {
-		x := Rand(rng, -1, 1, size, size)
-		y := Rand(rng, -1, 1, size, size)
-		out := New(size, size)
-		for _, be := range []Backend{Serial{}, NewParallel(0)} {
-			b.Run(fmt.Sprintf("%d/%s", size, be.Name()), func(b *testing.B) {
-				for i := 0; i < b.N; i++ {
-					be.MatMulTBInto(out, x, y)
-				}
-			})
-		}
-	}
-}
-
-// BenchmarkIm2Col measures the convolution lowering on a mid-sized NCHW
-// activation per backend.
-func BenchmarkIm2Col(b *testing.B) {
-	rng := rand.New(rand.NewSource(3))
-	x := Rand(rng, -1, 1, 8, 32, 28, 28)
-	out := New(32*3*3, 8*28*28)
-	for _, be := range []Backend{Serial{}, NewParallel(0)} {
-		b.Run(be.Name(), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				be.Im2ColInto(out, x, 3, 3, 1, 1)
+func runCases(b *testing.B, cases []bench.Case) {
+	for _, c := range cases {
+		c := c
+		b.Run(fmt.Sprintf("%s/%s", c.Name, c.Backend), func(b *testing.B) {
+			if c.Bytes > 0 {
+				b.SetBytes(c.Bytes)
 			}
+			c.Run(b)
 		})
 	}
 }
+
+// BenchmarkKernels sweeps the GEMM-family kernels per backend.
+func BenchmarkKernels(b *testing.B) { runCases(b, bench.Kernel(testing.Short())) }
+
+// BenchmarkConvLayers measures Conv2d forward and forward+backward via
+// the fused im2col GEMMs.
+func BenchmarkConvLayers(b *testing.B) { runCases(b, bench.Conv(testing.Short())) }

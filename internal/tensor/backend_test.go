@@ -35,7 +35,7 @@ func TestMatMulFamilyBackendParity(t *testing.T) {
 	for _, s := range shapes {
 		a := Rand(rng, -1, 1, s.m, s.k)
 		b := Rand(rng, -1, 1, s.k, s.n)
-		// Sparsify a few entries so the zero-skip path is exercised.
+		// Sparsify a few entries so exact-zero terms are exercised.
 		a.Data()[0] = 0
 		if s.m*s.k > 3 {
 			a.Data()[3] = 0

@@ -1,0 +1,36 @@
+//go:build amd64
+
+package tensor
+
+// asmMicroAvailable reports that this build has an assembly microkernel.
+const asmMicroAvailable = true
+
+// useAsmMicro selects the SSE microkernel for full register tiles. It is
+// a package variable (not a constant) so the bit-equivalence suite can
+// force the generic path and pin the two implementations identical; the
+// kernels themselves are bit-equal by construction, so flipping it never
+// changes results.
+var useAsmMicro = true
+
+// microKernelSSE is the assembly microkernel (gemm_amd64.s): a full
+// mrTile×nrTile register tile using baseline SSE — each of the eight
+// output columns occupies one vector lane, so every lane performs exactly
+// the scalar ascending-p multiply/add sequence and the result is
+// bit-identical to microGeneric. accumulate is 0 (tile starts at zero)
+// or 1 (tile resumes from the values in out).
+//
+//go:noescape
+func microKernelSSE(out *float32, ldo int, ap, bp *float32, pc int, accumulate int)
+
+// microKernel computes one full mrTile×nrTile tile from packed strips.
+func microKernel(od []float32, ldo int, ap, bp []float32, pc int, accumulate bool) {
+	if useAsmMicro {
+		acc := 0
+		if accumulate {
+			acc = 1
+		}
+		microKernelSSE(&od[0], ldo, &ap[0], &bp[0], pc, acc)
+		return
+	}
+	microGeneric(od, ldo, ap, bp, pc, mrTile, nrTile, accumulate)
+}

@@ -1,0 +1,102 @@
+// SSE microkernel for the packed GEMM engine (see gemm.go). Baseline
+// SSE only — every amd64 target has it, so no feature detection.
+//
+// Computes a 4x8 output tile:
+//
+//	out[r][c] (+)= sum over p of ap[p*4+r] * bp[p*8+c]
+//
+// Register plan: X0..X7 hold the accumulator tile (two 4-wide vectors
+// per output row), X8/X9 the current B panel row, X10/X11 broadcast and
+// product temporaries. Each vector lane owns one output column, so the
+// per-element operation sequence — multiply then add, terms in
+// ascending-p order — is exactly the scalar reference sequence and the
+// tile is bit-identical to microGeneric. MULPS takes the broadcast A
+// value as destination and ADDPS the accumulator, matching the operand
+// roles of the compiled Go kernels so NaN propagation agrees too.
+
+#include "textflag.h"
+
+// func microKernelSSE(out *float32, ldo int, ap, bp *float32, pc int, accumulate int)
+TEXT ·microKernelSSE(SB), NOSPLIT, $0-48
+	MOVQ out+0(FP), DI
+	MOVQ ldo+8(FP), SI
+	MOVQ ap+16(FP), AX
+	MOVQ bp+24(FP), BX
+	MOVQ pc+32(FP), CX
+	MOVQ accumulate+40(FP), DX
+
+	SHLQ $2, SI              // row stride in bytes
+	LEAQ (DI)(SI*1), R8      // out row 1
+	LEAQ (R8)(SI*1), R9      // out row 2
+	LEAQ (R9)(SI*1), R10     // out row 3
+
+	XORPS X0, X0
+	XORPS X1, X1
+	XORPS X2, X2
+	XORPS X3, X3
+	XORPS X4, X4
+	XORPS X5, X5
+	XORPS X6, X6
+	XORPS X7, X7
+
+	TESTQ DX, DX
+	JZ    ploop
+	MOVUPS (DI), X0          // resume: load the spilled tile
+	MOVUPS 16(DI), X1
+	MOVUPS (R8), X2
+	MOVUPS 16(R8), X3
+	MOVUPS (R9), X4
+	MOVUPS 16(R9), X5
+	MOVUPS (R10), X6
+	MOVUPS 16(R10), X7
+
+ploop:
+	MOVUPS (BX), X8          // b[p][0:4]
+	MOVUPS 16(BX), X9        // b[p][4:8]
+
+	MOVSS  (AX), X10         // a[p][0]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X0
+	ADDPS  X11, X1
+
+	MOVSS  4(AX), X10        // a[p][1]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X2
+	ADDPS  X11, X3
+
+	MOVSS  8(AX), X10        // a[p][2]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X4
+	ADDPS  X11, X5
+
+	MOVSS  12(AX), X10       // a[p][3]
+	SHUFPS $0x00, X10, X10
+	MOVAPS X10, X11
+	MULPS  X8, X10
+	MULPS  X9, X11
+	ADDPS  X10, X6
+	ADDPS  X11, X7
+
+	ADDQ $16, AX
+	ADDQ $32, BX
+	DECQ CX
+	JNZ  ploop
+
+	MOVUPS X0, (DI)
+	MOVUPS X1, 16(DI)
+	MOVUPS X2, (R8)
+	MOVUPS X3, 16(R8)
+	MOVUPS X4, (R9)
+	MOVUPS X5, 16(R9)
+	MOVUPS X6, (R10)
+	MOVUPS X7, 16(R10)
+	RET

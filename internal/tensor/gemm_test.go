@@ -1,0 +1,266 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file pins the packed GEMM engine bit-for-bit to the retained
+// reference kernels on adversarial inputs: odd/prime dimensions, shapes
+// smaller than the register tile, reductions spanning multiple kcBlock
+// tiles, and values containing ±0, NaN and ±Inf. Comparisons are on raw
+// float bits (math.Float32bits), so NaN payloads and zero signs count.
+
+// packedMatMul runs the packed engine unconditionally (no small-size
+// dispatch), serially or over a pool.
+func packedMatMul(pool *Pool, a, b *Tensor) *Tensor {
+	m, k, n := matMulDims(a, b)
+	out := New(m, n)
+	gemmRun(pool, out.data, m, k, n,
+		func(bp []float32, pan0, pan1 int) { packBPanels(bp, b.data, k, n, pan0, pan1) },
+		func(ap []float32, i0, rows, p0, p1 int) { packATile(ap, a.data, k, i0, rows, p0, p1) })
+	return out
+}
+
+func packedMatMulTA(pool *Pool, a, b *Tensor) *Tensor {
+	m, k, n := matMulTADims(a, b)
+	out := New(m, n)
+	gemmRun(pool, out.data, m, k, n,
+		func(bp []float32, pan0, pan1 int) { packBPanels(bp, b.data, k, n, pan0, pan1) },
+		func(ap []float32, i0, rows, p0, p1 int) { packATileT(ap, a.data, m, i0, rows, p0, p1) })
+	return out
+}
+
+func packedMatMulTB(pool *Pool, a, b *Tensor) *Tensor {
+	m, k, n := matMulTBDims(a, b)
+	out := New(m, n)
+	gemmRun(pool, out.data, m, k, n,
+		func(bp []float32, pan0, pan1 int) { packBPanelsTB(bp, b.data, k, n, pan0, pan1) },
+		func(ap []float32, i0, rows, p0, p1 int) { packATile(ap, a.data, k, i0, rows, p0, p1) })
+	return out
+}
+
+// bitsDiff compares raw float bits. One carve-out: when both sides are
+// NaN they compare equal regardless of payload — if two NaNs meet in an
+// add, IEEE 754 leaves the surviving payload implementation-defined and
+// Go's instruction selection (not our kernels) picks the operand order,
+// so payload identity is not a property the language lets us pin. Zero
+// signs, infinities, and whether an element is NaN at all must match
+// exactly.
+func bitsDiff(got, want *Tensor) string {
+	gd, wd := got.Data(), want.Data()
+	if len(gd) != len(wd) {
+		return fmt.Sprintf("length %d vs %d", len(gd), len(wd))
+	}
+	for i := range gd {
+		gn, wn := math.IsNaN(float64(gd[i])), math.IsNaN(float64(wd[i]))
+		if gn && wn {
+			continue
+		}
+		if gn != wn || math.Float32bits(gd[i]) != math.Float32bits(wd[i]) {
+			return fmt.Sprintf("element %d: got %v (%#08x), want %v (%#08x)",
+				i, gd[i], math.Float32bits(gd[i]), wd[i], math.Float32bits(wd[i]))
+		}
+	}
+	return ""
+}
+
+// adversarialShapes covers dims below the register tile, primes, exact
+// tile multiples, and reductions spanning several kcBlock tiles.
+var adversarialShapes = []struct{ m, k, n int }{
+	{1, 1, 1},
+	{2, 3, 2},
+	{3, 5, 7},          // everything below the tile
+	{mrTile, 8, nrTile}, // exactly one full tile
+	{5, 9, 11},
+	{13, 17, 19}, // primes
+	{31, 64, 9},
+	{16, kcBlock + 1, 40},      // k one past a block boundary
+	{7, 2*kcBlock + 17, 23},    // k spanning three blocks
+	{mrTile + 1, 33, nrTile+1}, // one past the tile
+	{64, 300, 65},
+}
+
+// fillAdversarial seeds t with random values plus ±0, NaN and ±Inf
+// sprinkled at deterministic positions. which selects the special set so
+// callers can put NaNs in one operand and infinities in the other.
+func fillAdversarial(rng *rand.Rand, t *Tensor, which int) {
+	d := t.Data()
+	for i := range d {
+		d[i] = rng.Float32()*4 - 2
+	}
+	specials := [][]float32{
+		{0, float32(math.Copysign(0, -1)), 0},
+		{float32(math.NaN()), 0, float32(math.Copysign(0, -1))},
+		{float32(math.Inf(1)), float32(math.Inf(-1)), 0},
+	}
+	set := specials[which%len(specials)]
+	for i, v := range set {
+		pos := (i*7 + 3) % len(d)
+		d[pos] = v
+	}
+}
+
+// TestPackedKernelsMatchReferenceBits is the satellite bit-equivalence
+// suite: the packed engine (assembly and generic microkernels, serial
+// and pooled schedules) must reproduce the retained reference kernels
+// exactly on every adversarial shape and value class.
+func TestPackedKernelsMatchReferenceBits(t *testing.T) {
+	pools := []*Pool{nil, NewPool(3)}
+	asmModes := []bool{false}
+	if asmMicroAvailable {
+		asmModes = append(asmModes, true)
+	}
+	defer func(prev bool) { useAsmMicro = prev }(useAsmMicro)
+	rng := rand.New(rand.NewSource(99))
+	for _, s := range adversarialShapes {
+		for which := 0; which < 3; which++ {
+			a := New(s.m, s.k)
+			b := New(s.k, s.n)
+			fillAdversarial(rng, a, which)
+			fillAdversarial(rng, b, which+1)
+			aT := Transpose2D(a)
+			bT := Transpose2D(b)
+
+			ref := New(s.m, s.n)
+			matMulRowsRef(ref.data, a.data, b.data, s.k, s.n, 0, s.m)
+			refTA := New(s.m, s.n)
+			matMulTARowsRef(refTA.data, aT.data, b.data, s.k, s.m, s.n, 0, s.m)
+			refTB := New(s.m, s.n)
+			matMulTBRowsRef(refTB.data, a.data, bT.data, s.k, s.n, 0, s.m)
+
+			for _, asm := range asmModes {
+				useAsmMicro = asm
+				for _, pool := range pools {
+					label := fmt.Sprintf("m=%d k=%d n=%d specials=%d asm=%v pooled=%v",
+						s.m, s.k, s.n, which, asm, pool != nil)
+					if diff := bitsDiff(packedMatMul(pool, a, b), ref); diff != "" {
+						t.Errorf("MatMul packed != reference (%s): %s", label, diff)
+					}
+					if diff := bitsDiff(packedMatMulTA(pool, aT, b), refTA); diff != "" {
+						t.Errorf("MatMulTA packed != reference (%s): %s", label, diff)
+					}
+					if diff := bitsDiff(packedMatMulTB(pool, a, bT), refTB); diff != "" {
+						t.Errorf("MatMulTB packed != reference (%s): %s", label, diff)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBackendDispatchMatchesReferenceBits drives the public backend
+// entry points (which dispatch between reference and packed paths by
+// size) against the reference kernels — the dispatch decision must never
+// change bits.
+func TestBackendDispatchMatchesReferenceBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	backends := []Backend{Serial{}, NewParallel(3)}
+	for _, s := range adversarialShapes {
+		a := New(s.m, s.k)
+		b := New(s.k, s.n)
+		fillAdversarial(rng, a, 0)
+		fillAdversarial(rng, b, 2)
+		ref := New(s.m, s.n)
+		matMulRowsRef(ref.data, a.data, b.data, s.k, s.n, 0, s.m)
+		for _, be := range backends {
+			got := MatMulWith(be, a, b)
+			if diff := bitsDiff(got, ref); diff != "" {
+				t.Errorf("%s MatMul != reference (m=%d k=%d n=%d): %s", be.Name(), s.m, s.k, s.n, diff)
+			}
+		}
+	}
+}
+
+// convGeometries are the fused-GEMM geometry corner cases: padding,
+// stride 2, 1×1 kernels, tiny spatial dims, and channel counts that
+// leave partial panels.
+var convGeometries = []struct{ n, c, h, w, k, stride, pad, outC int }{
+	{1, 1, 5, 5, 3, 1, 1, 4},
+	{2, 3, 8, 8, 3, 1, 1, 8},
+	{2, 5, 7, 9, 3, 2, 1, 6},
+	{1, 7, 6, 6, 1, 1, 0, 5},
+	{3, 4, 11, 5, 5, 2, 2, 7},
+	{1, 2, 3, 3, 3, 1, 1, 3}, // output smaller than one panel
+}
+
+// TestFusedConvGemmMatchesMaterialized pins the fused conv GEMMs
+// (forward and weight-gradient) bit-for-bit to materialize-then-GEMM on
+// every geometry, for both backends and with specials in the input.
+func TestFusedConvGemmMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	backends := []Backend{Serial{}, NewParallel(3)}
+	for gi, cse := range convGeometries {
+		x := New(cse.n, cse.c, cse.h, cse.w)
+		fillAdversarial(rng, x, gi)
+		oh := ConvOutSize(cse.h, cse.k, cse.stride, cse.pad)
+		ow := ConvOutSize(cse.w, cse.k, cse.stride, cse.pad)
+		K := cse.c * cse.k * cse.k
+		S := cse.n * oh * ow
+		w := Rand(rng, -1, 1, cse.outC, K)
+		grad := Rand(rng, -1, 1, cse.outC, S)
+		cols := Im2ColWith(Serial{}, x, cse.k, cse.k, cse.stride, cse.pad)
+
+		wantFwd := New(cse.outC, S)
+		matMulRowsRef(wantFwd.data, w.data, cols.data, K, S, 0, cse.outC)
+		wantDW := New(cse.outC, K)
+		matMulTBRowsRef(wantDW.data, grad.data, cols.data, S, K, 0, cse.outC)
+
+		for _, be := range backends {
+			fwd := New(cse.outC, S)
+			be.ConvForwardInto(fwd, w, x, cse.k, cse.k, cse.stride, cse.pad)
+			if diff := bitsDiff(fwd, wantFwd); diff != "" {
+				t.Errorf("%s ConvForwardInto != materialized (case %d): %s", be.Name(), gi, diff)
+			}
+			dw := New(cse.outC, K)
+			be.ConvGradWeightInto(dw, grad, x, cse.k, cse.k, cse.stride, cse.pad)
+			if diff := bitsDiff(dw, wantDW); diff != "" {
+				t.Errorf("%s ConvGradWeightInto != materialized (case %d): %s", be.Name(), gi, diff)
+			}
+		}
+	}
+}
+
+// TestFusedPackMatchesMaterializedPack checks the layout invariant the
+// fusion rests on: packing the virtual column matrix straight from the
+// input produces byte-identical panels to materializing im2col output
+// and packing that, in both the forward and transposed layouts.
+func TestFusedPackMatchesMaterializedPack(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for gi, cse := range convGeometries {
+		x := New(cse.n, cse.c, cse.h, cse.w)
+		fillAdversarial(rng, x, gi+1)
+		g := convGeom{n: cse.n, c: cse.c, h: cse.h, w: cse.w,
+			oh: ConvOutSize(cse.h, cse.k, cse.stride, cse.pad),
+			ow: ConvOutSize(cse.w, cse.k, cse.stride, cse.pad),
+			kh: cse.k, kw: cse.k, stride: cse.stride, pad: cse.pad}
+		K, S := g.colRows(), g.colCols()
+		cols := Im2ColWith(Serial{}, x, cse.k, cse.k, cse.stride, cse.pad)
+
+		want := make([]float32, packedBLen(K, S))
+		packBPanels(want, cols.data, K, S, 0, panelsOf(S))
+		got := make([]float32, packedBLen(K, S))
+		im2colPackPanels(got, x.data, g, 0, panelsOf(S))
+		if diff := bitsDiff(FromSlice(got, len(got)), FromSlice(want, len(want))); diff != "" {
+			t.Errorf("im2colPackPanels != packBPanels∘im2col (case %d): %s", gi, diff)
+		}
+
+		wantT := make([]float32, packedBLen(S, K))
+		packBPanelsTB(wantT, cols.data, S, K, 0, panelsOf(K))
+		gotT := make([]float32, packedBLen(S, K))
+		im2colPackPanelsT(gotT, x.data, g, 0, panelsOf(K))
+		if diff := bitsDiff(FromSlice(gotT, len(gotT)), FromSlice(wantT, len(wantT))); diff != "" {
+			t.Errorf("im2colPackPanelsT != packBPanelsTB∘im2col (case %d): %s", gi, diff)
+		}
+		// And the scalar oracle agrees element by element.
+		for p := 0; p < K; p++ {
+			for j := 0; j < S; j++ {
+				if math.Float32bits(g.at(x.data, p, j)) != math.Float32bits(cols.data[p*S+j]) {
+					t.Fatalf("convGeom.at(%d,%d) disagrees with im2col (case %d)", p, j, gi)
+				}
+			}
+		}
+	}
+}

@@ -88,6 +88,228 @@ func checkCol2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) (oh, ow int)
 	return oh, ow
 }
 
+// --- fused conv GEMMs --------------------------------------------------------
+
+// convGeom is the geometry of one im2col lowering: the virtual column
+// matrix has K = c*kh*kw rows and S = n*oh*ow columns.
+type convGeom struct {
+	n, c, h, w, oh, ow, kh, kw, stride, pad int
+}
+
+func (g convGeom) colRows() int { return g.c * g.kh * g.kw }
+func (g convGeom) colCols() int { return g.n * g.oh * g.ow }
+
+// at returns the column-matrix element (row p, column j): the input value
+// under kernel tap p at output position j, zero in the padding. It is the
+// scalar definition the fused packers below gather with, and the oracle
+// the fusion tests compare against.
+func (g convGeom) at(xd []float32, p, j int) float32 {
+	kj := p % g.kw
+	ki := (p / g.kw) % g.kh
+	ci := p / (g.kw * g.kh)
+	oj := j % g.ow
+	oi := (j / g.ow) % g.oh
+	ni := j / (g.ow * g.oh)
+	ih := oi*g.stride - g.pad + ki
+	iw := oj*g.stride - g.pad + kj
+	if ih < 0 || ih >= g.h || iw < 0 || iw >= g.w {
+		return 0
+	}
+	return xd[((ni*g.c+ci)*g.h+ih)*g.w+iw]
+}
+
+func checkConvForward(out, w, x *Tensor, kh, kw, stride, pad int) (g convGeom, m, k, n int) {
+	gn, c, oh, ow := im2ColDims(x, kh, kw, stride, pad)
+	g = convGeom{n: gn, c: c, h: x.shape[2], w: x.shape[3], oh: oh, ow: ow,
+		kh: kh, kw: kw, stride: stride, pad: pad}
+	k, n = g.colRows(), g.colCols()
+	if len(w.shape) != 2 || w.shape[1] != k {
+		panic(fmt.Sprintf("tensor: ConvForwardInto weight shape %v, want [*, %d]", w.shape, k))
+	}
+	m = w.shape[0]
+	checkOutShape("ConvForwardInto", out, m, n)
+	return g, m, k, n
+}
+
+func checkConvGradWeight(out, gr, x *Tensor, kh, kw, stride, pad int) (g convGeom, m, k, n int) {
+	gn, c, oh, ow := im2ColDims(x, kh, kw, stride, pad)
+	g = convGeom{n: gn, c: c, h: x.shape[2], w: x.shape[3], oh: oh, ow: ow,
+		kh: kh, kw: kw, stride: stride, pad: pad}
+	// The dW GEMM is grad·colsᵀ: reduction over the S output positions,
+	// output columns over the K kernel taps.
+	k, n = g.colCols(), g.colRows()
+	if len(gr.shape) != 2 || gr.shape[1] != k {
+		panic(fmt.Sprintf("tensor: ConvGradWeightInto grad shape %v, want [*, %d]", gr.shape, k))
+	}
+	m = gr.shape[0]
+	checkOutShape("ConvGradWeightInto", out, m, n)
+	return g, m, k, n
+}
+
+// im2colPackPanels packs panels [pan0,pan1) of the virtual column matrix
+// straight from the NCHW input — the fused replacement for materializing
+// im2col output and re-packing it. Produces exactly the values
+// packBPanels would produce from a materialized column matrix.
+func im2colPackPanels(bp, xd []float32, g convGeom, pan0, pan1 int) {
+	K, S := g.colRows(), g.colCols()
+	for pan := pan0; pan < pan1; pan++ {
+		j0 := pan * nrTile
+		w := min(nrTile, S-j0)
+		dst := bp[pan*K*nrTile : (pan+1)*K*nrTile]
+		// Decode the panel's output positions once. A panel whose every
+		// position has its full kh×kw window inside the input (the vast
+		// majority away from the padded border) takes a check-free path.
+		var ni, ihBase, iwBase [nrTile]int
+		interior := true
+		for c := 0; c < w; c++ {
+			j := j0 + c
+			oj := j % g.ow
+			oi := (j / g.ow) % g.oh
+			ni[c] = j / (g.ow * g.oh)
+			ihBase[c] = oi*g.stride - g.pad
+			iwBase[c] = oj*g.stride - g.pad
+			if ihBase[c] < 0 || ihBase[c]+g.kh > g.h || iwBase[c] < 0 || iwBase[c]+g.kw > g.w {
+				interior = false
+			}
+		}
+		p := 0
+		var base [nrTile]int
+		for ci := 0; ci < g.c; ci++ {
+			for c := 0; c < w; c++ {
+				base[c] = ((ni[c]*g.c+ci)*g.h+ihBase[c])*g.w + iwBase[c]
+			}
+			for ki := 0; ki < g.kh; ki++ {
+				for kj := 0; kj < g.kw; kj++ {
+					d := dst[p*nrTile : (p+1)*nrTile]
+					if interior {
+						off := ki*g.w + kj
+						for c := 0; c < w; c++ {
+							d[c] = xd[base[c]+off]
+						}
+					} else {
+						for c := 0; c < w; c++ {
+							ih := ihBase[c] + ki
+							iw := iwBase[c] + kj
+							if ih < 0 || ih >= g.h || iw < 0 || iw >= g.w {
+								d[c] = 0
+								continue
+							}
+							d[c] = xd[base[c]+ki*g.w+kj]
+						}
+					}
+					for c := w; c < nrTile; c++ {
+						d[c] = 0
+					}
+					p++
+				}
+			}
+		}
+	}
+}
+
+// im2colPackPanelsT packs panels of the column matrix's transpose-as-TB
+// operand for the dW GEMM: panel row j is kernel tap j, element (p, c) is
+// the column-matrix value at (tap j0+c, output position p). Equivalent to
+// packBPanelsTB over a materialized column matrix.
+func im2colPackPanelsT(bp, xd []float32, g convGeom, pan0, pan1 int) {
+	K, S := g.colRows(), g.colCols()
+	for pan := pan0; pan < pan1; pan++ {
+		j0 := pan * nrTile
+		w := min(nrTile, K-j0)
+		dst := bp[pan*S*nrTile : (pan+1)*S*nrTile]
+		// Decode the panel's kernel taps once; off[c] is each tap's flat
+		// offset from the window origin within one image.
+		var ci, ki, kj, off [nrTile]int
+		for c := 0; c < w; c++ {
+			j := j0 + c
+			kj[c] = j % g.kw
+			ki[c] = (j / g.kw) % g.kh
+			ci[c] = j / (g.kw * g.kh)
+			off[c] = ci[c]*g.h*g.w + ki[c]*g.w + kj[c]
+		}
+		// Walk output positions with running counters (ascending p). A
+		// position whose full window is interior needs no per-tap checks.
+		oj, oi, ni := 0, 0, 0
+		for p := 0; p < S; p++ {
+			d := dst[p*nrTile : (p+1)*nrTile]
+			ihB := oi*g.stride - g.pad
+			iwB := oj*g.stride - g.pad
+			if ihB >= 0 && ihB+g.kh <= g.h && iwB >= 0 && iwB+g.kw <= g.w {
+				base := ni*g.c*g.h*g.w + ihB*g.w + iwB
+				for c := 0; c < w; c++ {
+					d[c] = xd[base+off[c]]
+				}
+			} else {
+				for c := 0; c < w; c++ {
+					ih := ihB + ki[c]
+					iw := iwB + kj[c]
+					if ih < 0 || ih >= g.h || iw < 0 || iw >= g.w {
+						d[c] = 0
+						continue
+					}
+					d[c] = xd[((ni*g.c+ci[c])*g.h+ih)*g.w+iw]
+				}
+			}
+			for c := w; c < nrTile; c++ {
+				d[c] = 0
+			}
+			if oj++; oj == g.ow {
+				oj = 0
+				if oi++; oi == g.oh {
+					oi = 0
+					ni++
+				}
+			}
+		}
+	}
+}
+
+// convForwardDriver computes out = w·im2col(x) without materializing the
+// column matrix on the packed path; small problems materialize into
+// recycled scratch and run the reference GEMM. Identical bits either way.
+func convForwardDriver(pool *Pool, od, wd, xd []float32, g convGeom, m, k, n int) {
+	if !gemmShouldPack(m, k, n) {
+		ar := getPackArena()
+		cols := ar.Get(k, n)
+		im2colRows(cols.data, xd, g.n, g.c, g.h, g.w, g.kh, g.kw, g.oh, g.ow, g.stride, g.pad, 0, k)
+		if pool == nil {
+			matMulRowsRef(od, wd, cols.data, k, n, 0, m)
+		} else {
+			pool.ParallelFor(m, rowGrain(k*n, gemmGrainFlops), func(lo, hi int) {
+				matMulRowsRef(od, wd, cols.data, k, n, lo, hi)
+			})
+		}
+		ar.Release(cols)
+		putPackArena(ar)
+		return
+	}
+	gemmRun(pool, od, m, k, n,
+		func(bp []float32, pan0, pan1 int) { im2colPackPanels(bp, xd, g, pan0, pan1) },
+		func(ap []float32, i0, rows, p0, p1 int) { packATile(ap, wd, k, i0, rows, p0, p1) })
+}
+
+// convGradWeightDriver computes out = grad·im2col(x)ᵀ, likewise fused.
+func convGradWeightDriver(pool *Pool, od, gd, xd []float32, g convGeom, m, k, n int) {
+	if !gemmShouldPack(m, k, n) {
+		ar := getPackArena()
+		cols := ar.Get(n, k) // [K, S]: the TB operand's natural layout
+		im2colRows(cols.data, xd, g.n, g.c, g.h, g.w, g.kh, g.kw, g.oh, g.ow, g.stride, g.pad, 0, n)
+		if pool == nil {
+			matMulTBRowsRef(od, gd, cols.data, k, n, 0, m)
+		} else {
+			pool.ParallelFor(m, rowGrain(k*n, gemmGrainFlops), func(lo, hi int) {
+				matMulTBRowsRef(od, gd, cols.data, k, n, lo, hi)
+			})
+		}
+		ar.Release(cols)
+		putPackArena(ar)
+		return
+	}
+	gemmRun(pool, od, m, k, n,
+		func(bp []float32, pan0, pan1 int) { im2colPackPanelsT(bp, xd, g, pan0, pan1) },
+		func(ap []float32, i0, rows, p0, p1 int) { packATile(ap, gd, k, i0, rows, p0, p1) })
+}
+
 // --- range kernels -----------------------------------------------------------
 
 // im2colRows fills output rows [lo,hi) of the column matrix. Each row is

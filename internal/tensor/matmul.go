@@ -93,58 +93,26 @@ func checkOutShape(op string, out *Tensor, m, n int) {
 	}
 }
 
-// --- row-range kernels -------------------------------------------------------
+// --- reference kernels -------------------------------------------------------
 
-// kcBlock tiles the reduction dimension so the active b-panel stays cache
-// resident. Tiles ascend, so for any output element the terms are still
-// added in ascending-p order — blocking never changes the result bits.
-const kcBlock = 256
+// The reference kernels define the package's canonical accumulation: for
+// every output element, one multiply and one add per reduction index,
+// terms in ascending-p order, starting from zero. They are retained both
+// as the oracle the packed kernels (gemm.go) are pinned bit-identical to
+// and as the fast path for problems too small to amortize packing. All
+// take an explicit row range [lo,hi) so both backends partition them
+// identically to the old row kernels.
 
-// matMulRows computes rows [lo,hi) of out = a·b with a cache-friendly
+// matMulRowsRef computes rows [lo,hi) of out = a·b with a cache-friendly
 // ikj loop (a: [m,k] row-major, b: [k,n] row-major).
-func matMulRows(od, ad, bd []float32, k, n, lo, hi int) {
+func matMulRowsRef(od, ad, bd []float32, k, n, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		orow := od[i*n : (i+1)*n]
 		for j := range orow {
 			orow[j] = 0
 		}
-	}
-	for p0 := 0; p0 < k; p0 += kcBlock {
-		p1 := p0 + kcBlock
-		if p1 > k {
-			p1 = k
-		}
-		for i := lo; i < hi; i++ {
-			arow := ad[i*k : (i+1)*k]
-			orow := od[i*n : (i+1)*n]
-			for p := p0; p < p1; p++ {
-				av := arow[p]
-				if av == 0 {
-					continue
-				}
-				brow := bd[p*n : (p+1)*n]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
-	}
-}
-
-// matMulTARows computes rows [lo,hi) of out = aᵀ·b (a: [k,m], b: [k,n]).
-// Row i of the output reads column i of a; p ascends for every element,
-// matching the serial reference order exactly.
-func matMulTARows(od, ad, bd []float32, k, m, n, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		orow := od[i*n : (i+1)*n]
-		for j := range orow {
-			orow[j] = 0
-		}
-		for p := 0; p < k; p++ {
-			av := ad[p*m+i]
-			if av == 0 {
-				continue
-			}
+		arow := ad[i*k : (i+1)*k]
+		for p, av := range arow {
 			brow := bd[p*n : (p+1)*n]
 			for j, bv := range brow {
 				orow[j] += av * bv
@@ -153,9 +121,27 @@ func matMulTARows(od, ad, bd []float32, k, m, n, lo, hi int) {
 	}
 }
 
-// matMulTBRows computes rows [lo,hi) of out = a·bᵀ (a: [m,k], b: [n,k])
-// as dense row-dot-row products.
-func matMulTBRows(od, ad, bd []float32, k, n, lo, hi int) {
+// matMulTARowsRef computes rows [lo,hi) of out = aᵀ·b (a: [k,m],
+// b: [k,n]). Row i of the output reads column i of a.
+func matMulTARowsRef(od, ad, bd []float32, k, m, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		orow := od[i*n : (i+1)*n]
+		for j := range orow {
+			orow[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := ad[p*m+i]
+			brow := bd[p*n : (p+1)*n]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// matMulTBRowsRef computes rows [lo,hi) of out = a·bᵀ (a: [m,k],
+// b: [n,k]) as dense row-dot-row products.
+func matMulTBRowsRef(od, ad, bd []float32, k, n, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		arow := ad[i*k : (i+1)*k]
 		orow := od[i*n : (i+1)*n]
@@ -168,4 +154,58 @@ func matMulTBRows(od, ad, bd []float32, k, n, lo, hi int) {
 			orow[j] = s
 		}
 	}
+}
+
+// --- drivers -----------------------------------------------------------------
+
+// The drivers pick between the reference kernels (small problems) and
+// the packed engine, serially (pool == nil) or partitioned over a worker
+// pool. Both paths and both schedules produce identical bits.
+
+func matMulDriver(pool *Pool, od, ad, bd []float32, m, k, n int) {
+	if !gemmShouldPack(m, k, n) {
+		if pool == nil {
+			matMulRowsRef(od, ad, bd, k, n, 0, m)
+			return
+		}
+		pool.ParallelFor(m, rowGrain(k*n, gemmGrainFlops), func(lo, hi int) {
+			matMulRowsRef(od, ad, bd, k, n, lo, hi)
+		})
+		return
+	}
+	gemmRun(pool, od, m, k, n,
+		func(bp []float32, pan0, pan1 int) { packBPanels(bp, bd, k, n, pan0, pan1) },
+		func(ap []float32, i0, rows, p0, p1 int) { packATile(ap, ad, k, i0, rows, p0, p1) })
+}
+
+func matMulTADriver(pool *Pool, od, ad, bd []float32, m, k, n int) {
+	if !gemmShouldPack(m, k, n) {
+		if pool == nil {
+			matMulTARowsRef(od, ad, bd, k, m, n, 0, m)
+			return
+		}
+		pool.ParallelFor(m, rowGrain(k*n, gemmGrainFlops), func(lo, hi int) {
+			matMulTARowsRef(od, ad, bd, k, m, n, lo, hi)
+		})
+		return
+	}
+	gemmRun(pool, od, m, k, n,
+		func(bp []float32, pan0, pan1 int) { packBPanels(bp, bd, k, n, pan0, pan1) },
+		func(ap []float32, i0, rows, p0, p1 int) { packATileT(ap, ad, m, i0, rows, p0, p1) })
+}
+
+func matMulTBDriver(pool *Pool, od, ad, bd []float32, m, k, n int) {
+	if !gemmShouldPack(m, k, n) {
+		if pool == nil {
+			matMulTBRowsRef(od, ad, bd, k, n, 0, m)
+			return
+		}
+		pool.ParallelFor(m, rowGrain(k*n, gemmGrainFlops), func(lo, hi int) {
+			matMulTBRowsRef(od, ad, bd, k, n, lo, hi)
+		})
+		return
+	}
+	gemmRun(pool, od, m, k, n,
+		func(bp []float32, pan0, pan1 int) { packBPanelsTB(bp, bd, k, n, pan0, pan1) },
+		func(ap []float32, i0, rows, p0, p1 int) { packATile(ap, ad, k, i0, rows, p0, p1) })
 }

@@ -49,31 +49,41 @@ func rowGrain(perRow, grain int) int {
 	return g
 }
 
-// MatMulInto implements Backend.
+// MatMulInto implements Backend. On the packed path B is packed into
+// panels once (the pack itself partitioned across workers) and the
+// compute is partitioned by whole output row tiles over the shared
+// panels, so packing cost is amortized across the pool.
 func (p *Parallel) MatMulInto(out, a, b *Tensor) {
 	m, k, n := matMulDims(a, b)
 	checkOutShape("MatMulInto", out, m, n)
-	p.pool.ParallelFor(m, rowGrain(k*n, gemmGrainFlops), func(lo, hi int) {
-		matMulRows(out.data, a.data, b.data, k, n, lo, hi)
-	})
+	matMulDriver(p.pool, out.data, a.data, b.data, m, k, n)
 }
 
 // MatMulTAInto implements Backend.
 func (p *Parallel) MatMulTAInto(out, a, b *Tensor) {
 	m, k, n := matMulTADims(a, b)
 	checkOutShape("MatMulTAInto", out, m, n)
-	p.pool.ParallelFor(m, rowGrain(k*n, gemmGrainFlops), func(lo, hi int) {
-		matMulTARows(out.data, a.data, b.data, k, m, n, lo, hi)
-	})
+	matMulTADriver(p.pool, out.data, a.data, b.data, m, k, n)
 }
 
 // MatMulTBInto implements Backend.
 func (p *Parallel) MatMulTBInto(out, a, b *Tensor) {
 	m, k, n := matMulTBDims(a, b)
 	checkOutShape("MatMulTBInto", out, m, n)
-	p.pool.ParallelFor(m, rowGrain(k*n, gemmGrainFlops), func(lo, hi int) {
-		matMulTBRows(out.data, a.data, b.data, k, n, lo, hi)
-	})
+	matMulTBDriver(p.pool, out.data, a.data, b.data, m, k, n)
+}
+
+// ConvForwardInto implements Backend: the fused im2col pack is
+// partitioned across column panels, the GEMM across row tiles.
+func (p *Parallel) ConvForwardInto(out, w, x *Tensor, kh, kw, stride, pad int) {
+	g, m, k, n := checkConvForward(out, w, x, kh, kw, stride, pad)
+	convForwardDriver(p.pool, out.data, w.data, x.data, g, m, k, n)
+}
+
+// ConvGradWeightInto implements Backend.
+func (p *Parallel) ConvGradWeightInto(out, grad, x *Tensor, kh, kw, stride, pad int) {
+	g, m, k, n := checkConvGradWeight(out, grad, x, kh, kw, stride, pad)
+	convGradWeightDriver(p.pool, out.data, grad.data, x.data, g, m, k, n)
 }
 
 // Add implements Backend.
