@@ -62,6 +62,16 @@ type Record struct {
 	// MBPerSec is the data throughput for kernels that declare bytes
 	// moved (MatMul); 0 otherwise.
 	MBPerSec float64 `json:"mb_per_sec,omitempty"`
+	// CoordBytesPerStep / PeerBytesPerStep split a cluster run's
+	// steady-state traffic by role (set only by the topology suite):
+	// marginal bytes per training step crossing the coordinator's
+	// connections vs. the workers' peer connections, measured as a
+	// 2×steps run minus a steps run so session-fixed traffic (model
+	// broadcast, trained-weight return) cancels. The ring topology's
+	// point is the first number collapsing to control-plane size while
+	// the second absorbs the data plane.
+	CoordBytesPerStep float64 `json:"coord_bytes_per_step,omitempty"`
+	PeerBytesPerStep  float64 `json:"peer_bytes_per_step,omitempty"`
 }
 
 // Report is the file layout of BENCH_PR5.json.
@@ -82,7 +92,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pipebd-bench", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	out := fs.String("out", "BENCH_PR5.json", "output JSON path (- for stdout)")
+	out := fs.String("out", "BENCH_PR6.json", "output JSON path (- for stdout)")
 	quick := fs.Bool("quick", false, "small problem sizes (smoke testing)")
 	procsFlag := fs.String("procs", "", "comma-separated GOMAXPROCS values to sweep the registry suite across (default: current)")
 	compare := fs.String("compare", "", "older report JSON to diff the produced (or -in) report against")
@@ -135,6 +145,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		runtime.GOMAXPROCS(widest)
 		clusterSuite(&report, *quick, widest)
+		topologySuite(&report, *quick, widest)
 		runtime.GOMAXPROCS(hostProcs)
 	}
 
@@ -326,6 +337,98 @@ func clusterSuite(report *Report, quick bool, procs int) {
 		}
 	})
 	report.add(fmt.Sprintf("CoordinatorResume/hybrid/%dsteps-batch%d", clusterSteps, stepBatch), "loopback", procs, resumeRes)
+}
+
+// topologySuite runs the same 4-device plan (a 3-way-split front group
+// feeding a single-device tail) on three workers under both topologies
+// and attributes the traffic by role: the coordinator's dial network and
+// the workers' shared peer dial network each get their own Meter. Under
+// the hub every activation and gradient reduction crosses the
+// coordinator; under the ring those travel worker-to-worker and the
+// coordinator keeps only batches, losses, and barriers — the
+// coord_bytes_per_step column is the PR's headline number. Per-step
+// bytes are marginal (a 2×steps run minus a steps run), so the
+// session-fixed model broadcast and trained-weight return — identical
+// under both topologies — cancel out of the steady-state figure.
+func topologySuite(report *Report, quick bool, procs int) {
+	steps, batch := 6, 18
+	if quick {
+		steps, batch = 3, 12
+	}
+	p := sched.Plan{Name: "dp3-tail", Groups: []sched.Group{
+		{Devices: []int{0, 1, 2}, Blocks: []int{0, 1}},
+		{Devices: []int{3}, Blocks: []int{2, 3}},
+	}}
+	tiny := distill.DefaultTinyConfig()
+	data := dataset.NewRandom(rand.New(rand.NewSource(5)), 2*steps*batch, 3, tiny.Height, tiny.Width, 4)
+	batches := data.Batches(batch)
+
+	// runOnce executes one fresh 3-worker cluster run of nb batches under
+	// topo, metering coordinator and peer dials separately. With a non-nil
+	// b only the Run call is timed.
+	runOnce := func(topo string, nb int, b *testing.B) (coordBytes, peerBytes int64) {
+		inner := transport.NewLoopback()
+		coordMeter := transport.NewMeter(inner)
+		peerMeter := transport.NewMeter(inner)
+		var addrs []string
+		var workers []*cluster.Worker
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		for j := 0; j < 3; j++ {
+			lis, err := inner.Listen("")
+			if err != nil {
+				panic(err)
+			}
+			w := cluster.NewWorker(lis, cluster.WorkerConfig{Sessions: 1, Dial: peerMeter})
+			workers = append(workers, w)
+			addrs = append(addrs, w.Addr())
+			wg.Add(1)
+			go func() { defer wg.Done(); w.Serve() }()
+		}
+		go func() { wg.Wait(); close(done) }()
+		wb := distill.NewTinyWorkbench(tiny)
+		cfg := cluster.Config{
+			Plan: p, DPU: true, LR: 0.05, Momentum: 0.9,
+			Topology: topo, Spec: cluster.TinySpec(tiny),
+			// Ring workers regenerate the batch schedule from this recipe
+			// instead of receiving tensors, so the coordinator's marginal
+			// traffic is pure control plane.
+			Data: wire.DataSpec{Seed: 5, N: 2 * steps * batch, C: 3,
+				H: tiny.Height, W: tiny.Width, Classes: 4, Batch: batch},
+		}
+		if b != nil {
+			b.StartTimer()
+		}
+		_, err := cluster.Run(coordMeter, addrs, wb, batches[:nb], cfg)
+		if b != nil {
+			b.StopTimer()
+		}
+		if err != nil {
+			panic(fmt.Sprintf("topology bench (%s, %d steps): %v", topo, nb, err))
+		}
+		coordBytes = coordMeter.Totals().Bytes()
+		peerBytes = peerMeter.Totals().Bytes()
+		for _, w := range workers {
+			w.Close()
+		}
+		<-done
+		return coordBytes, peerBytes
+	}
+
+	for _, topo := range []string{"hub", "ring"} {
+		res := testing.Benchmark(func(b *testing.B) {
+			b.StopTimer()
+			for i := 0; i < b.N; i++ {
+				runOnce(topo, steps, b)
+			}
+		})
+		report.add(fmt.Sprintf("ClusterTopology/%s/dp3-tail-%dsteps-batch%d", topo, steps, batch), "loopback", procs, res)
+		c1, p1 := runOnce(topo, steps, nil)
+		c2, p2 := runOnce(topo, 2*steps, nil)
+		rec := &report.Records[len(report.Records)-1]
+		rec.CoordBytesPerStep = float64(c2-c1) / float64(steps)
+		rec.PeerBytesPerStep = float64(p2-p1) / float64(steps)
+	}
 }
 
 // clusterBenchOpts selects a prepared loopback cluster's shape: a chaos

@@ -95,7 +95,9 @@ func newWorker(args []string, stdout io.Writer) (*cluster.Worker, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg := cluster.WorkerConfig{Sessions: *sessions, Rejoin: *rejoin}
+	// Ring-topology sessions (pipebd -topology ring) need the worker to
+	// dial its pipeline peers directly; hub sessions ignore Dial.
+	cfg := cluster.WorkerConfig{Sessions: *sessions, Rejoin: *rejoin, Dial: transport.TCP{}}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(stdout, "pipebd-worker: "+format+"\n", args...)

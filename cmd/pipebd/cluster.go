@@ -10,6 +10,7 @@ import (
 	"pipebd/internal/cluster"
 	"pipebd/internal/cluster/ledger"
 	"pipebd/internal/cluster/transport"
+	"pipebd/internal/cluster/wire"
 	"pipebd/internal/dataset"
 	"pipebd/internal/distill"
 	"pipebd/internal/engine"
@@ -24,6 +25,10 @@ type clusterOptions struct {
 	Batch    int
 	DPU      bool
 	Backend  string
+	// Topology selects the data plane: "ring" (default for the CLI) moves
+	// activations and gradient all-reduces worker-to-worker, "hub" (or
+	// empty) routes everything through the coordinator.
+	Topology string
 	Verify   bool // re-run in-process and require bit-identical results
 	Timeout  time.Duration
 	// MaxRestarts enables fault tolerance: up to this many dead workers
@@ -99,8 +104,14 @@ func clusterPlan(name string) (sched.Plan, error) {
 			g([]int{0, 1}, []int{0, 1}), g([]int{2}, []int{2, 3})}}, nil
 	case "ir":
 		return sched.InternalRelaying(2, 4), nil
+	case "dp3":
+		// 3-way split front group: the smallest plan whose ring topology
+		// runs a true reduce-scatter + all-gather ring (k >= 3) instead of
+		// the two-member full exchange. Batch must divide by 3.
+		return sched.Plan{Name: "dp3", Groups: []sched.Group{
+			g([]int{0, 1, 2}, []int{0, 1}), g([]int{3}, []int{2, 3})}}, nil
 	default:
-		return sched.Plan{}, fmt.Errorf("unknown cluster plan %q (want tr, hybrid, or ir)", name)
+		return sched.Plan{}, fmt.Errorf("unknown cluster plan %q (want tr, hybrid, ir, or dp3)", name)
 	}
 }
 
@@ -126,7 +137,12 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 
 	cfg := cluster.Config{
 		Plan: plan, DPU: opts.DPU, LR: 0.05, Momentum: 0.9,
-		Backend: opts.Backend, Spec: cluster.TinySpec(tiny),
+		Backend: opts.Backend, Topology: opts.Topology, Spec: cluster.TinySpec(tiny),
+		// The batches above are fully described by this recipe, so ring
+		// workers load their training data locally instead of receiving
+		// it from the coordinator.
+		Data: wire.DataSpec{Seed: 7, N: opts.Steps * opts.Batch, C: 3,
+			H: tiny.Height, W: tiny.Width, Classes: 4, Batch: opts.Batch},
 		JoinTimeout: opts.Timeout,
 		MaxRestarts: opts.MaxRestarts,
 		Snapshot:    cluster.SnapshotPolicy{Interval: opts.SnapInterval, Rank0Dedup: opts.SnapDedup},
@@ -153,8 +169,12 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 		net = chaos
 	}
 	w := distill.NewTinyWorkbench(tiny)
-	fmt.Fprintf(stdout, "pipebd: cluster run: plan %s (%s), %d device(s) on %d worker(s), %d steps, batch %d, dpu=%v, max-restarts=%d\n",
-		plan.Name, plan.Describe(), nDev, len(opts.Workers), opts.Steps, opts.Batch, opts.DPU, opts.MaxRestarts)
+	topo := opts.Topology
+	if topo == "" {
+		topo = "hub"
+	}
+	fmt.Fprintf(stdout, "pipebd: cluster run: plan %s (%s), %d device(s) on %d worker(s), %d steps, batch %d, dpu=%v, topology=%s, max-restarts=%d\n",
+		plan.Name, plan.Describe(), nDev, len(opts.Workers), opts.Steps, opts.Batch, opts.DPU, topo, opts.MaxRestarts)
 	if opts.Ledger != "" {
 		fmt.Fprintf(stdout, "pipebd: durable run: ledger at %s (restart a killed coordinator with: pipebd -resume %s)\n",
 			opts.Ledger, opts.Ledger)

@@ -22,6 +22,14 @@
 // -verify re-runs the same schedule in-process and requires the cluster's
 // loss trajectory and trained weights to match bit-for-bit.
 //
+// -topology selects the cluster data plane. The default "ring" moves
+// forwarded activations and gradient all-reduces directly between the
+// workers over peer-to-peer connections, demoting the coordinator to a
+// control plane (placement, batch feed, loss collection, the step
+// barrier, snapshots); "hub" routes every tensor through the
+// coordinator. Both topologies are bit-identical to the in-process
+// pipeline — and therefore to each other.
+//
 // -max-restarts N enables fault tolerance: when a worker connection dies
 // (or goes silent past -cluster-heartbeat), the coordinator re-places its
 // devices on a surviving or re-joined worker, restores their per-step
@@ -43,6 +51,10 @@
 // (snapshot every k-th step); -snapshot-dedup ships one snapshot per
 // split group instead of one per member.
 //
+// -compact-ledger DIR rewrites a ledger's append-only record log as one
+// checkpoint record holding only what a resume still needs, bounding the
+// log's growth; a compacted ledger resumes bit-identically.
+//
 // The -backend flag selects the tensor compute backend for every numeric
 // (real float32 training) portion of the experiments: "serial" is the
 // single-threaded reference, "parallel" row-partitions GEMMs across a
@@ -59,6 +71,7 @@ import (
 	"strings"
 	"time"
 
+	"pipebd/internal/cluster/ledger"
 	"pipebd/internal/experiments"
 	"pipebd/internal/hw"
 	"pipebd/internal/tensor"
@@ -74,10 +87,11 @@ func main() {
 	backend := flag.String("backend", "serial", "tensor compute backend: "+strings.Join(tensor.Backends(), "|"))
 	workers := flag.Int("workers", 0, "parallel-backend worker count (0: GOMAXPROCS)")
 	clusterAddrs := flag.String("cluster", "", "comma-separated pipebd-worker addresses; enables cluster training mode")
-	clusterPlanName := flag.String("cluster-plan", "hybrid", "cluster schedule: tr|hybrid|ir")
+	clusterPlanName := flag.String("cluster-plan", "hybrid", "cluster schedule: tr|hybrid|ir|dp3")
 	clusterSteps := flag.Int("cluster-steps", 6, "cluster training steps")
 	clusterBatch := flag.Int("cluster-batch", 8, "cluster global batch size")
 	clusterDPU := flag.Bool("cluster-dpu", true, "decoupled parameter update in cluster mode")
+	clusterTopology := flag.String("topology", "ring", "cluster data plane: ring (activations and all-reduce travel worker-to-worker; coordinator is control plane only) or hub (all traffic through the coordinator)")
 	clusterTimeout := flag.Duration("cluster-timeout", 10*time.Second, "per-worker join timeout in cluster mode")
 	maxRestarts := flag.Int("max-restarts", 0, "cluster mode: recover up to N dead workers by re-placing their devices and replaying from snapshots (0: a lost worker fails the run); with -resume, 0 reuses the manifest's budget and a negative value disables worker recovery")
 	clusterHeartbeat := flag.Duration("cluster-heartbeat", 0, "cluster mode: worker heartbeat interval; a worker silent for 4 intervals is declared dead (0: disable silence detection)")
@@ -85,6 +99,7 @@ func main() {
 	snapInterval := flag.Int("snapshot-interval", 0, "cluster mode: device snapshot interval k — snapshot every k-th step (0: every step when fault tolerance is on)")
 	snapDedup := flag.Bool("snapshot-dedup", false, "cluster mode: ship one snapshot per split group (rank 0) instead of one per member")
 	resumeDir := flag.String("resume", "", "restart a killed coordinator from this ledger directory (plan, model, batches, and workers come from the manifest; -cluster overrides the worker addresses)")
+	compactDir := flag.String("compact-ledger", "", "rewrite this ledger directory's record log as one checkpoint holding only what a resume still needs, then exit")
 	chaosKills := flag.Int("chaos-kills", 0, "cluster mode: inject N seeded worker-connection kills mid-run (self-test for -max-restarts; combine with -verify)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "cluster mode: seed for the -chaos-kills schedule")
 	verify := flag.Bool("verify", false, "cluster mode: require bit-identical match with the in-process pipeline")
@@ -105,6 +120,15 @@ func main() {
 	} else {
 		fmt.Fprintf(os.Stderr, "pipebd: unknown backend %q (want %s)\n", *backend, strings.Join(tensor.Backends(), " or "))
 		os.Exit(2)
+	}
+
+	if *compactDir != "" {
+		if err := ledger.Compact(*compactDir); err != nil {
+			fmt.Fprintf(os.Stderr, "pipebd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("pipebd: compacted ledger %s (resume with: pipebd -resume %s)\n", *compactDir, *compactDir)
+		return
 	}
 
 	if *resumeDir != "" {
@@ -132,6 +156,7 @@ func main() {
 			Steps:        *clusterSteps,
 			Batch:        *clusterBatch,
 			DPU:          *clusterDPU,
+			Topology:     *clusterTopology,
 			Timeout:      *clusterTimeout,
 			Verify:       *verify,
 			MaxRestarts:  *maxRestarts,

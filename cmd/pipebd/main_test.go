@@ -85,7 +85,7 @@ func startTCPWorkers(t *testing.T, n int) []string {
 		if err != nil {
 			t.Fatalf("listen: %v", err)
 		}
-		w := cluster.NewWorker(lis, cluster.WorkerConfig{Sessions: 1, Rejoin: true})
+		w := cluster.NewWorker(lis, cluster.WorkerConfig{Sessions: 1, Rejoin: true, Dial: transport.TCP{}})
 		addrs[i] = w.Addr()
 		wg.Add(1)
 		go func() { defer wg.Done(); w.Serve() }()
@@ -123,6 +123,28 @@ func TestClusterCrashThenResumeEndToEnd(t *testing.T) {
 		Dir: dir, Timeout: 10 * time.Second, Verify: true,
 	}); err != nil {
 		t.Fatalf("resume failed: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "verify OK") {
+		t.Fatalf("verify did not report success; output:\n%s", out.String())
+	}
+}
+
+// TestClusterRingEndToEnd drives runCluster with the CLI's default ring
+// topology over real TCP workers — peer connections dialed worker-to-
+// worker — and -verify proves the result bit-identical to the in-process
+// pipeline.
+func TestClusterRingEndToEnd(t *testing.T) {
+	addrs := startTCPWorkers(t, 2)
+	var out strings.Builder
+	err := runCluster(&out, clusterOptions{
+		Workers: addrs, PlanName: "hybrid", Steps: 4, Batch: 8, DPU: true,
+		Topology: "ring", Timeout: 10 * time.Second, Verify: true,
+	})
+	if err != nil {
+		t.Fatalf("ring cluster run failed: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "topology=ring") {
+		t.Fatalf("banner missing topology; output:\n%s", out.String())
 	}
 	if !strings.Contains(out.String(), "verify OK") {
 		t.Fatalf("verify did not report success; output:\n%s", out.String())

@@ -40,6 +40,20 @@
 // engine.DeviceLink, and the wire codec carries floats bit-exactly, so a
 // cluster run reproduces RunPipelined's trajectory bit-for-bit.
 //
+// Two data-plane topologies ship (cluster.Config.Topology, cmd/pipebd
+// -topology). "hub" routes every tensor through the coordinator. "ring"
+// — the CLI default — has the workers dial each other from a
+// coordinator-distributed placement directory (epoch-guarded so stale
+// dials from a superseded attempt never join a fresh mesh): forwarded
+// activations travel stage-to-stage over peer links, and split groups
+// average gradients with a reduce-scatter + ring all-gather that folds
+// contributions in the hub's exact ascending-rank order. The
+// coordinator is demoted to a control plane — training inputs are
+// prestaged or regenerated worker-locally from a deterministic dataset
+// recipe, so its steady-state traffic no longer scales with activation,
+// gradient, or input size — and both topologies are bit-identical to
+// the in-process pipeline and to each other.
+//
 // # Fault tolerance
 //
 // Cluster runs survive worker loss (cluster.Config.MaxRestarts): each
@@ -51,7 +65,11 @@
 // restores the snapshots over the wire, and replays the affected steps;
 // replayed work is a pure function of the restored state, so the
 // recovered run's losses and trained weights stay bit-identical to a
-// fault-free run. transport.Chaos injects deterministic, seeded fault
+// fault-free run. Ring runs recover by a global-cut restart instead of
+// surgical re-placement — a lost worker strands its ring peers
+// mid-collective, so every device restarts from the newest commonly
+// snapshotted, fully accounted step — with the same bit-identity
+// guarantee. transport.Chaos injects deterministic, seeded fault
 // schedules (connection kills, delays, truncated frames) to prove it,
 // both in the recovery test suite and from the CLI (-chaos-kills).
 //
@@ -77,8 +95,9 @@
 // See README.md for the quickstart and architecture inventory and
 // ROADMAP.md for open items. The benchmarks in bench_test.go regenerate
 // each table and figure under `go test -bench`; cmd/pipebd-bench captures
-// kernel, pipeline-step, cluster-recovery, and coordinator-resume
-// throughput as JSON (BENCH_PR4.json; BENCH_PR2/PR3.json are the prior
-// baselines), and BenchmarkMatMul in internal/tensor compares the
+// kernel, pipeline-step, cluster-recovery, coordinator-resume, and
+// hub-vs-ring topology throughput (with per-role coordinator/peer
+// bytes-per-step) as JSON (BENCH_PR6.json; BENCH_PR2–PR5.json are the
+// prior baselines), and BenchmarkMatMul in internal/tensor compares the
 // backends directly.
 package pipebd

@@ -2,6 +2,8 @@ package cluster
 
 import (
 	"fmt"
+	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -36,6 +38,23 @@ type Config struct {
 	// Backend optionally names the tensor backend workers should use
 	// (bit-identical by contract, so purely a throughput knob).
 	Backend string
+	// Topology selects the session's data plane: "hub" (or empty) routes
+	// every activation and gradient through the coordinator; "ring" has
+	// the workers dial each other and exchange activations and gradient
+	// reductions peer-to-peer, demoting the coordinator to a control
+	// plane (placement, barriers, losses, snapshots; inputs are prestaged
+	// in the Assign or regenerated locally from Data). Both are
+	// bit-identical to the in-process engine.
+	Topology string
+	// Data optionally hands ring workers a deterministic recipe for the
+	// run's batch schedule (wire.DataSpec; N > 0 enables it). Sessions
+	// hosting first-group devices then regenerate their inputs locally —
+	// distributed data loading — and the Assign carries no batch tensors,
+	// so the coordinator's connections see zero input bytes. The
+	// coordinator validates at run start that the recipe reproduces the
+	// batches passed to Run bit-exactly, keeping the bit-identity contract
+	// checkable. Ignored for hub runs.
+	Data wire.DataSpec
 	// Spec names the model the workers rebuild. Its architecture must
 	// match the workbench passed to Run.
 	Spec wire.ModelSpec
@@ -209,9 +228,14 @@ type run struct {
 	ft       bool                // fault tolerance enabled (MaxRestarts > 0 or durable)
 	policy   wire.SnapshotPolicy // effective snapshot policy (zero when !ft)
 	seedSnap wire.Snapshot       // seed params, immutable; reused by every Resume
+	ringMode bool                // peer-to-peer data plane (Config.Topology == "ring")
+	epoch    int64               // ring attempt epoch, stamped into every Assign
 
 	mu             sync.Mutex
 	led            *ledger.Ledger         // durable-run store; nil for in-memory-only runs
+	ledShared      bool                   // ledger owned by the ring driver, not this run's teardown
+	peerDir        []string               // ring: device rank → hosting worker address
+	histG          []map[int]histEntry    // ring+ft: [gi] step → restart state (group-identical)
 	peers          []*peerConn            // live worker sessions; dead ones are fully closed and dropped
 	byDev          map[int]*peerConn      // device rank → live peer (absent while dead)
 	devs           map[int]*devState      // device rank → ledger (map itself immutable)
@@ -254,6 +278,9 @@ type gatherLists struct {
 // plan and hyperparameters — including runs that lose and recover
 // workers, when cfg.MaxRestarts allows it.
 func (c *Coordinator) Run(w *distill.Workbench, batches []dataset.Batch, addrs []string) (engine.Result, error) {
+	if c.cfg.Topology == "ring" {
+		return c.runRing(w, batches, addrs)
+	}
 	r, err := c.newRun(w, batches, addrs)
 	if err != nil {
 		return engine.Result{}, err
@@ -320,6 +347,11 @@ func (c *Coordinator) newRun(w *distill.Workbench, batches []dataset.Batch, addr
 	if c.cfg.Spec.Blocks != w.NumBlocks() {
 		return nil, fmt.Errorf("cluster: spec has %d blocks, workbench has %d", c.cfg.Spec.Blocks, w.NumBlocks())
 	}
+	switch c.cfg.Topology {
+	case "", "hub", "ring":
+	default:
+		return nil, fmt.Errorf("cluster: unknown topology %q (want \"hub\" or \"ring\")", c.cfg.Topology)
+	}
 	buffer := c.cfg.Buffer
 	if buffer <= 0 {
 		buffer = 2
@@ -335,6 +367,7 @@ func (c *Coordinator) newRun(w *distill.Workbench, batches []dataset.Batch, addr
 		workb: w, batches: batches, addrs: addrs,
 		ft:             ft,
 		policy:         policy,
+		ringMode:       c.cfg.Topology == "ring",
 		outputs:        make([]map[int]*gather, len(plan.Groups)),
 		grads:          make([]map[int]*gatherLists, len(plan.Groups)),
 		reduceCache:    make([]map[int][]byte, len(plan.Groups)),
@@ -352,11 +385,24 @@ func (c *Coordinator) newRun(w *distill.Workbench, batches []dataset.Batch, addr
 	for gi := range r.groupInThrough {
 		r.groupInThrough[gi] = -1
 	}
+	if r.ringMode && r.ft {
+		r.histG = make([]map[int]histEntry, len(plan.Groups))
+		for gi := range r.histG {
+			r.histG[gi] = make(map[int]histEntry)
+		}
+	}
 	r.seedSnap = CaptureSnapshot(w)
 	r.runCfg = wire.RunConfig{DPU: c.cfg.DPU, LR: c.cfg.LR, Momentum: c.cfg.Momentum,
 		Buffer: c.cfg.Buffer, Steps: r.steps, Backend: c.cfg.Backend,
 		Snap:            policy,
-		HeartbeatMillis: int(c.cfg.HeartbeatInterval / time.Millisecond)}
+		HeartbeatMillis: int(c.cfg.HeartbeatInterval / time.Millisecond),
+		Topology:        c.cfg.Topology,
+		Data:            c.cfg.Data}
+	if r.ringMode && c.cfg.Data.N > 0 {
+		if err := validateDataRecipe(c.cfg.Data, batches); err != nil {
+			return nil, err
+		}
+	}
 	r.groupParams = make([][]*tensor.Tensor, len(plan.Groups))
 	for gi, g := range plan.Groups {
 		r.outputs[gi] = make(map[int]*gather)
@@ -454,6 +500,17 @@ func zeroLike(ts []*tensor.Tensor) []*tensor.Tensor {
 // hello handshake, and sends the session assignment.
 func (r *run) join(addrs []string) error {
 	placement := PlaceDevices(r.nDev, len(addrs))
+	if r.ringMode {
+		// Ring sessions need the placement directory before any worker can
+		// start dialing its peers.
+		peers := make([]string, r.nDev)
+		for i, devs := range placement {
+			for _, d := range devs {
+				peers[d] = addrs[i]
+			}
+		}
+		r.peerDir = peers
+	}
 	for i, addr := range addrs {
 		if len(placement[i]) == 0 {
 			r.co.logf("worker %s: no devices to place, skipping", addr)
@@ -473,7 +530,9 @@ func (r *run) join(addrs []string) error {
 			return fmt.Errorf("cluster: worker %s sent %v, want hello", addr, hello.Kind)
 		}
 		assign := &wire.Assign{Plan: r.plan, Spec: r.co.cfg.Spec, Run: r.runCfg,
-			Devices: placement[i], Snapshot: r.seedSnap}
+			Devices: placement[i], Snapshot: r.seedSnap,
+			Peers: r.peerDir, Epoch: r.epoch,
+			Inputs: r.prestageInputs(placement[i])}
 		if err := conn.Send(wire.EncodeAssign(assign)); err != nil {
 			conn.Close()
 			return fmt.Errorf("cluster: worker %s assign: %w", addr, err)
@@ -623,13 +682,71 @@ func (r *run) monitorHeartbeats() {
 	}
 }
 
+// validateDataRecipe proves Config.Data regenerates the exact batches
+// passed to Run: ring workers source their inputs from the recipe, so a
+// recipe that drifted from the real schedule would silently train on
+// different data. The comparison is bit-exact, same as every other
+// equivalence contract in this package.
+func validateDataRecipe(ds wire.DataSpec, batches []dataset.Batch) error {
+	gen := dataset.NewRandom(rand.New(rand.NewSource(ds.Seed)), ds.N, ds.C, ds.H, ds.W, ds.Classes).Batches(ds.Batch)
+	if len(gen) < len(batches) {
+		return fmt.Errorf("cluster: Config.Data regenerates %d batches, run has %d", len(gen), len(batches))
+	}
+	for i, b := range batches {
+		bd, gd := b.X.Data(), gen[i].X.Data()
+		if len(bd) != len(gd) {
+			return fmt.Errorf("cluster: Config.Data batch %d has %d values, run's has %d", i, len(gd), len(bd))
+		}
+		for j := range bd {
+			if math.Float32bits(bd[j]) != math.Float32bits(gd[j]) {
+				return fmt.Errorf("cluster: Config.Data does not reproduce the run's batches (step %d diverges)", i)
+			}
+		}
+	}
+	return nil
+}
+
+// prestageInputs returns the batch schedule a ring session's Assign
+// carries when the listed devices include a first-group member: the full
+// run's input tensors, so group-0 members source every step locally and
+// the coordinator sends no per-step input frames at all. Hub sessions,
+// ring sessions hosting only later groups, and runs with a Data recipe
+// (where workers regenerate the schedule themselves) get nothing.
+func (r *run) prestageInputs(devices []int) []*tensor.Tensor {
+	if !r.ringMode || r.runCfg.Data.N > 0 {
+		return nil
+	}
+	hostsG0 := false
+	for _, d := range devices {
+		for _, gd := range r.plan.Groups[0].Devices {
+			if d == gd {
+				hostsG0 = true
+			}
+		}
+	}
+	if !hostsG0 {
+		return nil
+	}
+	xs := make([]*tensor.Tensor, len(r.batches))
+	for i, b := range r.batches {
+		xs[i] = b.X
+	}
+	return xs
+}
+
 // feed streams the training batches to every member of the first group,
 // windowed by the pipeline depth: a new batch enters only when the
 // slowest group-0 member finishes an earlier step — the cluster analogue
 // of the in-process relay channel's backpressure. A resumed run picks up
 // after the highest step the previous coordinator already fed (steps
-// before it are re-sent from the retained inputs at attach time).
+// before it are re-sent from the retained inputs at attach time). Ring
+// runs prestage the whole schedule in each group-0 session's Assign
+// instead: the workers self-pace on the peer acks, and the coordinator's
+// steady-state traffic stays control-plane sized.
 func (r *run) feed() {
+	if r.ringMode {
+		return
+	}
 	g0 := r.plan.Groups[0]
 	r.mu.Lock()
 	start := r.fedThrough + 1
@@ -656,7 +773,10 @@ func (r *run) feed() {
 // retained the payload.
 func (r *run) applyInputLocked(devs []int, step int, payload []byte) bool {
 	retained := false
-	if r.ft {
+	// Ring recovery restarts the whole pipeline at the global cut and
+	// re-feeds batches from there, so inputs are never retained (or
+	// persisted); the delivery marks still advance.
+	if r.ft && !r.ringMode {
 		for _, d := range devs {
 			ds := r.devs[d]
 			if step > ds.snapStep {
@@ -718,6 +838,22 @@ func (r *run) handlePeerFailure(p *peerConn, cause error) {
 		if !r.devs[d].done {
 			allDone = false
 		}
+	}
+	if r.ringMode {
+		// Ring recovery is not surgical: the peers' in-flight exchanges
+		// with the dead worker cannot be replayed one-sided, so the whole
+		// attempt fails and the ring driver restarts it from the global
+		// cut (budget permitting). The typed error carries that intent.
+		r.mu.Unlock()
+		p.conn.Close()
+		p.out.Kill()
+		p.out.Close()
+		if allDone {
+			r.co.logf("worker %s dropped after finishing devices %v; no recovery needed", p.addr, p.devices)
+			return
+		}
+		r.fail(workerLostError{cause: cause})
+		return
 	}
 	canRecover := r.ft && r.restarts < r.co.cfg.MaxRestarts
 	if !allDone && canRecover {
@@ -834,7 +970,9 @@ func (r *run) buildResume(devices []int) *wire.Frame {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	res := &wire.Resume{Assign: wire.Assign{Plan: r.plan, Spec: r.co.cfg.Spec,
-		Run: r.runCfg, Devices: devices, Snapshot: r.seedSnap}}
+		Run: r.runCfg, Devices: devices, Snapshot: r.seedSnap,
+		Peers: r.peerDir, Epoch: r.epoch,
+		Inputs: r.prestageInputs(devices)}}
 	for _, d := range devices {
 		ds := r.devs[d]
 		res.States = append(res.States, wire.DeviceState{
@@ -848,14 +986,36 @@ func (r *run) buildResume(devices []int) *wire.Frame {
 // join timeout.
 func (r *run) dialResume(candidates []string, resume *wire.Frame) (transport.Conn, string, error) {
 	deadline := time.Now().Add(r.joinTimeout())
+	for {
+		conn, addr, err := r.dialHandshake(candidates, deadline)
+		if err != nil {
+			return nil, "", err
+		}
+		if err := conn.Send(resume); err != nil {
+			conn.Close()
+			if time.Now().After(deadline) {
+				return nil, "", fmt.Errorf("no worker accepted the re-placement within %v (last error: %v)", r.joinTimeout(), err)
+			}
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		return conn, addr, nil
+	}
+}
+
+// dialHandshake finds a worker among the candidates that accepts a
+// connection and presents its hello, cycling until the deadline. The
+// caller owns the returned connection and sends the session's opening
+// frame (Assign or Resume) on it.
+func (r *run) dialHandshake(candidates []string, deadline time.Time) (transport.Conn, string, error) {
 	var lastErr error
 	for {
 		for _, addr := range candidates {
 			select {
 			case <-r.failed:
-				return nil, "", fmt.Errorf("cluster: run failed during recovery")
+				return nil, "", fmt.Errorf("cluster: run failed during placement")
 			case <-r.finished:
-				return nil, "", fmt.Errorf("cluster: run finished during recovery")
+				return nil, "", fmt.Errorf("cluster: run finished during placement")
 			default:
 			}
 			conn, err := r.net().Dial(addr)
@@ -874,15 +1034,10 @@ func (r *run) dialResume(candidates []string, resume *wire.Frame) (transport.Con
 				lastErr = fmt.Errorf("worker %s sent %v, want hello", addr, hello.Kind)
 				continue
 			}
-			if err := conn.Send(resume); err != nil {
-				conn.Close()
-				lastErr = err
-				continue
-			}
 			return conn, addr, nil
 		}
 		if time.Now().After(deadline) {
-			return nil, "", fmt.Errorf("no worker accepted the re-placement within %v (last error: %v)", r.joinTimeout(), lastErr)
+			return nil, "", fmt.Errorf("no worker accepted the placement within %v (last error: %v)", r.joinTimeout(), lastErr)
 		}
 		time.Sleep(50 * time.Millisecond)
 	}
@@ -898,7 +1053,7 @@ func (r *run) teardown() {
 	r.mu.Lock()
 	r.closed = true
 	peers := append([]*peerConn(nil), r.peers...)
-	if r.led != nil {
+	if r.led != nil && !r.ledShared {
 		r.led.Close()
 	}
 	r.mu.Unlock()
@@ -936,6 +1091,9 @@ func (r *run) handle(p *peerConn, f *wire.Frame) error {
 	case wire.KindHello, wire.KindHeartbeat:
 		return nil // heartbeats already refreshed lastHeard; late hellos are harmless
 	case wire.KindOutput:
+		if r.ringMode {
+			return fmt.Errorf("cluster: ring worker relayed an output through the hub (device %d step %d)", dev, step)
+		}
 		place := ds.place
 		if place.gi >= len(r.plan.Groups)-1 {
 			return fmt.Errorf("cluster: last group relayed an output for step %d", step)
@@ -961,6 +1119,9 @@ func (r *run) handle(p *peerConn, f *wire.Frame) error {
 		}
 		return r.onOutput(ds, step, t, f.Payload)
 	case wire.KindGrads:
+		if r.ringMode {
+			return fmt.Errorf("cluster: ring worker sent gradients to the hub (device %d step %d)", dev, step)
+		}
 		lists, err := wire.DecodeTensors(f)
 		if err != nil {
 			return err
@@ -1282,6 +1443,11 @@ func (r *run) onSnapshot(dev int, ds *devState, step int, params, velocity []*te
 	if !replaced {
 		r.pend[gi] = append(r.pend[gi], pendingSnap{step: step, params: params, velocity: velocity})
 	}
+	// The pending parameters are already valid ring-restart state for the
+	// whole group (bit-identical replicas): record them even though the
+	// group-level commit may later skip this step, or two groups whose
+	// commits skip different steps could lose every common cut candidate.
+	r.recordHistLocked(gi, step, params, velocity)
 	r.tryCommitLocked(gi)
 	return nil
 }
@@ -1314,6 +1480,7 @@ func (r *run) applyDevSnapshotLocked(ds *devState, step int, params, velocity []
 			delete(ds.inputs, s)
 		}
 	}
+	r.recordHistLocked(ds.place.gi, step, params, velocity)
 	r.pruneReductionsLocked(ds.place.gi)
 }
 
@@ -1342,7 +1509,9 @@ func (r *run) pruneReductionsLocked(gi int) {
 // skip replaying work the hub never saw.
 func (r *run) accountedLocked(ds *devState) int {
 	a := ds.lossSeen
-	if ds.place.gi < len(r.plan.Groups)-1 && ds.outputSeen < a {
+	// Ring sessions forward activations peer-to-peer; the hub never sees
+	// an output shard, so the loss row (and barrier) are the whole account.
+	if !r.ringMode && ds.place.gi < len(r.plan.Groups)-1 && ds.outputSeen < a {
 		a = ds.outputSeen
 	}
 	if !r.co.cfg.DPU && ds.barrierSeen < a {
@@ -1397,6 +1566,7 @@ func (r *run) applyGroupSnapshotLocked(gi, step int, params, velocity []*tensor.
 			}
 		}
 	}
+	r.recordHistLocked(gi, step, params, velocity)
 	r.pruneReductionsLocked(gi)
 	kept := r.pend[gi][:0]
 	for _, p := range r.pend[gi] {

@@ -1,0 +1,241 @@
+package ledger
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint builds a consolidated-prefix record.
+func Checkpoint(step int, children []*Record) *Record {
+	return &Record{Type: TypeCheckpoint, Step: step, Children: children}
+}
+
+// Marks builds an input high-water-marks record (groupInThrough per plan
+// group).
+func Marks(marks []int) *Record {
+	return &Record{Type: TypeMarks, Marks: marks}
+}
+
+// Compact rewrites a ledger's record log as one checkpoint record holding
+// only what a resume still needs, closing the "log grows unbounded with
+// run length" debt:
+//
+//   - snapshot records at or past the restore horizon T (the minimum over
+//     devices of each device's newest snapshotted step) — the hub keeps
+//     each device's latest, the ring keeps the history its global restart
+//     cut may need;
+//   - input records still replayable by some receiving device (step past
+//     that device's newest snapshot), plus a marks record so the dropped
+//     ones cannot regress the coordinator's feed cursor;
+//   - output shards and reductions past their group's restore horizon
+//     (older ones can never be asked for again: a member restored from its
+//     snapshot never re-sends work at or before the snapshotted step);
+//   - every loss row — the final Result needs the complete trajectory, and
+//     loss rows are tiny next to the tensor records compaction drops;
+//   - the newest barrier release.
+//
+// Kept records preserve their original log order, so replaying the
+// checkpoint is replaying a valid (sub)history. Compact is an offline
+// operation: it must not run concurrently with a live coordinator on the
+// same directory (the single-writer flock guards the old log inode during
+// the rewrite, not the renamed-in replacement).
+func Compact(dir string) error {
+	led, man, rep, err := Open(dir)
+	if err != nil {
+		return err
+	}
+	defer led.Close()
+
+	// Flatten earlier checkpoints so Compact is idempotent.
+	var recs []*Record
+	for _, rec := range rep.Records {
+		if rec.Type == TypeCheckpoint {
+			recs = append(recs, rec.Children...)
+		} else {
+			recs = append(recs, rec)
+		}
+	}
+
+	// Group membership from the manifest's plan.
+	groups := man.Assign.Plan.Groups
+	groupOf := map[int]int{}
+	finalSnap := map[int]int{}
+	for gi, g := range groups {
+		for _, d := range g.Devices {
+			groupOf[d] = gi
+			finalSnap[d] = -1
+		}
+	}
+
+	// Pass 1: each device's newest snapshotted step, and the input marks.
+	marks := make([]int, len(groups))
+	for gi := range marks {
+		marks[gi] = -1
+	}
+	for _, rec := range recs {
+		switch rec.Type {
+		case TypeDevSnapshot:
+			if rec.Step > finalSnap[rec.Dev] {
+				finalSnap[rec.Dev] = rec.Step
+			}
+		case TypeGroupSnapshot:
+			for _, d := range groups[rec.Group].Devices {
+				if rec.Step > finalSnap[d] {
+					finalSnap[d] = rec.Step
+				}
+			}
+		case TypeInput:
+			if len(rec.Devs) > 0 {
+				gi := groupOf[rec.Devs[0]]
+				if rec.Step > marks[gi] {
+					marks[gi] = rec.Step
+				}
+			}
+		case TypeMarks:
+			for gi, m := range rec.Marks {
+				if gi < len(marks) && m > marks[gi] {
+					marks[gi] = m
+				}
+			}
+		}
+	}
+	horizon := -1 << 30
+	for _, s := range finalSnap {
+		if horizon == -1<<30 || s < horizon {
+			horizon = s
+		}
+	}
+	if horizon == -1<<30 {
+		horizon = -1 // no devices: degenerate, keep everything
+	}
+	if man.Assign.Run.Topology == "ring" {
+		// Ring restore horizon: a ring resume restarts every device from
+		// the global cut — the newest step every group holds a persisted
+		// snapshot for that is also fully accounted (loss rows from every
+		// device and, without DPU, the barrier release). The min final-
+		// snapshot horizon above could keep the groups' newest snapshots
+		// at *different* steps and drop their last common one, leaving
+		// the resume nothing to restart from short of the seed.
+		groupSnaps := make([]map[int]bool, len(groups))
+		for gi := range groupSnaps {
+			groupSnaps[gi] = map[int]bool{}
+		}
+		lossHi := map[int]int{}
+		for d := range groupOf {
+			lossHi[d] = -1
+		}
+		barrierHi := -1
+		for _, rec := range recs {
+			switch rec.Type {
+			case TypeDevSnapshot:
+				groupSnaps[groupOf[rec.Dev]][rec.Step] = true
+			case TypeGroupSnapshot:
+				groupSnaps[rec.Group][rec.Step] = true
+			case TypeLosses:
+				if rec.Step > lossHi[rec.Dev] {
+					lossHi[rec.Dev] = rec.Step
+				}
+			case TypeBarrier:
+				if rec.Step > barrierHi {
+					barrierHi = rec.Step
+				}
+			}
+		}
+		acct := 1 << 30
+		for _, s := range lossHi {
+			if s < acct {
+				acct = s
+			}
+		}
+		if acct == 1<<30 {
+			acct = -1 // no devices
+		}
+		if !man.Assign.Run.DPU && barrierHi < acct {
+			acct = barrierHi
+		}
+		horizon = -1 // no common step: keep everything, resume replays from the seed
+		for s := acct; s >= 0; s-- {
+			all := true
+			for _, snaps := range groupSnaps {
+				if !snaps[s] {
+					all = false
+					break
+				}
+			}
+			if all {
+				horizon = s
+				break
+			}
+		}
+	}
+	groupHorizon := func(gi int) int {
+		h := -1 << 30
+		for _, d := range groups[gi].Devices {
+			if h == -1<<30 || finalSnap[d] < h {
+				h = finalSnap[d]
+			}
+		}
+		return h
+	}
+
+	// Pass 2: filter, preserving log order.
+	var kept []*Record
+	var lastBarrier *Record
+	for _, rec := range recs {
+		switch rec.Type {
+		case TypeDevSnapshot, TypeGroupSnapshot:
+			if rec.Step >= horizon {
+				kept = append(kept, rec)
+			}
+		case TypeInput:
+			replayable := false
+			for _, d := range rec.Devs {
+				if rec.Step > finalSnap[d] {
+					replayable = true
+					break
+				}
+			}
+			if replayable {
+				kept = append(kept, rec)
+			}
+		case TypeOutput:
+			if rec.Step > groupHorizon(groupOf[rec.Dev]) {
+				kept = append(kept, rec)
+			}
+		case TypeReduction:
+			if rec.Step > groupHorizon(rec.Group) {
+				kept = append(kept, rec)
+			}
+		case TypeLosses:
+			kept = append(kept, rec)
+		case TypeBarrier:
+			if lastBarrier == nil || rec.Step > lastBarrier.Step {
+				lastBarrier = rec
+			}
+		case TypeMarks:
+			// folded into marks above
+		}
+	}
+	if lastBarrier != nil {
+		kept = append(kept, lastBarrier)
+	}
+	// The marks record goes last so it sets the final cursor values even if
+	// a kept input record would land short of them.
+	kept = append(kept, Marks(marks))
+
+	payload, err := Checkpoint(horizon, kept).encode()
+	if err != nil {
+		return err
+	}
+	buf := frameRecord(TypeCheckpoint, payload)
+	logPath := filepath.Join(dir, LogName)
+	tmp := logPath + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("ledger: writing compacted log: %w", err)
+	}
+	if err := os.Rename(tmp, logPath); err != nil {
+		return fmt.Errorf("ledger: installing compacted log: %w", err)
+	}
+	return nil
+}

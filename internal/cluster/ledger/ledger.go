@@ -91,6 +91,18 @@ const (
 	TypeLosses
 	// TypeBarrier marks a released no-DPU step barrier.
 	TypeBarrier
+	// TypeCheckpoint is a consolidated prefix of the log written by
+	// Compact: its payload nests the records that still matter for resume
+	// (latest snapshots, still-replayable inputs/outputs/reductions, the
+	// complete loss trajectory, the high-water marks) so everything before
+	// it can be dropped.
+	TypeCheckpoint
+	// TypeMarks records the coordinator's input high-water marks
+	// (groupInThrough per plan group; the feed cursor is group 0's entry).
+	// It only appears inside checkpoints: dropping already-replayed input
+	// records would otherwise regress the marks on resume and make the
+	// coordinator re-feed batches the devices already consumed.
+	TypeMarks
 	typeEnd // sentinel: all valid types are below this
 )
 
@@ -98,6 +110,7 @@ var typeNames = map[Type]string{
 	TypeDevSnapshot: "dev-snapshot", TypeGroupSnapshot: "group-snapshot",
 	TypeInput: "input", TypeOutput: "output", TypeReduction: "reduction",
 	TypeLosses: "losses", TypeBarrier: "barrier",
+	TypeCheckpoint: "checkpoint", TypeMarks: "marks",
 }
 
 func (t Type) String() string {
@@ -120,6 +133,8 @@ type Record struct {
 	Velocity []*tensor.Tensor // snapshots: optimizer velocities
 	Payload  []byte           // TypeInput, TypeOutput, TypeReduction: encoded frame payload
 	Losses   []float64        // TypeLosses
+	Children []*Record        // TypeCheckpoint: the consolidated records
+	Marks    []int            // TypeMarks: groupInThrough per plan group
 }
 
 // DevSnapshot builds a per-member snapshot record.
@@ -190,6 +205,20 @@ func (rec *Record) encode() ([]byte, error) {
 		w.F64s(rec.Losses)
 	case TypeBarrier:
 		w.I32(int32(rec.Step))
+	case TypeCheckpoint:
+		w.U32(uint32(len(rec.Children)))
+		for _, c := range rec.Children {
+			if c.Type == TypeCheckpoint {
+				return nil, fmt.Errorf("ledger: checkpoint records cannot nest")
+			}
+			payload, err := c.encode()
+			if err != nil {
+				return nil, err
+			}
+			w.Blob(frameRecord(c.Type, payload))
+		}
+	case TypeMarks:
+		w.I32s(rec.Marks)
 	default:
 		return nil, fmt.Errorf("ledger: cannot encode record %v", rec.Type)
 	}
@@ -231,6 +260,24 @@ func decodeRecord(t Type, payload []byte) (*Record, error) {
 		rec.Losses = r.F64s()
 	case TypeBarrier:
 		rec.Step = int(r.I32())
+	case TypeCheckpoint:
+		n := r.U32()
+		for i := uint32(0); i < n && r.Err() == nil; i++ {
+			blob := r.Blob()
+			if r.Err() != nil {
+				break
+			}
+			child, used := parseRecord(blob)
+			if child == nil || used != len(blob) {
+				return nil, fmt.Errorf("ledger: corrupt checkpoint child %d", i)
+			}
+			if child.Type == TypeCheckpoint {
+				return nil, fmt.Errorf("ledger: checkpoint records cannot nest")
+			}
+			rec.Children = append(rec.Children, child)
+		}
+	case TypeMarks:
+		rec.Marks = r.I32s()
 	default:
 		return nil, fmt.Errorf("ledger: unknown record %v", t)
 	}

@@ -105,7 +105,7 @@ func TestRecoveryBitEquivalence(t *testing.T) {
 					w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
 					res, err := Run(chaos, addrs, w, batches, Config{
 						Plan: p, DPU: dpu, LR: 0.05, Momentum: 0.9,
-						Spec: TinySpec(distill.DefaultTinyConfig()),
+						Spec:        TinySpec(distill.DefaultTinyConfig()),
 						MaxRestarts: 2, JoinTimeout: 10 * time.Second, Logf: logf,
 					})
 					if err != nil {
@@ -140,7 +140,7 @@ func TestRecoveryKillSplitGroupWorker(t *testing.T) {
 	w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
 	res, err := Run(chaos, addrs, w, batches, Config{
 		Plan: p, DPU: true, LR: 0.05, Momentum: 0.9,
-		Spec: TinySpec(distill.DefaultTinyConfig()),
+		Spec:        TinySpec(distill.DefaultTinyConfig()),
 		MaxRestarts: 1, JoinTimeout: 10 * time.Second, Logf: logf,
 	})
 	if err != nil {
@@ -181,7 +181,7 @@ func TestRecoveryFallsBackToSurvivingWorker(t *testing.T) {
 	w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
 	res, err := Run(chaos, []string{addrA, addrB}, w, batches, Config{
 		Plan: p, DPU: true, LR: 0.05, Momentum: 0.9,
-		Spec: TinySpec(distill.DefaultTinyConfig()),
+		Spec:        TinySpec(distill.DefaultTinyConfig()),
 		MaxRestarts: 1, JoinTimeout: 10 * time.Second, Logf: logf,
 	})
 	if err != nil {
@@ -236,7 +236,7 @@ func TestHeartbeatTimeoutDetectsSilentWorker(t *testing.T) {
 	w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
 	res, err := Run(net, []string{addrA, silentLis.Addr()}, w, batches, Config{
 		Plan: p, DPU: true, LR: 0.05, Momentum: 0.9,
-		Spec: TinySpec(distill.DefaultTinyConfig()),
+		Spec:        TinySpec(distill.DefaultTinyConfig()),
 		MaxRestarts: 1, JoinTimeout: 5 * time.Second,
 		HeartbeatInterval: 25 * time.Millisecond, HeartbeatTimeout: 500 * time.Millisecond,
 		Logf: logf,
@@ -272,7 +272,7 @@ func TestRecoveryBudgetExhausted(t *testing.T) {
 	w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
 	_, err := Run(chaos, addrs, w, batches, Config{
 		Plan: p, DPU: true, LR: 0.05, Momentum: 0.9,
-		Spec: TinySpec(distill.DefaultTinyConfig()),
+		Spec:        TinySpec(distill.DefaultTinyConfig()),
 		MaxRestarts: 1, JoinTimeout: 5 * time.Second,
 	})
 	if err == nil {
@@ -338,7 +338,7 @@ func TestRecoveryTruncatedFrame(t *testing.T) {
 	w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
 	res, err := Run(chaos, addrs, w, batches, Config{
 		Plan: p, DPU: true, LR: 0.05, Momentum: 0.9,
-		Spec: TinySpec(distill.DefaultTinyConfig()),
+		Spec:        TinySpec(distill.DefaultTinyConfig()),
 		MaxRestarts: 1, JoinTimeout: 10 * time.Second, Logf: logf,
 	})
 	if err != nil {
@@ -368,7 +368,7 @@ func TestRecoverySeededSchedule(t *testing.T) {
 	w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
 	res, err := Run(chaos, addrs, w, batches, Config{
 		Plan: p, DPU: true, LR: 0.05, Momentum: 0.9,
-		Spec: TinySpec(distill.DefaultTinyConfig()),
+		Spec:        TinySpec(distill.DefaultTinyConfig()),
 		MaxRestarts: len(schedule), JoinTimeout: 10 * time.Second, Logf: logf,
 	})
 	if err != nil {

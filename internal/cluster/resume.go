@@ -78,6 +78,7 @@ func ResumeRun(net transport.Network, dir string, rc ResumeConfig) (engine.Resul
 		Momentum: man.Assign.Run.Momentum,
 		Buffer:   man.Assign.Run.Buffer,
 		Backend:  man.Assign.Run.Backend,
+		Topology: man.Assign.Run.Topology,
 		Spec:     man.Assign.Spec,
 		Snapshot: man.Assign.Run.Snap,
 		// LedgerDir marks the run durable for the fault-tolerance switch;
@@ -94,6 +95,9 @@ func ResumeRun(net transport.Network, dir string, rc ResumeConfig) (engine.Resul
 		cfg.HeartbeatTimeout = 4 * cfg.HeartbeatInterval
 	}
 	c := NewCoordinator(net, cfg)
+	if cfg.Topology == "ring" {
+		return c.resumeRing(w, man, rep, addrs, led, dir)
+	}
 	r, err := c.newRun(w, man.Batches, addrs)
 	if err != nil {
 		led.Close()
@@ -110,6 +114,39 @@ func ResumeRun(net transport.Network, dir string, rc ResumeConfig) (engine.Resul
 		return engine.Result{}, nil, err
 	}
 	res, err := c.execute(r)
+	if err != nil {
+		return engine.Result{}, nil, err
+	}
+	return res, w, nil
+}
+
+// resumeRing restores a killed ring coordinator. The ring's data plane
+// never passes through the coordinator, so there is nothing to replay to
+// the workers: the record log is replayed into a scratch run only to
+// recover the global restart cut (the newest step every group holds a
+// persisted snapshot for and every device has accounted), and the ring
+// driver then re-places every device against the still-running workers
+// exactly as a live worker-loss restart would — same carry, same Resume
+// frames, same bit-identical trajectory. The resumed run keeps appending
+// to the same ledger.
+func (c *Coordinator) resumeRing(w *distill.Workbench, man *ledger.Manifest, rep *ledger.Replay,
+	addrs []string, led *ledger.Ledger, dir string) (engine.Result, *distill.Workbench, error) {
+	defer led.Close()
+	scratch, err := c.newRun(w, man.Batches, addrs)
+	if err != nil {
+		return engine.Result{}, nil, err
+	}
+	scratch.led = led
+	scratch.ledShared = true
+	if err := scratch.restore(rep); err != nil {
+		scratch.teardown()
+		return engine.Result{}, nil, err
+	}
+	carry := scratch.captureRingCarry()
+	scratch.teardown()
+	c.logf("ledger %s: restored %d records (%d torn bytes dropped); ring restart of %d device(s) from step %d",
+		dir, len(rep.Records), rep.TornBytes, scratch.nDev, carry.cut+1)
+	res, err := c.driveRing(w, man.Batches, addrs, led, carry)
 	if err != nil {
 		return engine.Result{}, nil, err
 	}
@@ -236,6 +273,28 @@ func (r *run) restoreRecordLocked(rec *ledger.Record) error {
 	case ledger.TypeBarrier:
 		if rec.Step > r.stepGoThrough {
 			r.stepGoThrough = rec.Step
+		}
+	case ledger.TypeCheckpoint:
+		// A compacted log: the children preserve their original order, so
+		// replaying them is replaying the valid sub-history Compact kept.
+		for _, child := range rec.Children {
+			if err := r.restoreRecordLocked(child); err != nil {
+				return err
+			}
+		}
+	case ledger.TypeMarks:
+		// Input high-water marks of the records Compact dropped: restore
+		// the feed cursors so those inputs are never re-fed.
+		if len(rec.Marks) > len(r.plan.Groups) {
+			return fmt.Errorf("marks record covers %d groups, plan has %d", len(rec.Marks), len(r.plan.Groups))
+		}
+		for gi, m := range rec.Marks {
+			if m > r.groupInThrough[gi] {
+				r.groupInThrough[gi] = m
+			}
+			if gi == 0 && m > r.fedThrough {
+				r.fedThrough = m
+			}
 		}
 	default:
 		return fmt.Errorf("unsupported record")

@@ -1,0 +1,305 @@
+package cluster
+
+// Ring-topology coordination: the control-plane-only counterpart of the
+// hub data path. Activations and gradient reductions travel directly
+// between workers (see peer.go); the coordinator keeps placement, the
+// batch feed, the step barrier, loss accounting, and restart state.
+//
+// Recovery is deliberately different from the hub's surgical re-placement.
+// A ring exchange is symmetric — every member of a group participates in
+// every step's reduce-scatter and all-gather — so losing one worker
+// strands its peers mid-collective with no one to replay the other side.
+// Instead the whole attempt fails fast, and the driver restarts every
+// device from the newest global cut: the highest step for which every
+// group holds snapshot parameters and every device's losses (and barrier
+// arrival) are already accounted at the coordinator. Replayed steps are
+// pure functions of the restored state and the re-fed batches, so the
+// trajectory stays bit-identical to a fault-free run.
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"pipebd/internal/cluster/ledger"
+	"pipebd/internal/cluster/transport"
+	"pipebd/internal/cluster/wire"
+	"pipebd/internal/dataset"
+	"pipebd/internal/distill"
+	"pipebd/internal/engine"
+	"pipebd/internal/tensor"
+)
+
+// histEntry is one group's restart state after a step: the snapshotted
+// student parameters and optimizer velocities (bit-identical across the
+// group's members).
+type histEntry struct {
+	params, velocity []*tensor.Tensor
+}
+
+// workerLostError marks a worker-connection loss in a ring attempt; the
+// ring driver catches it and restarts from the global cut instead of
+// failing the run.
+type workerLostError struct{ cause error }
+
+func (e workerLostError) Error() string { return e.cause.Error() }
+func (e workerLostError) Unwrap() error { return e.cause }
+
+// ringCarry is the state one ring attempt hands the next: the global cut,
+// the group parameters at that cut (nil when the cut is the seed), and
+// the loss matrix holding the completed prefix's rows.
+type ringCarry struct {
+	cut      int
+	params   [][]*tensor.Tensor
+	velocity [][]*tensor.Tensor
+	losses   [][][]float64
+}
+
+// runRing is the ring-mode body of Coordinator.Run: create the ledger
+// once (the driver shares it across attempts) and hand off to driveRing.
+func (c *Coordinator) runRing(w *distill.Workbench, batches []dataset.Batch, addrs []string) (engine.Result, error) {
+	var led *ledger.Ledger
+	if c.cfg.LedgerDir != "" {
+		probe, err := c.newRun(w, batches, addrs)
+		if err != nil {
+			return engine.Result{}, err
+		}
+		led, err = ledger.Create(c.cfg.LedgerDir, &ledger.Manifest{
+			Assign:      wire.Assign{Plan: probe.plan, Spec: c.cfg.Spec, Run: probe.runCfg, Snapshot: probe.seedSnap},
+			Addrs:       addrs,
+			Batches:     batches,
+			MaxRestarts: c.cfg.MaxRestarts,
+			Meta:        c.cfg.LedgerMeta,
+		})
+		if err != nil {
+			return engine.Result{}, err
+		}
+		defer led.Close()
+	}
+	return c.driveRing(w, batches, addrs, led, nil)
+}
+
+// driveRing runs ring attempts until one completes or the restart budget
+// is spent. Each attempt is a fresh run (fresh epoch, fresh sessions,
+// fresh meshes) rewound to the carry's cut; only worker losses are
+// retried — protocol errors fail the run immediately.
+func (c *Coordinator) driveRing(w *distill.Workbench, batches []dataset.Batch, addrs []string, led *ledger.Ledger, carry *ringCarry) (engine.Result, error) {
+	// Epochs only need to be unique per attempt within the workers'
+	// lifetime, so stale peer dials from a superseded attempt (or a
+	// crashed coordinator's) can never wire into a new mesh.
+	epochBase := time.Now().UnixNano()
+	restarts := 0
+	rejoin := carry != nil // a resumed run re-places against already-running workers
+	for attempt := 0; ; attempt++ {
+		res, next, err := c.ringAttempt(w, batches, addrs, led, carry, epochBase+int64(attempt), rejoin)
+		if err == nil {
+			return res, nil
+		}
+		var lost workerLostError
+		if !errors.As(err, &lost) || restarts >= c.cfg.MaxRestarts {
+			return engine.Result{}, err
+		}
+		restarts++
+		carry = next
+		rejoin = true
+		c.logf("ring attempt lost a worker (%v); restarting every device from step %d (restart %d of %d)",
+			err, carry.cut+1, restarts, c.cfg.MaxRestarts)
+	}
+}
+
+// ringAttempt executes one ring attempt end to end and, on failure,
+// captures the carry the next attempt restarts from.
+func (c *Coordinator) ringAttempt(w *distill.Workbench, batches []dataset.Batch, addrs []string,
+	led *ledger.Ledger, carry *ringCarry, epoch int64, rejoin bool) (engine.Result, *ringCarry, error) {
+	r, err := c.newRun(w, batches, addrs)
+	if err != nil {
+		return engine.Result{}, nil, err
+	}
+	r.epoch = epoch
+	r.led = led
+	r.ledShared = led != nil
+	defer r.teardown()
+	r.installRingCarry(carry)
+	if rejoin {
+		err = r.ringRejoin(addrs)
+	} else {
+		err = r.join(addrs)
+	}
+	if err != nil {
+		return engine.Result{}, nil, err
+	}
+	res, err := c.execute(r)
+	if err != nil {
+		return engine.Result{}, r.captureRingCarry(), err
+	}
+	return res, nil, nil
+}
+
+// installRingCarry rewinds a fresh run's state to a previous attempt's
+// global cut: every device restarts at cut+1 with the carried group
+// parameters, the feed cursors restart there, and the loss matrix keeps
+// the rows the completed prefix already produced (replayed rows are
+// rewritten bit-identically). A nil carry is attempt zero.
+func (r *run) installRingCarry(c *ringCarry) {
+	if c == nil {
+		return
+	}
+	cut := c.cut
+	r.losses = c.losses
+	r.stepGoThrough = cut
+	r.fedThrough = cut
+	for gi := range r.groupInThrough {
+		r.groupInThrough[gi] = cut
+	}
+	for _, ds := range r.devs {
+		ds.snapStep = cut
+		ds.outputSeen = cut
+		ds.lossSeen = cut
+		ds.barrierSeen = cut
+		ds.stepGoSent = cut
+		if cut >= 0 {
+			ds.params = c.params[ds.place.gi]
+			ds.velocity = c.velocity[ds.place.gi]
+		}
+	}
+	if cut >= 0 && r.histG != nil {
+		// Seed the history with the cut itself: a second failure before
+		// the first new snapshot must restart here again, not regress.
+		for gi := range r.histG {
+			r.histG[gi][cut] = histEntry{params: c.params[gi], velocity: c.velocity[gi]}
+		}
+	}
+}
+
+// captureRingCarry snapshots what a failed attempt proved: the global cut
+// and the group parameters held for it, plus the loss rows of the
+// completed prefix.
+func (r *run) captureRingCarry() *ringCarry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := &ringCarry{cut: r.ringCutLocked(), losses: r.losses,
+		params:   make([][]*tensor.Tensor, len(r.plan.Groups)),
+		velocity: make([][]*tensor.Tensor, len(r.plan.Groups))}
+	if c.cut >= 0 {
+		for gi := range r.histG {
+			e := r.histG[gi][c.cut]
+			c.params[gi], c.velocity[gi] = e.params, e.velocity
+		}
+	}
+	return c
+}
+
+// ringCutLocked returns the highest step that is both covered by every
+// group's held restart state and fully accounted for by every device;
+// -1 means the seed. Devices send their step's losses before the snapshot
+// covering it on the same connection, so any loss row the cut claims is
+// already recorded.
+func (r *run) ringCutLocked() int {
+	if r.histG == nil {
+		return -1
+	}
+	acct := r.steps - 1
+	for _, ds := range r.devs {
+		if a := r.accountedLocked(ds); a < acct {
+			acct = a
+		}
+	}
+	for s := acct; s >= 0; s-- {
+		all := true
+		for _, h := range r.histG {
+			if _, ok := h[s]; !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			return s
+		}
+	}
+	return -1
+}
+
+// recordHistLocked stores one group's restart state for a step (first
+// writer wins; members are bit-identical) and drops entries the advancing
+// cut has obsoleted. Hub runs keep no history (histG is nil).
+func (r *run) recordHistLocked(gi, step int, params, velocity []*tensor.Tensor) {
+	if r.histG == nil {
+		return
+	}
+	if _, ok := r.histG[gi][step]; !ok {
+		r.histG[gi][step] = histEntry{params: params, velocity: velocity}
+	}
+	if cut := r.ringCutLocked(); cut > 0 {
+		for _, h := range r.histG {
+			for s := range h {
+				if s < cut {
+					delete(h, s)
+				}
+			}
+		}
+	}
+}
+
+// ringRejoin re-places every device for a restart attempt: the failed
+// attempt's sessions are gone (workers with Rejoin stay up to accept
+// replacements), so each placement slot is dialed fresh — its configured
+// worker first, the survivors as fallback. All connections are held open
+// until the actual placement is known, because every Resume must carry
+// the final peer directory before any worker starts dialing its mesh.
+func (r *run) ringRejoin(addrs []string) error {
+	placement := PlaceDevices(r.nDev, len(addrs))
+	type held struct {
+		conn    transport.Conn
+		addr    string
+		devices []int
+	}
+	var holds []held
+	bail := func(err error) error {
+		for _, h := range holds {
+			h.conn.Close()
+		}
+		return err
+	}
+	for i, addr := range addrs {
+		if len(placement[i]) == 0 {
+			continue
+		}
+		candidates := []string{addr}
+		for _, a := range addrs {
+			if a != addr {
+				candidates = append(candidates, a)
+			}
+		}
+		conn, actual, err := r.dialHandshake(candidates, time.Now().Add(r.joinTimeout()))
+		if err != nil {
+			return bail(err)
+		}
+		holds = append(holds, held{conn, actual, placement[i]})
+	}
+	peers := make([]string, r.nDev)
+	for _, h := range holds {
+		for _, d := range h.devices {
+			peers[d] = h.addr
+		}
+	}
+	r.mu.Lock()
+	r.peerDir = peers
+	r.mu.Unlock()
+	for _, h := range holds {
+		if err := h.conn.Send(r.buildResume(h.devices)); err != nil {
+			// The worker died between handshake and resume: retryable, the
+			// next attempt re-places around it.
+			return bail(workerLostError{cause: fmt.Errorf("cluster: worker %s resume: %w", h.addr, err)})
+		}
+	}
+	for i, h := range holds {
+		if _, ok := r.attachResumed(h.conn, h.addr, h.devices); !ok {
+			for _, rest := range holds[i+1:] {
+				rest.conn.Close()
+			}
+			return fmt.Errorf("cluster: run closed during ring rejoin")
+		}
+		r.co.logf("worker %s hosting devices %v for ring restart", h.addr, h.devices)
+	}
+	return nil
+}

@@ -13,6 +13,47 @@
 // modification to the mathematical formulation" claim across process
 // boundaries.
 //
+// # Topologies: hub and peer-to-peer ring
+//
+// Config.Topology selects the data plane (wire codec v4). The default
+// "hub" routes every tensor through the coordinator. "ring" gives the
+// workers direct links: each session's Assign carries the run's
+// placement directory and a unique epoch, the workers dial each other
+// (higher-ranked device's host dials the lower's, a PeerHello echo pins
+// (epoch, from, to) so a stale dial from a superseded attempt can never
+// wire into a fresh mesh), and then
+//
+//   - stage-to-stage activations flow from every member of a group
+//     straight to every member of the next group (PeerInput frames,
+//     acknowledged per step so the sender's window matches the hub's
+//     pipeline-depth backpressure), and
+//   - split groups average gradients with a ring collective: a direct
+//     reduce-scatter (each member sends each segment to its owner, the
+//     owner folds contributions in ascending rank order from a zeroed
+//     accumulator — the exact order the hub uses) followed by a ring
+//     all-gather (RingSegment frames; two-member groups exchange whole
+//     vectors instead).
+//
+// The coordinator is demoted to a control plane — placement, loss
+// collection, the step barrier, snapshots. Even the training inputs
+// bypass it: a ring session hosting first-group devices gets the whole
+// batch schedule prestaged in its Assign, or, when Config.Data carries a
+// deterministic dataset recipe (wire.DataSpec), regenerates it locally,
+// bit-identically — validated against the run's actual batches at start.
+// Coordinator traffic therefore no longer scales with activation,
+// gradient, or input size, while both topologies stay bit-identical to
+// the in-process pipeline and to each other.
+//
+// Ring recovery is a global-cut restart rather than the hub's surgical
+// re-placement: a ring exchange is symmetric, so a lost worker strands
+// its peers mid-collective with no one to replay the other side. The
+// attempt fails fast and the driver restarts every device from the
+// newest step every group holds snapshot state for and every device has
+// accounted at the coordinator; replayed steps are pure functions of the
+// restored state, so the trajectory is unchanged. Durable ring runs
+// persist snapshots, losses, and barriers to the same ledger, and
+// ResumeRun restarts a killed ring coordinator from the persisted cut.
+//
 // # Snapshot/replay fault tolerance
 //
 // With Config.MaxRestarts > 0 a run survives worker loss. The protocol

@@ -64,10 +64,18 @@ func (a Action) String() string {
 // carried by control frames, so the wildcard must be distinct from it.)
 const AnyStep int32 = -1 << 30
 
+// AnyConn is the Trigger.Conn wildcard: the fault arms on every dialed
+// connection and fires on the first match anywhere. Peer-mesh tests need
+// it — worker-to-worker dial order is scheduling-dependent, so a fault
+// aimed at "the first ring segment of step S" cannot name a connection
+// index.
+const AnyConn = -1
+
 // Trigger selects the frame a fault fires on. A frame matches when it
-// crosses the Conn-th dialed connection in direction Op with the given
-// Kind and Step; Count picks the Nth match (1-based, <= 1 meaning the
-// first). Kind 0 and Step AnyStep are wildcards.
+// crosses the Conn-th dialed connection (or any connection, for AnyConn)
+// in direction Op with the given Kind and Step; Count picks the Nth match
+// (1-based, <= 1 meaning the first). Kind 0 and Step AnyStep are
+// wildcards. Counts are global across connections for AnyConn faults.
 //
 // Because triggers key on protocol content (kind + step) rather than
 // wall-clock time, a schedule is reproducible: the same seed or literal
@@ -97,7 +105,11 @@ func (f Fault) String() string {
 	if f.Step != AnyStep {
 		step = fmt.Sprintf("step %d", f.Step)
 	}
-	return fmt.Sprintf("%v conn %d on %v of %s %s", f.Action, f.Conn, f.Op, kind, step)
+	conn := fmt.Sprintf("conn %d", f.Conn)
+	if f.Conn == AnyConn {
+		conn = "any-conn"
+	}
+	return fmt.Sprintf("%v %s on %v of %s %s", f.Action, conn, f.Op, kind, step)
 }
 
 // Chaos wraps a Network and injects a deterministic schedule of faults
@@ -164,7 +176,7 @@ func (c *Chaos) Dial(addr string) (Conn, error) {
 	c.dials++
 	var armed []*chaosFault
 	for _, f := range c.faults {
-		if f.Conn == idx {
+		if f.Conn == idx || f.Conn == AnyConn {
 			armed = append(armed, f)
 		}
 	}
@@ -204,13 +216,18 @@ type chaosConn struct {
 }
 
 // match reports the armed fault (if any) fired by a frame crossing in
-// direction op, advancing per-fault match counts.
+// direction op, advancing per-fault match counts. Fault state lives under
+// the Chaos-wide mutex, not the per-connection one: an AnyConn fault is
+// shared by every dialed connection, and frames of the same kind and step
+// can cross several of them concurrently (ring segments fan out), so
+// firing must be serialized globally or one fault could kill two
+// connections.
 func (cc *chaosConn) match(op Op, f *wire.Frame) *chaosFault {
-	cc.mu.Lock()
-	defer cc.mu.Unlock()
-	if cc.killed {
+	if cc.dead() {
 		return nil
 	}
+	cc.chaos.mu.Lock()
+	defer cc.chaos.mu.Unlock()
 	for _, fl := range cc.faults {
 		if fl.fired || fl.Op != op {
 			continue
@@ -231,7 +248,9 @@ func (cc *chaosConn) match(op Op, f *wire.Frame) *chaosFault {
 		}
 		fl.fired = true
 		if fl.Action == ActKill || fl.Action == ActTruncate {
+			cc.mu.Lock()
 			cc.killed = true
+			cc.mu.Unlock()
 		}
 		return fl
 	}

@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"pipebd/internal/cluster/wire"
+)
+
+// TestMeterCountsDialSideTraffic: a metered dialer's totals cover both
+// directions of its connections with exact byte accounting (16-byte
+// header + payload per frame), and the accept side stays unmetered.
+func TestMeterCountsDialSideTraffic(t *testing.T) {
+	inner := NewLoopback()
+	m := NewMeter(inner)
+	lis, err := inner.Listen("")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer lis.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := lis.Accept()
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		defer conn.Close()
+		for {
+			f, err := conn.Recv()
+			if err != nil {
+				return
+			}
+			_ = conn.Send(f) // echo
+		}
+	}()
+
+	conn, err := m.Dial(lis.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	payload := []byte{1, 2, 3, 4, 5}
+	for i := 0; i < 3; i++ {
+		if err := conn.Send(&wire.Frame{Kind: wire.KindHello, Dev: wire.NoDev, Step: wire.NoStep, Payload: payload}); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		if _, err := conn.Recv(); err != nil {
+			t.Fatalf("recv %d: %v", i, err)
+		}
+	}
+	conn.Close()
+	wg.Wait()
+
+	got := m.Totals()
+	wantBytes := int64(3 * (16 + len(payload)))
+	if got.SentBytes != wantBytes || got.RecvBytes != wantBytes {
+		t.Fatalf("byte totals %+v, want %d each way", got, wantBytes)
+	}
+	if got.SentFrames != 3 || got.RecvFrames != 3 {
+		t.Fatalf("frame totals %+v, want 3 each way", got)
+	}
+	if got.Bytes() != 2*wantBytes {
+		t.Fatalf("Bytes() = %d, want %d", got.Bytes(), 2*wantBytes)
+	}
+
+	m.Reset()
+	if tot := m.Totals(); tot.Bytes() != 0 || tot.SentFrames != 0 || tot.RecvFrames != 0 {
+		t.Fatalf("Reset left %+v", tot)
+	}
+}

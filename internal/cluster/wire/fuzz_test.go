@@ -17,8 +17,8 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(encodeSeed(EncodeDeviceSnapshot(1, 2, nil, nil)))
 	f.Add(encodeSeed(EncodeResume(&Resume{})))
 	f.Add([]byte{Magic, Version, byte(KindInput), 0})
-	f.Add([]byte{Magic, 1, byte(KindHello), 0}, // version skew: old peer
-	)
+	f.Add([]byte{Magic, 1, byte(KindHello), 0}) // version skew: old peer
+
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fr, err := ReadFrame(bytes.NewReader(data))

@@ -74,6 +74,29 @@ type RunConfig struct {
 	// HeartbeatMillis asks the worker to emit KindHeartbeat frames on this
 	// interval; <= 0 disables the beacon.
 	HeartbeatMillis int
+	// Topology selects the data plane: "" or "hub" routes activations and
+	// gradient reductions through the coordinator; "ring" moves them onto
+	// direct worker-to-worker links (the coordinator keeps only the
+	// control plane: placement, barriers, losses, snapshots).
+	Topology string
+	// Data optionally describes the run's batch schedule as a
+	// deterministic recipe (N > 0 enables it): ring sessions hosting
+	// first-group devices regenerate their batches locally instead of
+	// receiving input bytes from the coordinator — distributed data
+	// loading. The coordinator validates at run start that the recipe
+	// reproduces the actual batches bit-exactly.
+	Data DataSpec
+}
+
+// DataSpec is a deterministic synthetic-dataset recipe: the batches of
+// dataset.NewRandom(rand.NewSource(Seed), N, C, H, W, Classes) split at
+// Batch samples each. Any process evaluating it gets bit-identical
+// tensors, which is what lets ring workers source training inputs
+// without moving them over any wire.
+type DataSpec struct {
+	Seed                int64
+	N, C, H, W, Classes int
+	Batch               int
 }
 
 // Snapshot is a full parameter snapshot of a workbench, indexed
@@ -87,11 +110,26 @@ type Snapshot struct {
 // Assign is the session-setup message: everything a worker needs to host
 // its share of a plan's devices.
 type Assign struct {
-	Plan     sched.Plan
-	Spec     ModelSpec
-	Run      RunConfig
-	Devices  []int // device ranks hosted by the receiving worker
+	Plan    sched.Plan
+	Spec    ModelSpec
+	Run     RunConfig
+	Devices []int // device ranks hosted by the receiving worker
+	// Peers is the placement directory for the peer data plane: Peers[d]
+	// is the listen address of the worker hosting device d. Required
+	// (len == total devices) when Run.Topology is "ring"; empty for hub
+	// sessions.
+	Peers []string
+	// Epoch stamps the run attempt the session belongs to. Peer handshakes
+	// carry it so a stale connection from a previous attempt (or a previous
+	// coordinator generation) can never wire into a new mesh.
+	Epoch    int64
 	Snapshot Snapshot
+	// Inputs prestages the run's whole batch-input schedule (Inputs[s] is
+	// step s's full batch) on ring sessions hosting first-group devices,
+	// so the steady-state run needs no per-step input frames from the
+	// coordinator. Empty for hub sessions and for ring sessions hosting
+	// only later groups.
+	Inputs []*tensor.Tensor
 }
 
 // writeAssignBody packs the Assign fields; shared by the Assign and
@@ -120,9 +158,23 @@ func writeAssignBody(w *Writer, a *Assign) {
 	w.I32(int32(a.Run.Snap.Interval))
 	w.Bool(a.Run.Snap.Rank0Dedup)
 	w.I32(int32(a.Run.HeartbeatMillis))
+	w.String(a.Run.Topology)
+	w.I64(a.Run.Data.Seed)
+	w.I32(int32(a.Run.Data.N))
+	w.I32(int32(a.Run.Data.C))
+	w.I32(int32(a.Run.Data.H))
+	w.I32(int32(a.Run.Data.W))
+	w.I32(int32(a.Run.Data.Classes))
+	w.I32(int32(a.Run.Data.Batch))
 	w.I32s(a.Devices)
+	w.U32(uint32(len(a.Peers)))
+	for _, p := range a.Peers {
+		w.String(p)
+	}
+	w.I64(a.Epoch)
 	writeSnapshotHalf(w, a.Snapshot.Teacher)
 	writeSnapshotHalf(w, a.Snapshot.Student)
+	w.Tensors(a.Inputs)
 }
 
 // readAssignBody unpacks the Assign fields written by writeAssignBody.
@@ -150,7 +202,20 @@ func readAssignBody(r *Reader) (*Assign, error) {
 	a.Run.Snap.Interval = int(r.I32())
 	a.Run.Snap.Rank0Dedup = r.Bool()
 	a.Run.HeartbeatMillis = int(r.I32())
+	a.Run.Topology = r.String()
+	a.Run.Data.Seed = r.I64()
+	a.Run.Data.N = int(r.I32())
+	a.Run.Data.C = int(r.I32())
+	a.Run.Data.H = int(r.I32())
+	a.Run.Data.W = int(r.I32())
+	a.Run.Data.Classes = int(r.I32())
+	a.Run.Data.Batch = int(r.I32())
 	a.Devices = r.I32s()
+	np := r.count(r.U32(), 4)
+	for i := 0; i < np && r.Err() == nil; i++ {
+		a.Peers = append(a.Peers, r.String())
+	}
+	a.Epoch = r.I64()
 	var err error
 	if a.Snapshot.Teacher, err = readSnapshotHalf(r); err != nil {
 		return nil, err
@@ -158,6 +223,7 @@ func readAssignBody(r *Reader) (*Assign, error) {
 	if a.Snapshot.Student, err = readSnapshotHalf(r); err != nil {
 		return nil, err
 	}
+	a.Inputs = r.Tensors()
 	return a, r.Err()
 }
 
@@ -384,8 +450,80 @@ func DecodeBatch(f *Frame) (dataset.Batch, error) {
 	return b, nil
 }
 
+// PeerHello identifies a worker-to-worker link during the mesh-dial
+// phase: the run epoch it belongs to and the device pair it connects
+// (From dialed, To accepted).
+type PeerHello struct {
+	Epoch int64
+	From  int
+	To    int
+}
+
+// EncodePeerHello packs a peer handshake frame.
+func EncodePeerHello(h PeerHello) *Frame {
+	w := NewWriter()
+	w.I64(h.Epoch)
+	w.I32(int32(h.From))
+	w.I32(int32(h.To))
+	return &Frame{Kind: KindPeerHello, Dev: int32(h.From), Step: NoStep, Payload: w.Bytes()}
+}
+
+// DecodePeerHello unpacks a peer handshake frame.
+func DecodePeerHello(f *Frame) (PeerHello, error) {
+	if f.Kind != KindPeerHello {
+		return PeerHello{}, fmt.Errorf("wire: expected %v frame, got %v", KindPeerHello, f.Kind)
+	}
+	r := NewReader(f.Payload)
+	h := PeerHello{Epoch: r.I64(), From: int(r.I32()), To: int(r.I32())}
+	if err := r.Close(); err != nil {
+		return PeerHello{}, err
+	}
+	return h, nil
+}
+
+// Ring-all-reduce phases carried by KindRingSegment frames.
+const (
+	// RingContrib is a reduce-scatter contribution: the sender's raw
+	// gradient slice for the segment owned by the receiving rank.
+	RingContrib uint8 = 0
+	// RingGather is an all-gather round: a fully reduced segment
+	// propagating around the ring.
+	RingGather uint8 = 1
+	// RingFull is the two-member fallback: the sender's entire flattened
+	// gradient vector in one frame.
+	RingFull uint8 = 2
+)
+
+// EncodeRingSegment packs one hop of the decentralized all-reduce: the
+// phase, the segment index, and the raw float32 slice.
+func EncodeRingSegment(dev, step int32, phase uint8, seg int, data []float32) *Frame {
+	w := NewWriter()
+	w.U8(phase)
+	w.U32(uint32(seg))
+	w.F32s(data)
+	return &Frame{Kind: KindRingSegment, Dev: dev, Step: step, Payload: w.Bytes()}
+}
+
+// DecodeRingSegment unpacks a ring-all-reduce frame.
+func DecodeRingSegment(f *Frame) (phase uint8, seg int, data []float32, err error) {
+	if f.Kind != KindRingSegment {
+		return 0, 0, nil, fmt.Errorf("wire: expected %v frame, got %v", KindRingSegment, f.Kind)
+	}
+	r := NewReader(f.Payload)
+	phase = r.U8()
+	seg = int(r.U32())
+	data = r.F32s()
+	if err := r.Close(); err != nil {
+		return 0, 0, nil, err
+	}
+	if phase > RingFull {
+		return 0, 0, nil, fmt.Errorf("wire: unknown ring phase %d", phase)
+	}
+	return phase, seg, data, nil
+}
+
 // Control returns a payload-free frame of the given kind (KindHello,
-// KindStepDone, KindStepGo, KindDone, KindDrain).
+// KindStepDone, KindStepGo, KindDone, KindDrain, KindPeerAck).
 func Control(kind Kind, dev, step int32) *Frame {
 	return &Frame{Kind: kind, Dev: dev, Step: step}
 }

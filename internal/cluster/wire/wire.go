@@ -30,8 +30,12 @@ const (
 	// (Heartbeat, Snapshot, Resume); version 3 replaced RunConfig's
 	// all-or-nothing Snapshots flag with a SnapshotPolicy (interval k plus
 	// rank-0 dedup for split groups), so an un-upgraded peer fails its
-	// handshake cleanly instead of mis-decoding the session setup.
-	Version = 3
+	// handshake cleanly instead of mis-decoding the session setup; version
+	// 4 added the peer-to-peer data plane (RunConfig.Topology, the Assign
+	// peer directory, epoch, and prestaged batch-input schedule, and the
+	// PeerHello / PeerInput / RingSegment / PeerAck frames that carry
+	// activations and ring-all-reduce segments directly between workers).
+	Version = 4
 
 	headerLen = 16
 	// MaxPayload bounds a frame's payload so a corrupted or adversarial
@@ -98,6 +102,24 @@ const (
 	// instead of KindAssign when a coordinator moves a dead worker's
 	// devices onto a surviving or re-joined worker.
 	KindResume
+	// KindPeerHello is the worker-to-worker handshake of the peer data
+	// plane: after dialing a peer worker, a session identifies the link it
+	// is establishing (run epoch, dialing device, target device). The
+	// accepting session echoes the frame back on the same connection to
+	// complete the handshake.
+	KindPeerHello
+	// KindPeerInput carries a device's boundary-activation shard for one
+	// step directly to a member of the next group (ring topology's
+	// replacement for the KindOutput → coordinator → KindInput relay).
+	KindPeerInput
+	// KindRingSegment carries one segment of the decentralized gradient
+	// all-reduce between members of a split group: reduce-scatter
+	// contributions, all-gather rounds, and the two-member full-vector
+	// exchange.
+	KindRingSegment
+	// KindPeerAck acknowledges consumption of a peer-input frame so the
+	// sending device can bound its in-flight activation window.
+	KindPeerAck
 	kindEnd // sentinel: all valid kinds are below this
 )
 
@@ -107,7 +129,8 @@ var kindNames = map[Kind]string{
 	KindStepDone: "step-done", KindStepGo: "step-go", KindLosses: "losses",
 	KindFinalParams: "final-params", KindDone: "done", KindDrain: "drain",
 	KindBatch: "batch", KindHeartbeat: "heartbeat", KindSnapshot: "snapshot",
-	KindResume: "resume",
+	KindResume: "resume", KindPeerHello: "peer-hello", KindPeerInput: "peer-input",
+	KindRingSegment: "ring-segment", KindPeerAck: "peer-ack",
 }
 
 func (k Kind) String() string {
@@ -270,6 +293,18 @@ func (w *Writer) F64s(vs []float64) {
 	w.U32(uint32(len(vs)))
 	for _, v := range vs {
 		w.F64(v)
+	}
+}
+
+// F32s appends a count-prefixed float32 slice, bulk-encoded into a
+// pre-sized region like Tensor's data section — ring-all-reduce segments
+// are a per-step hot path.
+func (w *Writer) F32s(vs []float32) {
+	w.U32(uint32(len(vs)))
+	off := len(w.buf)
+	w.buf = append(w.buf, make([]byte, 4*len(vs))...)
+	for i, v := range vs {
+		binary.LittleEndian.PutUint32(w.buf[off+4*i:], math.Float32bits(v))
 	}
 }
 
@@ -440,6 +475,24 @@ func (r *Reader) I32s() []int {
 	out := make([]int, n)
 	for i := range out {
 		out[i] = int(r.I32())
+	}
+	return out
+}
+
+// F32s reads a count-prefixed float32 slice with one bounds check and a
+// bulk decode loop.
+func (r *Reader) F32s() []float32 {
+	n := r.count(r.U32(), 4)
+	if n == 0 {
+		return nil
+	}
+	raw := r.take(n * 4)
+	if raw == nil {
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
 	}
 	return out
 }

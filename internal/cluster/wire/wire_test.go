@@ -163,8 +163,12 @@ func sampleAssign() *Assign {
 		}},
 		Spec: ModelSpec{Name: "tiny", Seed: 42, Blocks: 4, Channels: 6, Height: 8, Width: 8},
 		Run: RunConfig{DPU: true, LR: 0.05, Momentum: 0.9, Buffer: 2, Steps: 6, Backend: "serial",
-			Snap: SnapshotPolicy{Interval: 3, Rank0Dedup: true}},
+			Snap: SnapshotPolicy{Interval: 3, Rank0Dedup: true}, Topology: "ring",
+			Data: DataSpec{Seed: 11, N: 72, C: 3, H: 8, W: 8, Classes: 4, Batch: 12}},
 		Devices: []int{0, 1},
+		Peers:   []string{"w0:1", "w0:1", "w1:2"},
+		Epoch:   77,
+		Inputs:  []*tensor.Tensor{tensor.Rand(rng, -1, 1, 4, 3, 2, 2), tensor.Rand(rng, -1, 1, 4, 3, 2, 2)},
 		Snapshot: Snapshot{
 			Teacher: [][]*tensor.Tensor{{tensor.Rand(rng, -1, 1, 2, 2)}, {}},
 			Student: [][]*tensor.Tensor{{tensor.Rand(rng, -1, 1, 3), tensor.Rand(rng, -1, 1, 1, 4)}, {tensor.Rand(rng, -1, 1, 2)}},
@@ -196,6 +200,12 @@ func TestAssignRoundTrip(t *testing.T) {
 	if len(got.Devices) != 2 || got.Devices[0] != 0 || got.Devices[1] != 1 {
 		t.Fatalf("devices mismatch: %v", got.Devices)
 	}
+	if len(got.Peers) != 3 || got.Peers[0] != "w0:1" || got.Peers[2] != "w1:2" {
+		t.Fatalf("peer directory mismatch: %v", got.Peers)
+	}
+	if got.Epoch != 77 {
+		t.Fatalf("epoch mismatch: %d", got.Epoch)
+	}
 	for bi := range a.Snapshot.Student {
 		for pi := range a.Snapshot.Student[bi] {
 			if !got.Snapshot.Student[bi][pi].Equal(a.Snapshot.Student[bi][pi]) {
@@ -205,6 +215,14 @@ func TestAssignRoundTrip(t *testing.T) {
 	}
 	if !got.Snapshot.Teacher[0][0].Equal(a.Snapshot.Teacher[0][0]) {
 		t.Fatal("teacher snapshot differs")
+	}
+	if len(got.Inputs) != len(a.Inputs) {
+		t.Fatalf("prestaged inputs: %d vs %d", len(got.Inputs), len(a.Inputs))
+	}
+	for i := range a.Inputs {
+		if !got.Inputs[i].Equal(a.Inputs[i]) {
+			t.Fatalf("prestaged input %d differs", i)
+		}
 	}
 }
 
@@ -312,16 +330,71 @@ func TestResumeTruncatedPayloadRejected(t *testing.T) {
 // moved RunConfig's snapshot fields, so a mis-decode would silently
 // scramble the policy).
 func TestVersionSkewOldWorker(t *testing.T) {
-	for _, old := range []byte{1, 2} {
+	for _, old := range []byte{1, 2, 3} {
 		raw := encodeFrameBytes(t, Control(KindHello, NoDev, NoStep))
 		raw[1] = old
 		_, err := ReadFrame(bytes.NewReader(raw))
 		if !errors.Is(err, ErrVersion) {
 			t.Fatalf("v%d hello: got %v, want ErrVersion", old, err)
 		}
-		if !strings.Contains(err.Error(), fmt.Sprintf("version %d", old)) || !strings.Contains(err.Error(), "3") {
+		if !strings.Contains(err.Error(), fmt.Sprintf("version %d", old)) || !strings.Contains(err.Error(), "4") {
 			t.Fatalf("version error should name both versions: %v", err)
 		}
+	}
+}
+
+func TestPeerHelloRoundTrip(t *testing.T) {
+	h := PeerHello{Epoch: 1234567890123, From: 3, To: 1}
+	got, err := DecodePeerHello(roundTripFrame(t, EncodePeerHello(h)))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got != h {
+		t.Fatalf("peer hello mismatch: %+v vs %+v", got, h)
+	}
+	if _, err := DecodePeerHello(Control(KindHello, NoDev, NoStep)); err == nil {
+		t.Fatal("DecodePeerHello accepted a hello frame")
+	}
+}
+
+// TestRingSegmentRoundTrip: ring frames carry raw float32 slices and must
+// preserve every bit pattern — they ARE the gradient data in ring mode.
+func TestRingSegmentRoundTrip(t *testing.T) {
+	data := []float32{0, float32(math.Copysign(0, -1)), -1.5,
+		float32(math.Inf(1)), float32(math.NaN()), 1e-42}
+	for _, phase := range []uint8{RingContrib, RingGather, RingFull} {
+		f := roundTripFrame(t, EncodeRingSegment(2, 9, phase, 5, data))
+		if f.Dev != 2 || f.Step != 9 {
+			t.Fatalf("ring frame header: %+v", f)
+		}
+		gp, seg, got, err := DecodeRingSegment(f)
+		if err != nil {
+			t.Fatalf("phase %d decode: %v", phase, err)
+		}
+		if gp != phase || seg != 5 || len(got) != len(data) {
+			t.Fatalf("phase %d: got phase=%d seg=%d len=%d", phase, gp, seg, len(got))
+		}
+		for i := range data {
+			if math.Float32bits(got[i]) != math.Float32bits(data[i]) {
+				t.Fatalf("element %d not bit-identical: %v vs %v", i, got[i], data[i])
+			}
+		}
+	}
+	// An empty segment round-trips (zero-length remainder slices are legal).
+	if _, _, got, err := DecodeRingSegment(roundTripFrame(t, EncodeRingSegment(0, 0, RingContrib, 0, nil))); err != nil || len(got) != 0 {
+		t.Fatalf("empty segment: %v, %v", got, err)
+	}
+	// Unknown phases are rejected.
+	if _, _, _, err := DecodeRingSegment(EncodeRingSegment(0, 0, 9, 0, nil)); err == nil {
+		t.Fatal("unknown ring phase accepted")
+	}
+	// Forged counts error out instead of allocating.
+	w := NewWriter()
+	w.U8(RingContrib)
+	w.U32(0)
+	w.U32(0xFFFFFFF0)
+	if _, _, _, err := DecodeRingSegment(&Frame{Kind: KindRingSegment, Payload: w.Bytes()}); err == nil {
+		t.Fatal("forged segment count accepted")
 	}
 }
 

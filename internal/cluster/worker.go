@@ -3,12 +3,14 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
 	"pipebd/internal/cluster/transport"
 	"pipebd/internal/cluster/wire"
+	"pipebd/internal/dataset"
 	"pipebd/internal/distill"
 	"pipebd/internal/engine"
 	"pipebd/internal/nn"
@@ -26,6 +28,10 @@ type WorkerConfig struct {
 	// worker" half of the coordinator's recovery path. Without it every
 	// accepted session counts, successful or not.
 	Rejoin bool
+	// Dial is the network used to dial sibling workers for the peer data
+	// plane. Required for ring-topology sessions; hub sessions never dial
+	// out. Tests meter or chaos-wrap it independently of the listener.
+	Dial transport.Network
 	// Logf receives progress lines; nil is silent.
 	Logf func(format string, args ...any)
 }
@@ -46,11 +52,23 @@ type WorkerConfig struct {
 type Worker struct {
 	lis transport.Listener
 	cfg WorkerConfig
+
+	// hosts routes accepted peer connections to the session hosting the
+	// target device, keyed by run epoch so connections from a superseded
+	// attempt can never reach a fresh mesh.
+	hostMu sync.Mutex
+	hosts  map[hostKey]*mesh
+}
+
+// hostKey identifies one hosted device within one run attempt.
+type hostKey struct {
+	epoch int64
+	dev   int
 }
 
 // NewWorker wraps a bound listener in a worker server.
 func NewWorker(lis transport.Listener, cfg WorkerConfig) *Worker {
-	return &Worker{lis: lis, cfg: cfg}
+	return &Worker{lis: lis, cfg: cfg, hosts: make(map[hostKey]*mesh)}
 }
 
 // Addr returns the listener's bound address.
@@ -81,9 +99,15 @@ func (w *Worker) Serve() error {
 		wg.Add(1)
 		go func(conn transport.Conn) {
 			defer wg.Done()
-			err := w.serveSession(conn)
+			isSession, err := w.serveConn(conn)
 			if err != nil {
 				w.logf("session failed: %v", err)
+			}
+			if !isSession {
+				// A peer-mesh connection: ownership went to the hosting
+				// session's mesh (or serveConn closed it on error), and it
+				// never counts toward the session budget.
+				return
 			}
 			conn.Close()
 			if w.cfg.Sessions <= 0 {
@@ -114,19 +138,89 @@ type hostedDevice struct {
 	rank   int32
 	member engine.Member
 	link   *clusterLink
-	start  int   // first step to run (snapStep+1 on resume, else 0)
-	blocks []int // global block indices (for the final-params report)
+	ring   *ringLink // ring-topology wrapper; nil in hub sessions
+	start  int       // first step to run (snapStep+1 on resume, else 0)
+	blocks []int     // global block indices (for the final-params report)
 }
 
-func (w *Worker) serveSession(conn transport.Conn) error {
-	out := newOutbox(conn)
-	defer out.Close()
-	out.Enqueue(wire.Control(wire.KindHello, wire.NoDev, wire.NoStep))
-
+// serveConn performs the shared accept handshake — a synchronous Hello,
+// then the first frame — and dispatches on it: Assign/Resume open a
+// coordinator session, PeerHello hands the raw connection to the session
+// hosting the target device. It reports whether the connection was a
+// session connection (which the caller closes and counts toward the
+// session budget; peer connections are owned by their mesh).
+func (w *Worker) serveConn(conn transport.Conn) (bool, error) {
+	// The Hello is sent synchronously: if this turns out to be a peer
+	// connection its outbox must be created by the owning session, and two
+	// writers on one connection would race.
+	if err := conn.Send(wire.Control(wire.KindHello, wire.NoDev, wire.NoStep)); err != nil {
+		return true, fmt.Errorf("cluster: sending hello: %w", err)
+	}
 	first, err := conn.Recv()
 	if err != nil {
-		return fmt.Errorf("cluster: reading assign: %w", err)
+		return true, fmt.Errorf("cluster: reading assign: %w", err)
 	}
+	if first.Kind == wire.KindPeerHello {
+		err := w.acceptPeerConn(conn, first)
+		if err != nil {
+			conn.Close()
+		}
+		return false, err
+	}
+	return true, w.serveSession(conn, first)
+}
+
+// acceptPeerConn routes an inbound peer connection to the session hosting
+// its target device, waiting briefly for that session to register — the
+// sibling worker may have received its Assign first and dialed ahead.
+func (w *Worker) acceptPeerConn(conn transport.Conn, first *wire.Frame) error {
+	h, err := wire.DecodePeerHello(first)
+	if err != nil {
+		return err
+	}
+	m, err := w.awaitHost(h.Epoch, h.To)
+	if err != nil {
+		return fmt.Errorf("cluster: peer link %d->%d: %w", h.From, h.To, err)
+	}
+	return m.acceptPeer(h, conn)
+}
+
+func (w *Worker) awaitHost(epoch int64, dev int) (*mesh, error) {
+	deadline := time.Now().Add(peerAcceptTimeout)
+	for {
+		w.hostMu.Lock()
+		m := w.hosts[hostKey{epoch, dev}]
+		w.hostMu.Unlock()
+		if m != nil {
+			return m, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("no session hosts device %d under epoch %d", dev, epoch)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (w *Worker) registerHosts(epoch int64, devices []*hostedDevice, m *mesh) {
+	w.hostMu.Lock()
+	for _, d := range devices {
+		w.hosts[hostKey{epoch, int(d.rank)}] = m
+	}
+	w.hostMu.Unlock()
+}
+
+func (w *Worker) unregisterHosts(epoch int64, devices []*hostedDevice) {
+	w.hostMu.Lock()
+	for _, d := range devices {
+		delete(w.hosts, hostKey{epoch, int(d.rank)})
+	}
+	w.hostMu.Unlock()
+}
+
+func (w *Worker) serveSession(conn transport.Conn, first *wire.Frame) (err error) {
+	out := newOutbox(conn)
+	defer out.Close()
+
 	var assign *wire.Assign
 	var states map[int]wire.DeviceState
 	switch first.Kind {
@@ -186,6 +280,20 @@ func (w *Worker) serveSession(conn transport.Conn) error {
 		w.logf("assigned %d device(s) of plan %q: %s", len(devices), assign.Plan.Name, assign.Plan.Describe())
 	}
 
+	// Ring topology: establish the peer mesh before any device loop runs,
+	// and wrap each device's link so activations and gradient reductions
+	// travel worker-to-worker.
+	var m *mesh
+	if assign.Run.Topology == "ring" {
+		m, err = w.establishMesh(assign, devices)
+		if err != nil {
+			return err
+		}
+		defer w.unregisterHosts(assign.Epoch, devices)
+		defer func() { m.close(err == nil) }()
+		w.logf("peer mesh established for devices %v (epoch %d)", assign.Devices, assign.Epoch)
+	}
+
 	// Router: demux inbound frames to device inboxes until the
 	// coordinator drains the session or the connection dies.
 	drained := make(chan struct{})
@@ -194,8 +302,14 @@ func (w *Worker) serveSession(conn transport.Conn) error {
 		for {
 			f, err := conn.Recv()
 			if err != nil {
+				lost := fmt.Errorf("cluster: session connection lost: %w", err)
 				for _, d := range devices {
-					d.link.in.fail(fmt.Errorf("cluster: session connection lost: %w", err))
+					d.link.in.fail(lost)
+				}
+				if m != nil {
+					// A device blocked on a peer frame must not outlive its
+					// coordinator session.
+					m.fail(lost)
 				}
 				routerErr <- err
 				return
@@ -239,6 +353,10 @@ func (w *Worker) serveSession(conn transport.Conn) error {
 				for _, dd := range devices {
 					dd.link.in.fail(errs[i])
 				}
+				if m != nil {
+					// Wake siblings blocked on peer frames too.
+					m.fail(errs[i])
+				}
 			}
 		}(i, d)
 	}
@@ -266,7 +384,11 @@ func (w *Worker) serveSession(conn transport.Conn) error {
 // suffices. All panics are contained to an error.
 func runDevice(d *hostedDevice, steps int, out *outbox) (err error) {
 	defer recoverSession(&err)
-	engine.RunMemberFrom(d.member, d.start, steps, d.link)
+	var link engine.DeviceLink = d.link
+	if d.ring != nil {
+		link = d.ring
+	}
+	engine.RunMemberFrom(d.member, d.start, steps, link)
 	if d.member.Rank == 0 {
 		var params []*tensor.Tensor
 		for _, pair := range d.member.Pairs {
@@ -358,6 +480,134 @@ func (w *Worker) buildDevices(assign *wire.Assign, out *outbox) ([]*hostedDevice
 		devices = append(devices, d)
 	}
 	return devices, nil
+}
+
+// establishMesh wires a ring session's peer data plane: it registers the
+// hosted devices so sibling dials can find them, dials every pair whose
+// lower-ranked device lives elsewhere (higher rank dials lower — pairs on
+// the same worker, or even the same session, dial through the network
+// identically), waits for the inbound half, and wraps each hosted device
+// in a ringLink over its endpoints.
+func (w *Worker) establishMesh(assign *wire.Assign, devices []*hostedDevice) (*mesh, error) {
+	if w.cfg.Dial == nil {
+		return nil, fmt.Errorf("cluster: ring session needs a dial network (WorkerConfig.Dial)")
+	}
+	nDev := 0
+	for _, g := range assign.Plan.Groups {
+		nDev += g.Split()
+	}
+	if len(assign.Peers) != nDev {
+		return nil, fmt.Errorf("cluster: ring assign names %d peer addresses for %d devices", len(assign.Peers), nDev)
+	}
+	plan := make([]groupInfo, len(assign.Plan.Groups))
+	for gi, g := range assign.Plan.Groups {
+		plan[gi] = groupInfo{devices: g.Devices}
+	}
+	m := newMesh(assign.Epoch, assign.Peers)
+	type dialTask struct{ local, remote int }
+	var dials []dialTask
+	for _, d := range devices {
+		local := int(d.rank)
+		for _, remote := range peerRemotes(plan, local) {
+			if local > remote {
+				dials = append(dials, dialTask{local, remote})
+			} else {
+				m.expectAccept(local, remote)
+			}
+		}
+	}
+	// Register before dialing out: two sessions establishing their meshes
+	// concurrently must each find the other's hosts already routable, or
+	// the dial phases could mutually time out.
+	w.registerHosts(assign.Epoch, devices, m)
+	deadline := time.Now().Add(meshTimeout)
+	for _, dl := range dials {
+		if _, err := m.dialPeer(w.cfg.Dial, dl.local, dl.remote, deadline); err != nil {
+			w.unregisterHosts(assign.Epoch, devices)
+			m.close(false)
+			return nil, err
+		}
+	}
+	if err := m.waitAccepted(deadline); err != nil {
+		w.unregisterHosts(assign.Epoch, devices)
+		m.close(false)
+		return nil, err
+	}
+	window := assign.Run.Buffer
+	if window <= 0 {
+		window = 2
+	}
+	g0Inputs, err := ringGroup0Inputs(assign, devices)
+	if err != nil {
+		w.unregisterHosts(assign.Epoch, devices)
+		m.close(false)
+		return nil, err
+	}
+	for _, d := range devices {
+		local := int(d.rank)
+		group, prev, next := peerSets(plan, local)
+		peers := make(map[int]*peerEndpoint)
+		for _, remote := range peerRemotes(plan, local) {
+			peers[remote] = m.endpoint(local, remote)
+		}
+		d.ring = &ringLink{clusterLink: d.link, gi: d.member.Group,
+			rank: d.member.Rank, k: d.member.GroupSize,
+			group: group, prev: prev, next: next,
+			peers: peers, window: window}
+		if d.member.Group == 0 {
+			d.ring.inputs = g0Inputs
+		}
+	}
+	return m, nil
+}
+
+// ringGroup0Inputs resolves the batch schedule a ring session's
+// first-group members read from. With a Run.Data recipe the session
+// regenerates the dataset locally — bit-identical by the recipe's
+// determinism, and zero input bytes on any connection; otherwise it
+// uses the schedule prestaged in the Assign. Nil when the session hosts
+// no group-0 device. A session asked to run steps it has no batches for
+// can only deadlock later, so short schedules are rejected here.
+func ringGroup0Inputs(assign *wire.Assign, devices []*hostedDevice) ([]*tensor.Tensor, error) {
+	hostsG0 := false
+	for _, d := range devices {
+		if d.member.Group == 0 {
+			hostsG0 = true
+		}
+	}
+	if !hostsG0 {
+		return nil, nil
+	}
+	if ds := assign.Run.Data; ds.N > 0 {
+		batches := dataset.NewRandom(rand.New(rand.NewSource(ds.Seed)), ds.N, ds.C, ds.H, ds.W, ds.Classes).Batches(ds.Batch)
+		if len(batches) < assign.Run.Steps {
+			return nil, fmt.Errorf("cluster: data recipe yields %d batches for %d steps", len(batches), assign.Run.Steps)
+		}
+		xs := make([]*tensor.Tensor, len(batches))
+		for i, b := range batches {
+			xs[i] = b.X
+		}
+		return xs, nil
+	}
+	if len(assign.Inputs) < assign.Run.Steps {
+		return nil, fmt.Errorf("cluster: ring assign prestages %d inputs for %d steps", len(assign.Inputs), assign.Run.Steps)
+	}
+	return assign.Inputs, nil
+}
+
+// peerRemotes flattens peerSets into the remote device ranks one local
+// device holds links to.
+func peerRemotes(plan []groupInfo, dev int) []int {
+	group, prev, next := peerSets(plan, dev)
+	var out []int
+	for _, r := range group {
+		if r != dev {
+			out = append(out, r)
+		}
+	}
+	out = append(out, prev...)
+	out = append(out, next...)
+	return out
 }
 
 // deviceSnapshotter returns the closure that captures a device's

@@ -72,14 +72,14 @@ func bitsDiff(got, want *Tensor) string {
 var adversarialShapes = []struct{ m, k, n int }{
 	{1, 1, 1},
 	{2, 3, 2},
-	{3, 5, 7},          // everything below the tile
+	{3, 5, 7},           // everything below the tile
 	{mrTile, 8, nrTile}, // exactly one full tile
 	{5, 9, 11},
 	{13, 17, 19}, // primes
 	{31, 64, 9},
-	{16, kcBlock + 1, 40},      // k one past a block boundary
-	{7, 2*kcBlock + 17, 23},    // k spanning three blocks
-	{mrTile + 1, 33, nrTile+1}, // one past the tile
+	{16, kcBlock + 1, 40},        // k one past a block boundary
+	{7, 2*kcBlock + 17, 23},      // k spanning three blocks
+	{mrTile + 1, 33, nrTile + 1}, // one past the tile
 	{64, 300, 65},
 }
 
