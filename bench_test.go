@@ -129,6 +129,17 @@ func BenchmarkNumericEquivalence(b *testing.B) {
 	}
 }
 
+// BenchmarkTraceOverhead measures the observability layer's span
+// Begin/End pair, disabled (the default every hot path pays) and enabled
+// (what -trace-out opts into). The definition lives in the shared
+// registry so cmd/pipebd-bench pins the same numbers in BENCH_PR7.json.
+func BenchmarkTraceOverhead(b *testing.B) {
+	for _, c := range bench.Trace() {
+		c := c
+		b.Run(c.Name, func(b *testing.B) { c.Run(b) })
+	}
+}
+
 // --- ablation benches -------------------------------------------------------
 
 // BenchmarkAblationOccupancyModel compares Pipe-BD's speedup with and

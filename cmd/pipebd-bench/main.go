@@ -92,7 +92,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pipebd-bench", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	out := fs.String("out", "BENCH_PR6.json", "output JSON path (- for stdout)")
+	out := fs.String("out", "BENCH_PR7.json", "output JSON path (- for stdout)")
 	quick := fs.Bool("quick", false, "small problem sizes (smoke testing)")
 	procsFlag := fs.String("procs", "", "comma-separated GOMAXPROCS values to sweep the registry suite across (default: current)")
 	compare := fs.String("compare", "", "older report JSON to diff the produced (or -in) report against")

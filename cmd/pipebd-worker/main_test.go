@@ -3,7 +3,10 @@ package main
 import (
 	"errors"
 	"flag"
+	"io"
 	"math/rand"
+	"net/http"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -95,6 +98,74 @@ func TestWorkerLoopbackSmoke(t *testing.T) {
 	trainOnce(t, net, w.Addr())
 	if err := <-serveDone; err != nil {
 		t.Fatalf("Serve: %v", err)
+	}
+}
+
+// TestWorkerObservabilityFlags drives the binary's worker with every
+// observability flag at once: a ring session against it must leave a
+// Chrome trace dump in -trace-dir, the -debug-addr /metrics page must
+// serve the session counters, and -net-stats must print the peer
+// data-plane totals at exit (a single-worker ring still dials its peer
+// mesh over TCP, so the meter sees real traffic).
+func TestWorkerObservabilityFlags(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	w, err := newWorker([]string{"-listen", "127.0.0.1:0", "-sessions", "1", "-quiet",
+		"-trace-dir", dir, "-net-stats", "-debug-addr", "127.0.0.1:0"}, &out)
+	if err != nil {
+		t.Fatalf("newWorker: %v", err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- w.Serve() }()
+	defer w.Close()
+
+	tiny := distill.DefaultTinyConfig()
+	data := dataset.NewRandom(rand.New(rand.NewSource(7)), 2*8, 3, tiny.Height, tiny.Width, 4)
+	bench := distill.NewTinyWorkbench(tiny)
+	plan := sched.Plan{Name: "hybrid", Groups: []sched.Group{
+		{Devices: []int{0, 1}, Blocks: []int{0, 1}},
+		{Devices: []int{2}, Blocks: []int{2, 3}},
+	}}
+	if _, err := cluster.Run(transport.TCP{}, []string{w.Addr()}, bench, data.Batches(8),
+		cluster.Config{Plan: plan, DPU: true, LR: 0.05, Momentum: 0.9, Topology: "ring",
+			Spec: cluster.TinySpec(tiny)}); err != nil {
+		t.Fatalf("ring run against observed worker: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+
+	files, _ := filepath.Glob(filepath.Join(dir, "trace-*.json"))
+	if len(files) != 1 {
+		t.Fatalf("want one trace dump in %s, got %v", dir, files)
+	}
+
+	// The debug server outlives Serve until finish(); scrape /metrics now.
+	banner := out.String()
+	i := strings.Index(banner, "debug server on http://")
+	if i < 0 {
+		t.Fatalf("debug banner missing:\n%s", banner)
+	}
+	addr := banner[i+len("debug server on http://"):]
+	addr = addr[:strings.IndexByte(addr, ' ')]
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sessions_completed 1", "device_steps", "busy_student_bwd_ns", "peer data plane: sent"} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	w.finish()
+	if !strings.Contains(out.String(), "net: peer data plane: sent") {
+		t.Fatalf("-net-stats totals missing at exit:\n%s", out.String())
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"pipebd/internal/dataset"
 	"pipebd/internal/distill"
 	"pipebd/internal/engine"
+	"pipebd/internal/obs"
 	"pipebd/internal/sched"
 )
 
@@ -49,6 +50,16 @@ type clusterOptions struct {
 	// combined with -verify.
 	ChaosKills int
 	ChaosSeed  int64
+	// TraceOut enables span tracing across the cluster and writes the
+	// collected timeline as Chrome trace-event JSON to this path, then
+	// prints the measured-vs-modeled utilization report.
+	TraceOut string
+	// NetStats prints the coordinator-side transport.Meter byte totals at
+	// run end (independent of tracing).
+	NetStats bool
+	// DebugAddr starts an HTTP debug listener (net/http/pprof plus a
+	// plain-text /metrics page) for the duration of the run.
+	DebugAddr string
 }
 
 // validate rejects option combinations before any socket is touched.
@@ -157,6 +168,14 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 		cfg.HeartbeatInterval = opts.Heartbeat
 		cfg.HeartbeatTimeout = 4 * opts.Heartbeat
 	}
+	counters := obs.NewMetrics()
+	cfg.Metrics = counters
+	var collect *obs.Collector
+	if opts.TraceOut != "" {
+		collect = obs.NewCollector()
+		cfg.Trace = true
+		cfg.TraceSink = collect.Add
+	}
 	var net transport.Network = transport.TCP{}
 	var chaos *transport.Chaos
 	if opts.ChaosKills > 0 {
@@ -167,6 +186,26 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 		chaos = transport.NewChaos(net, schedule...)
 		chaos.Logf = cfg.Logf
 		net = chaos
+	}
+	// The meter wraps outermost so it sees exactly what crosses the
+	// coordinator's sockets — the control plane's share of the traffic
+	// (ring runs move tensors worker-to-worker; those bytes show up on
+	// the workers' own -net-stats meters, not here).
+	var meter *transport.Meter
+	if opts.NetStats || opts.DebugAddr != "" {
+		meter = transport.NewMeter(net)
+		net = meter
+	}
+	if opts.DebugAddr != "" {
+		srv, err := obs.StartDebugServer(opts.DebugAddr, func(w io.Writer) {
+			counters.Render(w)
+			writeMeterTotals(w, "coordinator control plane", meter.Totals())
+		})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "pipebd: debug server on http://%s (/metrics, /debug/pprof/)\n", srv.Addr())
 	}
 	w := distill.NewTinyWorkbench(tiny)
 	topo := opts.Topology
@@ -181,6 +220,11 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 	}
 	start := time.Now()
 	res, err := cluster.Run(net, opts.Workers, w, batches, cfg)
+	if opts.NetStats && meter != nil {
+		// Byte totals print even when the run failed — partial traffic is
+		// often exactly what a failure post-mortem needs.
+		writeMeterTotals(stdout, "pipebd: net: coordinator control plane", meter.Totals())
+	}
 	if err != nil {
 		return err
 	}
@@ -199,6 +243,13 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 		parts[b] = fmt.Sprintf("B%d=%.6g", b, l)
 	}
 	fmt.Fprintf(stdout, "pipebd: final per-block losses: %s\n", strings.Join(parts, " "))
+
+	if collect != nil {
+		if err := writeTraceReport(stdout, opts.TraceOut, collect,
+			plan, opts.DPU, nDev, opts.Steps, opts.Batch, tiny); err != nil {
+			return err
+		}
+	}
 
 	if !opts.Verify {
 		return nil

@@ -55,6 +55,20 @@
 // checkpoint record holding only what a resume still needs, bounding the
 // log's growth; a compacted ledger resumes bit-identically.
 //
+// Observability (cluster mode): -trace-out run.json makes every worker
+// record per-step spans (teacher/student forward, backward, update,
+// all-reduce phases, peer sends and ack waits, snapshot writes) and ship
+// them to the coordinator at step boundaries; the collected timeline is
+// written as Chrome trace-event JSON (load it in chrome://tracing or
+// https://ui.perfetto.dev) and summarized as a measured utilization
+// report printed side-by-side with the cost model's prediction of the
+// same schedule. -net-stats prints the coordinator's transport byte
+// totals even with tracing off; -debug-addr HOST:PORT serves
+// net/http/pprof plus a plain-text /metrics page (steps completed,
+// recoveries, snapshots, ledger records/bytes, transport totals) for the
+// duration of the run. Tracing is off unless asked for and costs nothing
+// when disabled.
+//
 // The -backend flag selects the tensor compute backend for every numeric
 // (real float32 training) portion of the experiments: "serial" is the
 // single-threaded reference, "parallel" row-partitions GEMMs across a
@@ -103,6 +117,9 @@ func main() {
 	chaosKills := flag.Int("chaos-kills", 0, "cluster mode: inject N seeded worker-connection kills mid-run (self-test for -max-restarts; combine with -verify)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "cluster mode: seed for the -chaos-kills schedule")
 	verify := flag.Bool("verify", false, "cluster mode: require bit-identical match with the in-process pipeline")
+	traceOut := flag.String("trace-out", "", "cluster mode: trace every device's per-step spans, write a Chrome trace-event JSON file here (open in chrome://tracing or Perfetto), and print the measured-vs-modeled utilization report")
+	netStats := flag.Bool("net-stats", false, "cluster mode: print the coordinator's transport byte/frame totals at run end")
+	debugAddr := flag.String("debug-addr", "", "cluster mode: serve net/http/pprof and a plain-text /metrics page on this address for the duration of the run")
 	flag.Parse()
 
 	if *workers < 0 {
@@ -120,6 +137,19 @@ func main() {
 	} else {
 		fmt.Fprintf(os.Stderr, "pipebd: unknown backend %q (want %s)\n", *backend, strings.Join(tensor.Backends(), " or "))
 		os.Exit(2)
+	}
+
+	if *clusterAddrs == "" {
+		for flagName, set := range map[string]bool{
+			"-trace-out":  *traceOut != "",
+			"-net-stats":  *netStats,
+			"-debug-addr": *debugAddr != "",
+		} {
+			if set {
+				fmt.Fprintf(os.Stderr, "pipebd: %s requires -cluster\n", flagName)
+				os.Exit(2)
+			}
+		}
 	}
 
 	if *compactDir != "" {
@@ -166,6 +196,9 @@ func main() {
 			SnapDedup:    *snapDedup,
 			ChaosKills:   *chaosKills,
 			ChaosSeed:    *chaosSeed,
+			TraceOut:     *traceOut,
+			NetStats:     *netStats,
+			DebugAddr:    *debugAddr,
 		}
 		if *backend != "serial" {
 			opts.Backend = *backend

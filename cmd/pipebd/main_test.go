@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -148,5 +150,76 @@ func TestClusterRingEndToEnd(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "verify OK") {
 		t.Fatalf("verify did not report success; output:\n%s", out.String())
+	}
+}
+
+// TestClusterTraceOutEndToEnd is the acceptance run of the observability
+// layer: a 3-worker TCP ring with -trace-out must stay bit-identical,
+// produce a Chrome trace whose device tracks cover forward, backward,
+// all-reduce, and peer-ack-wait spans, print the measured-vs-modeled
+// utilization report, and (with -net-stats) the coordinator byte totals.
+func TestClusterTraceOutEndToEnd(t *testing.T) {
+	addrs := startTCPWorkers(t, 3)
+	traceFile := filepath.Join(t.TempDir(), "run.json")
+	var out strings.Builder
+	err := runCluster(&out, clusterOptions{
+		// dp3: 3-way split front group — the plan whose ring runs a true
+		// reduce-scatter + all-gather. Batch 12 divides by both groups, so
+		// the modeled side of the report is exercised too.
+		Workers: addrs, PlanName: "dp3", Steps: 3, Batch: 12, DPU: true,
+		Topology: "ring", Timeout: 10 * time.Second, Verify: true,
+		TraceOut: traceFile, NetStats: true, DebugAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatalf("traced ring run failed: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"verify OK",
+		"wrote Chrome trace",
+		"measured utilization",
+		"measured vs modeled",
+		"net: coordinator control plane: sent",
+		"debug server on http://",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			Name string         `json:"name"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	tracks := map[string]bool{}
+	spans := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if n, ok := ev.Args["name"].(string); ok {
+				tracks[n] = true
+			}
+		case "X":
+			spans[ev.Name] = true
+		}
+	}
+	for _, dev := range []string{"dev0", "dev1", "dev2", "dev3"} {
+		if !tracks[dev] {
+			t.Fatalf("trace has no %s track (tracks: %v)", dev, tracks)
+		}
+	}
+	for _, span := range []string{"teacher_fwd", "student_fwd", "student_bwd",
+		"allreduce", "reduce_scatter", "all_gather", "peer_ack_wait"} {
+		if !spans[span] {
+			t.Fatalf("trace missing %q spans (have: %v)", span, spans)
+		}
 	}
 }

@@ -92,12 +92,34 @@
 // truncated away), re-attaches every worker through the wire Resume
 // machinery, and finishes the run bit-identical to an uninterrupted one.
 //
+// # Observability
+//
+// The internal/obs package instruments the real runtime the way the
+// simulator instruments virtual time: engine device loops, cluster
+// workers, and the coordinator record per-step spans (forwards,
+// backwards, updates, all-reduce phases, peer sends and ack waits,
+// snapshot writes, ledger appends) on per-goroutine tracks over the
+// sim.Category taxonomy. Tracing is off by default and near-free when
+// disabled — one nil check plus one atomic load per site, no allocation
+// — guarded by TestDisabledTracingOverhead and the TraceOverhead bench.
+// Cluster workers ship span batches to the coordinator at step
+// boundaries over a dedicated wire frame (codec v5) or dump locally
+// (pipebd-worker -trace-dir). Exports: Chrome trace-event JSON (pipebd
+// -trace-out, loadable in chrome://tracing or Perfetto) and a measured
+// utilization report printed side-by-side with the cost model's
+// prediction of the same schedule — the measured-vs-modeled comparison
+// the planned dynamic repartitioning needs. Both CLIs also expose
+// -net-stats (transport.Meter role-attributed byte totals) and
+// -debug-addr (net/http/pprof plus a plain-text /metrics counter page).
+// Shared test helpers (the goroutine-leak assertion) live in
+// internal/testutil.
+//
 // See README.md for the quickstart and architecture inventory and
 // ROADMAP.md for open items. The benchmarks in bench_test.go regenerate
 // each table and figure under `go test -bench`; cmd/pipebd-bench captures
-// kernel, pipeline-step, cluster-recovery, coordinator-resume, and
-// hub-vs-ring topology throughput (with per-role coordinator/peer
-// bytes-per-step) as JSON (BENCH_PR6.json; BENCH_PR2–PR5.json are the
-// prior baselines), and BenchmarkMatMul in internal/tensor compares the
-// backends directly.
+// kernel, pipeline-step, trace-overhead, cluster-recovery,
+// coordinator-resume, and hub-vs-ring topology throughput (with per-role
+// coordinator/peer bytes-per-step) as JSON (BENCH_PR7.json;
+// BENCH_PR2–PR6.json are the prior baselines), and BenchmarkMatMul in
+// internal/tensor compares the backends directly.
 package pipebd

@@ -23,7 +23,9 @@ import (
 	"pipebd/internal/distill"
 	"pipebd/internal/engine"
 	"pipebd/internal/nn"
+	"pipebd/internal/obs"
 	"pipebd/internal/sched"
+	"pipebd/internal/sim"
 	"pipebd/internal/tensor"
 )
 
@@ -212,11 +214,43 @@ func Pipeline(quick bool) []Case {
 	return cases
 }
 
-// All returns every registry benchmark: kernels, conv layers, pipeline.
+// Trace returns the observability overhead benches: the Begin/End span
+// pair that PR 7 threads through the engine and cluster hot paths. The
+// disabled case is the every-run cost (tracing off by default) and must
+// stay near-free — one nil check plus one atomic load, no allocation, no
+// clock read; the enabled case bounds what opting into -trace-out adds,
+// including the periodic drain a step-boundary flush performs.
+func Trace() []Case {
+	mk := func(name string, enabled bool) Case {
+		tracer := obs.NewTracer(enabled)
+		track := tracer.NewTrack("dev0")
+		return Case{
+			Name:    name,
+			Backend: "n/a",
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					track.Begin(sim.CatStudentFwd, "student_fwd").End()
+					if i&1023 == 1023 {
+						track.Drain()
+					}
+				}
+				track.Drain()
+			},
+		}
+	}
+	return []Case{
+		mk("TraceOverhead/disabled", false),
+		mk("TraceOverhead/enabled", true),
+	}
+}
+
+// All returns every registry benchmark: kernels, conv layers, pipeline,
+// trace overhead.
 func All(quick bool) []Case {
 	var cases []Case
 	cases = append(cases, Kernel(quick)...)
 	cases = append(cases, Conv(quick)...)
 	cases = append(cases, Pipeline(quick)...)
+	cases = append(cases, Trace()...)
 	return cases
 }

@@ -15,7 +15,9 @@ import (
 	"pipebd/internal/dataset"
 	"pipebd/internal/distill"
 	"pipebd/internal/engine"
+	"pipebd/internal/obs"
 	"pipebd/internal/sched"
+	"pipebd/internal/sim"
 	"pipebd/internal/tensor"
 )
 
@@ -94,6 +96,21 @@ type Config struct {
 	// detection; connection errors still trigger recovery.
 	HeartbeatInterval time.Duration
 	HeartbeatTimeout  time.Duration
+	// Trace asks every worker session to record per-step span events and
+	// ship them to the coordinator at step boundaries (wire.KindSpans).
+	// Arriving batches are handed to TraceSink. Tracing never changes the
+	// run's trajectory; a ring restart re-records replayed steps, so the
+	// sink sees both attempts' spans in wall-clock order.
+	Trace bool
+	// TraceSink receives every span batch — the workers' device tracks
+	// and the coordinator's own "coordinator" track (ledger appends). It
+	// is called from reader goroutines and must be safe for concurrent
+	// use (obs.Collector.Add qualifies). Required when Trace is set.
+	TraceSink func(track string, spans []obs.Span)
+	// Metrics, when non-nil, receives the coordinator's operational
+	// counters: steps completed, snapshots installed, worker recoveries,
+	// ledger records/bytes. Independent of Trace.
+	Metrics *obs.Metrics
 	// Logf receives progress lines; nil is silent.
 	Logf func(format string, args ...any)
 }
@@ -230,6 +247,12 @@ type run struct {
 	seedSnap wire.Snapshot       // seed params, immutable; reused by every Resume
 	ringMode bool                // peer-to-peer data plane (Config.Topology == "ring")
 	epoch    int64               // ring attempt epoch, stamped into every Assign
+
+	// tracer/coTrack instrument the coordinator's own control-plane work
+	// (ledger appends) when Config.Trace is on; teardown drains the track
+	// into Config.TraceSink. Per-attempt, like the rest of the run state.
+	tracer  *obs.Tracer
+	coTrack *obs.Track
 
 	mu             sync.Mutex
 	led            *ledger.Ledger         // durable-run store; nil for in-memory-only runs
@@ -391,12 +414,20 @@ func (c *Coordinator) newRun(w *distill.Workbench, batches []dataset.Batch, addr
 			r.histG[gi] = make(map[int]histEntry)
 		}
 	}
+	if c.cfg.Trace {
+		if c.cfg.TraceSink == nil {
+			return nil, fmt.Errorf("cluster: Config.Trace needs a TraceSink to deliver span batches to")
+		}
+		r.tracer = obs.NewTracer(true)
+		r.coTrack = r.tracer.NewTrack("coordinator")
+	}
 	r.seedSnap = CaptureSnapshot(w)
 	r.runCfg = wire.RunConfig{DPU: c.cfg.DPU, LR: c.cfg.LR, Momentum: c.cfg.Momentum,
 		Buffer: c.cfg.Buffer, Steps: r.steps, Backend: c.cfg.Backend,
 		Snap:            policy,
 		HeartbeatMillis: int(c.cfg.HeartbeatInterval / time.Millisecond),
 		Topology:        c.cfg.Topology,
+		Trace:           c.cfg.Trace,
 		Data:            c.cfg.Data}
 	if r.ringMode && c.cfg.Data.N > 0 {
 		if err := validateDataRecipe(c.cfg.Data, batches); err != nil {
@@ -472,8 +503,17 @@ func (r *run) logRecord(rec *ledger.Record) {
 	if r.led == nil {
 		return
 	}
-	if err := r.led.Append(rec); err != nil {
+	sp := r.coTrack.Begin(obs.CatLedger, "ledger_append")
+	err := r.led.Append(rec)
+	sp.End()
+	if err != nil {
 		r.fail(err)
+		return
+	}
+	if m := r.co.cfg.Metrics; m != nil {
+		recs, bytes := r.led.Written()
+		m.Set("ledger_records", recs)
+		m.Set("ledger_bytes", bytes)
 	}
 }
 
@@ -858,6 +898,7 @@ func (r *run) handlePeerFailure(p *peerConn, cause error) {
 	canRecover := r.ft && r.restarts < r.co.cfg.MaxRestarts
 	if !allDone && canRecover {
 		r.restarts++
+		r.co.cfg.Metrics.Add("recoveries", 1)
 	}
 	r.mu.Unlock()
 
@@ -1057,6 +1098,11 @@ func (r *run) teardown() {
 		r.led.Close()
 	}
 	r.mu.Unlock()
+	if r.coTrack != nil {
+		if spans := r.coTrack.Drain(); len(spans) > 0 {
+			r.co.cfg.TraceSink(r.coTrack.Name(), spans)
+		}
+	}
 	graceful := true
 	select {
 	case <-r.failed:
@@ -1080,6 +1126,16 @@ func (r *run) teardown() {
 // outside the session lock, so readers for different workers decode
 // concurrently; only the gather bookkeeping, reductions, and counters
 // run under r.mu (r.devs' map structure is immutable once readers start).
+//
+// Every state-mutating branch re-checks r.closed under r.mu and drops
+// the frame once teardown ran: reader goroutines can outlive their run
+// (teardown closes connections but does not join them), and some state —
+// the coordinator's workbench, the carried ring loss matrix — is shared
+// with the next ring attempt, which owns a different mutex. The closed
+// flag flips inside teardown's critical section on the driver goroutine,
+// so any write a reader commits before it is ordered before the next
+// attempt's reads, and any reader arriving after it observes closed and
+// touches nothing.
 func (r *run) handle(p *peerConn, f *wire.Frame) error {
 	dev := int(f.Dev)
 	ds, ok := r.devs[dev]
@@ -1105,6 +1161,9 @@ func (r *run) handle(p *peerConn, f *wire.Frame) error {
 			// receiving worker's decode).
 			r.mu.Lock()
 			defer r.mu.Unlock()
+			if r.closed {
+				return nil
+			}
 			if step <= ds.outputSeen {
 				return r.replayOnly(ds, "output", step) // already forwarded downstream
 			}
@@ -1144,6 +1203,22 @@ func (r *run) handle(p *peerConn, f *wire.Frame) error {
 			return err
 		}
 		return r.onSnapshot(dev, ds, step, params, velocity)
+	case wire.KindSpans:
+		if !r.co.cfg.Trace {
+			return nil // stray batch from a session we did not ask to trace
+		}
+		b, err := wire.DecodeSpans(f)
+		if err != nil {
+			return err
+		}
+		spans := make([]obs.Span, len(b.Spans))
+		for i, s := range b.Spans {
+			spans[i] = obs.Span{Name: s.Name, Cat: sim.Category(s.Cat), Start: s.Start, Dur: s.Dur}
+		}
+		// Sink delivery happens here on the reader goroutine, outside
+		// r.mu — span batches never contend with the data plane.
+		r.co.cfg.TraceSink(b.Track, spans)
+		return nil
 	case wire.KindFinalParams:
 		params, err := wire.DecodeTensors(f)
 		if err != nil {
@@ -1153,6 +1228,9 @@ func (r *run) handle(p *peerConn, f *wire.Frame) error {
 	case wire.KindDone:
 		r.mu.Lock()
 		defer r.mu.Unlock()
+		if r.closed {
+			return nil
+		}
 		if ds.done {
 			return nil // replayed completion
 		}
@@ -1187,6 +1265,9 @@ func (r *run) replayOnly(ds *devState, what string, step int) error {
 func (r *run) onOutput(ds *devState, step int, t *tensor.Tensor, payload []byte) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
 	if step <= ds.outputSeen {
 		return r.replayOnly(ds, "output", step)
 	}
@@ -1244,6 +1325,9 @@ func (r *run) applyOutputLocked(ds *devState, step int, t *tensor.Tensor) error 
 func (r *run) onGrads(dev int, ds *devState, step int, lists []*tensor.Tensor) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
 	place := ds.place
 	k := r.plan.Groups[place.gi].Split()
 	if k == 1 {
@@ -1321,6 +1405,9 @@ func (r *run) onGrads(dev int, ds *devState, step int, lists []*tensor.Tensor) e
 func (r *run) onStepDone(dev int, ds *devState, step int) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
 	if step <= ds.barrierSeen {
 		// Replayed arrival: the count already includes this device. If the
 		// barrier has released, re-answer the restored device directly.
@@ -1366,6 +1453,9 @@ func (r *run) sendStepGoLocked(dev int, ds *devState, step int) {
 func (r *run) onLosses(ds *devState, step int, vals []float64) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
 	place := ds.place
 	nbg := len(r.plan.Groups[place.gi].Blocks)
 	if len(vals) != nbg {
@@ -1399,6 +1489,7 @@ func (r *run) applyLossesLocked(ds *devState, step int, vals []float64) {
 		r.g0done[step]++
 		if r.g0done[step] == r.plan.Groups[0].Split() {
 			delete(r.g0done, step)
+			r.co.cfg.Metrics.Add("steps_completed", 1)
 			select {
 			case r.credits <- struct{}{}:
 			default:
@@ -1417,9 +1508,13 @@ func (r *run) onSnapshot(dev int, ds *devState, step int, params, velocity []*te
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
 	if step <= ds.snapStep {
 		return r.replayOnly(ds, "snapshot", step)
 	}
+	r.co.cfg.Metrics.Add("snapshots", 1)
 	if !r.policy.Rank0Dedup {
 		r.logRecord(ledger.DevSnapshot(dev, step, params, velocity))
 		r.applyDevSnapshotLocked(ds, step, params, velocity)
@@ -1583,6 +1678,9 @@ func (r *run) applyGroupSnapshotLocked(gi, step int, params, velocity []*tensor.
 func (r *run) onFinalParams(place devPlace, params []*tensor.Tensor) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return nil
+	}
 	if place.j != 0 {
 		return fmt.Errorf("cluster: final params from non-leader rank %d of group %d", place.j, place.gi)
 	}

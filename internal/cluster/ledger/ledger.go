@@ -309,8 +309,10 @@ type Replay struct {
 type Ledger struct {
 	dir string
 
-	mu sync.Mutex
-	f  *os.File
+	mu    sync.Mutex
+	f     *os.File
+	recs  int64 // records appended through this handle
+	bytes int64 // framed bytes appended through this handle
 }
 
 // Dir returns the ledger's directory.
@@ -483,7 +485,17 @@ func (l *Ledger) Append(rec *Record) error {
 	if _, err := l.f.Write(buf); err != nil {
 		return fmt.Errorf("ledger: appending %v record: %w", rec.Type, err)
 	}
+	l.recs++
+	l.bytes += int64(len(buf))
 	return nil
+}
+
+// Written reports how many records, and how many framed bytes, this
+// handle has appended — not the on-disk size of a log it resumed.
+func (l *Ledger) Written() (records int64, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.recs, l.bytes
 }
 
 // Close releases the record log. Appends after Close fail.

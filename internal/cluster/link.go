@@ -7,6 +7,7 @@ import (
 
 	"pipebd/internal/cluster/transport"
 	"pipebd/internal/cluster/wire"
+	"pipebd/internal/obs"
 	"pipebd/internal/tensor"
 )
 
@@ -177,6 +178,38 @@ type clusterLink struct {
 	// so a replacement device can replay from the latest covered step.
 	snapshot func(step int) *wire.Frame
 	snap     wire.SnapshotPolicy
+
+	// trace, when non-nil, is the device's span track; FinishStep drains
+	// it at each step boundary so span batches travel with (not instead
+	// of) the session's regular traffic. shipSpans routes drained batches
+	// to the coordinator over KindSpans frames; sink receives them on the
+	// worker side (local trace dumps, worker metrics). Both may be active.
+	trace     *obs.Track
+	shipSpans bool
+	sink      func(track string, spans []obs.Span)
+}
+
+// flushSpans drains the device's span buffer and routes the batch to the
+// configured consumers. Called at step boundaries and once after the
+// loop, on the device's own goroutine — Drain and Begin never race.
+func (l *clusterLink) flushSpans() {
+	if l.trace == nil {
+		return
+	}
+	spans := l.trace.Drain()
+	if len(spans) == 0 {
+		return
+	}
+	if l.sink != nil {
+		l.sink(l.trace.Name(), spans)
+	}
+	if l.shipSpans {
+		ws := make([]wire.Span, len(spans))
+		for i, s := range spans {
+			ws[i] = wire.Span{Name: s.Name, Cat: int32(s.Cat), Start: s.Start, Dur: s.Dur}
+		}
+		l.out.Enqueue(wire.EncodeSpans(wire.SpanBatch{Dev: l.dev, Track: l.trace.Name(), Spans: ws}))
+	}
 }
 
 func (l *clusterLink) recv(kind wire.Kind, step int) *wire.Frame {
@@ -244,6 +277,10 @@ func (l *clusterLink) StepBarrier(step int) {
 // steps on recovery.
 func (l *clusterLink) FinishStep(step int) {
 	if l.snapshot != nil && l.snap.Covers(step) {
-		l.out.Enqueue(l.snapshot(step))
+		r := l.trace.Begin(obs.CatSnapshot, "snapshot_write")
+		f := l.snapshot(step)
+		r.End()
+		l.out.Enqueue(f)
 	}
+	l.flushSpans()
 }

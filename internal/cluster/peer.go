@@ -8,6 +8,8 @@ import (
 	"pipebd/internal/cluster/transport"
 	"pipebd/internal/cluster/wire"
 	"pipebd/internal/engine"
+	"pipebd/internal/obs"
+	"pipebd/internal/sim"
 	"pipebd/internal/tensor"
 )
 
@@ -395,6 +397,10 @@ func (l *ringLink) SendOutput(step int, out *tensor.Tensor) {
 		}
 		l.ackInit = true
 	}
+	// The ack wait is backpressure, not transfer: it nests inside the
+	// engine's send_output span so the report attributes it as wait time,
+	// not communication.
+	rg := l.trace.Begin(obs.CatWait, "peer_ack_wait")
 	target := step - l.window
 	for i, nd := range l.next {
 		for l.nextAcked[i] < target {
@@ -409,6 +415,7 @@ func (l *ringLink) SendOutput(step int, out *tensor.Tensor) {
 			l.nextAcked[i] = int(f.Step)
 		}
 	}
+	rg.End()
 	f := wire.EncodeTensor(wire.KindPeerInput, l.dev, int32(step), out)
 	for _, nd := range l.next {
 		l.peers[nd].out.Enqueue(f)
@@ -479,6 +486,8 @@ func (l *ringLink) AllReduce(step int, grads []*tensor.Tensor, scratch *tensor.A
 // allReducePair is the two-member fallback: exchange full vectors, fold
 // rank 0 then rank 1 into a zeroed accumulator, scale by 1/2.
 func (l *ringLink) allReducePair(step int) {
+	rg := l.trace.Begin(sim.CatAllReduce, "pair_exchange")
+	defer rg.End()
 	other := l.group[1-l.rank]
 	l.peers[other].out.Enqueue(wire.EncodeRingSegment(l.dev, int32(step), wire.RingFull, 0, l.flat))
 	f := l.recvPeer(other, wire.KindRingSegment, step)
@@ -508,6 +517,7 @@ func (l *ringLink) allReducePair(step int) {
 
 func (l *ringLink) allReduceRing(step int) {
 	k, rank := l.k, l.rank
+	rg := l.trace.Begin(sim.CatAllReduce, "reduce_scatter")
 	// Reduce-scatter: raw slices go straight to each segment's owner.
 	for s := 0; s < k; s++ {
 		if s == rank {
@@ -548,6 +558,9 @@ func (l *ringLink) allReduceRing(step int) {
 		own[i] *= inv
 	}
 	copy(l.flat[l.segOff[rank]:l.segOff[rank+1]], own)
+	rg.End()
+	rg = l.trace.Begin(sim.CatAllReduce, "all_gather")
+	defer rg.End()
 
 	// All-gather ring: k-1 rounds of forwarding completed segments.
 	nextDev := l.group[(rank+1)%k]

@@ -3,7 +3,6 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -13,29 +12,14 @@ import (
 	"pipebd/internal/cluster/wire"
 	"pipebd/internal/distill"
 	"pipebd/internal/engine"
+	"pipebd/internal/testutil"
 )
 
-// leakCheck snapshots the goroutine count and, at cleanup time (after the
-// test's own cleanups — workers closed, runs returned), insists the count
-// returns to the baseline. It is the counted-goroutine assertion guarding
-// the fail/teardown paths: a peer dying mid-gather must not strand device
-// loops, outbox writers, readers, or monitor goroutines.
+// leakCheck is the shared goroutine-leak assertion (testutil.LeakCheck),
+// aliased so the suite's many call sites stay short.
 func leakCheck(t *testing.T) {
 	t.Helper()
-	before := runtime.NumGoroutine()
-	t.Cleanup(func() {
-		deadline := time.Now().Add(10 * time.Second)
-		for runtime.NumGoroutine() > before {
-			if time.Now().After(deadline) {
-				buf := make([]byte, 1<<20)
-				n := runtime.Stack(buf, true)
-				t.Errorf("goroutine leak: %d at start, %d after cleanup\n%s",
-					before, runtime.NumGoroutine(), buf[:n])
-				return
-			}
-			time.Sleep(10 * time.Millisecond)
-		}
-	})
+	testutil.LeakCheck(t)
 }
 
 // captureLog returns a concurrency-safe Logf plus a reader for the lines

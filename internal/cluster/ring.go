@@ -100,6 +100,7 @@ func (c *Coordinator) driveRing(w *distill.Workbench, batches []dataset.Batch, a
 			return engine.Result{}, err
 		}
 		restarts++
+		c.cfg.Metrics.Add("recoveries", 1)
 		carry = next
 		rejoin = true
 		c.logf("ring attempt lost a worker (%v); restarting every device from step %d (restart %d of %d)",

@@ -86,6 +86,11 @@ type RunConfig struct {
 	// loading. The coordinator validates at run start that the recipe
 	// reproduces the actual batches bit-exactly.
 	Data DataSpec
+	// Trace asks the worker to record per-step span events on every
+	// hosted device and ship them to the coordinator as KindSpans frames
+	// at step boundaries. Off by default; tracing never alters the
+	// training trajectory.
+	Trace bool
 }
 
 // DataSpec is a deterministic synthetic-dataset recipe: the batches of
@@ -166,6 +171,7 @@ func writeAssignBody(w *Writer, a *Assign) {
 	w.I32(int32(a.Run.Data.W))
 	w.I32(int32(a.Run.Data.Classes))
 	w.I32(int32(a.Run.Data.Batch))
+	w.Bool(a.Run.Trace)
 	w.I32s(a.Devices)
 	w.U32(uint32(len(a.Peers)))
 	for _, p := range a.Peers {
@@ -210,6 +216,7 @@ func readAssignBody(r *Reader) (*Assign, error) {
 	a.Run.Data.W = int(r.I32())
 	a.Run.Data.Classes = int(r.I32())
 	a.Run.Data.Batch = int(r.I32())
+	a.Run.Trace = r.Bool()
 	a.Devices = r.I32s()
 	np := r.count(r.U32(), 4)
 	for i := 0; i < np && r.Err() == nil; i++ {
@@ -520,6 +527,58 @@ func DecodeRingSegment(f *Frame) (phase uint8, seg int, data []float32, err erro
 		return 0, 0, nil, fmt.Errorf("wire: unknown ring phase %d", phase)
 	}
 	return phase, seg, data, nil
+}
+
+// Span is one observability span event as it crosses the wire: a named
+// region, its category (the sim.Category taxonomy plus obs's runtime
+// extensions, as a raw int32 so the codec stays dependency-free), and
+// its wall-clock start/duration in nanoseconds since the Unix epoch.
+type Span struct {
+	Name  string
+	Cat   int32
+	Start int64
+	Dur   int64
+}
+
+// SpanBatch is a batch of spans from one worker-side track, shipped to
+// the coordinator at a step boundary.
+type SpanBatch struct {
+	Dev   int32 // hosting device rank (NoDev for non-device tracks)
+	Track string
+	Spans []Span
+}
+
+// EncodeSpans packs a span batch.
+func EncodeSpans(b SpanBatch) *Frame {
+	w := NewWriter()
+	w.String(b.Track)
+	w.U32(uint32(len(b.Spans)))
+	for _, s := range b.Spans {
+		w.String(s.Name)
+		w.I32(s.Cat)
+		w.I64(s.Start)
+		w.I64(s.Dur)
+	}
+	return &Frame{Kind: KindSpans, Dev: b.Dev, Step: NoStep, Payload: w.Bytes()}
+}
+
+// DecodeSpans unpacks a span-batch frame.
+func DecodeSpans(f *Frame) (SpanBatch, error) {
+	if f.Kind != KindSpans {
+		return SpanBatch{}, fmt.Errorf("wire: expected %v frame, got %v", KindSpans, f.Kind)
+	}
+	r := NewReader(f.Payload)
+	b := SpanBatch{Dev: f.Dev, Track: r.String()}
+	n := r.count(r.U32(), 24) // name length + cat + start + dur
+	for i := 0; i < n && r.Err() == nil; i++ {
+		b.Spans = append(b.Spans, Span{
+			Name: r.String(), Cat: r.I32(), Start: r.I64(), Dur: r.I64(),
+		})
+	}
+	if err := r.Close(); err != nil {
+		return SpanBatch{}, err
+	}
+	return b, nil
 }
 
 // Control returns a payload-free frame of the given kind (KindHello,

@@ -34,8 +34,10 @@ const (
 	// 4 added the peer-to-peer data plane (RunConfig.Topology, the Assign
 	// peer directory, epoch, and prestaged batch-input schedule, and the
 	// PeerHello / PeerInput / RingSegment / PeerAck frames that carry
-	// activations and ring-all-reduce segments directly between workers).
-	Version = 4
+	// activations and ring-all-reduce segments directly between workers);
+	// version 5 added the observability plane (RunConfig.Trace and the
+	// Spans frame carrying worker-side span batches to the coordinator).
+	Version = 5
 
 	headerLen = 16
 	// MaxPayload bounds a frame's payload so a corrupted or adversarial
@@ -120,6 +122,11 @@ const (
 	// KindPeerAck acknowledges consumption of a peer-input frame so the
 	// sending device can bound its in-flight activation window.
 	KindPeerAck
+	// KindSpans carries a batch of observability span events from a
+	// worker-hosted device track to the coordinator (sent at step
+	// boundaries when RunConfig.Trace is set; never on the hot path of an
+	// untraced run).
+	KindSpans
 	kindEnd // sentinel: all valid kinds are below this
 )
 
@@ -130,7 +137,7 @@ var kindNames = map[Kind]string{
 	KindFinalParams: "final-params", KindDone: "done", KindDrain: "drain",
 	KindBatch: "batch", KindHeartbeat: "heartbeat", KindSnapshot: "snapshot",
 	KindResume: "resume", KindPeerHello: "peer-hello", KindPeerInput: "peer-input",
-	KindRingSegment: "ring-segment", KindPeerAck: "peer-ack",
+	KindRingSegment: "ring-segment", KindPeerAck: "peer-ack", KindSpans: "spans",
 }
 
 func (k Kind) String() string {

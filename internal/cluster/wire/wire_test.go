@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -163,7 +164,7 @@ func sampleAssign() *Assign {
 		}},
 		Spec: ModelSpec{Name: "tiny", Seed: 42, Blocks: 4, Channels: 6, Height: 8, Width: 8},
 		Run: RunConfig{DPU: true, LR: 0.05, Momentum: 0.9, Buffer: 2, Steps: 6, Backend: "serial",
-			Snap: SnapshotPolicy{Interval: 3, Rank0Dedup: true}, Topology: "ring",
+			Snap: SnapshotPolicy{Interval: 3, Rank0Dedup: true}, Topology: "ring", Trace: true,
 			Data: DataSpec{Seed: 11, N: 72, C: 3, H: 8, W: 8, Classes: 4, Batch: 12}},
 		Devices: []int{0, 1},
 		Peers:   []string{"w0:1", "w0:1", "w1:2"},
@@ -337,9 +338,59 @@ func TestVersionSkewOldWorker(t *testing.T) {
 		if !errors.Is(err, ErrVersion) {
 			t.Fatalf("v%d hello: got %v, want ErrVersion", old, err)
 		}
-		if !strings.Contains(err.Error(), fmt.Sprintf("version %d", old)) || !strings.Contains(err.Error(), "4") {
+		if !strings.Contains(err.Error(), fmt.Sprintf("version %d", old)) || !strings.Contains(err.Error(), fmt.Sprint(Version)) {
 			t.Fatalf("version error should name both versions: %v", err)
 		}
+	}
+}
+
+func TestSpansRoundTrip(t *testing.T) {
+	b := SpanBatch{Dev: 2, Track: "dev2", Spans: []Span{
+		{Name: "teacher_fwd", Cat: 1, Start: 1_000_000, Dur: 500},
+		{Name: "peer_ack_wait", Cat: 7, Start: 1_000_600, Dur: 90},
+		{Name: "allreduce", Cat: 6, Start: 1_000_700, Dur: 1200},
+	}}
+	got, err := DecodeSpans(roundTripFrame(t, EncodeSpans(b)))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Dev != b.Dev || got.Track != b.Track || len(got.Spans) != len(b.Spans) {
+		t.Fatalf("batch mismatch: %+v vs %+v", got, b)
+	}
+	for i, s := range b.Spans {
+		if got.Spans[i] != s {
+			t.Fatalf("span %d mismatch: %+v vs %+v", i, got.Spans[i], s)
+		}
+	}
+
+	// Empty batches are legal (a step with tracing enabled but no events).
+	empty, err := DecodeSpans(roundTripFrame(t, EncodeSpans(SpanBatch{Dev: NoDev, Track: "coord"})))
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if empty.Track != "coord" || len(empty.Spans) != 0 {
+		t.Fatalf("empty batch mismatch: %+v", empty)
+	}
+}
+
+func TestSpansMalformed(t *testing.T) {
+	f := EncodeSpans(SpanBatch{Dev: 0, Track: "dev0", Spans: []Span{{Name: "x", Cat: 1, Start: 1, Dur: 1}}})
+	// Wrong kind.
+	if _, err := DecodeSpans(Control(KindPeerAck, 0, 3)); err == nil {
+		t.Fatal("wrong-kind frame decoded")
+	}
+	// Truncated payload.
+	trunc := &Frame{Kind: KindSpans, Dev: f.Dev, Step: f.Step, Payload: f.Payload[:len(f.Payload)-4]}
+	if _, err := DecodeSpans(trunc); err == nil {
+		t.Fatal("truncated payload decoded")
+	}
+	// Span count far beyond the payload must fail count validation, not
+	// allocate.
+	bad := append([]byte(nil), f.Payload...)
+	// Payload layout: track string (4-byte len + "dev0"), then the count.
+	binary.LittleEndian.PutUint32(bad[8:], 1<<30)
+	if _, err := DecodeSpans(&Frame{Kind: KindSpans, Payload: bad}); err == nil {
+		t.Fatal("oversized span count decoded")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"pipebd/internal/distill"
 	"pipebd/internal/engine"
 	"pipebd/internal/nn"
+	"pipebd/internal/obs"
 	"pipebd/internal/tensor"
 )
 
@@ -32,6 +34,17 @@ type WorkerConfig struct {
 	// plane. Required for ring-topology sessions; hub sessions never dial
 	// out. Tests meter or chaos-wrap it independently of the listener.
 	Dial transport.Network
+	// TraceDir, when set, enables span tracing for every session this
+	// worker serves — independently of whether the coordinator asked for
+	// spans — and dumps each completed session's spans as a Chrome trace
+	// JSON file in this directory (one file per session, named by run
+	// epoch and hosted devices).
+	TraceDir string
+	// Metrics, when non-nil, receives the worker's operational counters:
+	// sessions started/completed, device steps, snapshot frames shipped,
+	// and — when tracing is on — cumulative busy nanoseconds per span
+	// category ("busy_<category>_ns").
+	Metrics *obs.Metrics
 	// Logf receives progress lines; nil is silent.
 	Logf func(format string, args ...any)
 }
@@ -263,7 +276,31 @@ func (w *Worker) serveSession(conn transport.Conn, first *wire.Frame) (err error
 		}()
 	}
 
-	devices, err := w.buildDevices(assign, out)
+	// Observability: the coordinator's Assign or the worker's own TraceDir
+	// turns span recording on for this session. Spans drain at step
+	// boundaries into the coordinator stream (Run.Trace) and into a
+	// session-local collector (TraceDir), which is dumped as a Chrome
+	// trace file once the session completes.
+	var tracer *obs.Tracer
+	var collect *obs.Collector
+	var sink func(track string, spans []obs.Span)
+	if assign.Run.Trace || w.cfg.TraceDir != "" {
+		tracer = obs.NewTracer(true)
+		if w.cfg.TraceDir != "" {
+			collect = obs.NewCollector()
+		}
+		sink = func(track string, spans []obs.Span) {
+			if collect != nil {
+				collect.Add(track, spans)
+			}
+			for _, s := range spans {
+				w.cfg.Metrics.Add("busy_"+obs.CategoryName(s.Cat)+"_ns", s.Dur)
+			}
+		}
+	}
+	w.cfg.Metrics.Add("sessions_started", 1)
+
+	devices, err := w.buildDevices(assign, out, tracer, sink)
 	if err != nil {
 		return err
 	}
@@ -374,6 +411,19 @@ func (w *Worker) serveSession(conn transport.Conn, first *wire.Frame) (err error
 		return err
 	}
 	<-drained
+	for _, d := range devices {
+		w.cfg.Metrics.Add("device_steps", int64(assign.Run.Steps-d.start))
+	}
+	w.cfg.Metrics.Add("sessions_completed", 1)
+	if collect != nil {
+		path := filepath.Join(w.cfg.TraceDir,
+			fmt.Sprintf("trace-epoch%d-dev%d.json", assign.Epoch, devices[0].rank))
+		if err := obs.WriteChromeTraceFile(path, collect); err != nil {
+			w.logf("trace dump failed: %v", err)
+		} else {
+			w.logf("session trace (%s) written to %s", collect, path)
+		}
+	}
 	w.logf("session complete (%d steps)", assign.Run.Steps)
 	return nil
 }
@@ -389,6 +439,9 @@ func runDevice(d *hostedDevice, steps int, out *outbox) (err error) {
 		link = d.ring
 	}
 	engine.RunMemberFrom(d.member, d.start, steps, link)
+	// Spans drain at every FinishStep; this catches a zero-step session's
+	// (or a future post-loop instrumentation's) leftovers.
+	d.link.flushSpans()
 	if d.member.Rank == 0 {
 		var params []*tensor.Tensor
 		for _, pair := range d.member.Pairs {
@@ -403,8 +456,11 @@ func runDevice(d *hostedDevice, steps int, out *outbox) (err error) {
 }
 
 // buildDevices rebuilds a workbench replica for every hosted device rank
-// and wires up its member state and transport link.
-func (w *Worker) buildDevices(assign *wire.Assign, out *outbox) ([]*hostedDevice, error) {
+// and wires up its member state and transport link. A non-nil tracer
+// attaches one span track per hosted device ("dev<rank>", matching the
+// in-process engine's naming); sink receives the drained batches on the
+// worker side.
+func (w *Worker) buildDevices(assign *wire.Assign, out *outbox, tracer *obs.Tracer, sink func(string, []obs.Span)) ([]*hostedDevice, error) {
 	nDev := 0
 	for _, g := range assign.Plan.Groups {
 		nDev += g.Split()
@@ -467,6 +523,12 @@ func (w *Worker) buildDevices(assign *wire.Assign, out *outbox) ([]*hostedDevice
 				dpu:       assign.Run.DPU,
 				in:        newInbox(), out: out},
 			blocks: group.Blocks,
+		}
+		if tracer != nil {
+			d.link.trace = tracer.NewTrack(fmt.Sprintf("dev%d", rank))
+			d.link.shipSpans = assign.Run.Trace
+			d.link.sink = sink
+			d.member.Trace = d.link.trace
 		}
 		// Snapshot emission follows the session's policy: every member
 		// under the per-member policy, only each group's rank 0 under

@@ -17,6 +17,8 @@ import (
 	"math/rand"
 
 	"pipebd/internal/nn"
+	"pipebd/internal/obs"
+	"pipebd/internal/sim"
 	"pipebd/internal/tensor"
 )
 
@@ -36,10 +38,24 @@ type Pair struct {
 // caller owns zeroing gradients and applying the optimizer step, so the
 // engine can schedule updates per Pipe-BD's decoupled parameter update.
 func Step(p Pair, x *tensor.Tensor) (teacherOut *tensor.Tensor, loss float64) {
+	return StepObserved(p, x, nil)
+}
+
+// StepObserved is Step with per-phase span tracing: the teacher forward,
+// the student forward (including the loss/gradient computation against
+// the teacher's output), and the student backward each get their own
+// span on tk. A nil (or disabled) track makes it exactly Step.
+func StepObserved(p Pair, x *tensor.Tensor, tk *obs.Track) (teacherOut *tensor.Tensor, loss float64) {
+	r := tk.Begin(sim.CatTeacherFwd, "teacher_fwd")
 	teacherOut = p.Teacher.Forward(x, false)
+	r.End()
+	r = tk.Begin(sim.CatStudentFwd, "student_fwd")
 	studentOut := p.Student.Forward(x, true)
 	loss, grad := nn.MSELoss(studentOut, teacherOut)
+	r.End()
+	r = tk.Begin(sim.CatStudentBwd, "student_bwd")
 	p.Student.Backward(grad)
+	r.End()
 	return teacherOut, loss
 }
 

@@ -21,6 +21,7 @@ import (
 	"pipebd/internal/dataset"
 	"pipebd/internal/distill"
 	"pipebd/internal/nn"
+	"pipebd/internal/obs"
 	"pipebd/internal/sched"
 	"pipebd/internal/tensor"
 )
@@ -46,6 +47,12 @@ type Config struct {
 	// so this is purely a throughput knob — the equivalence guarantees
 	// hold regardless.
 	Backend tensor.Backend
+	// Trace, when non-nil, records per-device span events of the run: one
+	// obs track per plan device ("dev0", "dev1", ...), fed by the device
+	// loop's phase instrumentation. Tracing never changes the training
+	// trajectory; nil (the default) leaves the loop's instrumentation as
+	// inert nil-track checks.
+	Trace *obs.Tracer
 }
 
 // Result collects the training trajectory.
@@ -219,6 +226,9 @@ func RunPipelined(w *distill.Workbench, batches []dataset.Batch, cfg Config) Res
 				defer wg.Done()
 				m := Member{Group: gi, Rank: j, GroupSize: gr.Split(),
 					Pairs: gr.members[j], Opts: gr.opts[j]}
+				if cfg.Trace != nil {
+					m.Trace = cfg.Trace.NewTrack(fmt.Sprintf("dev%d", gr.Devices[j]))
+				}
 				link := &memberLink{gr: gr, j: j, batches: batches,
 					stepSync: stepSync, losses: losses[gi]}
 				RunMember(m, steps, link)

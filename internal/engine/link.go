@@ -4,6 +4,8 @@ import (
 	"pipebd/internal/dataset"
 	"pipebd/internal/distill"
 	"pipebd/internal/nn"
+	"pipebd/internal/obs"
+	"pipebd/internal/sim"
 	"pipebd/internal/tensor"
 )
 
@@ -59,6 +61,11 @@ type Member struct {
 	GroupSize int // number of members k sharing the group's blocks
 	Pairs     []distill.Pair
 	Opts      []*nn.SGD
+
+	// Trace, when non-nil, receives per-step span events from the device
+	// loop (phase timings, communication waits, barrier time). A nil or
+	// disabled track costs one branch per phase — see internal/obs.
+	Trace *obs.Track
 }
 
 // GradTensors returns the member's flattened gradient list in the order
@@ -100,10 +107,19 @@ func RunMemberFrom(m Member, start, steps int, link DeviceLink) {
 		grads = m.GradTensors()
 	}
 	finisher, _ := link.(StepFinisher)
+	// The first group's receive is the measured data-loading time; later
+	// groups wait on the relayed activation, which is communication.
+	recvCat, recvName := sim.CatLoad, "recv_input"
+	if m.Group > 0 {
+		recvCat, recvName = sim.CatComm, "recv_act"
+	}
+	tk := m.Trace
 	for s := start; s < steps; s++ {
 		// Receive the step's input: the data loader for the first group,
 		// the relayed teacher activation otherwise (lines 8-9).
+		r := tk.Begin(recvCat, recvName)
 		full := link.RecvInput(s)
+		r.End()
 		shard := shardOf(full, m.Rank, k, scratch)
 		x := shard
 		for bi := 0; bi < nb; bi++ {
@@ -111,7 +127,7 @@ func RunMemberFrom(m Member, start, steps int, link DeviceLink) {
 			nn.ZeroGrads(pair.Student.Params())
 			// Teacher forward (line 10), student forward/backward against
 			// the teacher activation (lines 12-13).
-			tOut, loss := distill.Step(pair, x)
+			tOut, loss := distill.StepObserved(pair, x, tk)
 			losses[bi] = loss
 			x = tOut
 		}
@@ -119,12 +135,16 @@ func RunMemberFrom(m Member, start, steps int, link DeviceLink) {
 		// Relay the boundary activation to the next device (line 11). The
 		// send overlaps with the remaining work of other members thanks to
 		// the link's buffering.
+		r = tk.Begin(sim.CatComm, "send_output")
 		link.SendOutput(s, x)
+		r.End()
 
 		// Intra-group gradient sharing when AHD split a block along the
 		// batch dimension (line 14).
 		if k > 1 {
+			r = tk.Begin(sim.CatAllReduce, "allreduce")
 			link.AllReduce(s, grads, scratch)
+			r.End()
 			// The shard is a private copy (k > 1) and the first block's
 			// backward cache no longer needs it once the step's gradients
 			// are installed; recycle it for the next step.
@@ -135,10 +155,14 @@ func RunMemberFrom(m Member, start, steps int, link DeviceLink) {
 
 		// Decoupled parameter update (lines 15-16): update immediately,
 		// or wait for every device when DPU is disabled.
+		r = tk.Begin(obs.CatWait, "barrier_wait")
 		link.StepBarrier(s)
+		r.End()
+		r = tk.Begin(sim.CatUpdate, "sgd_update")
 		for bi := 0; bi < nb; bi++ {
 			m.Opts[bi].Step(m.Pairs[bi].Student.Params())
 		}
+		r.End()
 		if finisher != nil {
 			finisher.FinishStep(s)
 		}

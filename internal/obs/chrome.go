@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+)
+
+// Chrome trace-event-format export. The output is the JSON Object Format
+// ({"traceEvents": [...]}) of the Trace Event Format spec, loadable in
+// chrome://tracing and https://ui.perfetto.dev: one "thread" (tid) per
+// track with a thread_name metadata record, and one complete ("X") event
+// per span with microsecond timestamps rebased so the earliest span
+// starts at t=0.
+
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the collected spans as Chrome trace JSON.
+// Track order fixes the tid assignment (and therefore the row order in
+// the viewer); names absent from byTrack are skipped.
+func WriteChromeTrace(w io.Writer, order []string, byTrack map[string][]Span) error {
+	base := int64(0)
+	first := true
+	for _, spans := range byTrack {
+		for _, s := range spans {
+			if first || s.Start < base {
+				base = s.Start
+				first = false
+			}
+		}
+	}
+	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for tid, name := range order {
+		spans, ok := byTrack[name]
+		if !ok {
+			continue
+		}
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": name},
+		})
+		// Stable-sort by start so nested spans (e.g. reduce_scatter inside
+		// allreduce) render as a proper stack in the viewer.
+		sorted := append([]Span(nil), spans...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+		for _, s := range sorted {
+			trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+				Name:  s.Name,
+				Cat:   CategoryName(s.Cat),
+				Phase: "X",
+				TS:    float64(s.Start-base) / 1e3,
+				Dur:   float64(s.Dur) / 1e3,
+				PID:   1,
+				TID:   tid,
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}
+
+// WriteChromeTraceFile writes the collector's contents to path.
+func WriteChromeTraceFile(path string, c *Collector) error {
+	order, byTrack := c.Tracks()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, order, byTrack); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is a small named-counter registry shared between a running
+// component (coordinator or worker) and its debug server's /metrics
+// page. A nil *Metrics is valid and discards updates, so instrumented
+// code never has to branch.
+type Metrics struct {
+	mu    sync.Mutex
+	order []string
+	vals  map[string]*atomic.Int64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{vals: map[string]*atomic.Int64{}}
+}
+
+// Counter returns the named counter, creating it at zero. On a nil
+// registry it returns a detached throwaway counter.
+func (m *Metrics) Counter(name string) *atomic.Int64 {
+	if m == nil {
+		return new(atomic.Int64)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.vals[name]
+	if !ok {
+		c = new(atomic.Int64)
+		m.vals[name] = c
+		m.order = append(m.order, name)
+	}
+	return c
+}
+
+// Add increments the named counter by d.
+func (m *Metrics) Add(name string, d int64) {
+	if m == nil {
+		return
+	}
+	m.Counter(name).Add(d)
+}
+
+// Set stores v in the named counter.
+func (m *Metrics) Set(name string, v int64) {
+	if m == nil {
+		return
+	}
+	m.Counter(name).Store(v)
+}
+
+// Render writes "name value" lines in registration order.
+func (m *Metrics) Render(w io.Writer) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	names := append([]string(nil), m.order...)
+	vals := make([]int64, len(names))
+	for i, n := range names {
+		vals[i] = m.vals[n].Load()
+	}
+	m.mu.Unlock()
+	for i, n := range names {
+		fmt.Fprintf(w, "%s %d\n", n, vals[i])
+	}
+}
+
+// DebugServer is the opt-in HTTP listener behind -debug-addr: pprof
+// under /debug/pprof/ and a plain-text /metrics page.
+type DebugServer struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// StartDebugServer listens on addr and serves pprof plus a /metrics page
+// rendered by the snapshot callback on every request (the callback must
+// be safe for concurrent use; pass nil for a pprof-only listener).
+// addr ":0" picks a free port — read it back with Addr.
+func StartDebugServer(addr string, snapshot func(io.Writer)) (*DebugServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if snapshot != nil {
+			snapshot(w)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "pipebd debug listener")
+		fmt.Fprintln(w, "  /metrics       plain-text counters")
+		fmt.Fprintln(w, "  /debug/pprof/  Go profiling endpoints")
+	})
+	s := &DebugServer{lis: lis, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(lis) //nolint:errcheck // Serve returns on Close; nothing to report.
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *DebugServer) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the listener and any in-flight handlers.
+func (s *DebugServer) Close() error { return s.srv.Close() }

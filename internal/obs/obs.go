@@ -1,0 +1,302 @@
+// Package obs is the runtime observability layer: a low-overhead span
+// tracer threaded through the real execution paths (the in-process
+// engine's device goroutines and the cluster workers' device loops), a
+// Chrome trace-event exporter, a measured-vs-modeled utilization report,
+// and an opt-in HTTP debug server (pprof + /metrics).
+//
+// The simulator renders the paper's Fig. 2 busy/idle breakdowns from the
+// analytic cost model; this package produces the same breakdown from a
+// *measured* run, reusing the sim.Category taxonomy (extended with wait,
+// snapshot, and ledger categories that only exist at runtime) so the two
+// sides are directly comparable — including the model-error columns that
+// tell us when the planner's cost model drifts.
+//
+// Tracing is off by default and near-free when disabled: Track.Begin is
+// a nil check plus one atomic load, allocates nothing, and takes no
+// clock reading. TestDisabledTracingOverhead and the TraceOverhead
+// registry benchmark guard that property.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pipebd/internal/sim"
+)
+
+// Runtime-only categories extending sim's compute taxonomy. They use the
+// Category values just past sim's enum so a single array indexes both;
+// conversions into metrics.RankStats keep only the first
+// sim.NumCategories entries (wait time is idle, not busy).
+const (
+	// CatWait is time blocked on a step barrier or a peer ack window —
+	// the measured analogue of the simulator's idle/bubble time.
+	CatWait = sim.Category(sim.NumCategories)
+	// CatSnapshot is time spent encoding and sending a device snapshot.
+	CatSnapshot = sim.Category(sim.NumCategories + 1)
+	// CatLedger is coordinator time spent appending durable-run records.
+	CatLedger = sim.Category(sim.NumCategories + 2)
+
+	// NumCategories counts sim's categories plus the runtime extensions.
+	NumCategories = sim.NumCategories + 3
+)
+
+// CategoryName returns the display name of either a sim category or one
+// of the runtime extensions above.
+func CategoryName(c sim.Category) string {
+	switch c {
+	case CatWait:
+		return "wait"
+	case CatSnapshot:
+		return "snapshot"
+	case CatLedger:
+		return "ledger"
+	}
+	return c.String()
+}
+
+// Span is one timed region on a track. Start is nanoseconds since the
+// Unix epoch (wall clock, so spans from different processes on one
+// machine share a timeline); Dur is the region's length in nanoseconds.
+type Span struct {
+	Name  string
+	Cat   sim.Category
+	Start int64
+	Dur   int64
+}
+
+// maxSpansPerTrack bounds a track's buffered spans between drains. Spans
+// are drained every step in the cluster path, so the cap only bites when
+// a consumer stops draining; overflow increments Dropped instead of
+// growing without bound.
+const maxSpansPerTrack = 1 << 16
+
+// Tracer owns the process-wide enable flag and the set of tracks. The
+// zero value is unusable; construct with NewTracer. A nil *Tracer is a
+// valid "tracing compiled out" value: NewTrack returns a nil *Track whose
+// Begin is a no-op.
+type Tracer struct {
+	enabled atomic.Bool
+	mu      sync.Mutex
+	tracks  []*Track
+}
+
+// NewTracer returns a tracer with the given initial enable state.
+func NewTracer(enabled bool) *Tracer {
+	t := &Tracer{}
+	t.enabled.Store(enabled)
+	return t
+}
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool {
+	if t == nil {
+		return false
+	}
+	return t.enabled.Load()
+}
+
+// SetEnabled flips recording on or off. Regions begun while enabled
+// still record at End; regions begun while disabled never do.
+func (t *Tracer) SetEnabled(v bool) { t.enabled.Store(v) }
+
+// NewTrack registers and returns a named track (one per device
+// goroutine by convention: "dev0", "dev1", ... plus "coordinator"). A
+// nil tracer returns a nil track, which every Track method accepts.
+func (t *Tracer) NewTrack(name string) *Track {
+	if t == nil {
+		return nil
+	}
+	tk := &Track{tracer: t, name: name}
+	t.mu.Lock()
+	t.tracks = append(t.tracks, tk)
+	t.mu.Unlock()
+	return tk
+}
+
+// Tracks returns the registered tracks in creation order.
+func (t *Tracer) Tracks() []*Track {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Track(nil), t.tracks...)
+}
+
+// BusySeconds sums per-category cumulative busy seconds over all tracks
+// (for the /metrics page; it survives drains, unlike the span buffers).
+func (t *Tracer) BusySeconds() [NumCategories]float64 {
+	var out [NumCategories]float64
+	if t == nil {
+		return out
+	}
+	t.mu.Lock()
+	tracks := append([]*Track(nil), t.tracks...)
+	t.mu.Unlock()
+	for _, tk := range tracks {
+		for c := 0; c < NumCategories; c++ {
+			out[c] += float64(tk.busyNs[c].Load()) / 1e9
+		}
+	}
+	return out
+}
+
+// Track is a per-goroutine span recorder. One goroutine appends (the
+// device loop that owns it); Drain/Spans may be called from any
+// goroutine.
+type Track struct {
+	tracer  *Tracer
+	name    string
+	mu      sync.Mutex
+	spans   []Span
+	dropped int64
+	busyNs  [NumCategories]atomic.Int64
+}
+
+// Name returns the track's name.
+func (tk *Track) Name() string {
+	if tk == nil {
+		return ""
+	}
+	return tk.name
+}
+
+// Region is an in-flight span handle returned by Begin. The zero value
+// (disabled tracing, nil track) is valid and End on it does nothing.
+type Region struct {
+	tk    *Track
+	name  string
+	cat   sim.Category
+	start int64
+}
+
+// Begin opens a span. When the track is nil or its tracer is disabled
+// this is one branch plus one atomic load: no allocation, no clock read.
+func (tk *Track) Begin(cat sim.Category, name string) Region {
+	if tk == nil || !tk.tracer.enabled.Load() {
+		return Region{}
+	}
+	return Region{tk: tk, name: name, cat: cat, start: time.Now().UnixNano()}
+}
+
+// End closes the span and records it.
+func (r Region) End() {
+	if r.tk == nil {
+		return
+	}
+	dur := time.Now().UnixNano() - r.start
+	r.tk.record(Span{Name: r.name, Cat: r.cat, Start: r.start, Dur: dur})
+}
+
+// Point records an instantaneous event as a zero-ish duration span —
+// used for markers like a completed recovery.
+func (tk *Track) Point(cat sim.Category, name string) {
+	if tk == nil || !tk.tracer.enabled.Load() {
+		return
+	}
+	tk.record(Span{Name: name, Cat: cat, Start: time.Now().UnixNano(), Dur: 1})
+}
+
+func (tk *Track) record(s Span) {
+	if int(s.Cat) >= 0 && int(s.Cat) < NumCategories {
+		tk.busyNs[s.Cat].Add(s.Dur)
+	}
+	tk.mu.Lock()
+	if len(tk.spans) < maxSpansPerTrack {
+		tk.spans = append(tk.spans, s)
+	} else {
+		tk.dropped++
+	}
+	tk.mu.Unlock()
+}
+
+// Drain returns the buffered spans and clears the buffer (cumulative
+// busy counters are unaffected). Returns nil when empty.
+func (tk *Track) Drain() []Span {
+	if tk == nil {
+		return nil
+	}
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	if len(tk.spans) == 0 {
+		return nil
+	}
+	out := tk.spans
+	tk.spans = nil
+	return out
+}
+
+// Dropped returns the number of spans discarded to the buffer cap.
+func (tk *Track) Dropped() int64 {
+	if tk == nil {
+		return 0
+	}
+	tk.mu.Lock()
+	defer tk.mu.Unlock()
+	return tk.dropped
+}
+
+// Collector accumulates span batches by track name — the coordinator
+// feeds it from workers' wire batches (and its own track), the CLI
+// exports it. Safe for concurrent Add.
+type Collector struct {
+	mu     sync.Mutex
+	order  []string
+	tracks map[string][]Span
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{tracks: map[string][]Span{}}
+}
+
+// Add appends spans to the named track's timeline.
+func (c *Collector) Add(track string, spans []Span) {
+	if len(spans) == 0 {
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.tracks[track]; !ok {
+		c.order = append(c.order, track)
+	}
+	c.tracks[track] = append(c.tracks[track], spans...)
+	c.mu.Unlock()
+}
+
+// Tracks returns the collected spans keyed by track name, with track
+// names in first-seen order.
+func (c *Collector) Tracks() (names []string, byTrack map[string][]Span) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names = append([]string(nil), c.order...)
+	byTrack = make(map[string][]Span, len(c.tracks))
+	for k, v := range c.tracks {
+		byTrack[k] = append([]Span(nil), v...)
+	}
+	return names, byTrack
+}
+
+// SpanCount returns the total number of collected spans.
+func (c *Collector) SpanCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.tracks {
+		n += len(v)
+	}
+	return n
+}
+
+// String summarizes the collector for log lines.
+func (c *Collector) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, v := range c.tracks {
+		n += len(v)
+	}
+	return fmt.Sprintf("%d spans on %d tracks", n, len(c.tracks))
+}

@@ -1,0 +1,314 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"pipebd/internal/metrics"
+	"pipebd/internal/sim"
+	"pipebd/internal/testutil"
+)
+
+func TestTrackRecordsAndDrains(t *testing.T) {
+	tr := NewTracer(true)
+	tk := tr.NewTrack("dev0")
+	r := tk.Begin(sim.CatStudentFwd, "student_fwd")
+	time.Sleep(time.Millisecond)
+	r.End()
+	tk.Point(CatSnapshot, "snapshot")
+	spans := tk.Drain()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "student_fwd" || spans[0].Cat != sim.CatStudentFwd {
+		t.Fatalf("bad span: %+v", spans[0])
+	}
+	if spans[0].Dur <= 0 {
+		t.Fatalf("non-positive duration: %d", spans[0].Dur)
+	}
+	if got := tk.Drain(); got != nil {
+		t.Fatalf("second drain returned %d spans", len(got))
+	}
+	busy := tr.BusySeconds()
+	if busy[sim.CatStudentFwd] <= 0 {
+		t.Fatal("cumulative busy not recorded")
+	}
+}
+
+func TestDisabledTracerRecordsNothing(t *testing.T) {
+	tr := NewTracer(false)
+	tk := tr.NewTrack("dev0")
+	tk.Begin(sim.CatUpdate, "update").End()
+	tk.Point(CatWait, "marker")
+	if got := tk.Drain(); got != nil {
+		t.Fatalf("disabled tracer recorded %d spans", len(got))
+	}
+	// Nil track and nil tracer are valid no-ops everywhere.
+	var nilTracer *Tracer
+	nilTrack := nilTracer.NewTrack("x")
+	nilTrack.Begin(sim.CatUpdate, "update").End()
+	nilTrack.Point(CatWait, "marker")
+	if nilTrack.Drain() != nil || nilTrack.Dropped() != 0 || nilTrack.Name() != "" {
+		t.Fatal("nil track not inert")
+	}
+	if nilTracer.Enabled() || nilTracer.Tracks() != nil {
+		t.Fatal("nil tracer not inert")
+	}
+}
+
+func TestTrackDropsAtCap(t *testing.T) {
+	tr := NewTracer(true)
+	tk := tr.NewTrack("dev0")
+	for i := 0; i < maxSpansPerTrack+10; i++ {
+		tk.record(Span{Name: "s", Cat: sim.CatUpdate, Start: int64(i), Dur: 1})
+	}
+	if got := tk.Dropped(); got != 10 {
+		t.Fatalf("dropped = %d, want 10", got)
+	}
+	if got := len(tk.Drain()); got != maxSpansPerTrack {
+		t.Fatalf("buffered = %d, want %d", got, maxSpansPerTrack)
+	}
+}
+
+func TestSelfTimesAttributesNesting(t *testing.T) {
+	// allreduce [0,100) with nested reduce_scatter [10,40) and
+	// all_gather [50,90); a disjoint wait [100,130).
+	spans := []Span{
+		{Name: "allreduce", Cat: sim.CatAllReduce, Start: 0, Dur: 100},
+		{Name: "reduce_scatter", Cat: sim.CatAllReduce, Start: 10, Dur: 30},
+		{Name: "all_gather", Cat: sim.CatAllReduce, Start: 50, Dur: 40},
+		{Name: "barrier_wait", Cat: CatWait, Start: 100, Dur: 30},
+	}
+	busy := selfTimes(spans)
+	if busy[sim.CatAllReduce] != 100 {
+		t.Fatalf("allreduce self time = %d, want 100 (no double count)", busy[sim.CatAllReduce])
+	}
+	if busy[CatWait] != 30 {
+		t.Fatalf("wait self time = %d, want 30", busy[CatWait])
+	}
+	// A nested wait subtracts from its parent's category.
+	spans = []Span{
+		{Name: "send_output", Cat: sim.CatComm, Start: 0, Dur: 100},
+		{Name: "peer_ack_wait", Cat: CatWait, Start: 5, Dur: 60},
+	}
+	busy = selfTimes(spans)
+	if busy[sim.CatComm] != 40 || busy[CatWait] != 60 {
+		t.Fatalf("comm=%d wait=%d, want 40/60", busy[sim.CatComm], busy[CatWait])
+	}
+}
+
+func TestMeasuredAndRankStats(t *testing.T) {
+	byTrack := map[string][]Span{
+		"dev0": {
+			{Name: "student_fwd", Cat: sim.CatStudentFwd, Start: 1e9, Dur: 2e9},
+			{Name: "barrier_wait", Cat: CatWait, Start: 3e9, Dur: 1e9},
+		},
+		"dev1": {
+			{Name: "update", Cat: sim.CatUpdate, Start: 2e9, Dur: 1e9},
+		},
+	}
+	ranks, epoch := Measured([]string{"dev0", "dev1"}, byTrack)
+	if len(ranks) != 2 {
+		t.Fatalf("got %d ranks", len(ranks))
+	}
+	if epoch != 3 { // 1s..4s across both tracks
+		t.Fatalf("epoch = %v, want 3", epoch)
+	}
+	rs := ranks[0].RankStats(epoch)
+	if rs.Busy[sim.CatStudentFwd] != 2 {
+		t.Fatalf("busy = %v", rs.Busy[sim.CatStudentFwd])
+	}
+	if rs.Idle != 1 { // 3s epoch − 2s busy; the wait second is idle
+		t.Fatalf("idle = %v, want 1", rs.Idle)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	c := NewCollector()
+	c.Add("dev0", []Span{{Name: "teacher_fwd", Cat: sim.CatTeacherFwd, Start: 5e9, Dur: 1e6}})
+	c.Add("dev1", []Span{{Name: "allreduce", Cat: sim.CatAllReduce, Start: 6e9, Dur: 2e6}})
+	c.Add("dev0", []Span{{Name: "barrier_wait", Cat: CatWait, Start: 7e9, Dur: 3e6}})
+	if c.SpanCount() != 3 {
+		t.Fatalf("span count = %d", c.SpanCount())
+	}
+	var buf bytes.Buffer
+	order, byTrack := c.Tracks()
+	if err := WriteChromeTrace(&buf, order, byTrack); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Cat   string         `json:"cat"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			TID   int            `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	threadNames := map[string]bool{}
+	var sawX int
+	for _, ev := range parsed.TraceEvents {
+		switch ev.Phase {
+		case "M":
+			threadNames[ev.Args["name"].(string)] = true
+		case "X":
+			sawX++
+			if ev.TS < 0 || ev.Dur <= 0 {
+				t.Fatalf("bad event times: %+v", ev)
+			}
+			if ev.Name == "teacher_fwd" && ev.TS != 0 {
+				t.Fatalf("earliest span not rebased to 0: ts=%v", ev.TS)
+			}
+		}
+	}
+	if !threadNames["dev0"] || !threadNames["dev1"] {
+		t.Fatalf("missing thread_name metadata: %v", threadNames)
+	}
+	if sawX != 3 {
+		t.Fatalf("got %d X events, want 3", sawX)
+	}
+}
+
+func TestUtilizationReport(t *testing.T) {
+	ranks := []MeasuredRank{{Track: "dev0"}, {Track: "dev1"}}
+	ranks[0].Busy[sim.CatStudentFwd] = 0.6
+	ranks[1].Busy[sim.CatUpdate] = 0.3
+	modeled := &metrics.Report{Strategy: "TR", EpochTime: 10,
+		Ranks: make([]metrics.RankStats, 2)}
+	modeled.Ranks[0].Busy[sim.CatStudentFwd] = 7
+	modeled.Ranks[0].Idle = 3
+	modeled.Ranks[1].Busy[sim.CatUpdate] = 4
+	modeled.Ranks[1].Idle = 6
+	out := UtilizationReport(ranks, 1.0, modeled)
+	for _, want := range []string{"measured utilization", "measured vs modeled",
+		"dev0", "dev1", "err(pp)", "60.0", "70.0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+	// Measured-only mode still renders a breakdown.
+	out = UtilizationReport(ranks, 1.0, nil)
+	if !strings.Contains(out, "busy%") || strings.Contains(out, "modeled") {
+		t.Fatalf("measured-only report wrong:\n%s", out)
+	}
+}
+
+func TestMetricsRegistry(t *testing.T) {
+	m := NewMetrics()
+	m.Add("steps_completed", 5)
+	m.Add("steps_completed", 2)
+	m.Set("restarts", 1)
+	var buf bytes.Buffer
+	m.Render(&buf)
+	got := buf.String()
+	if !strings.Contains(got, "steps_completed 7") || !strings.Contains(got, "restarts 1") {
+		t.Fatalf("metrics page wrong:\n%s", got)
+	}
+	var nilM *Metrics
+	nilM.Add("x", 1)
+	nilM.Set("y", 2)
+	nilM.Counter("z").Add(3)
+	nilM.Render(&buf)
+}
+
+func TestDebugServer(t *testing.T) {
+	testutil.LeakCheck(t)
+	m := NewMetrics()
+	m.Add("steps_completed", 42)
+	srv, err := StartDebugServer("127.0.0.1:0", func(w io.Writer) { m.Render(w) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) string {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+	if got := get("/metrics"); !strings.Contains(got, "steps_completed 42") {
+		t.Fatalf("/metrics wrong:\n%s", got)
+	}
+	if got := get("/debug/pprof/"); !strings.Contains(got, "goroutine") {
+		t.Fatalf("pprof index wrong:\n%s", got)
+	}
+	if got := get("/"); !strings.Contains(got, "/metrics") {
+		t.Fatalf("index wrong:\n%s", got)
+	}
+	// http.Get keeps the connection alive; close idle conns so LeakCheck
+	// sees the handler goroutines exit after srv.Close.
+	http.DefaultClient.CloseIdleConnections()
+}
+
+// TestDisabledTracingOverhead is the regression guard for the "near-free
+// when disabled" contract: Begin+End on a disabled tracer must cost a
+// couple of nanoseconds (one nil check + one atomic load) and allocate
+// nothing. The threshold is two orders of magnitude above the expected
+// cost so the guard never flakes on slow CI, while still catching an
+// accidental allocation or clock read on the disabled path.
+func TestDisabledTracingOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-backed guard")
+	}
+	tr := NewTracer(false)
+	tk := tr.NewTrack("dev0")
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tk.Begin(sim.CatStudentFwd, "student_fwd").End()
+		}
+	})
+	if perOp := res.AllocsPerOp(); perOp != 0 {
+		t.Fatalf("disabled path allocates: %d allocs/op", perOp)
+	}
+	if ns := float64(res.T.Nanoseconds()) / float64(res.N); ns > 250 {
+		t.Fatalf("disabled path costs %.1f ns/op, want < 250", ns)
+	}
+	if got := tk.Drain(); got != nil {
+		t.Fatalf("disabled path recorded %d spans", len(got))
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	want := map[sim.Category]string{
+		sim.CatTeacherFwd: "teacher_fwd",
+		CatWait:           "wait",
+		CatSnapshot:       "snapshot",
+		CatLedger:         "ledger",
+	}
+	for c, name := range want {
+		if got := CategoryName(c); got != name {
+			t.Fatalf("CategoryName(%d) = %q, want %q", c, got, name)
+		}
+	}
+	// Every category has a distinct printable name (table headers rely on it).
+	seen := map[string]bool{}
+	for c := 0; c < NumCategories; c++ {
+		n := CategoryName(sim.Category(c))
+		if n == "" || seen[n] {
+			t.Fatalf("category %d name %q empty or duplicated", c, n)
+		}
+		seen[n] = true
+	}
+	_ = fmt.Sprintf("%v", seen)
+}
