@@ -4,10 +4,12 @@
 // engine's pipeline-step rate, each on the serial and parallel backends),
 // plus the cluster's end-to-end latencies on loopback — a fault-free run,
 // the same run with one injected worker kill, a snapshot-interval sweep,
-// rank-0 dedup on versus off, a durable run persisting its ledger, and a
-// full coordinator crash + ResumeRun cycle. The output file (committed as
-// BENCH_PR5.json, alongside the PR2–PR4 baselines) gives later PRs a
-// trajectory to compare against.
+// rank-0 dedup on versus off, a durable run persisting its ledger, a
+// full coordinator crash + ResumeRun cycle, hub-vs-ring topology traffic
+// attribution, and a straggler pair (the same throttled-worker run with
+// dynamic repartitioning off and on — the -repartition headline). The
+// output file (committed as BENCH_PR8.json, alongside the PR2–PR7
+// baselines) gives later PRs a trajectory to compare against.
 //
 // Every record carries the GOMAXPROCS it ran under, and -procs sweeps the
 // registry suite across several values in one invocation (the committed
@@ -46,6 +48,7 @@ import (
 	"pipebd/internal/dataset"
 	"pipebd/internal/distill"
 	"pipebd/internal/sched"
+	"pipebd/internal/tensor"
 )
 
 // Record is one benchmark measurement.
@@ -92,7 +95,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pipebd-bench", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	out := fs.String("out", "BENCH_PR7.json", "output JSON path (- for stdout)")
+	out := fs.String("out", "BENCH_PR8.json", "output JSON path (- for stdout)")
 	quick := fs.Bool("quick", false, "small problem sizes (smoke testing)")
 	procsFlag := fs.String("procs", "", "comma-separated GOMAXPROCS values to sweep the registry suite across (default: current)")
 	compare := fs.String("compare", "", "older report JSON to diff the produced (or -in) report against")
@@ -146,6 +149,7 @@ func run(args []string, stdout io.Writer) error {
 		runtime.GOMAXPROCS(widest)
 		clusterSuite(&report, *quick, widest)
 		topologySuite(&report, *quick, widest)
+		repartitionSuite(&report, *quick, widest)
 		runtime.GOMAXPROCS(hostProcs)
 	}
 
@@ -428,6 +432,92 @@ func topologySuite(report *Report, quick bool, procs int) {
 		rec := &report.Records[len(report.Records)-1]
 		rec.CoordBytesPerStep = float64(c2-c1) / float64(steps)
 		rec.PeerBytesPerStep = float64(p2-p1) / float64(steps)
+	}
+}
+
+// repartitionSuite measures what dynamic repartitioning buys. The same
+// straggler-limited ring run — three workers, the first one's compute
+// throttled 4x (bit-identical, just slower), under a front-loaded
+// all-unsplit plan — is timed twice: with the controller off, the whole
+// synchronous pipeline runs at the straggler's pace for every step; with
+// it on, a planned mid-run cut sheds the straggler's extra block onto a
+// fast sibling and the steady-state step latency recovers. Both runs
+// produce identical bits by construction, so the delta between the two
+// records is pure wall-clock — the headline number for -repartition.
+func repartitionSuite(report *Report, quick bool, procs int) {
+	steps, batch := 12, 8
+	if quick {
+		steps, batch = 6, 4
+	}
+	const factor = 4
+	p := sched.Plan{Name: "lopsided", Groups: []sched.Group{
+		{Devices: []int{0}, Blocks: []int{0, 1}},
+		{Devices: []int{1}, Blocks: []int{2}},
+		{Devices: []int{2}, Blocks: []int{3}},
+	}}
+	tiny := distill.DefaultTinyConfig()
+	data := dataset.NewRandom(rand.New(rand.NewSource(5)), steps*batch, 3, tiny.Height, tiny.Width, 4)
+	batches := data.Batches(batch)
+
+	runOnce := func(repart bool, b *testing.B) {
+		inner := transport.NewLoopback()
+		var addrs []string
+		var workers []*cluster.Worker
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		for j := 0; j < 3; j++ {
+			lis, err := inner.Listen("")
+			if err != nil {
+				panic(err)
+			}
+			cfg := cluster.WorkerConfig{Sessions: 1, Rejoin: true, Dial: inner}
+			if j == 0 {
+				cfg.Backend = tensor.NewThrottled(tensor.Serial{}, factor)
+			}
+			w := cluster.NewWorker(lis, cfg)
+			workers = append(workers, w)
+			addrs = append(addrs, w.Addr())
+			wg.Add(1)
+			go func() { defer wg.Done(); w.Serve() }()
+		}
+		go func() { wg.Wait(); close(done) }()
+		wb := distill.NewTinyWorkbench(tiny)
+		cfg := cluster.Config{
+			Plan: p, DPU: true, LR: 0.05, Momentum: 0.9,
+			Topology: "ring", Spec: cluster.TinySpec(tiny),
+			Repartition: cluster.RepartitionConfig{Enabled: repart,
+				Threshold: 0.2, Hysteresis: 2, Warmup: 2},
+			JoinTimeout: 10 * time.Second,
+		}
+		if b != nil {
+			b.StartTimer()
+		}
+		_, err := cluster.Run(inner, addrs, wb, batches, cfg)
+		if b != nil {
+			b.StopTimer()
+		}
+		if err != nil {
+			panic(fmt.Sprintf("repartition bench (repart=%v): %v", repart, err))
+		}
+		for _, w := range workers {
+			w.Close()
+		}
+		<-done
+	}
+
+	for _, repart := range []bool{false, true} {
+		mode := "static"
+		if repart {
+			mode = "repartition"
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.StopTimer()
+			for i := 0; i < b.N; i++ {
+				runOnce(repart, b)
+			}
+		})
+		report.add(fmt.Sprintf("ClusterStraggler/%s/lopsided-%dsteps-batch%d-slow%d",
+			mode, steps, batch, factor), "loopback", procs, res)
 	}
 }
 

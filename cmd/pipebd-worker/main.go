@@ -79,6 +79,7 @@ func newWorker(args []string, stdout io.Writer) (*workerApp, error) {
 	rejoin := fs.Bool("rejoin", false, "only count successful sessions toward -sessions, so the worker survives dropped sessions and re-joins the coordinator's recovery")
 	backend := fs.String("backend", "", "process-default tensor backend: "+strings.Join(tensor.Backends(), "|")+" (coordinator may override per session)")
 	workers := fs.Int("workers", 0, "parallel-backend worker count (0: GOMAXPROCS)")
+	slowdown := fs.Int("slowdown", 1, "throttle this worker's compute by the given factor (sleep (N-1)x each kernel's duration) — a bit-identical straggler for exercising -repartition; 1 disables")
 	quiet := fs.Bool("quiet", false, "suppress per-session progress output")
 	traceDir := fs.String("trace-dir", "", "trace every session's spans locally and dump each completed session as a Chrome trace JSON file in this directory")
 	netStats := fs.Bool("net-stats", false, "print the peer data-plane byte/frame totals when the worker exits")
@@ -130,6 +131,17 @@ func newWorker(args []string, stdout io.Writer) (*workerApp, error) {
 	}
 	cfg := cluster.WorkerConfig{Sessions: *sessions, Rejoin: *rejoin, Dial: peerDial,
 		TraceDir: *traceDir, Metrics: counters}
+	if *slowdown < 1 {
+		lis.Close()
+		return nil, fmt.Errorf("-slowdown must be >= 1, got %d", *slowdown)
+	}
+	if *slowdown > 1 {
+		// Throttling wraps the process default (which -backend/-workers
+		// already set above) and overrides any per-session backend choice:
+		// this worker models a uniformly slower machine.
+		cfg.Backend = tensor.NewThrottled(tensor.Default(), *slowdown)
+		fmt.Fprintf(stdout, "pipebd-worker: compute throttled %dx (straggler mode)\n", *slowdown)
+	}
 	if !*quiet {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Fprintf(stdout, "pipebd-worker: "+format+"\n", args...)

@@ -60,6 +60,10 @@ type clusterOptions struct {
 	// DebugAddr starts an HTTP debug listener (net/http/pprof plus a
 	// plain-text /metrics page) for the duration of the run.
 	DebugAddr string
+	// Fsync is the ledger record-log durability tier (needs Ledger).
+	Fsync ledger.SyncPolicy
+	// Repartition arms the measurement-driven runtime repartitioner.
+	Repartition cluster.RepartitionConfig
 }
 
 // validate rejects option combinations before any socket is touched.
@@ -82,6 +86,9 @@ func (o clusterOptions) validate() error {
 	if o.ChaosKills > 0 && o.MaxRestarts < o.ChaosKills && o.Ledger == "" {
 		return fmt.Errorf("-chaos-kills %d needs -max-restarts >= %d to survive (or -ledger to resume from)", o.ChaosKills, o.ChaosKills)
 	}
+	if o.Fsync.Mode != ledger.SyncNone && o.Ledger == "" {
+		return fmt.Errorf("-fsync %s needs -ledger (there is no record log to sync without one)", o.Fsync)
+	}
 	return nil
 }
 
@@ -94,6 +101,11 @@ type resumeOptions struct {
 	MaxRestarts int // 0 reuses the manifest's budget
 	Heartbeat   time.Duration
 	Verify      bool
+	Fsync       ledger.SyncPolicy
+	Repartition cluster.RepartitionConfig
+	// Expect pins explicitly-requested run properties (plan name,
+	// topology, steps) against the manifest; nil checks nothing.
+	Expect *cluster.ResumeExpectation
 }
 
 func (o resumeOptions) validate() error {
@@ -110,6 +122,11 @@ func clusterPlan(name string) (sched.Plan, error) {
 	case "tr":
 		return sched.Plan{Name: "tr", Groups: []sched.Group{
 			g([]int{0}, []int{0, 1}), g([]int{1}, []int{2, 3})}}, nil
+	case "tr3":
+		// Three devices, one per group, front-loaded: the all-unsplit
+		// shape -repartition can rebalance when a device measures slow.
+		return sched.Plan{Name: "tr3", Groups: []sched.Group{
+			g([]int{0}, []int{0, 1}), g([]int{1}, []int{2}), g([]int{2}, []int{3})}}, nil
 	case "hybrid":
 		return sched.Plan{Name: "hybrid", Groups: []sched.Group{
 			g([]int{0, 1}, []int{0, 1}), g([]int{2}, []int{2, 3})}}, nil
@@ -122,7 +139,7 @@ func clusterPlan(name string) (sched.Plan, error) {
 		return sched.Plan{Name: "dp3", Groups: []sched.Group{
 			g([]int{0, 1, 2}, []int{0, 1}), g([]int{3}, []int{2, 3})}}, nil
 	default:
-		return sched.Plan{}, fmt.Errorf("unknown cluster plan %q (want tr, hybrid, ir, or dp3)", name)
+		return sched.Plan{}, fmt.Errorf("unknown cluster plan %q (want tr, tr3, hybrid, ir, or dp3)", name)
 	}
 }
 
@@ -158,6 +175,8 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 		MaxRestarts: opts.MaxRestarts,
 		Snapshot:    cluster.SnapshotPolicy{Interval: opts.SnapInterval, Rank0Dedup: opts.SnapDedup},
 		LedgerDir:   opts.Ledger,
+		Fsync:       opts.Fsync,
+		Repartition: opts.Repartition,
 		LedgerMeta: fmt.Sprintf("pipebd -cluster %s -cluster-plan %s -cluster-steps %d -cluster-batch %d",
 			strings.Join(opts.Workers, ","), opts.PlanName, opts.Steps, opts.Batch),
 		Logf: func(format string, args ...any) {
@@ -229,6 +248,9 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "pipebd: cluster run finished in %v\n", time.Since(start).Round(time.Millisecond))
+	if opts.Repartition.Enabled {
+		fmt.Fprintf(stdout, "pipebd: repartitions executed: %d\n", counters.Counter("repartitions").Load())
+	}
 	if chaos != nil {
 		if unfired := chaos.Unfired(); len(unfired) > 0 {
 			// A kill that never fired (e.g. aimed at a worker the plan never
@@ -307,6 +329,9 @@ func runResume(stdout io.Writer, opts resumeOptions) error {
 		HeartbeatInterval: opts.Heartbeat,
 		HeartbeatTimeout:  heartbeatTimeout(opts.Heartbeat),
 		Logf:              logf,
+		Fsync:             opts.Fsync,
+		Repartition:       opts.Repartition,
+		Expect:            opts.Expect,
 	})
 	if err != nil {
 		return err

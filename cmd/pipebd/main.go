@@ -85,6 +85,7 @@ import (
 	"strings"
 	"time"
 
+	"pipebd/internal/cluster"
 	"pipebd/internal/cluster/ledger"
 	"pipebd/internal/experiments"
 	"pipebd/internal/hw"
@@ -101,7 +102,7 @@ func main() {
 	backend := flag.String("backend", "serial", "tensor compute backend: "+strings.Join(tensor.Backends(), "|"))
 	workers := flag.Int("workers", 0, "parallel-backend worker count (0: GOMAXPROCS)")
 	clusterAddrs := flag.String("cluster", "", "comma-separated pipebd-worker addresses; enables cluster training mode")
-	clusterPlanName := flag.String("cluster-plan", "hybrid", "cluster schedule: tr|hybrid|ir|dp3")
+	clusterPlanName := flag.String("cluster-plan", "hybrid", "cluster schedule: tr|tr3|hybrid|ir|dp3")
 	clusterSteps := flag.Int("cluster-steps", 6, "cluster training steps")
 	clusterBatch := flag.Int("cluster-batch", 8, "cluster global batch size")
 	clusterDPU := flag.Bool("cluster-dpu", true, "decoupled parameter update in cluster mode")
@@ -112,7 +113,12 @@ func main() {
 	ledgerDir := flag.String("ledger", "", "cluster mode: persist the coordinator's run state under this directory so a killed pipebd can restart with -resume")
 	snapInterval := flag.Int("snapshot-interval", 0, "cluster mode: device snapshot interval k — snapshot every k-th step (0: every step when fault tolerance is on)")
 	snapDedup := flag.Bool("snapshot-dedup", false, "cluster mode: ship one snapshot per split group (rank 0) instead of one per member")
-	resumeDir := flag.String("resume", "", "restart a killed coordinator from this ledger directory (plan, model, batches, and workers come from the manifest; -cluster overrides the worker addresses)")
+	fsync := flag.String("fsync", "none", "ledger record-log durability tier: none (page cache only — survives process death), interval[:N] (fsync every N records, default 64), or always (fsync every record); needs -ledger or -resume")
+	repartition := flag.Bool("repartition", false, "cluster mode: rebalance the pipeline placement mid-run from measured span timings — when observed per-block step times predict a better contiguous split, cut at a step boundary and re-place (weights stay bit-identical; needs an all-unsplit plan such as tr or ir)")
+	repartitionThreshold := flag.Float64("repartition-threshold", 0.1, "minimum predicted relative step-time improvement before a repartition executes (0.1 = 10%)")
+	repartitionHysteresis := flag.Int("repartition-hysteresis", 3, "consecutive qualifying measurements required before a repartition executes")
+	repartitionWarmup := flag.Int("repartition-warmup", 3, "measured steps per device before repartition proposals are evaluated")
+	resumeDir := flag.String("resume", "", "restart a killed coordinator from this ledger directory (plan, model, batches, and workers come from the manifest; -cluster overrides the worker addresses; explicitly-set -cluster-plan/-topology/-cluster-steps become checked expectations against the manifest)")
 	compactDir := flag.String("compact-ledger", "", "rewrite this ledger directory's record log as one checkpoint holding only what a resume still needs, then exit")
 	chaosKills := flag.Int("chaos-kills", 0, "cluster mode: inject N seeded worker-connection kills mid-run (self-test for -max-restarts; combine with -verify)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "cluster mode: seed for the -chaos-kills schedule")
@@ -151,6 +157,34 @@ func main() {
 			}
 		}
 	}
+	if *clusterAddrs == "" && *resumeDir == "" {
+		for flagName, set := range map[string]bool{
+			"-repartition": *repartition,
+			"-fsync":       *fsync != "none",
+		} {
+			if set {
+				fmt.Fprintf(os.Stderr, "pipebd: %s requires -cluster or -resume\n", flagName)
+				os.Exit(2)
+			}
+		}
+	}
+	fsyncPolicy, err := ledger.ParseSyncPolicy(*fsync)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pipebd: %v\n", err)
+		os.Exit(2)
+	}
+	repartCfg := cluster.RepartitionConfig{
+		Enabled:    *repartition,
+		Threshold:  *repartitionThreshold,
+		Hysteresis: *repartitionHysteresis,
+		Warmup:     *repartitionWarmup,
+	}
+	// Flags set explicitly on the command line, as opposed to resting at
+	// their defaults: a -resume alongside e.g. -cluster-plan tr means the
+	// user *expects* the ledger to hold that plan, and a silent mismatch
+	// would resume a different run than intended.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	if *compactDir != "" {
 		if err := ledger.Compact(*compactDir); err != nil {
@@ -168,9 +202,23 @@ func main() {
 			MaxRestarts: *maxRestarts,
 			Heartbeat:   *clusterHeartbeat,
 			Verify:      *verify,
+			Fsync:       fsyncPolicy,
+			Repartition: repartCfg,
 		}
 		if *clusterAddrs != "" {
 			opts.Workers = strings.Split(*clusterAddrs, ",")
+		}
+		if explicit["cluster-plan"] || explicit["topology"] || explicit["cluster-steps"] {
+			opts.Expect = &cluster.ResumeExpectation{}
+			if explicit["cluster-plan"] {
+				opts.Expect.PlanName = *clusterPlanName
+			}
+			if explicit["topology"] {
+				opts.Expect.Topology = *clusterTopology
+			}
+			if explicit["cluster-steps"] {
+				opts.Expect.Steps = *clusterSteps
+			}
 		}
 		if err := runResume(os.Stdout, opts); err != nil {
 			fmt.Fprintf(os.Stderr, "pipebd: %v\n", err)
@@ -199,6 +247,8 @@ func main() {
 			TraceOut:     *traceOut,
 			NetStats:     *netStats,
 			DebugAddr:    *debugAddr,
+			Fsync:        fsyncPolicy,
+			Repartition:  repartCfg,
 		}
 		if *backend != "serial" {
 			opts.Backend = *backend

@@ -91,6 +91,34 @@
 // the log up to the last complete record (a tail torn by the kill is
 // truncated away), re-attaches every worker through the wire Resume
 // machinery, and finishes the run bit-identical to an uninterrupted one.
+// The ledger's durability tier is configurable (-fsync none, interval=N,
+// or always: page cache, bounded fdatasync, or sync-per-append), and
+// flags passed alongside -resume become checked expectations against the
+// manifest instead of being silently ignored.
+//
+// # Dynamic repartitioning
+//
+// A run whose placement turns out wrong — one device measurably slower
+// than the profile assumed — can rebalance itself mid-run
+// (cluster.Config.Repartition, cmd/pipebd -repartition). The
+// coordinator folds the span batches workers already ship into measured
+// per-block compute costs (obs.StepAggregator; transport waits
+// excluded), re-derives the contiguous partition from those costs
+// (sched.Replan), and, when the predicted improvement clears a
+// threshold with hysteresis, executes a planned global cut at a
+// synchronous step boundary: workers are told the session is
+// superseded, the carry regroups at block boundaries onto the new
+// placement, and the run resumes on the rebalanced plan via the same
+// snapshot machinery ring recovery uses — without consuming the restart
+// budget. Only all-unsplit plans may repartition (moving a contiguous
+// boundary relocates work without reordering any float fold, so the
+// bit-identity pin survives; split groups are refused — the seam for a
+// future async/1F1B schedule). Cuts append to the ledger as repartition
+// records, so durable runs resume across plan generations:
+// cluster.ResumeRun replays each superseded generation under the plan
+// that produced it and remaps the carry across the recorded boundary.
+// pipebd-worker -slowdown N provides a reproducible bit-identical
+// straggler for exercising the controller.
 //
 // # Observability
 //
@@ -108,7 +136,7 @@
 // -trace-out, loadable in chrome://tracing or Perfetto) and a measured
 // utilization report printed side-by-side with the cost model's
 // prediction of the same schedule — the measured-vs-modeled comparison
-// the planned dynamic repartitioning needs. Both CLIs also expose
+// that now also feeds the runtime repartitioner. Both CLIs also expose
 // -net-stats (transport.Meter role-attributed byte totals) and
 // -debug-addr (net/http/pprof plus a plain-text /metrics counter page).
 // Shared test helpers (the goroutine-leak assertion) live in
@@ -118,8 +146,9 @@
 // ROADMAP.md for open items. The benchmarks in bench_test.go regenerate
 // each table and figure under `go test -bench`; cmd/pipebd-bench captures
 // kernel, pipeline-step, trace-overhead, cluster-recovery,
-// coordinator-resume, and hub-vs-ring topology throughput (with per-role
-// coordinator/peer bytes-per-step) as JSON (BENCH_PR7.json;
-// BENCH_PR2–PR6.json are the prior baselines), and BenchmarkMatMul in
+// coordinator-resume, hub-vs-ring topology throughput (with per-role
+// coordinator/peer bytes-per-step), and the straggler
+// static-vs-repartition latency pair as JSON (BENCH_PR8.json;
+// BENCH_PR2–PR7.json are the prior baselines), and BenchmarkMatMul in
 // internal/tensor compares the backends directly.
 package pipebd

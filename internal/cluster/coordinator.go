@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -90,6 +91,20 @@ type Config struct {
 	// LedgerMeta is an opaque note stored in the ledger manifest (e.g.
 	// the CLI invocation), for provenance only.
 	LedgerMeta string
+	// Fsync selects the ledger's durability tier (how often appended
+	// records reach stable storage): the zero policy keeps the pre-tier
+	// behavior — OS-buffered writes surviving process death but not power
+	// loss. Only meaningful with LedgerDir.
+	Fsync ledger.SyncPolicy
+	// Repartition enables the measurement-driven runtime repartitioner:
+	// the coordinator aggregates the workers' span batches into measured
+	// per-block step times and, when re-deriving the plan from them
+	// predicts a bottleneck improvement past the threshold, cuts the run
+	// at a snapshotted step boundary and restarts it on the rebalanced
+	// placement (recovery machinery, weights bit-identical, wall-clock
+	// only). Requires an all-unsplit plan; forces fault tolerance and
+	// span shipping on.
+	Repartition RepartitionConfig
 	// HeartbeatInterval asks each worker to emit a liveness beacon this
 	// often; HeartbeatTimeout declares a worker dead when nothing —
 	// beacon or data — arrives within it. Zero disables silence
@@ -247,6 +262,7 @@ type run struct {
 	seedSnap wire.Snapshot       // seed params, immutable; reused by every Resume
 	ringMode bool                // peer-to-peer data plane (Config.Topology == "ring")
 	epoch    int64               // ring attempt epoch, stamped into every Assign
+	repart   *repartitioner      // drive-loop repartition controller; nil when disabled
 
 	// tracer/coTrack instrument the coordinator's own control-plane work
 	// (ledger appends) when Config.Trace is on; teardown drains the track
@@ -301,21 +317,18 @@ type gatherLists struct {
 // plan and hyperparameters — including runs that lose and recover
 // workers, when cfg.MaxRestarts allows it.
 func (c *Coordinator) Run(w *distill.Workbench, batches []dataset.Batch, addrs []string) (engine.Result, error) {
-	if c.cfg.Topology == "ring" {
-		return c.runRing(w, batches, addrs)
+	if c.cfg.Topology == "ring" || c.cfg.Repartition.Enabled {
+		// Ring runs and repartition-enabled runs (either topology) go
+		// through the attempt driver: both may supersede a session and
+		// restart every device from a global cut.
+		return c.runDriven(w, batches, addrs)
 	}
 	r, err := c.newRun(w, batches, addrs)
 	if err != nil {
 		return engine.Result{}, err
 	}
 	if c.cfg.LedgerDir != "" {
-		led, err := ledger.Create(c.cfg.LedgerDir, &ledger.Manifest{
-			Assign:      wire.Assign{Plan: r.plan, Spec: c.cfg.Spec, Run: r.runCfg, Snapshot: r.seedSnap},
-			Addrs:       addrs,
-			Batches:     batches,
-			MaxRestarts: c.cfg.MaxRestarts,
-			Meta:        c.cfg.LedgerMeta,
-		})
+		led, err := c.createLedger(r, batches, addrs)
 		if err != nil {
 			return engine.Result{}, err
 		}
@@ -326,6 +339,26 @@ func (c *Coordinator) Run(w *distill.Workbench, batches []dataset.Batch, addrs [
 		return engine.Result{}, err
 	}
 	return c.execute(r)
+}
+
+// createLedger creates the run's durable store from its manifest state
+// and applies the configured fsync durability tier.
+func (c *Coordinator) createLedger(r *run, batches []dataset.Batch, addrs []string) (*ledger.Ledger, error) {
+	led, err := ledger.Create(c.cfg.LedgerDir, &ledger.Manifest{
+		Assign:      wire.Assign{Plan: r.plan, Spec: c.cfg.Spec, Run: r.runCfg, Snapshot: r.seedSnap},
+		Addrs:       addrs,
+		Batches:     batches,
+		MaxRestarts: c.cfg.MaxRestarts,
+		Meta:        c.cfg.LedgerMeta,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := led.SetSync(c.cfg.Fsync); err != nil {
+		led.Close()
+		return nil, err
+	}
+	return led, nil
 }
 
 // execute drives a prepared run (fresh or resumed) to completion: start
@@ -379,7 +412,17 @@ func (c *Coordinator) newRun(w *distill.Workbench, batches []dataset.Batch, addr
 	if buffer <= 0 {
 		buffer = 2
 	}
-	ft := c.cfg.MaxRestarts > 0 || c.cfg.LedgerDir != ""
+	if c.cfg.Repartition.Enabled {
+		for gi, g := range plan.Groups {
+			if g.Split() != 1 {
+				return nil, fmt.Errorf("cluster: repartitioning needs an all-unsplit plan; %q group %d spans %d devices (split groups fold gradients, so moving their boundary would change the trajectory)",
+					plan.Name, gi, g.Split())
+			}
+		}
+	}
+	// Repartitioning implies fault tolerance: the planned cut restores
+	// from the same snapshot history recovery uses.
+	ft := c.cfg.MaxRestarts > 0 || c.cfg.LedgerDir != "" || c.cfg.Repartition.Enabled
 	policy, err := effectivePolicy(c.cfg.Snapshot, ft)
 	if err != nil {
 		return nil, err
@@ -408,7 +451,10 @@ func (c *Coordinator) newRun(w *distill.Workbench, batches []dataset.Batch, addr
 	for gi := range r.groupInThrough {
 		r.groupInThrough[gi] = -1
 	}
-	if r.ringMode && r.ft {
+	if (r.ringMode || c.cfg.Repartition.Enabled) && r.ft {
+		// Global-cut restart state: always needed in ring mode, and by
+		// hub runs that may repartition (a planned cut restarts every
+		// device, not just a lost one).
 		r.histG = make([]map[int]histEntry, len(plan.Groups))
 		for gi := range r.histG {
 			r.histG[gi] = make(map[int]histEntry)
@@ -427,8 +473,11 @@ func (c *Coordinator) newRun(w *distill.Workbench, batches []dataset.Batch, addr
 		Snap:            policy,
 		HeartbeatMillis: int(c.cfg.HeartbeatInterval / time.Millisecond),
 		Topology:        c.cfg.Topology,
-		Trace:           c.cfg.Trace,
-		Data:            c.cfg.Data}
+		// The repartitioner's measurements are the workers' span batches,
+		// so a repartition-enabled run ships spans even when the caller
+		// did not ask for a trace.
+		Trace: c.cfg.Trace || c.cfg.Repartition.Enabled,
+		Data:  c.cfg.Data}
 	if r.ringMode && c.cfg.Data.N > 0 {
 		if err := validateDataRecipe(c.cfg.Data, batches); err != nil {
 			return nil, err
@@ -1106,7 +1155,12 @@ func (r *run) teardown() {
 	graceful := true
 	select {
 	case <-r.failed:
-		graceful = false
+		// A planned repartition supersedes the attempt deliberately:
+		// flush the outboxes so every session receives its Repartition
+		// frame before the connection closes. Real failures kill the
+		// outboxes — a dead worker is not reading.
+		var pr *plannedRepartition
+		graceful = errors.As(r.firstErr, &pr)
 	default:
 	}
 	for _, p := range peers {
@@ -1204,7 +1258,7 @@ func (r *run) handle(p *peerConn, f *wire.Frame) error {
 		}
 		return r.onSnapshot(dev, ds, step, params, velocity)
 	case wire.KindSpans:
-		if !r.co.cfg.Trace {
+		if !r.co.cfg.Trace && r.repart == nil {
 			return nil // stray batch from a session we did not ask to trace
 		}
 		b, err := wire.DecodeSpans(f)
@@ -1215,9 +1269,15 @@ func (r *run) handle(p *peerConn, f *wire.Frame) error {
 		for i, s := range b.Spans {
 			spans[i] = obs.Span{Name: s.Name, Cat: sim.Category(s.Cat), Start: s.Start, Dur: s.Dur}
 		}
-		// Sink delivery happens here on the reader goroutine, outside
-		// r.mu — span batches never contend with the data plane.
-		r.co.cfg.TraceSink(b.Track, spans)
+		// Sink delivery and repartition aggregation happen here on the
+		// reader goroutine, outside r.mu — span batches never contend
+		// with the data plane.
+		if r.co.cfg.Trace {
+			r.co.cfg.TraceSink(b.Track, spans)
+		}
+		if r.repart != nil {
+			r.observeSpans(b.Track, spans)
+		}
 		return nil
 	case wire.KindFinalParams:
 		params, err := wire.DecodeTensors(f)

@@ -50,6 +50,13 @@ func Compact(dir string) error {
 	// Flatten earlier checkpoints so Compact is idempotent.
 	var recs []*Record
 	for _, rec := range rep.Records {
+		if rec.Type == TypeRepartition {
+			// The horizon computation below assumes one plan for the whole
+			// log; a repartitioned log holds records under several plans
+			// and must be replayed generation by generation. Refusing is
+			// safe — the log stays resumable, just uncompacted.
+			return fmt.Errorf("ledger: %s holds a repartition record (cut after step %d); repartitioned logs cannot be compacted", dir, rec.Step)
+		}
 		if rec.Type == TypeCheckpoint {
 			recs = append(recs, rec.Children...)
 		} else {

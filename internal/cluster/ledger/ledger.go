@@ -49,6 +49,82 @@ const (
 // different ledger format version.
 var ErrVersion = errors.New("ledger: version mismatch")
 
+// SyncMode selects how aggressively Append pushes records to stable
+// storage. The default, SyncNone, hands records to the operating system
+// and stops there: that survives process death (page-cache contents
+// outlive a SIGKILL) but not power loss. The synced tiers close that gap
+// at increasing append latency.
+type SyncMode int
+
+const (
+	// SyncNone never fsyncs the record log (the pre-sync-policy behavior):
+	// durable against process death only.
+	SyncNone SyncMode = iota
+	// SyncInterval fsyncs after every Every-th appended record, and again
+	// on Close — bounded-loss durability: a power cut loses at most the
+	// records since the last sync point.
+	SyncInterval
+	// SyncAlways fsyncs after every record: an Append that returned has
+	// reached stable storage.
+	SyncAlways
+)
+
+// SyncPolicy is a ledger's record-log durability tier. The zero value is
+// SyncNone.
+type SyncPolicy struct {
+	Mode SyncMode
+	// Every is the record interval for SyncInterval (ignored otherwise);
+	// it must be >= 1 in that mode.
+	Every int
+}
+
+// Validate rejects malformed policies.
+func (p SyncPolicy) Validate() error {
+	switch p.Mode {
+	case SyncNone, SyncAlways:
+		return nil
+	case SyncInterval:
+		if p.Every < 1 {
+			return fmt.Errorf("ledger: interval sync needs Every >= 1, got %d", p.Every)
+		}
+		return nil
+	default:
+		return fmt.Errorf("ledger: unknown sync mode %d", int(p.Mode))
+	}
+}
+
+func (p SyncPolicy) String() string {
+	switch p.Mode {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return fmt.Sprintf("interval:%d", p.Every)
+	default:
+		return "none"
+	}
+}
+
+// ParseSyncPolicy parses the CLI form of a sync policy: "none", "always",
+// "interval" (every 64 records), or "interval:N".
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch {
+	case s == "" || s == "none":
+		return SyncPolicy{Mode: SyncNone}, nil
+	case s == "always":
+		return SyncPolicy{Mode: SyncAlways}, nil
+	case s == "interval":
+		return SyncPolicy{Mode: SyncInterval, Every: 64}, nil
+	case len(s) > len("interval:") && s[:len("interval:")] == "interval:":
+		var n int
+		if _, err := fmt.Sscanf(s[len("interval:"):], "%d", &n); err != nil || n < 1 {
+			return SyncPolicy{}, fmt.Errorf("ledger: bad sync interval %q (want interval:N with N >= 1)", s)
+		}
+		return SyncPolicy{Mode: SyncInterval, Every: n}, nil
+	default:
+		return SyncPolicy{}, fmt.Errorf("ledger: unknown sync policy %q (want none, interval[:N], or always)", s)
+	}
+}
+
 // Manifest is the immutable setup of a durable run: the full session
 // assignment (plan, model spec, run config including the snapshot policy,
 // and the seed parameter snapshot — the Devices field is unused), the
@@ -103,6 +179,13 @@ const (
 	// records would otherwise regress the marks on resume and make the
 	// coordinator re-feed batches the devices already consumed.
 	TypeMarks
+	// TypeRepartition marks a planned runtime placement change: the run
+	// was cut after Step and continued on the plan encoded in Payload
+	// (wire.EncodePlan). Records before it describe state under the
+	// manifest's (or the previous repartition's) plan; records after it
+	// describe state under the new plan, so resume replays the log in
+	// plan generations.
+	TypeRepartition
 	typeEnd // sentinel: all valid types are below this
 )
 
@@ -111,6 +194,7 @@ var typeNames = map[Type]string{
 	TypeInput: "input", TypeOutput: "output", TypeReduction: "reduction",
 	TypeLosses: "losses", TypeBarrier: "barrier",
 	TypeCheckpoint: "checkpoint", TypeMarks: "marks",
+	TypeRepartition: "repartition",
 }
 
 func (t Type) String() string {
@@ -174,6 +258,12 @@ func Barrier(step int) *Record {
 	return &Record{Type: TypeBarrier, Step: step}
 }
 
+// Repartition builds a planned-repartition record: the run was cut after
+// step and continues on the plan encoded in payload (wire.EncodePlan).
+func Repartition(step int, payload []byte) *Record {
+	return &Record{Type: TypeRepartition, Step: step, Payload: payload}
+}
+
 func (rec *Record) encode() ([]byte, error) {
 	w := wire.NewWriter()
 	switch rec.Type {
@@ -219,6 +309,9 @@ func (rec *Record) encode() ([]byte, error) {
 		}
 	case TypeMarks:
 		w.I32s(rec.Marks)
+	case TypeRepartition:
+		w.I32(int32(rec.Step))
+		w.Blob(rec.Payload)
 	default:
 		return nil, fmt.Errorf("ledger: cannot encode record %v", rec.Type)
 	}
@@ -278,6 +371,9 @@ func decodeRecord(t Type, payload []byte) (*Record, error) {
 		}
 	case TypeMarks:
 		rec.Marks = r.I32s()
+	case TypeRepartition:
+		rec.Step = int(r.I32())
+		rec.Payload = r.Blob()
 	default:
 		return nil, fmt.Errorf("ledger: unknown record %v", t)
 	}
@@ -309,14 +405,37 @@ type Replay struct {
 type Ledger struct {
 	dir string
 
-	mu    sync.Mutex
-	f     *os.File
-	recs  int64 // records appended through this handle
-	bytes int64 // framed bytes appended through this handle
+	mu       sync.Mutex
+	f        *os.File
+	recs     int64 // records appended through this handle
+	bytes    int64 // framed bytes appended through this handle
+	sync     SyncPolicy
+	unsynced int64 // records written since the last fsync
 }
 
 // Dir returns the ledger's directory.
 func (l *Ledger) Dir() string { return l.dir }
+
+// SetSync installs the record-log durability tier for subsequent Appends.
+// The default is SyncNone. Raising the tier mid-stream is safe: the next
+// qualifying Append (or Close) also covers every record written before
+// the change.
+func (l *Ledger) SetSync(p SyncPolicy) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sync = p
+	return nil
+}
+
+// Sync returns the ledger's current durability tier.
+func (l *Ledger) Sync() SyncPolicy {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sync
+}
 
 // Create initializes dir as a fresh ledger: it writes the manifest via
 // write-to-temp + atomic rename and creates an empty record log. A
@@ -350,7 +469,7 @@ func Create(dir string, m *Manifest) (*Ledger, error) {
 		return nil, err
 	}
 	tmp := manifestPath + ".tmp"
-	if err := os.WriteFile(tmp, blob, 0o644); err != nil {
+	if err := writeFileSynced(tmp, blob); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("ledger: %w", err)
 	}
@@ -358,6 +477,11 @@ func Create(dir string, m *Manifest) (*Ledger, error) {
 		f.Close()
 		return nil, fmt.Errorf("ledger: %w", err)
 	}
+	// Make the rename itself durable. The manifest is written exactly once
+	// per run, so this pair of syncs is a fixed cost, not an append-path
+	// one — without it a power cut could leave a directory whose log has
+	// synced records but whose manifest entry never reached the disk.
+	syncDir(dir)
 	if err := f.Truncate(0); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("ledger: %w", err)
@@ -410,6 +534,37 @@ func Open(dir string) (*Ledger, *Manifest, *Replay, error) {
 		}
 	}
 	return &Ledger{dir: dir, f: f}, m, replay, nil
+}
+
+// writeFileSynced writes data to path and fsyncs it before closing, so
+// the bytes are on stable storage before the caller renames the file
+// into place.
+func writeFileSynced(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+// Best-effort: some filesystems reject directory fsync, and the weaker
+// pre-sync-policy durability (process death) never needed it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
 }
 
 // replayLog parses records until the first incomplete or corrupt one and
@@ -468,9 +623,14 @@ func parseRecord(raw []byte) (*Record, int) {
 
 // Append writes one record to the log. The write reaches the operating
 // system before Append returns, so a coordinator killed any time after
-// has the record (process death does not lose page-cache contents —
-// surviving power loss would additionally need fsync, which the replay
-// design deliberately trades away for append latency).
+// has the record (process death does not lose page-cache contents). How
+// far past the page cache the record travels is the SyncPolicy's call:
+// under SyncAlways it is on stable storage when Append returns, under
+// SyncInterval within Every records of it, and under SyncNone (the
+// default) a power cut may still lose it — the torn-tail truncation in
+// Open then recovers the longest consistent prefix either way, because
+// fsync ordering guarantees no record is durable before its
+// predecessors.
 func (l *Ledger) Append(rec *Record) error {
 	payload, err := rec.encode()
 	if err != nil {
@@ -487,6 +647,28 @@ func (l *Ledger) Append(rec *Record) error {
 	}
 	l.recs++
 	l.bytes += int64(len(buf))
+	l.unsynced++
+	switch l.sync.Mode {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return fmt.Errorf("ledger: syncing %v record: %w", rec.Type, err)
+		}
+	case SyncInterval:
+		if l.unsynced >= int64(l.sync.Every) {
+			if err := l.syncLocked(); err != nil {
+				return fmt.Errorf("ledger: syncing %v record: %w", rec.Type, err)
+			}
+		}
+	}
+	return nil
+}
+
+// syncLocked flushes the record log to stable storage; callers hold l.mu.
+func (l *Ledger) syncLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.unsynced = 0
 	return nil
 }
 
@@ -498,15 +680,23 @@ func (l *Ledger) Written() (records int64, bytes int64) {
 	return l.recs, l.bytes
 }
 
-// Close releases the record log. Appends after Close fail.
+// Close releases the record log, first flushing any unsynced records to
+// stable storage when a synced tier is active. Appends after Close fail.
 func (l *Ledger) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
 		return nil
 	}
+	var syncErr error
+	if l.sync.Mode != SyncNone && l.unsynced > 0 {
+		syncErr = l.syncLocked()
+	}
 	err := l.f.Close()
 	l.f = nil
+	if syncErr != nil {
+		return syncErr
+	}
 	return err
 }
 

@@ -1,0 +1,84 @@
+package ledger
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pipebd/internal/cluster/wire"
+	"pipebd/internal/sched"
+)
+
+// TestRepartitionRecordRoundTrip: a repartition record (cut step plus
+// encoded new plan) must replay exactly — resume rebuilds the plan
+// generations from it.
+func TestRepartitionRecordRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	led := mustCreate(t, dir, sampleManifest())
+	plan := sched.Plan{Name: "rebalanced", Groups: []sched.Group{
+		{Devices: []int{0}, Blocks: []int{0}},
+		{Devices: []int{2}, Blocks: []int{1, 2, 3}},
+	}}
+	payload := wire.EncodePlan(plan)
+	recs := []*Record{
+		Losses(0, 0, []float64{0.5}),
+		Repartition(2, payload),
+		Losses(0, 3, []float64{0.25}),
+	}
+	for _, rec := range recs {
+		if err := led.Append(rec); err != nil {
+			t.Fatalf("Append(%v): %v", rec.Type, err)
+		}
+	}
+	led.Close()
+
+	led2, _, rep, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer led2.Close()
+	if len(rep.Records) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(rep.Records), len(recs))
+	}
+	got := rep.Records[1]
+	if got.Type != TypeRepartition || got.Step != 2 {
+		t.Fatalf("repartition record replayed as %+v, want type %v step 2", got, TypeRepartition)
+	}
+	if !bytes.Equal(got.Payload, payload) {
+		t.Fatal("repartition payload not byte-identical after replay")
+	}
+	decoded, err := wire.DecodePlan(got.Payload)
+	if err != nil {
+		t.Fatalf("decoding replayed plan: %v", err)
+	}
+	if decoded.Name != plan.Name || len(decoded.Groups) != len(plan.Groups) {
+		t.Fatalf("replayed plan = %+v, want %+v", decoded, plan)
+	}
+}
+
+// TestCompactRefusesRepartitionedLog: compaction's horizon computation
+// assumes one plan for the whole log, so a log spanning plan generations
+// must be refused loudly rather than compacted wrong.
+func TestCompactRefusesRepartitionedLog(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "run")
+	led := mustCreate(t, dir, sampleManifest())
+	rng := rand.New(rand.NewSource(13))
+	for _, rec := range sampleRecords(rng) {
+		if err := led.Append(rec); err != nil {
+			t.Fatalf("Append(%v): %v", rec.Type, err)
+		}
+	}
+	if err := led.Append(Repartition(1, wire.EncodePlan(sched.Plan{Name: "p", Groups: []sched.Group{
+		{Devices: []int{0}, Blocks: []int{0, 1, 2, 3}},
+	}}))); err != nil {
+		t.Fatalf("Append(repartition): %v", err)
+	}
+	led.Close()
+
+	err := Compact(dir)
+	if err == nil || !strings.Contains(err.Error(), "cannot be compacted") {
+		t.Fatalf("Compact on repartitioned log: got %v, want refusal", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"pipebd/internal/cluster/wire"
 	"pipebd/internal/distill"
 	"pipebd/internal/engine"
+	"pipebd/internal/tensor"
 )
 
 // ResumeConfig holds the operational knobs of a resumed run — everything
@@ -32,6 +33,75 @@ type ResumeConfig struct {
 	HeartbeatTimeout  time.Duration
 	// Logf receives progress lines; nil is silent.
 	Logf func(format string, args ...any)
+	// Fsync is the resumed run's record-log durability tier (the ledger is
+	// re-opened with it); the zero policy is SyncNone, matching Config.
+	Fsync ledger.SyncPolicy
+	// Repartition re-arms the runtime repartitioner for the resumed run.
+	// A ledger that already holds repartition records enables it
+	// implicitly regardless (the original run opted in, and the restore
+	// needs the repartition machinery either way); these knobs then tune
+	// the re-armed controller.
+	Repartition RepartitionConfig
+	// Expect, when non-nil, pins what the caller believes the ledger
+	// holds; any mismatch fails with a diagnostic before a single worker
+	// is dialed, instead of silently resuming a different run.
+	Expect *ResumeExpectation
+}
+
+// ResumeExpectation states the run a caller intends to resume. Zero
+// fields are not checked. It guards the operational gap the manifest
+// cannot close by itself: the manifest always wins on *what* runs (plan,
+// spec, topology), so a caller pointing -resume at the wrong ledger
+// directory would otherwise quietly train a different model.
+type ResumeExpectation struct {
+	// PlanName must match the manifest plan's name, e.g. "tr".
+	PlanName string
+	// Topology must match the manifest's data plane; "hub" matches a
+	// manifest that spelled it "" (the hub default).
+	Topology string
+	// Steps must match the manifest's step count.
+	Steps int
+	// Spec, when non-nil, must match the manifest's model spec exactly.
+	Spec *wire.ModelSpec
+}
+
+// validateManifest rejects a self-inconsistent manifest (a plan that
+// cannot drive the persisted snapshot or batch schedule) and any
+// expectation mismatch.
+func validateManifest(dir string, man *ledger.Manifest, exp *ResumeExpectation) error {
+	nDev := 0
+	for _, g := range man.Assign.Plan.Groups {
+		nDev += g.Split()
+	}
+	if err := man.Assign.Plan.Validate(nDev, len(man.Assign.Snapshot.Student)); err != nil {
+		return fmt.Errorf("ledger %s: manifest plan does not fit its own seed snapshot: %w", dir, err)
+	}
+	if len(man.Batches) < man.Assign.Run.Steps {
+		return fmt.Errorf("ledger %s: manifest stages %d batches for %d steps", dir, len(man.Batches), man.Assign.Run.Steps)
+	}
+	if exp == nil {
+		return nil
+	}
+	topo := man.Assign.Run.Topology
+	if topo == "" {
+		topo = "hub"
+	}
+	if exp.Topology != "" && exp.Topology != topo {
+		return fmt.Errorf("ledger %s holds a %s-topology run, not %s — resume inherits the topology from the manifest; drop the override or point at the right ledger", dir, topo, exp.Topology)
+	}
+	if exp.PlanName != "" && exp.PlanName != man.Assign.Plan.Name {
+		return fmt.Errorf("ledger %s holds plan %q (%s), not %q — resume inherits the plan from the manifest; drop the override or point at the right ledger",
+			dir, man.Assign.Plan.Name, man.Assign.Plan.Describe(), exp.PlanName)
+	}
+	if exp.Steps > 0 && exp.Steps != man.Assign.Run.Steps {
+		return fmt.Errorf("ledger %s holds a %d-step run, not %d — resume inherits the step count from the manifest; drop the override or point at the right ledger",
+			dir, man.Assign.Run.Steps, exp.Steps)
+	}
+	if exp.Spec != nil && *exp.Spec != man.Assign.Spec {
+		return fmt.Errorf("ledger %s holds model %+v, not the expected %+v — resume inherits the model from the manifest; drop the override or point at the right ledger",
+			dir, man.Assign.Spec, *exp.Spec)
+	}
+	return nil
 }
 
 // ResumeRun restarts a killed coordinator from its on-disk ledger: it
@@ -49,6 +119,14 @@ type ResumeConfig struct {
 func ResumeRun(net transport.Network, dir string, rc ResumeConfig) (engine.Result, *distill.Workbench, error) {
 	led, man, rep, err := ledger.Open(dir)
 	if err != nil {
+		return engine.Result{}, nil, err
+	}
+	if err := validateManifest(dir, man, rc.Expect); err != nil {
+		led.Close()
+		return engine.Result{}, nil, err
+	}
+	if err := led.SetSync(rc.Fsync); err != nil {
+		led.Close()
 		return engine.Result{}, nil, err
 	}
 	w, err := BuildWorkbench(man.Assign.Spec)
@@ -89,14 +167,23 @@ func ResumeRun(net transport.Network, dir string, rc ResumeConfig) (engine.Resul
 		HeartbeatInterval: rc.HeartbeatInterval,
 		HeartbeatTimeout:  rc.HeartbeatTimeout,
 		Logf:              rc.Logf,
+		Fsync:             rc.Fsync,
+		Repartition:       rc.Repartition,
 	}
 	if cfg.HeartbeatInterval == 0 && man.Assign.Run.HeartbeatMillis > 0 {
 		cfg.HeartbeatInterval = time.Duration(man.Assign.Run.HeartbeatMillis) * time.Millisecond
 		cfg.HeartbeatTimeout = 4 * cfg.HeartbeatInterval
 	}
+	gens := splitGenerations(rep.Records)
+	if len(gens) > 1 {
+		// The log spans plan generations: the original run repartitioned,
+		// so the resumed run keeps the machinery (and the controller) armed
+		// whether or not the caller re-asked for it.
+		cfg.Repartition.Enabled = true
+	}
 	c := NewCoordinator(net, cfg)
-	if cfg.Topology == "ring" {
-		return c.resumeRing(w, man, rep, addrs, led, dir)
+	if cfg.Topology == "ring" || cfg.Repartition.Enabled {
+		return c.resumeDriven(w, man, rep, gens, addrs, led, dir)
 	}
 	r, err := c.newRun(w, man.Batches, addrs)
 	if err != nil {
@@ -120,37 +207,141 @@ func ResumeRun(net transport.Network, dir string, rc ResumeConfig) (engine.Resul
 	return res, w, nil
 }
 
-// resumeRing restores a killed ring coordinator. The ring's data plane
-// never passes through the coordinator, so there is nothing to replay to
-// the workers: the record log is replayed into a scratch run only to
-// recover the global restart cut (the newest step every group holds a
-// persisted snapshot for and every device has accounted), and the ring
-// driver then re-places every device against the still-running workers
-// exactly as a live worker-loss restart would — same carry, same Resume
-// frames, same bit-identical trajectory. The resumed run keeps appending
-// to the same ledger.
-func (c *Coordinator) resumeRing(w *distill.Workbench, man *ledger.Manifest, rep *ledger.Replay,
-	addrs []string, led *ledger.Ledger, dir string) (engine.Result, *distill.Workbench, error) {
+// planGeneration is one contiguous slice of a ledger's record log that
+// replays under a single plan. A repartition record ends a generation:
+// it carries the cut step and the next generation's plan.
+type planGeneration struct {
+	recs   []*ledger.Record
+	repart *ledger.Record // the terminating cut; nil for the final generation
+}
+
+// splitGenerations partitions a replayed log at its repartition records.
+// A log with none is a single generation under the manifest's plan.
+// Compacted checkpoints never straddle a cut (Compact refuses
+// repartitioned logs), so the split only looks at the top level.
+func splitGenerations(recs []*ledger.Record) []planGeneration {
+	gens := []planGeneration{{}}
+	for _, rec := range recs {
+		if rec.Type == ledger.TypeRepartition {
+			gens[len(gens)-1].repart = rec
+			gens = append(gens, planGeneration{})
+			continue
+		}
+		gens[len(gens)-1].recs = append(gens[len(gens)-1].recs, rec)
+	}
+	return gens
+}
+
+// resumeDriven restores a killed attempt-driven coordinator (ring
+// topology, and any repartition-enabled hub run). The data plane state
+// these runs need is a global restart cut, not per-device surgical
+// replay, so the record log is replayed into scratch runs only to
+// recover that cut, and the attempt driver then re-places every device
+// against the still-running workers exactly as a live restart would —
+// same carry, same Resume frames, same bit-identical trajectory.
+//
+// A repartitioned log replays generation by generation: each superseded
+// generation's records rebuild the snapshot history under *its* plan,
+// the carry at the recorded cut is remapped onto the next recorded plan
+// (block boundaries move between devices; no tensor is recombined), and
+// the final generation is restored in full and driven to completion
+// under the log's last plan. The resumed run keeps appending to the
+// same ledger.
+func (c *Coordinator) resumeDriven(w *distill.Workbench, man *ledger.Manifest, rep *ledger.Replay,
+	gens []planGeneration, addrs []string, led *ledger.Ledger, dir string) (engine.Result, *distill.Workbench, error) {
 	defer led.Close()
+	var carry *ringCarry
+	for _, gen := range gens[:len(gens)-1] {
+		next, err := c.replayGeneration(w, man, gen, addrs, carry)
+		if err != nil {
+			return engine.Result{}, nil, err
+		}
+		carry = next
+	}
 	scratch, err := c.newRun(w, man.Batches, addrs)
 	if err != nil {
 		return engine.Result{}, nil, err
 	}
 	scratch.led = led
 	scratch.ledShared = true
-	if err := scratch.restore(rep); err != nil {
+	scratch.installRingCarry(carry)
+	final := gens[len(gens)-1]
+	if err := scratch.restore(&ledger.Replay{Records: final.recs}); err != nil {
 		scratch.teardown()
 		return engine.Result{}, nil, err
 	}
-	carry := scratch.captureRingCarry()
+	restart := scratch.captureRingCarry()
 	scratch.teardown()
-	c.logf("ledger %s: restored %d records (%d torn bytes dropped); ring restart of %d device(s) from step %d",
-		dir, len(rep.Records), rep.TornBytes, scratch.nDev, carry.cut+1)
-	res, err := c.driveRing(w, man.Batches, addrs, led, carry)
+	topo := c.cfg.Topology
+	if topo == "" {
+		topo = "hub"
+	}
+	c.logf("ledger %s: restored %d records (%d torn bytes dropped, %d plan generation(s)); %s restart of %d device(s) under plan %q from step %d",
+		dir, len(rep.Records), rep.TornBytes, len(gens), topo, scratch.nDev, c.cfg.Plan.Name, restart.cut+1)
+	res, err := c.driveRing(w, man.Batches, addrs, led, restart)
 	if err != nil {
 		return engine.Result{}, nil, err
 	}
 	return res, w, nil
+}
+
+// replayGeneration rebuilds a superseded generation's snapshot history in
+// a detached scratch run (no ledger: a closed generation must not append)
+// and returns the carry at its recorded cut, remapped onto the next
+// generation's plan. It mutates c.cfg.Plan to that plan, so subsequent
+// scratch runs — and the final drive — build under it.
+func (c *Coordinator) replayGeneration(w *distill.Workbench, man *ledger.Manifest,
+	gen planGeneration, addrs []string, carry *ringCarry) (*ringCarry, error) {
+	newPlan, err := wire.DecodePlan(gen.repart.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: repartition record (cut after step %d): %w", gen.repart.Step, err)
+	}
+	scratch, err := c.newRun(w, man.Batches, addrs)
+	if err != nil {
+		return nil, err
+	}
+	defer scratch.teardown()
+	scratch.installRingCarry(carry)
+	if err := scratch.replayRecords(gen.recs); err != nil {
+		return nil, err
+	}
+	next := scratch.carryAt(gen.repart.Step)
+	remapped := remapCarry(next, c.cfg.Plan, newPlan, w)
+	c.cfg.Plan = newPlan
+	return remapped, nil
+}
+
+// carryAt builds the restart carry for a recorded repartition cut: the
+// recorded step itself when every group's replayed history covers it,
+// else the highest earlier covered step (persistence can lag the live
+// cut — e.g. pending dedup snapshots are recorded in memory before their
+// group commit reaches the log — and replaying a few extra steps under
+// the next plan is bit-identical anyway), else the seed.
+func (r *run) carryAt(step int) *ringCarry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := &ringCarry{cut: -1, losses: r.losses,
+		params:   make([][]*tensor.Tensor, len(r.plan.Groups)),
+		velocity: make([][]*tensor.Tensor, len(r.plan.Groups))}
+	for s := step; s >= 0 && c.cut < 0; s-- {
+		all := true
+		for _, h := range r.histG {
+			if _, ok := h[s]; !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			c.cut = s
+		}
+	}
+	if c.cut >= 0 {
+		for gi := range r.histG {
+			e := r.histG[gi][c.cut]
+			c.params[gi], c.velocity[gi] = e.params, e.velocity
+		}
+	}
+	return c
 }
 
 // restore replays the ledger's records through the same state mutations
@@ -161,13 +352,11 @@ func (c *Coordinator) resumeRing(w *distill.Workbench, man *ledger.Manifest, rep
 // inside the shared helpers are naturally suppressed (no peer is mapped)
 // while forwards of gathers that completed unpersisted are re-logged.
 func (r *run) restore(rep *ledger.Replay) error {
+	if err := r.replayRecords(rep.Records); err != nil {
+		return err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for i, rec := range rep.Records {
-		if err := r.restoreRecordLocked(rec); err != nil {
-			return fmt.Errorf("cluster: ledger record %d (%v): %w", i, rec.Type, err)
-		}
-	}
 	// Marks with no record of their own:
 	// - Barrier arrivals are implied by releases: a released step was
 	//   reached by every device, an unreleased one by no completed device,
@@ -198,6 +387,22 @@ func (r *run) restore(rep *ledger.Replay) error {
 		default:
 			// More completed than fed can only under-drain, never block.
 			return nil
+		}
+	}
+	return nil
+}
+
+// replayRecords replays one record slice through the live handlers' state
+// mutations — the record half of restore, shared with the generation
+// replays of a repartitioned log (which skip restore's implied-marks and
+// credit tails: a superseded generation only contributes its snapshot
+// history and loss rows).
+func (r *run) replayRecords(recs []*ledger.Record) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, rec := range recs {
+		if err := r.restoreRecordLocked(rec); err != nil {
+			return fmt.Errorf("cluster: ledger record %d (%v): %w", i, rec.Type, err)
 		}
 	}
 	return nil

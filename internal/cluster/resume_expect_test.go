@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"pipebd/internal/cluster/ledger"
+	"pipebd/internal/cluster/transport"
+	"pipebd/internal/cluster/wire"
+	"pipebd/internal/distill"
+)
+
+// expectTestLedger writes a minimal valid ledger for a hybrid-plan ring
+// run, returning its directory. Only the manifest matters: every case
+// below must fail validation before a single worker is dialed.
+func expectTestLedger(t *testing.T, steps int) string {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "ledger")
+	w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+	led, err := ledger.Create(dir, &ledger.Manifest{
+		Assign: wire.Assign{
+			Plan: hybridPlan(),
+			Spec: TinySpec(distill.DefaultTinyConfig()),
+			Run: wire.RunConfig{LR: 0.05, Momentum: 0.9, Steps: steps,
+				Topology: "ring", Snap: wire.SnapshotPolicy{Interval: 1}},
+			Snapshot: CaptureSnapshot(w),
+		},
+		Addrs:   []string{"127.0.0.1:1"},
+		Batches: tinyBatches(steps, 6),
+	})
+	if err != nil {
+		t.Fatalf("creating expectation-test ledger: %v", err)
+	}
+	led.Close()
+	return dir
+}
+
+// TestResumeExpectationMismatches is the satellite mismatch matrix: a
+// caller resuming with explicit expectations about the run (plan name,
+// topology, step count, model spec) must get a clear diagnostic when the
+// ledger holds a different run, instead of silently training it.
+func TestResumeExpectationMismatches(t *testing.T) {
+	const steps = 4
+	dir := expectTestLedger(t, steps)
+	wrongSpec := TinySpec(distill.DefaultTinyConfig())
+	wrongSpec.Seed++
+	cases := []struct {
+		name   string
+		expect ResumeExpectation
+		want   string
+	}{
+		{"plan", ResumeExpectation{PlanName: "tr"}, `holds plan "hybrid"`},
+		{"topology", ResumeExpectation{Topology: "hub"}, "holds a ring-topology run, not hub"},
+		{"steps", ResumeExpectation{Steps: steps + 3}, "holds a 4-step run, not 7"},
+		{"spec", ResumeExpectation{Spec: &wrongSpec}, "holds model"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ResumeRun(transport.NewLoopback(), dir, ResumeConfig{Expect: &tc.expect})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("expectation %+v: got %v, want error containing %q", tc.expect, err, tc.want)
+			}
+			if err != nil && !strings.Contains(err.Error(), "resume inherits") {
+				t.Fatalf("mismatch diagnostic should explain that resume inherits from the manifest: %v", err)
+			}
+		})
+	}
+
+	// Matching expectations pass validation: the resume proceeds to dial
+	// the (dead) manifest address and fails there instead — proving the
+	// gate, not the network, decided the cases above.
+	good := ResumeExpectation{PlanName: "hybrid", Topology: "ring", Steps: steps,
+		Spec: func() *wire.ModelSpec { s := TinySpec(distill.DefaultTinyConfig()); return &s }()}
+	_, _, err := ResumeRun(transport.NewLoopback(), dir,
+		ResumeConfig{Expect: &good, JoinTimeout: 200 * time.Millisecond})
+	if err == nil {
+		t.Fatal("resume against a dead worker address should fail after validation")
+	}
+	if strings.Contains(err.Error(), "resume inherits") {
+		t.Fatalf("matching expectations must not trip validation: %v", err)
+	}
+}
+
+// TestResumeRejectsInconsistentManifest: a manifest whose plan cannot
+// drive its own seed snapshot (wrong block count) is corrupt provenance,
+// not an operational mismatch — resume refuses it up front.
+func TestResumeRejectsInconsistentManifest(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "ledger")
+	w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+	bad := hybridPlan()
+	bad.Groups[1].Blocks = []int{2} // plan now covers 3 of the snapshot's 4 blocks
+	led, err := ledger.Create(dir, &ledger.Manifest{
+		Assign: wire.Assign{
+			Plan: bad,
+			Spec: TinySpec(distill.DefaultTinyConfig()),
+			Run:  wire.RunConfig{LR: 0.05, Momentum: 0.9, Steps: 3, Topology: "ring"},
+			Snapshot: CaptureSnapshot(w),
+		},
+		Addrs:   []string{"127.0.0.1:1"},
+		Batches: tinyBatches(3, 6),
+	})
+	if err != nil {
+		t.Fatalf("creating inconsistent-manifest ledger: %v", err)
+	}
+	led.Close()
+	_, _, err = ResumeRun(transport.NewLoopback(), dir, ResumeConfig{})
+	if err == nil || !strings.Contains(err.Error(), "does not fit its own seed snapshot") {
+		t.Fatalf("inconsistent manifest: got %v, want self-consistency refusal", err)
+	}
+}

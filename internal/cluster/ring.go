@@ -55,22 +55,17 @@ type ringCarry struct {
 	losses   [][][]float64
 }
 
-// runRing is the ring-mode body of Coordinator.Run: create the ledger
-// once (the driver shares it across attempts) and hand off to driveRing.
-func (c *Coordinator) runRing(w *distill.Workbench, batches []dataset.Batch, addrs []string) (engine.Result, error) {
+// runDriven is the attempt-driver body of Coordinator.Run, used for ring
+// topology and for any repartition-enabled run: create the ledger once
+// (the driver shares it across attempts) and hand off to driveRing.
+func (c *Coordinator) runDriven(w *distill.Workbench, batches []dataset.Batch, addrs []string) (engine.Result, error) {
 	var led *ledger.Ledger
 	if c.cfg.LedgerDir != "" {
 		probe, err := c.newRun(w, batches, addrs)
 		if err != nil {
 			return engine.Result{}, err
 		}
-		led, err = ledger.Create(c.cfg.LedgerDir, &ledger.Manifest{
-			Assign:      wire.Assign{Plan: probe.plan, Spec: c.cfg.Spec, Run: probe.runCfg, Snapshot: probe.seedSnap},
-			Addrs:       addrs,
-			Batches:     batches,
-			MaxRestarts: c.cfg.MaxRestarts,
-			Meta:        c.cfg.LedgerMeta,
-		})
+		led, err = c.createLedger(probe, batches, addrs)
 		if err != nil {
 			return engine.Result{}, err
 		}
@@ -79,21 +74,47 @@ func (c *Coordinator) runRing(w *distill.Workbench, batches []dataset.Batch, add
 	return c.driveRing(w, batches, addrs, led, nil)
 }
 
-// driveRing runs ring attempts until one completes or the restart budget
-// is spent. Each attempt is a fresh run (fresh epoch, fresh sessions,
-// fresh meshes) rewound to the carry's cut; only worker losses are
-// retried — protocol errors fail the run immediately.
+// driveRing runs attempts until one completes or the restart budget is
+// spent. Each attempt is a fresh run (fresh epoch, fresh sessions, fresh
+// meshes) rewound to the carry's cut. Two kinds of supersession restart
+// the loop: worker losses (retried against the restart budget; the hub
+// data plane recovers surviving workers surgically and only lands here
+// in ring mode) and planned repartitions (deliberate, budget-free — the
+// carry is remapped onto the measured re-plan and the run resumes on the
+// new placement). Protocol errors fail the run immediately.
 func (c *Coordinator) driveRing(w *distill.Workbench, batches []dataset.Batch, addrs []string, led *ledger.Ledger, carry *ringCarry) (engine.Result, error) {
 	// Epochs only need to be unique per attempt within the workers'
 	// lifetime, so stale peer dials from a superseded attempt (or a
 	// crashed coordinator's) can never wire into a new mesh.
 	epochBase := time.Now().UnixNano()
+	var rp *repartitioner
+	if c.cfg.Repartition.Enabled {
+		rp = newRepartitioner(c.cfg.Repartition, c.cfg.Plan)
+	}
 	restarts := 0
 	rejoin := carry != nil // a resumed run re-places against already-running workers
 	for attempt := 0; ; attempt++ {
-		res, next, err := c.ringAttempt(w, batches, addrs, led, carry, epochBase+int64(attempt), rejoin)
+		res, next, err := c.ringAttempt(w, batches, addrs, led, carry, rp, epochBase+int64(attempt), rejoin)
 		if err == nil {
 			return res, nil
+		}
+		var pr *plannedRepartition
+		if errors.As(err, &pr) {
+			// The cut the carry captured is authoritative (snapshots may
+			// have advanced it past the decision's); the ledger records
+			// it with the new plan so a killed coordinator resumes onto
+			// the right placement generation.
+			carry = remapCarry(next, c.cfg.Plan, pr.plan, w)
+			if led != nil {
+				if lerr := led.Append(ledger.Repartition(carry.cut, wire.EncodePlan(pr.plan))); lerr != nil {
+					return engine.Result{}, lerr
+				}
+			}
+			c.cfg.Plan = pr.plan
+			c.cfg.Metrics.Add("repartitions", 1)
+			rejoin = true
+			c.logf("repartitioning after step %d: %v", carry.cut, err)
+			continue
 		}
 		var lost workerLostError
 		if !errors.As(err, &lost) || restarts >= c.cfg.MaxRestarts {
@@ -108,10 +129,10 @@ func (c *Coordinator) driveRing(w *distill.Workbench, batches []dataset.Batch, a
 	}
 }
 
-// ringAttempt executes one ring attempt end to end and, on failure,
-// captures the carry the next attempt restarts from.
+// ringAttempt executes one attempt end to end and, on failure, captures
+// the carry the next attempt restarts from.
 func (c *Coordinator) ringAttempt(w *distill.Workbench, batches []dataset.Batch, addrs []string,
-	led *ledger.Ledger, carry *ringCarry, epoch int64, rejoin bool) (engine.Result, *ringCarry, error) {
+	led *ledger.Ledger, carry *ringCarry, rp *repartitioner, epoch int64, rejoin bool) (engine.Result, *ringCarry, error) {
 	r, err := c.newRun(w, batches, addrs)
 	if err != nil {
 		return engine.Result{}, nil, err
@@ -119,6 +140,12 @@ func (c *Coordinator) ringAttempt(w *distill.Workbench, batches []dataset.Batch,
 	r.epoch = epoch
 	r.led = led
 	r.ledShared = led != nil
+	if rp != nil {
+		// Fresh placement (or fresh hosting), fresh measurements; the
+		// applied-fingerprint set persists across attempts.
+		rp.resetMeasurements()
+		r.repart = rp
+	}
 	defer r.teardown()
 	r.installRingCarry(carry)
 	if rejoin {

@@ -94,6 +94,11 @@ type Fault struct {
 	Trigger
 	Action Action
 	Delay  time.Duration // ActDelay only
+	// Repeat re-arms the fault after it fires, so it injects on every
+	// matching frame from the Count-th on — a persistent perturbation
+	// (e.g. a permanently slow link) rather than a one-shot event. Only
+	// meaningful for ActDelay; a repeated kill is still terminal.
+	Repeat bool
 }
 
 func (f Fault) String() string {
@@ -229,7 +234,7 @@ func (cc *chaosConn) match(op Op, f *wire.Frame) *chaosFault {
 	cc.chaos.mu.Lock()
 	defer cc.chaos.mu.Unlock()
 	for _, fl := range cc.faults {
-		if fl.fired || fl.Op != op {
+		if (fl.fired && !fl.Repeat) || fl.Op != op {
 			continue
 		}
 		if fl.Kind != 0 && fl.Kind != f.Kind {

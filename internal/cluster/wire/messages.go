@@ -140,13 +140,7 @@ type Assign struct {
 // writeAssignBody packs the Assign fields; shared by the Assign and
 // Resume frames so the two session-setup messages cannot drift apart.
 func writeAssignBody(w *Writer, a *Assign) {
-	w.String(a.Plan.Name)
-	w.U32(uint32(len(a.Plan.Groups)))
-	for _, g := range a.Plan.Groups {
-		w.I32s(g.Devices)
-		w.I32s(g.Blocks)
-		w.I32s(g.Shares)
-	}
+	writePlan(w, a.Plan)
 	w.String(a.Spec.Name)
 	w.I64(a.Spec.Seed)
 	w.I32(int32(a.Spec.Blocks))
@@ -186,12 +180,7 @@ func writeAssignBody(w *Writer, a *Assign) {
 // readAssignBody unpacks the Assign fields written by writeAssignBody.
 func readAssignBody(r *Reader) (*Assign, error) {
 	a := &Assign{}
-	a.Plan.Name = r.String()
-	ng := r.count(r.U32(), 12) // each group holds three counted slices
-	for i := 0; i < ng && r.Err() == nil; i++ {
-		g := sched.Group{Devices: r.I32s(), Blocks: r.I32s(), Shares: r.I32s()}
-		a.Plan.Groups = append(a.Plan.Groups, g)
-	}
+	a.Plan = readPlan(r)
 	a.Spec.Name = r.String()
 	a.Spec.Seed = r.I64()
 	a.Spec.Blocks = int(r.I32())
@@ -232,6 +221,65 @@ func readAssignBody(r *Reader) (*Assign, error) {
 	}
 	a.Inputs = r.Tensors()
 	return a, r.Err()
+}
+
+// writePlan packs a sched.Plan; the single codec shared by the Assign /
+// Resume session setup, the Repartition announcement, and the ledger's
+// repartition record, so a plan round-trips identically everywhere.
+func writePlan(w *Writer, p sched.Plan) {
+	w.String(p.Name)
+	w.U32(uint32(len(p.Groups)))
+	for _, g := range p.Groups {
+		w.I32s(g.Devices)
+		w.I32s(g.Blocks)
+		w.I32s(g.Shares)
+	}
+}
+
+// readPlan unpacks a plan written by writePlan; errors surface through
+// the reader's sticky error.
+func readPlan(r *Reader) sched.Plan {
+	var p sched.Plan
+	p.Name = r.String()
+	ng := r.count(r.U32(), 12) // each group holds three counted slices
+	for i := 0; i < ng && r.Err() == nil; i++ {
+		g := sched.Group{Devices: r.I32s(), Blocks: r.I32s(), Shares: r.I32s()}
+		p.Groups = append(p.Groups, g)
+	}
+	return p
+}
+
+// EncodePlan packs a plan into a standalone byte payload (the ledger's
+// repartition record body).
+func EncodePlan(p sched.Plan) []byte {
+	w := NewWriter()
+	writePlan(w, p)
+	return w.Bytes()
+}
+
+// DecodePlan unpacks a payload written by EncodePlan.
+func DecodePlan(b []byte) (sched.Plan, error) {
+	r := NewReader(b)
+	p := readPlan(r)
+	if err := r.Close(); err != nil {
+		return sched.Plan{}, err
+	}
+	return p, nil
+}
+
+// EncodeRepartition packs a planned-repartition announcement: the run is
+// cut after step `cut` and restarts on plan p.
+func EncodeRepartition(cut int32, p sched.Plan) *Frame {
+	return &Frame{Kind: KindRepartition, Dev: NoDev, Step: cut, Payload: EncodePlan(p)}
+}
+
+// DecodeRepartition unpacks a Repartition frame's plan (the cut step is
+// the frame's Step field).
+func DecodeRepartition(f *Frame) (sched.Plan, error) {
+	if f.Kind != KindRepartition {
+		return sched.Plan{}, fmt.Errorf("wire: expected %v frame, got %v", KindRepartition, f.Kind)
+	}
+	return DecodePlan(f.Payload)
 }
 
 // EncodeAssign packs an Assign into a frame.

@@ -36,8 +36,12 @@ const (
 	// PeerHello / PeerInput / RingSegment / PeerAck frames that carry
 	// activations and ring-all-reduce segments directly between workers);
 	// version 5 added the observability plane (RunConfig.Trace and the
-	// Spans frame carrying worker-side span batches to the coordinator).
-	Version = 5
+	// Spans frame carrying worker-side span batches to the coordinator);
+	// version 6 added the runtime repartition plane (the Repartition
+	// frame announcing a planned placement change, cut step plus the new
+	// plan, so workers distinguish an intentional session supersession
+	// from a failure).
+	Version = 6
 
 	headerLen = 16
 	// MaxPayload bounds a frame's payload so a corrupted or adversarial
@@ -127,6 +131,13 @@ const (
 	// boundaries when RunConfig.Trace is set; never on the hot path of an
 	// untraced run).
 	KindSpans
+	// KindRepartition announces a planned runtime repartition to every
+	// device of a session: the run is being cut at the frame's Step (the
+	// last step whose state carries over) and will restart on the payload
+	// plan. Receiving it means the session is superseded deliberately —
+	// the worker ends the session cleanly and stays up for the resumed
+	// placement — not that anything failed.
+	KindRepartition
 	kindEnd // sentinel: all valid kinds are below this
 )
 
@@ -138,6 +149,7 @@ var kindNames = map[Kind]string{
 	KindBatch: "batch", KindHeartbeat: "heartbeat", KindSnapshot: "snapshot",
 	KindResume: "resume", KindPeerHello: "peer-hello", KindPeerInput: "peer-input",
 	KindRingSegment: "ring-segment", KindPeerAck: "peer-ack", KindSpans: "spans",
+	KindRepartition: "repartition",
 }
 
 func (k Kind) String() string {

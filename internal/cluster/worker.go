@@ -47,6 +47,13 @@ type WorkerConfig struct {
 	Metrics *obs.Metrics
 	// Logf receives progress lines; nil is silent.
 	Logf func(format string, args ...any)
+	// Backend, when non-nil, overrides the compute backend for every
+	// device this worker hosts, taking precedence over the backend the
+	// Assign names. Used to model heterogeneous clusters — e.g. wrapping
+	// the assigned backend in tensor.NewThrottled makes this worker a
+	// bit-identical compute straggler the repartitioner can shed load
+	// from.
+	Backend tensor.Backend
 }
 
 // Worker hosts pipeline devices for a coordinator: it accepts a
@@ -356,6 +363,22 @@ func (w *Worker) serveSession(conn transport.Conn, first *wire.Frame) (err error
 				close(drained)
 				routerErr <- nil
 				return
+			case f.Kind == wire.KindRepartition:
+				// Planned supersession: the coordinator is cutting this
+				// placement at a committed step boundary and will re-place
+				// everything under a rebalanced plan. The session ends like a
+				// failure (device loops unwind, nothing more is sent) but the
+				// cause is deliberate; with Rejoin set the worker stays up to
+				// accept its slice of the new placement.
+				superseded := fmt.Errorf("cluster: session superseded by repartition (cut after step %d)", f.Step)
+				for _, d := range devices {
+					d.link.in.fail(superseded)
+				}
+				if m != nil {
+					m.fail(superseded)
+				}
+				routerErr <- superseded
+				return
 			case f.Dev == wire.NoDev:
 				// Broadcast: every hosted device gets it.
 				for _, d := range devices {
@@ -481,6 +504,9 @@ func (w *Worker) buildDevices(assign *wire.Assign, out *outbox, tracer *obs.Trac
 			return nil, fmt.Errorf("cluster: assign names unknown backend %q", assign.Run.Backend)
 		}
 		backend = be
+	}
+	if w.cfg.Backend != nil {
+		backend = w.cfg.Backend
 	}
 	devices := make([]*hostedDevice, 0, len(assign.Devices))
 	for _, rank := range assign.Devices {

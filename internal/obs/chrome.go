@@ -15,19 +15,34 @@ import (
 // starts at t=0.
 
 type chromeEvent struct {
+	Name  string  `json:"name"`
+	Cat   string  `json:"cat,omitempty"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`
+	// Dur must never be omitted: a complete ("X") event without a dur
+	// field is rejected by strict trace viewers, and zero-duration spans
+	// (clock-granularity regions) are legitimate — so no omitempty here.
+	// Metadata records use chromeMeta, which is how they stay dur-free.
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeMeta is a metadata ("M") record, which has no duration or
+// timestamp semantics and therefore must not grow a "dur" field when
+// chromeEvent's Dur stopped being omitempty.
+type chromeMeta struct {
 	Name  string         `json:"name"`
-	Cat   string         `json:"cat,omitempty"`
 	Phase string         `json:"ph"`
-	TS    float64        `json:"ts"`
-	Dur   float64        `json:"dur,omitempty"`
 	PID   int            `json:"pid"`
 	TID   int            `json:"tid"`
 	Args  map[string]any `json:"args,omitempty"`
 }
 
 type chromeTrace struct {
-	TraceEvents     []chromeEvent `json:"traceEvents"`
-	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []any  `json:"traceEvents"`
+	DisplayTimeUnit string `json:"displayTimeUnit"`
 }
 
 // WriteChromeTrace writes the collected spans as Chrome trace JSON.
@@ -44,13 +59,13 @@ func WriteChromeTrace(w io.Writer, order []string, byTrack map[string][]Span) er
 			}
 		}
 	}
-	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	trace := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []any{}}
 	for tid, name := range order {
 		spans, ok := byTrack[name]
 		if !ok {
 			continue
 		}
-		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+		trace.TraceEvents = append(trace.TraceEvents, chromeMeta{
 			Name: "thread_name", Phase: "M", PID: 1, TID: tid,
 			Args: map[string]any{"name": name},
 		})

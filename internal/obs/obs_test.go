@@ -312,3 +312,56 @@ func TestCategoryNames(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%v", seen)
 }
+
+func TestChromeTraceZeroDurationRoundTrip(t *testing.T) {
+	// A zero-duration complete event must still carry an explicit
+	// "dur":0 — strict trace viewers reject "X" events without a dur
+	// field, and dur,omitempty used to drop exactly those.
+	byTrack := map[string][]Span{
+		"dev0": {
+			{Name: "instant", Cat: sim.CatUpdate, Start: 5e9, Dur: 0},
+			{Name: "long", Cat: sim.CatStudentFwd, Start: 5e9, Dur: 2e6},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, []string{"dev0"}, byTrack); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var sawInstant, sawLong bool
+	for _, ev := range parsed.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			dur, ok := ev["dur"]
+			if !ok {
+				t.Fatalf("complete event %v lacks a dur field", ev["name"])
+			}
+			switch ev["name"] {
+			case "instant":
+				sawInstant = true
+				if dur.(float64) != 0 {
+					t.Fatalf("instant span dur = %v, want 0", dur)
+				}
+			case "long":
+				sawLong = true
+				if dur.(float64) != 2e3 { // 2e6 ns = 2000 us
+					t.Fatalf("long span dur = %v, want 2000", dur)
+				}
+			}
+		case "M":
+			// Metadata records have no duration semantics and must not have
+			// grown a dur field when chromeEvent's omitempty was removed.
+			if _, ok := ev["dur"]; ok {
+				t.Fatalf("metadata record carries a dur field: %v", ev)
+			}
+		}
+	}
+	if !sawInstant || !sawLong {
+		t.Fatalf("missing spans: instant=%v long=%v", sawInstant, sawLong)
+	}
+}

@@ -1,0 +1,33 @@
+package profilegen
+
+import "testing"
+
+// TestFromMeasuredProfileSurface: the measured-cost adapter must present
+// exactly the observed per-block totals through the Profile interface the
+// planner strategies consume — StepTime at split 1 is the measured cost,
+// Update is zero (already folded into the totals upstream), and MaxSplit
+// is 1 so no strategy can propose a split the measurement cannot price.
+func TestFromMeasuredProfileSurface(t *testing.T) {
+	costs := []float64{400, 150, 150, 100}
+	p := FromMeasured("live", costs)
+	if p.NumBlocks() != len(costs) {
+		t.Fatalf("NumBlocks = %d, want %d", p.NumBlocks(), len(costs))
+	}
+	if p.MaxSplit != 1 {
+		t.Fatalf("MaxSplit = %d, want 1 (measurements describe the unsplit placement)", p.MaxSplit)
+	}
+	if p.Workload != "live" {
+		t.Fatalf("Workload = %q, want %q", p.Workload, "live")
+	}
+	for b, c := range costs {
+		if got := p.StepTime(b, 1); got != c {
+			t.Fatalf("StepTime(%d, 1) = %v, want measured %v", b, got, c)
+		}
+		if p.Update[b] != 0 {
+			t.Fatalf("Update[%d] = %v, want 0 (folded into the measured total)", b, p.Update[b])
+		}
+	}
+	if got := p.LocalBatch(1); got != 1 {
+		t.Fatalf("LocalBatch(1) = %d, want 1", got)
+	}
+}

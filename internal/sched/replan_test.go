@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+)
+
+// unsplitPlan builds a one-device-per-group plan from (device, blocks)
+// pairs, with deliberately non-sequential device IDs where the caller
+// wants to check device-order preservation.
+func unsplitPlan(name string, groups ...Group) Plan {
+	return Plan{Name: name, Groups: groups}
+}
+
+// TestReplanShedsOverloadedDevice: with measured costs that make the
+// first group the bottleneck, Replan must move the boundary, keep the
+// current device order, cover the blocks contiguously, and report the
+// improvement against the measured current bottleneck.
+func TestReplanShedsOverloadedDevice(t *testing.T) {
+	cur := unsplitPlan("lop",
+		Group{Devices: []int{5}, Blocks: []int{0, 1}},
+		Group{Devices: []int{2}, Blocks: []int{2}},
+		Group{Devices: []int{7}, Blocks: []int{3}},
+	)
+	// Block 0 measured 4x its siblings: current bottleneck 4+1=5, best
+	// contiguous split [0][1,2][3] (or [0][1][2,3]) has bottleneck 4.
+	costs := []float64{4, 1, 1, 1}
+	next, eval, err := Replan(cur, costs)
+	if err != nil {
+		t.Fatalf("Replan: %v", err)
+	}
+	if eval.Current != 5 || eval.Proposed != 4 {
+		t.Fatalf("eval = %+v, want Current 5 Proposed 4", eval)
+	}
+	if imp := eval.Improvement(); imp != 0.2 {
+		t.Fatalf("Improvement() = %v, want 0.2", imp)
+	}
+	if len(next.Groups) != 3 {
+		t.Fatalf("proposed plan has %d groups, want 3", len(next.Groups))
+	}
+	wantDevs := []int{5, 2, 7}
+	b := 0
+	for gi, g := range next.Groups {
+		if len(g.Devices) != 1 || g.Devices[0] != wantDevs[gi] {
+			t.Fatalf("group %d devices = %v, want [%d] (device order must survive)", gi, g.Devices, wantDevs[gi])
+		}
+		for _, blk := range g.Blocks {
+			if blk != b {
+				t.Fatalf("group %d blocks %v break contiguity at %d", gi, g.Blocks, b)
+			}
+			b++
+		}
+	}
+	if b != len(costs) {
+		t.Fatalf("proposed plan covers %d blocks, want %d", b, len(costs))
+	}
+	if len(next.Groups[0].Blocks) != 1 {
+		t.Fatalf("straggler group kept %v, want block 0 alone", next.Groups[0].Blocks)
+	}
+}
+
+// TestReplanStableAtOptimum: when the measurement says the current
+// boundaries are already optimal, the proposal is shape-identical
+// (same fingerprint) and the predicted improvement is zero — the
+// controller's no-oscillation guarantee rests on this.
+func TestReplanStableAtOptimum(t *testing.T) {
+	cur := unsplitPlan("flat",
+		Group{Devices: []int{0}, Blocks: []int{0}},
+		Group{Devices: []int{1}, Blocks: []int{1}},
+		Group{Devices: []int{2}, Blocks: []int{2}},
+	)
+	next, eval, err := Replan(cur, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatalf("Replan: %v", err)
+	}
+	if eval.Improvement() != 0 {
+		t.Fatalf("balanced costs predicted improvement %v, want 0", eval.Improvement())
+	}
+	if Fingerprint(next) != Fingerprint(cur) {
+		t.Fatalf("optimal placement re-planned: %s -> %s", Fingerprint(cur), Fingerprint(next))
+	}
+}
+
+// TestReplanRefusesSplitGroups: split groups fold gradients, so their
+// boundaries cannot move bit-identically — Replan must refuse them.
+func TestReplanRefusesSplitGroups(t *testing.T) {
+	cur := unsplitPlan("hybrid",
+		Group{Devices: []int{0, 1}, Blocks: []int{0, 1}},
+		Group{Devices: []int{2}, Blocks: []int{2}},
+	)
+	_, _, err := Replan(cur, []float64{1, 1, 1})
+	if err == nil || !strings.Contains(err.Error(), "all-unsplit") {
+		t.Fatalf("split plan: got %v, want all-unsplit refusal", err)
+	}
+}
+
+// TestReplanRejectsCostMismatch: a cost vector that does not cover the
+// plan's blocks is a measurement bug, not something to paper over.
+func TestReplanRejectsCostMismatch(t *testing.T) {
+	cur := unsplitPlan("two",
+		Group{Devices: []int{0}, Blocks: []int{0}},
+		Group{Devices: []int{1}, Blocks: []int{1}},
+	)
+	_, _, err := Replan(cur, []float64{1, 2, 3})
+	if err == nil || !strings.Contains(err.Error(), "measured block costs") {
+		t.Fatalf("cost mismatch: got %v, want coverage refusal", err)
+	}
+}
+
+// TestImprovementEdgeCases: a zero or negative measured bottleneck means
+// no meaningful measurement; Improvement must not divide by it.
+func TestImprovementEdgeCases(t *testing.T) {
+	if imp := (ReplanEval{Current: 0, Proposed: 0}).Improvement(); imp != 0 {
+		t.Fatalf("zero-current improvement = %v, want 0", imp)
+	}
+	if imp := (ReplanEval{Current: 4, Proposed: 5}).Improvement(); imp >= 0 {
+		t.Fatalf("regressing proposal improvement = %v, want negative", imp)
+	}
+}
+
+// TestFingerprintCanonical: fingerprints compare partition shape, not
+// names, and distinguish both boundary moves and share changes.
+func TestFingerprintCanonical(t *testing.T) {
+	a := unsplitPlan("a",
+		Group{Devices: []int{0}, Blocks: []int{0, 1}},
+		Group{Devices: []int{1}, Blocks: []int{2}},
+	)
+	b := unsplitPlan("renamed",
+		Group{Devices: []int{0}, Blocks: []int{0, 1}},
+		Group{Devices: []int{1}, Blocks: []int{2}},
+	)
+	if Fingerprint(a) != Fingerprint(b) {
+		t.Fatalf("same shape, different names: %s vs %s", Fingerprint(a), Fingerprint(b))
+	}
+	moved := unsplitPlan("a",
+		Group{Devices: []int{0}, Blocks: []int{0}},
+		Group{Devices: []int{1}, Blocks: []int{1, 2}},
+	)
+	if Fingerprint(a) == Fingerprint(moved) {
+		t.Fatalf("boundary move invisible to fingerprint: %s", Fingerprint(a))
+	}
+	shared := Plan{Name: "a", Groups: []Group{
+		{Devices: []int{0, 1}, Blocks: []int{0, 1, 2}, Shares: []int{2, 1}},
+	}}
+	plain := Plan{Name: "a", Groups: []Group{
+		{Devices: []int{0, 1}, Blocks: []int{0, 1, 2}},
+	}}
+	if Fingerprint(shared) == Fingerprint(plain) {
+		t.Fatalf("share change invisible to fingerprint: %s", Fingerprint(shared))
+	}
+}

@@ -23,10 +23,26 @@ func TRContiguous(p profilegen.Profile, nDev int) Plan {
 	for b := 0; b < nb; b++ {
 		blockCost[b] = p.StepTime(b, 1) + p.Update[b]
 	}
+	ends, _ := contiguousPartition(blockCost, nDev)
+	var groups []Group
+	b := 0
+	for d, end := range ends {
+		groups = append(groups, Group{Devices: []int{d}, Blocks: seq(b, end)})
+		b = end
+	}
+	return Plan{Name: "tr-contiguous", Groups: groups}
+}
 
-	// Dynamic program over contiguous partitions minimizing the max
-	// segment sum. best[d][b] = minimal bottleneck splitting blocks b..nb-1
-	// over devices d..nDev-1.
+// contiguousPartition splits nb block costs into nDev contiguous
+// segments minimizing the maximum segment sum, via dynamic programming
+// over the (nb-1 choose nDev-1) contiguous partitions: best[d][b] is the
+// minimal bottleneck splitting blocks b..nb-1 over devices d..nDev-1. It
+// returns each segment's exclusive end index (len nDev, last entry nb)
+// and the achieved bottleneck. Shared by the static TRContiguous planner
+// and the runtime measured re-planner, so both pick partitions the same
+// way.
+func contiguousPartition(blockCost []float64, nDev int) ([]int, float64) {
+	nb := len(blockCost)
 	prefix := make([]float64, nb+1)
 	for b := 0; b < nb; b++ {
 		prefix[b+1] = prefix[b] + blockCost[b]
@@ -67,15 +83,13 @@ func TRContiguous(p profilegen.Profile, nDev int) Plan {
 	if best[0][0] == inf {
 		panic(fmt.Sprintf("sched: no contiguous partition of %d blocks over %d devices", nb, nDev))
 	}
-
-	var groups []Group
+	ends := make([]int, nDev)
 	b := 0
 	for d := 0; d < nDev; d++ {
-		end := choice[d][b]
-		groups = append(groups, Group{Devices: []int{d}, Blocks: seq(b, end)})
-		b = end
+		ends[d] = choice[d][b]
+		b = ends[d]
 	}
-	return Plan{Name: "tr-contiguous", Groups: groups}
+	return ends, best[0][0]
 }
 
 // AHDConfig tunes the automatic hybrid distribution search.

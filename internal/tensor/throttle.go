@@ -1,0 +1,102 @@
+package tensor
+
+import (
+	"fmt"
+	"time"
+)
+
+// Throttled is a compute straggler: it delegates every kernel to an
+// inner backend untouched — so it is bit-identical to the inner backend
+// by construction — and then sleeps proportionally to the time the
+// kernel took, multiplying the device's effective compute time by the
+// slowdown factor. It exists to exercise the runtime repartitioner and
+// heterogeneity-sensitive scheduling against a reproducible slow rank:
+// unlike a transport delay, the injected cost scales with the work the
+// device hosts, so moving blocks off the throttled device genuinely
+// shrinks its step time.
+type Throttled struct {
+	inner  Backend
+	factor int
+}
+
+// NewThrottled wraps inner with a slowdown factor (>= 1; 1 is a
+// pass-through). A factor of f makes every kernel take about f times as
+// long.
+func NewThrottled(inner Backend, factor int) Throttled {
+	if factor < 1 {
+		panic(fmt.Sprintf("tensor: throttle factor %d < 1", factor))
+	}
+	return Throttled{inner: inner, factor: factor}
+}
+
+// Name returns e.g. "serial+slow4".
+func (t Throttled) Name() string { return fmt.Sprintf("%s+slow%d", t.inner.Name(), t.factor) }
+
+// pace sleeps (factor-1)× the elapsed kernel time.
+func (t Throttled) pace(start time.Time) {
+	if t.factor > 1 {
+		time.Sleep(time.Duration(t.factor-1) * time.Since(start))
+	}
+}
+
+func (t Throttled) MatMulInto(out, a, b *Tensor) {
+	defer t.pace(time.Now())
+	t.inner.MatMulInto(out, a, b)
+}
+
+func (t Throttled) MatMulTAInto(out, a, b *Tensor) {
+	defer t.pace(time.Now())
+	t.inner.MatMulTAInto(out, a, b)
+}
+
+func (t Throttled) MatMulTBInto(out, a, b *Tensor) {
+	defer t.pace(time.Now())
+	t.inner.MatMulTBInto(out, a, b)
+}
+
+func (t Throttled) Add(dst, a, b *Tensor) {
+	defer t.pace(time.Now())
+	t.inner.Add(dst, a, b)
+}
+
+func (t Throttled) Sub(dst, a, b *Tensor) {
+	defer t.pace(time.Now())
+	t.inner.Sub(dst, a, b)
+}
+
+func (t Throttled) Mul(dst, a, b *Tensor) {
+	defer t.pace(time.Now())
+	t.inner.Mul(dst, a, b)
+}
+
+func (t Throttled) Scale(dst, a *Tensor, s float32) {
+	defer t.pace(time.Now())
+	t.inner.Scale(dst, a, s)
+}
+
+func (t Throttled) Axpy(dst *Tensor, alpha float32, src *Tensor) {
+	defer t.pace(time.Now())
+	t.inner.Axpy(dst, alpha, src)
+}
+
+func (t Throttled) Im2ColInto(out, x *Tensor, kh, kw, stride, pad int) {
+	defer t.pace(time.Now())
+	t.inner.Im2ColInto(out, x, kh, kw, stride, pad)
+}
+
+func (t Throttled) Col2ImInto(out, cols *Tensor, kh, kw, stride, pad int) {
+	defer t.pace(time.Now())
+	t.inner.Col2ImInto(out, cols, kh, kw, stride, pad)
+}
+
+func (t Throttled) ConvForwardInto(out, w, x *Tensor, kh, kw, stride, pad int) {
+	defer t.pace(time.Now())
+	t.inner.ConvForwardInto(out, w, x, kh, kw, stride, pad)
+}
+
+func (t Throttled) ConvGradWeightInto(out, grad, x *Tensor, kh, kw, stride, pad int) {
+	defer t.pace(time.Now())
+	t.inner.ConvGradWeightInto(out, grad, x, kh, kw, stride, pad)
+}
+
+var _ Backend = Throttled{}
