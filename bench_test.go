@@ -129,6 +129,19 @@ func BenchmarkNumericEquivalence(b *testing.B) {
 	}
 }
 
+// BenchmarkTransformerWorkload measures the transformer blockwise
+// distillation path: the skinny batched attention GEMMs the PR 9
+// dispatch rework learned to pack, the multi-head-attention training
+// step, and a pipelined transformer mini-epoch per backend. The
+// definitions live in the shared registry (internal/bench), so
+// cmd/pipebd-bench pins the same numbers in BENCH_PR9.json.
+func BenchmarkTransformerWorkload(b *testing.B) {
+	for _, c := range bench.Transformer(false) {
+		c := c
+		b.Run(c.Name+"/"+c.Backend, func(b *testing.B) { c.Run(b) })
+	}
+}
+
 // BenchmarkTraceOverhead measures the observability layer's span
 // Begin/End pair, disabled (the default every hot path pays) and enabled
 // (what -trace-out opts into). The definition lives in the shared

@@ -1,14 +1,15 @@
 // Command pipebd-bench captures the repository's performance baseline as
 // machine-readable JSON: the kernel sweep from the shared registry
-// (internal/bench — the GEMM family, fused conv layers, and the numeric
-// engine's pipeline-step rate, each on the serial and parallel backends),
-// plus the cluster's end-to-end latencies on loopback — a fault-free run,
+// (internal/bench — the GEMM family, fused conv layers, the skinny
+// batched attention GEMMs, and the numeric engine's pipeline-step rate
+// for both the conv and transformer workloads, each on the serial and
+// parallel backends), plus the cluster's end-to-end latencies on loopback — a fault-free run,
 // the same run with one injected worker kill, a snapshot-interval sweep,
 // rank-0 dedup on versus off, a durable run persisting its ledger, a
 // full coordinator crash + ResumeRun cycle, hub-vs-ring topology traffic
 // attribution, and a straggler pair (the same throttled-worker run with
 // dynamic repartitioning off and on — the -repartition headline). The
-// output file (committed as BENCH_PR8.json, alongside the PR2–PR7
+// output file (committed as BENCH_PR9.json, alongside the PR2–PR8
 // baselines) gives later PRs a trajectory to compare against.
 //
 // Every record carries the GOMAXPROCS it ran under, and -procs sweeps the
@@ -95,7 +96,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pipebd-bench", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	out := fs.String("out", "BENCH_PR8.json", "output JSON path (- for stdout)")
+	out := fs.String("out", "BENCH_PR9.json", "output JSON path (- for stdout)")
 	quick := fs.Bool("quick", false, "small problem sizes (smoke testing)")
 	procsFlag := fs.String("procs", "", "comma-separated GOMAXPROCS values to sweep the registry suite across (default: current)")
 	compare := fs.String("compare", "", "older report JSON to diff the produced (or -in) report against")

@@ -31,7 +31,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pipebd-trace", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	workload := fs.String("workload", "nas-imagenet",
-		"workload: nas-cifar10|nas-imagenet|compression-cifar10|compression-imagenet")
+		"workload: nas-cifar10|nas-imagenet|compression-cifar10|compression-imagenet|transformer-tokens")
 	system := fs.String("system", "a6000", "system preset: a6000|2080ti")
 	strategy := fs.String("strategy", "TR+DPU+AHD", "DP|LS|TR|TR+DPU|TR+IR|TR+DPU+AHD")
 	batch := fs.Int("batch", 256, "global batch size")
@@ -63,6 +63,8 @@ func run(args []string, stdout io.Writer) error {
 		w = model.Compression(false)
 	case "compression-imagenet":
 		w = model.Compression(true)
+	case "transformer-tokens":
+		w = model.TransformerDistill()
 	default:
 		return fmt.Errorf("unknown workload %q", *workload)
 	}

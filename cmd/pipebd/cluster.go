@@ -3,7 +3,6 @@ package main
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"strings"
 	"time"
 
@@ -11,9 +10,9 @@ import (
 	"pipebd/internal/cluster/ledger"
 	"pipebd/internal/cluster/transport"
 	"pipebd/internal/cluster/wire"
-	"pipebd/internal/dataset"
 	"pipebd/internal/distill"
 	"pipebd/internal/engine"
+	"pipebd/internal/model"
 	"pipebd/internal/obs"
 	"pipebd/internal/sched"
 )
@@ -22,6 +21,7 @@ import (
 type clusterOptions struct {
 	Workers  []string // worker addresses, in device-placement order
 	PlanName string   // tr | hybrid | ir
+	Model    string   // tiny (default) | transformer
 	Steps    int
 	Batch    int
 	DPU      bool
@@ -115,7 +115,33 @@ func (o resumeOptions) validate() error {
 	return nil
 }
 
-// clusterPlan maps the named schedule onto the tiny workbench's 4 blocks.
+// clusterWorkload resolves the -cluster-model name into everything the
+// cluster run needs: the wire model spec workers rebuild the workbench
+// from, the deterministic data recipe ring workers regenerate batches
+// from, the local workbench constructor, and the cost-model workload the
+// trace report's modeled comparison uses. Both workbenches have four
+// blocks, so every named cluster plan applies to either model.
+func clusterWorkload(name string, steps, batch int) (wire.ModelSpec, wire.DataSpec, func() *distill.Workbench, model.Workload, error) {
+	switch name {
+	case "", "tiny":
+		tiny := distill.DefaultTinyConfig()
+		ds := wire.DataSpec{Seed: 7, N: steps * batch, C: 3,
+			H: tiny.Height, W: tiny.Width, Classes: 4, Batch: batch}
+		build := func() *distill.Workbench { return distill.NewTinyWorkbench(tiny) }
+		return cluster.TinySpec(tiny), ds, build, tinyWorkload(tiny, steps, batch), nil
+	case "transformer":
+		tc := distill.DefaultTransformerConfig()
+		ds := wire.DataSpec{Seed: 7, N: steps * batch, Classes: tc.Classes,
+			Batch: batch, Kind: "tokens", L: tc.SeqLen, Vocab: tc.Vocab}
+		build := func() *distill.Workbench { return distill.NewTransformerWorkbench(tc) }
+		return cluster.TransformerSpec(tc), ds, build, transformerWorkload(tc, steps, batch), nil
+	default:
+		return wire.ModelSpec{}, wire.DataSpec{}, nil, model.Workload{},
+			fmt.Errorf("unknown cluster model %q (want tiny or transformer)", name)
+	}
+}
+
+// clusterPlan maps the named schedule onto the workbench's 4 blocks.
 func clusterPlan(name string) (sched.Plan, error) {
 	g := func(devs, blocks []int) sched.Group { return sched.Group{Devices: devs, Blocks: blocks} }
 	switch name {
@@ -143,9 +169,10 @@ func clusterPlan(name string) (sched.Plan, error) {
 	}
 }
 
-// runCluster trains the tiny compression workbench across the given
-// workers and, with opts.Verify, proves the run bit-identical to the
-// in-process pipeline.
+// runCluster trains the selected workbench (tiny compression by default,
+// transformer with -cluster-model transformer) across the given workers
+// and, with opts.Verify, proves the run bit-identical to the in-process
+// pipeline.
 func runCluster(stdout io.Writer, opts clusterOptions) error {
 	if err := opts.validate(); err != nil {
 		return err
@@ -159,26 +186,30 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 		nDev += g.Split()
 	}
 
-	tiny := distill.DefaultTinyConfig()
-	data := dataset.NewRandom(rand.New(rand.NewSource(7)), opts.Steps*opts.Batch, 3, tiny.Height, tiny.Width, 4)
-	batches := data.Batches(opts.Batch)
+	spec, recipe, buildBench, costWL, err := clusterWorkload(opts.Model, opts.Steps, opts.Batch)
+	if err != nil {
+		return err
+	}
+	// The run's batches are exactly the recipe's evaluation, so ring
+	// workers load their training data locally instead of receiving it
+	// from the coordinator.
+	batches, err := recipe.Batches()
+	if err != nil {
+		return err
+	}
 
 	cfg := cluster.Config{
 		Plan: plan, DPU: opts.DPU, LR: 0.05, Momentum: 0.9,
-		Backend: opts.Backend, Topology: opts.Topology, Spec: cluster.TinySpec(tiny),
-		// The batches above are fully described by this recipe, so ring
-		// workers load their training data locally instead of receiving
-		// it from the coordinator.
-		Data: wire.DataSpec{Seed: 7, N: opts.Steps * opts.Batch, C: 3,
-			H: tiny.Height, W: tiny.Width, Classes: 4, Batch: opts.Batch},
+		Backend: opts.Backend, Topology: opts.Topology, Spec: spec,
+		Data:        recipe,
 		JoinTimeout: opts.Timeout,
 		MaxRestarts: opts.MaxRestarts,
 		Snapshot:    cluster.SnapshotPolicy{Interval: opts.SnapInterval, Rank0Dedup: opts.SnapDedup},
 		LedgerDir:   opts.Ledger,
 		Fsync:       opts.Fsync,
 		Repartition: opts.Repartition,
-		LedgerMeta: fmt.Sprintf("pipebd -cluster %s -cluster-plan %s -cluster-steps %d -cluster-batch %d",
-			strings.Join(opts.Workers, ","), opts.PlanName, opts.Steps, opts.Batch),
+		LedgerMeta: fmt.Sprintf("pipebd -cluster %s -cluster-plan %s -cluster-model %s -cluster-steps %d -cluster-batch %d",
+			strings.Join(opts.Workers, ","), opts.PlanName, spec.Name, opts.Steps, opts.Batch),
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stdout, "pipebd: "+format+"\n", args...)
 		},
@@ -226,13 +257,13 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 		defer srv.Close()
 		fmt.Fprintf(stdout, "pipebd: debug server on http://%s (/metrics, /debug/pprof/)\n", srv.Addr())
 	}
-	w := distill.NewTinyWorkbench(tiny)
+	w := buildBench()
 	topo := opts.Topology
 	if topo == "" {
 		topo = "hub"
 	}
-	fmt.Fprintf(stdout, "pipebd: cluster run: plan %s (%s), %d device(s) on %d worker(s), %d steps, batch %d, dpu=%v, topology=%s, max-restarts=%d\n",
-		plan.Name, plan.Describe(), nDev, len(opts.Workers), opts.Steps, opts.Batch, opts.DPU, topo, opts.MaxRestarts)
+	fmt.Fprintf(stdout, "pipebd: cluster run: plan %s (%s), model %s, %d device(s) on %d worker(s), %d steps, batch %d, dpu=%v, topology=%s, max-restarts=%d\n",
+		plan.Name, plan.Describe(), spec.Name, nDev, len(opts.Workers), opts.Steps, opts.Batch, opts.DPU, topo, opts.MaxRestarts)
 	if opts.Ledger != "" {
 		fmt.Fprintf(stdout, "pipebd: durable run: ledger at %s (restart a killed coordinator with: pipebd -resume %s)\n",
 			opts.Ledger, opts.Ledger)
@@ -268,7 +299,7 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 
 	if collect != nil {
 		if err := writeTraceReport(stdout, opts.TraceOut, collect,
-			plan, opts.DPU, nDev, opts.Steps, opts.Batch, tiny); err != nil {
+			plan, opts.DPU, nDev, opts.Steps, opts.Batch, costWL); err != nil {
 			return err
 		}
 	}
@@ -276,7 +307,7 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 	if !opts.Verify {
 		return nil
 	}
-	ref := distill.NewTinyWorkbench(tiny)
+	ref := buildBench()
 	refRes := engine.RunPipelined(ref, batches, engine.Config{
 		Plan: plan, DPU: opts.DPU, LR: 0.05, Momentum: 0.9})
 	return verifyBitIdentical(stdout, res, w, refRes, ref)

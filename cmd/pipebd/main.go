@@ -52,8 +52,9 @@
 // split group instead of one per member.
 //
 // -compact-ledger DIR rewrites a ledger's append-only record log as one
-// checkpoint record holding only what a resume still needs, bounding the
-// log's growth; a compacted ledger resumes bit-identically.
+// checkpoint record per plan generation holding only what a resume still
+// needs, bounding the log's growth; a compacted ledger — including one a
+// mid-run repartition split into generations — resumes bit-identically.
 //
 // Observability (cluster mode): -trace-out run.json makes every worker
 // record per-step spans (teacher/student forward, backward, update,
@@ -103,6 +104,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel-backend worker count (0: GOMAXPROCS)")
 	clusterAddrs := flag.String("cluster", "", "comma-separated pipebd-worker addresses; enables cluster training mode")
 	clusterPlanName := flag.String("cluster-plan", "hybrid", "cluster schedule: tr|tr3|hybrid|ir|dp3")
+	clusterModel := flag.String("cluster-model", "tiny", "cluster workload: tiny (conv compression workbench) or transformer (encoder blocks with KL logit distillation)")
 	clusterSteps := flag.Int("cluster-steps", 6, "cluster training steps")
 	clusterBatch := flag.Int("cluster-batch", 8, "cluster global batch size")
 	clusterDPU := flag.Bool("cluster-dpu", true, "decoupled parameter update in cluster mode")
@@ -119,7 +121,7 @@ func main() {
 	repartitionHysteresis := flag.Int("repartition-hysteresis", 3, "consecutive qualifying measurements required before a repartition executes")
 	repartitionWarmup := flag.Int("repartition-warmup", 3, "measured steps per device before repartition proposals are evaluated")
 	resumeDir := flag.String("resume", "", "restart a killed coordinator from this ledger directory (plan, model, batches, and workers come from the manifest; -cluster overrides the worker addresses; explicitly-set -cluster-plan/-topology/-cluster-steps become checked expectations against the manifest)")
-	compactDir := flag.String("compact-ledger", "", "rewrite this ledger directory's record log as one checkpoint holding only what a resume still needs, then exit")
+	compactDir := flag.String("compact-ledger", "", "rewrite this ledger directory's record log as one checkpoint per plan generation holding only what a resume still needs, then exit")
 	chaosKills := flag.Int("chaos-kills", 0, "cluster mode: inject N seeded worker-connection kills mid-run (self-test for -max-restarts; combine with -verify)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "cluster mode: seed for the -chaos-kills schedule")
 	verify := flag.Bool("verify", false, "cluster mode: require bit-identical match with the in-process pipeline")
@@ -208,7 +210,7 @@ func main() {
 		if *clusterAddrs != "" {
 			opts.Workers = strings.Split(*clusterAddrs, ",")
 		}
-		if explicit["cluster-plan"] || explicit["topology"] || explicit["cluster-steps"] {
+		if explicit["cluster-plan"] || explicit["topology"] || explicit["cluster-steps"] || explicit["cluster-model"] {
 			opts.Expect = &cluster.ResumeExpectation{}
 			if explicit["cluster-plan"] {
 				opts.Expect.PlanName = *clusterPlanName
@@ -218,6 +220,9 @@ func main() {
 			}
 			if explicit["cluster-steps"] {
 				opts.Expect.Steps = *clusterSteps
+			}
+			if explicit["cluster-model"] {
+				opts.Expect.Model = *clusterModel
 			}
 		}
 		if err := runResume(os.Stdout, opts); err != nil {
@@ -231,6 +236,7 @@ func main() {
 		opts := clusterOptions{
 			Workers:      strings.Split(*clusterAddrs, ","),
 			PlanName:     *clusterPlanName,
+			Model:        *clusterModel,
 			Steps:        *clusterSteps,
 			Batch:        *clusterBatch,
 			DPU:          *clusterDPU,

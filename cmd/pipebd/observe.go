@@ -84,13 +84,33 @@ func tinyWorkload(tiny distill.TinyConfig, steps, batch int) model.Workload {
 	}
 }
 
+// transformerWorkload describes the numeric transformer workbench to the
+// analytic cost model: the same embed-plus-encoder-layer blocks
+// NewTransformerWorkbench trains, via the model package's transformer
+// family, so pipeline.RunTR can predict the very schedule the cluster
+// executed. The teacher and student geometries differ only in MLP width,
+// exactly like the workbench.
+func transformerWorkload(cfg distill.TransformerConfig, steps, batch int) model.Workload {
+	teacher := model.TransformerGeom{Blocks: cfg.Blocks, Dim: cfg.Dim, Heads: cfg.Heads,
+		FF: cfg.TeacherFF, SeqLen: cfg.SeqLen, Vocab: cfg.Vocab, Classes: cfg.Classes}
+	student := teacher
+	student.FF = cfg.StudentFF
+	return model.Workload{
+		Name:                 "transformer-workbench",
+		Teacher:              model.TransformerEncoder("transformer-teacher", teacher),
+		Student:              model.TransformerEncoder("transformer-student", student),
+		Data:                 dataset.TokensSynthetic(steps*batch, cfg.SeqLen),
+		LSAtBlockGranularity: true,
+	}
+}
+
 // modeledReport predicts the traced schedule with the cost-model
 // simulator on a homogeneous A6000 system of the same device count. It
 // returns nil with a reason when the model cannot shard the batch the way
 // the numeric engine did (the simulator splits every group's batch
 // evenly, so non-divisible configurations would model a different
 // schedule than the one measured).
-func modeledReport(plan sched.Plan, dpu bool, nDev, steps, batch int, tiny distill.TinyConfig) (*metrics.Report, string) {
+func modeledReport(plan sched.Plan, dpu bool, nDev, steps, batch int, wl model.Workload) (*metrics.Report, string) {
 	if batch%nDev != 0 {
 		return nil, fmt.Sprintf("modeled comparison skipped: global batch %d not divisible by %d devices", batch, nDev)
 	}
@@ -102,7 +122,7 @@ func modeledReport(plan sched.Plan, dpu bool, nDev, steps, batch int, tiny disti
 	sys := hw.Homogeneous(fmt.Sprintf("%dx RTX A6000 (modeled)", nDev), nDev,
 		hw.RTXA6000(), hw.PCIe4(), hw.EPYC7302Host())
 	rep := pipeline.RunTR(pipeline.Config{
-		Workload:    tinyWorkload(tiny, steps, batch),
+		Workload:    wl,
 		System:      sys,
 		GlobalBatch: batch,
 		MaxSteps:    steps,
@@ -116,7 +136,7 @@ func modeledReport(plan sched.Plan, dpu bool, nDev, steps, batch int, tiny disti
 // file but stays out of the per-rank comparison (the model has no
 // coordinator).
 func writeTraceReport(stdout io.Writer, path string, collect *obs.Collector,
-	plan sched.Plan, dpu bool, nDev, steps, batch int, tiny distill.TinyConfig) error {
+	plan sched.Plan, dpu bool, nDev, steps, batch int, wl model.Workload) error {
 	if err := obs.WriteChromeTraceFile(path, collect); err != nil {
 		return fmt.Errorf("writing trace: %w", err)
 	}
@@ -128,7 +148,7 @@ func writeTraceReport(stdout io.Writer, path string, collect *obs.Collector,
 	}
 	_, byTrack := collect.Tracks()
 	ranks, epoch := obs.Measured(order, byTrack)
-	modeled, skip := modeledReport(plan, dpu, nDev, steps, batch, tiny)
+	modeled, skip := modeledReport(plan, dpu, nDev, steps, batch, wl)
 	fmt.Fprint(stdout, obs.UtilizationReport(ranks, epoch, modeled))
 	if skip != "" {
 		fmt.Fprintf(stdout, "pipebd: %s\n", skip)

@@ -28,6 +28,37 @@
 // arena (tensor.Arena) recycles im2col and gradient temporaries across
 // training steps, keeping the steady-state hot path allocation-light.
 //
+// # Transformer workload
+//
+// Blockwise distillation is workload-agnostic, and the repository proves
+// it with a second model family shaped nothing like the conv nets: a
+// DistilBERT-style miniature transformer (distill.NewTransformerWorkbench,
+// cmd/pipebd -cluster-model transformer). Each block is one encoder
+// layer — multi-head self-attention and a feed-forward MLP as residuals,
+// each followed by LayerNorm — where the student keeps the teacher's
+// hidden width (so block-boundary activations align for the per-block
+// loss) but runs a much narrower MLP. Block 0 embeds token ids (learned
+// token + position tables); middle blocks distill hidden states with
+// MSE; the final block adds a mean-pool + linear classifier head and
+// distills its logits with KL divergence at a temperature
+// (distill.KLLoss — gradients scaled by T² in the standard Hinton
+// convention). The supporting ops live in internal/nn (Embedding,
+// MultiHeadAttention, LayerNorm, GELU, FeedForward, MeanPoolSeq,
+// max-subtracted SoftmaxLastDim and its backward), all with full
+// finite-difference-checked gradients and eval-forward cache
+// invalidation; token-sequence datasets (dataset.NewTokens) are
+// deterministic and carry a wire.DataSpec recipe (Kind "tokens"), so
+// ring workers regenerate token batches locally exactly as they do
+// image batches. Attention's per-head GEMMs are skinny — m equals the
+// sequence length — and run through the batched kernel entry points
+// (tensor.MatMulBatch and friends), whose dispatch weighs the whole
+// batch rather than one instance, so they reach the packed engine
+// instead of stranding on the reference path. The transformer workload
+// passes through every layer above unchanged: serial, parallel, hub,
+// and ring runs are bit-identical, pinned by the transformer
+// equivalence suites in internal/engine and internal/cluster and the
+// cluster-transformer CI job.
+//
 // # Cluster execution
 //
 // The internal/cluster subsystem runs the same pipelined schedule across
@@ -145,10 +176,11 @@
 // See README.md for the quickstart and architecture inventory and
 // ROADMAP.md for open items. The benchmarks in bench_test.go regenerate
 // each table and figure under `go test -bench`; cmd/pipebd-bench captures
-// kernel, pipeline-step, trace-overhead, cluster-recovery,
+// kernel (including the skinny batched attention GEMMs), pipeline-step
+// (conv and transformer), trace-overhead, cluster-recovery,
 // coordinator-resume, hub-vs-ring topology throughput (with per-role
 // coordinator/peer bytes-per-step), and the straggler
-// static-vs-repartition latency pair as JSON (BENCH_PR8.json;
-// BENCH_PR2–PR7.json are the prior baselines), and BenchmarkMatMul in
+// static-vs-repartition latency pair as JSON (BENCH_PR9.json;
+// BENCH_PR2–PR8.json are the prior baselines), and BenchmarkMatMul in
 // internal/tensor compares the backends directly.
 package pipebd

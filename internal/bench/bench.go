@@ -1,6 +1,8 @@
 // Package bench is the repository's single registry of compute
-// benchmarks: kernel sweeps (the GEMM family and the fused conv GEMMs),
-// layer-level conv forward/backward, and the pipelined engine step. Both
+// benchmarks: kernel sweeps (the GEMM family, the fused conv GEMMs, and
+// the skinny batched attention GEMMs), layer-level conv and attention
+// forward/backward, and the pipelined engine step for both the conv and
+// transformer workloads. Both
 // the root benchmark harness (bench_test.go via go test -bench) and
 // cmd/pipebd-bench (the JSON baseline writer) consume these definitions,
 // so a benchmark exists exactly once and the two entry points can never
@@ -214,6 +216,95 @@ func Pipeline(quick bool) []Case {
 	return cases
 }
 
+// Transformer returns the transformer-workload benches. The batched
+// attention kernels are the skinny shapes the tentpole introduced —
+// g = batch·heads instances of m ≈ seq-len rows each, which the old
+// per-instance m≥8 dispatch heuristic permanently stranded on the
+// reference path — plus the full multi-head-attention training step and
+// the blockwise transformer pipeline step over token batches.
+func Transformer(quick bool) []Case {
+	g, l, dh := 64, 16, 16
+	attnBatch, dim, heads := 16, 64, 4
+	if quick {
+		g, l, dh = 8, 6, 4
+		attnBatch, dim, heads = 2, 8, 2
+	}
+	rng := rand.New(rand.NewSource(6))
+	q := tensor.Rand(rng, -1, 1, g, l, dh)
+	k := tensor.Rand(rng, -1, 1, g, l, dh)
+	scores := tensor.New(g, l, l)
+	probs := tensor.Rand(rng, 0, 1, g, l, l)
+	v := tensor.Rand(rng, -1, 1, g, l, dh)
+	ctx := tensor.New(g, l, dh)
+	var cases []Case
+	for _, be := range backends() {
+		be := be
+		cases = append(cases, Case{
+			Name:    fmt.Sprintf("AttnScoresBatch/%dx%dx%d", g, l, dh),
+			Backend: be.Name(),
+			Bytes:   int64(2 * g * l * l * dh * 4),
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					be.MatMulTBBatchInto(scores, q, k)
+				}
+			},
+		})
+		cases = append(cases, Case{
+			Name:    fmt.Sprintf("AttnContextBatch/%dx%dx%dx%d", g, l, l, dh),
+			Backend: be.Name(),
+			Bytes:   int64(2 * g * l * l * dh * 4),
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					be.MatMulBatchInto(ctx, probs, v)
+				}
+			},
+		})
+		mha := nn.NewMultiHeadAttention(rand.New(rand.NewSource(7)), dim, heads)
+		mha.SetBackend(be)
+		x := tensor.Rand(rand.New(rand.NewSource(8)), -1, 1, attnBatch, l, dim)
+		grad := tensor.Rand(rand.New(rand.NewSource(9)), -1, 1, attnBatch, l, dim)
+		cases = append(cases, Case{
+			Name:    fmt.Sprintf("AttentionTrainStep/%dx%dx%d-heads%d", attnBatch, l, dim, heads),
+			Backend: be.Name(),
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					mha.Forward(x, true)
+					mha.Backward(grad)
+				}
+			},
+		})
+	}
+	tcfg := distill.DefaultTransformerConfig()
+	steps, stepBatch := 4, 16
+	if quick {
+		steps, stepBatch = 2, 8
+	}
+	tokens := dataset.NewTokens(rand.New(rand.NewSource(10)), steps*stepBatch,
+		tcfg.SeqLen, tcfg.Vocab, tcfg.Classes)
+	batches := tokens.Batches(stepBatch)
+	plan := sched.Plan{Name: "hybrid", Groups: []sched.Group{
+		{Devices: []int{0, 1}, Blocks: []int{0, 1}},
+		{Devices: []int{2}, Blocks: []int{2, 3}},
+	}}
+	for _, be := range backends() {
+		be := be
+		cases = append(cases, Case{
+			Name:    fmt.Sprintf("TransformerPipelineStep/hybrid/%dsteps-batch%d", steps, stepBatch),
+			Backend: be.Name(),
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					w := distill.NewTransformerWorkbench(tcfg)
+					b.StartTimer()
+					engine.RunPipelined(w, batches, engine.Config{Plan: plan, DPU: true,
+						LR: 0.05, Momentum: 0.9, Backend: be})
+				}
+			},
+		})
+	}
+	return cases
+}
+
 // Trace returns the observability overhead benches: the Begin/End span
 // pair that PR 7 threads through the engine and cluster hot paths. The
 // disabled case is the every-run cost (tracing off by default) and must
@@ -244,12 +335,13 @@ func Trace() []Case {
 	}
 }
 
-// All returns every registry benchmark: kernels, conv layers, pipeline,
-// trace overhead.
+// All returns every registry benchmark: kernels, conv layers, the
+// transformer workload, pipeline, trace overhead.
 func All(quick bool) []Case {
 	var cases []Case
 	cases = append(cases, Kernel(quick)...)
 	cases = append(cases, Conv(quick)...)
+	cases = append(cases, Transformer(quick)...)
 	cases = append(cases, Pipeline(quick)...)
 	cases = append(cases, Trace()...)
 	return cases

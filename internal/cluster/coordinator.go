@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -777,7 +776,10 @@ func (r *run) monitorHeartbeats() {
 // different data. The comparison is bit-exact, same as every other
 // equivalence contract in this package.
 func validateDataRecipe(ds wire.DataSpec, batches []dataset.Batch) error {
-	gen := dataset.NewRandom(rand.New(rand.NewSource(ds.Seed)), ds.N, ds.C, ds.H, ds.W, ds.Classes).Batches(ds.Batch)
+	gen, err := ds.Batches()
+	if err != nil {
+		return err
+	}
 	if len(gen) < len(batches) {
 		return fmt.Errorf("cluster: Config.Data regenerates %d batches, run has %d", len(gen), len(batches))
 	}

@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"pipebd/internal/cluster/wire"
+	"pipebd/internal/sched"
 )
 
 // Checkpoint builds a consolidated-prefix record.
@@ -17,14 +20,37 @@ func Marks(marks []int) *Record {
 	return &Record{Type: TypeMarks, Marks: marks}
 }
 
-// Compact rewrites a ledger's record log as one checkpoint record holding
-// only what a resume still needs, closing the "log grows unbounded with
-// run length" debt:
+// horizonMode selects how compactGeneration picks the restore horizon —
+// the oldest step whose snapshots a resume may still restart from.
+type horizonMode int
+
+const (
+	// horizonPerDevice is the hub's surgical-replay horizon: the minimum
+	// over devices of each device's newest snapshotted step. Each device
+	// is restored to its own latest snapshot independently.
+	horizonPerDevice horizonMode = iota
+	// horizonGlobalAccounted is the global-restart horizon: the newest
+	// step every group holds a snapshot for that is also fully accounted
+	// (loss rows from every device and, without DPU, the barrier
+	// release). Ring resumes — and the final generation of any
+	// repartitioned log — restart every device from this common cut.
+	horizonGlobalAccounted
+	// horizonGlobalAtCut is a superseded generation's horizon: the newest
+	// step at or below the recorded repartition cut that every group
+	// holds a snapshot for. It mirrors the resume's carry computation
+	// exactly — accounting does not apply, because the cut was already
+	// validated by the live repartition that recorded it.
+	horizonGlobalAtCut
+)
+
+// Compact rewrites a ledger's record log as one checkpoint record per
+// plan generation holding only what a resume still needs, closing the
+// "log grows unbounded with run length" debt. Within a generation it
+// keeps:
 //
-//   - snapshot records at or past the restore horizon T (the minimum over
-//     devices of each device's newest snapshotted step) — the hub keeps
-//     each device's latest, the ring keeps the history its global restart
-//     cut may need;
+//   - snapshot records at or past the generation's restore horizon (see
+//     horizonMode: the hub keeps each device's latest, a global-restart
+//     generation keeps the history its cut may need);
 //   - input records still replayable by some receiving device (step past
 //     that device's newest snapshot), plus a marks record so the dropped
 //     ones cannot regress the coordinator's feed cursor;
@@ -35,7 +61,18 @@ func Marks(marks []int) *Record {
 //     loss rows are tiny next to the tensor records compaction drops;
 //   - the newest barrier release.
 //
-// Kept records preserve their original log order, so replaying the
+// A repartitioned log is compacted generation by generation: the log is
+// split at its repartition records, each generation's records are
+// filtered under that generation's plan (the manifest's, then each
+// recorded re-plan in turn), and the output interleaves one checkpoint
+// per generation with the original repartition records — so the resume's
+// generation split sees exactly the structure it saw before compaction.
+// Repartitioned logs always resume through the attempt driver, which
+// restarts every device from a global cut rather than surgically
+// replaying hub state, so every generation of a multi-generation log
+// uses a global-cut horizon whatever the topology.
+//
+// Kept records preserve their original log order, so replaying a
 // checkpoint is replaying a valid (sub)history. Compact is an offline
 // operation: it must not run concurrently with a live coordinator on the
 // same directory (the single-writer flock guards the old log inode during
@@ -47,25 +84,72 @@ func Compact(dir string) error {
 	}
 	defer led.Close()
 
-	// Flatten earlier checkpoints so Compact is idempotent.
-	var recs []*Record
+	// Split the log at its repartition cuts. Earlier checkpoints are
+	// flattened so Compact is idempotent; they never straddle a cut
+	// (Compact itself writes one checkpoint per generation).
+	type generation struct {
+		recs   []*Record
+		repart *Record // the terminating cut; nil for the last generation
+	}
+	gens := []generation{{}}
 	for _, rec := range rep.Records {
-		if rec.Type == TypeRepartition {
-			// The horizon computation below assumes one plan for the whole
-			// log; a repartitioned log holds records under several plans
-			// and must be replayed generation by generation. Refusing is
-			// safe — the log stays resumable, just uncompacted.
-			return fmt.Errorf("ledger: %s holds a repartition record (cut after step %d); repartitioned logs cannot be compacted", dir, rec.Step)
-		}
-		if rec.Type == TypeCheckpoint {
-			recs = append(recs, rec.Children...)
-		} else {
-			recs = append(recs, rec)
+		switch rec.Type {
+		case TypeRepartition:
+			gens[len(gens)-1].repart = rec
+			gens = append(gens, generation{})
+		case TypeCheckpoint:
+			gens[len(gens)-1].recs = append(gens[len(gens)-1].recs, rec.Children...)
+		default:
+			gens[len(gens)-1].recs = append(gens[len(gens)-1].recs, rec)
 		}
 	}
 
-	// Group membership from the manifest's plan.
-	groups := man.Assign.Plan.Groups
+	multi := len(gens) > 1
+	plan := man.Assign.Plan
+	var out []byte
+	for _, gen := range gens {
+		mode, cut := horizonPerDevice, -1
+		switch {
+		case gen.repart != nil:
+			mode, cut = horizonGlobalAtCut, gen.repart.Step
+		case multi || man.Assign.Run.Topology == "ring":
+			mode = horizonGlobalAccounted
+		}
+		kept, horizon := compactGeneration(gen.recs, plan.Groups, man.Assign.Run.DPU, mode, cut)
+		payload, err := Checkpoint(horizon, kept).encode()
+		if err != nil {
+			return err
+		}
+		out = append(out, frameRecord(TypeCheckpoint, payload)...)
+		if gen.repart != nil {
+			rp, err := gen.repart.encode()
+			if err != nil {
+				return err
+			}
+			out = append(out, frameRecord(TypeRepartition, rp)...)
+			next, err := wire.DecodePlan(gen.repart.Payload)
+			if err != nil {
+				return fmt.Errorf("ledger: %s repartition record (cut after step %d): %w", dir, gen.repart.Step, err)
+			}
+			plan = next
+		}
+	}
+
+	logPath := filepath.Join(dir, LogName)
+	tmp := logPath + ".tmp"
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return fmt.Errorf("ledger: writing compacted log: %w", err)
+	}
+	if err := os.Rename(tmp, logPath); err != nil {
+		return fmt.Errorf("ledger: installing compacted log: %w", err)
+	}
+	return nil
+}
+
+// compactGeneration filters one generation's records under its plan,
+// returning the kept records (original order, marks record last) and the
+// generation's restore horizon.
+func compactGeneration(recs []*Record, groups []sched.Group, dpu bool, mode horizonMode, cut int) ([]*Record, int) {
 	groupOf := map[int]int{}
 	finalSnap := map[int]int{}
 	for gi, g := range groups {
@@ -116,14 +200,13 @@ func Compact(dir string) error {
 	if horizon == -1<<30 {
 		horizon = -1 // no devices: degenerate, keep everything
 	}
-	if man.Assign.Run.Topology == "ring" {
-		// Ring restore horizon: a ring resume restarts every device from
-		// the global cut — the newest step every group holds a persisted
-		// snapshot for that is also fully accounted (loss rows from every
-		// device and, without DPU, the barrier release). The min final-
-		// snapshot horizon above could keep the groups' newest snapshots
-		// at *different* steps and drop their last common one, leaving
-		// the resume nothing to restart from short of the seed.
+	if mode != horizonPerDevice {
+		// Global restore horizon: the restart rewinds every device to one
+		// common cut, so the kept snapshots must include a step every
+		// group holds. The per-device minimum above could keep the
+		// groups' newest snapshots at *different* steps and drop their
+		// last common one, leaving the resume nothing to restart from
+		// short of the seed.
 		groupSnaps := make([]map[int]bool, len(groups))
 		for gi := range groupSnaps {
 			groupSnaps[gi] = map[int]bool{}
@@ -149,20 +232,24 @@ func Compact(dir string) error {
 				}
 			}
 		}
-		acct := 1 << 30
-		for _, s := range lossHi {
-			if s < acct {
-				acct = s
+		start := cut
+		if mode == horizonGlobalAccounted {
+			acct := 1 << 30
+			for _, s := range lossHi {
+				if s < acct {
+					acct = s
+				}
 			}
-		}
-		if acct == 1<<30 {
-			acct = -1 // no devices
-		}
-		if !man.Assign.Run.DPU && barrierHi < acct {
-			acct = barrierHi
+			if acct == 1<<30 {
+				acct = -1 // no devices
+			}
+			if !dpu && barrierHi < acct {
+				acct = barrierHi
+			}
+			start = acct
 		}
 		horizon = -1 // no common step: keep everything, resume replays from the seed
-		for s := acct; s >= 0; s-- {
+		for s := start; s >= 0; s-- {
 			all := true
 			for _, snaps := range groupSnaps {
 				if !snaps[s] {
@@ -230,19 +317,5 @@ func Compact(dir string) error {
 	// The marks record goes last so it sets the final cursor values even if
 	// a kept input record would land short of them.
 	kept = append(kept, Marks(marks))
-
-	payload, err := Checkpoint(horizon, kept).encode()
-	if err != nil {
-		return err
-	}
-	buf := frameRecord(TypeCheckpoint, payload)
-	logPath := filepath.Join(dir, LogName)
-	tmp := logPath + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("ledger: writing compacted log: %w", err)
-	}
-	if err := os.Rename(tmp, logPath); err != nil {
-		return fmt.Errorf("ledger: installing compacted log: %w", err)
-	}
-	return nil
+	return kept, horizon
 }

@@ -239,3 +239,69 @@ func TestRepartitionCoordinatorKillResume(t *testing.T) {
 	lossesBitIdentical(t, "resume across repartition", res, refRes)
 	weightsBitIdentical(t, "resume across repartition", w2, ref)
 }
+
+// TestRepartitionCompactedLedgerResume extends the compaction acceptance
+// to plan generations: the same crashed repartitioned run as above, but
+// the ledger is compacted before the resume. The compacted log must hold
+// one checkpoint per generation with the repartition records between
+// them, and the resume across the generation boundary must still finish
+// bit-identically to the fault-free in-process pipeline.
+func TestRepartitionCompactedLedgerResume(t *testing.T) {
+	leakCheck(t)
+	const steps, batch = 10, 4
+	batches := tinyBatches(steps, batch)
+	p := lopsidedPlan()
+	ref := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+	refRes := engine.RunPipelined(ref, batches, engine.Config{Plan: p, DPU: true, LR: 0.05, Momentum: 0.9})
+
+	inner := transport.NewLoopback()
+	addrs := startWorkersMixed(t, inner, stragglerWorkerConfigs(inner, 4))
+	dir := filepath.Join(t.TempDir(), "ledger")
+	chaos := transport.NewChaos(inner, transport.Fault{
+		Trigger: transport.Trigger{Conn: transport.AnyConn, Op: transport.OpRecv,
+			Kind: wire.KindLosses, Step: steps - 2, Count: 1},
+		Action: transport.ActKill,
+	})
+	counters := obs.NewMetrics()
+	w := distill.NewTinyWorkbench(distill.DefaultTinyConfig())
+	_, err := Run(chaos, addrs, w, batches, Config{
+		Plan: p, DPU: true, LR: 0.05, Momentum: 0.9,
+		Topology: "ring", Spec: TinySpec(distill.DefaultTinyConfig()),
+		Repartition: RepartitionConfig{Enabled: true, Threshold: 0.1, Hysteresis: 2, Warmup: 2},
+		LedgerDir:   dir,
+		Metrics:     counters,
+		JoinTimeout: 10 * time.Second,
+	})
+	if err == nil {
+		t.Fatal("rigged run finished despite the injected coordinator crash")
+	}
+	if n := counters.Counter("repartitions").Load(); n < 1 {
+		t.Fatal("repartitioner never fired before the crash")
+	}
+
+	if err := ledger.Compact(dir); err != nil {
+		t.Fatalf("compacting repartitioned ledger: %v", err)
+	}
+	led, _, rep, err := ledger.Open(dir)
+	if err != nil {
+		t.Fatalf("reopening compacted ledger: %v", err)
+	}
+	led.Close()
+	gens := splitGenerations(rep.Records)
+	if len(gens) < 2 {
+		t.Fatalf("compacted ledger holds %d plan generation(s), want >= 2", len(gens))
+	}
+	for gi, gen := range gens {
+		if len(gen.recs) != 1 || gen.recs[0].Type != ledger.TypeCheckpoint {
+			t.Fatalf("generation %d compacted to %d record(s) (first %v), want one checkpoint",
+				gi, len(gen.recs), gen.recs[0].Type)
+		}
+	}
+
+	res, w2, err := ResumeRun(inner, dir, ResumeConfig{JoinTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatalf("resume from compacted repartitioned ledger failed: %v", err)
+	}
+	lossesBitIdentical(t, "compacted resume across repartition", res, refRes)
+	weightsBitIdentical(t, "compacted resume across repartition", w2, ref)
+}

@@ -61,6 +61,9 @@ type ResumeExpectation struct {
 	Topology string
 	// Steps must match the manifest's step count.
 	Steps int
+	// Model must match the manifest spec's registry name, e.g. "tiny" or
+	// "transformer".
+	Model string
 	// Spec, when non-nil, must match the manifest's model spec exactly.
 	Spec *wire.ModelSpec
 }
@@ -96,6 +99,10 @@ func validateManifest(dir string, man *ledger.Manifest, exp *ResumeExpectation) 
 	if exp.Steps > 0 && exp.Steps != man.Assign.Run.Steps {
 		return fmt.Errorf("ledger %s holds a %d-step run, not %d — resume inherits the step count from the manifest; drop the override or point at the right ledger",
 			dir, man.Assign.Run.Steps, exp.Steps)
+	}
+	if exp.Model != "" && exp.Model != man.Assign.Spec.Name {
+		return fmt.Errorf("ledger %s holds model %q, not %q — resume inherits the model from the manifest; drop the override or point at the right ledger",
+			dir, man.Assign.Spec.Name, exp.Model)
 	}
 	if exp.Spec != nil && *exp.Spec != man.Assign.Spec {
 		return fmt.Errorf("ledger %s holds model %+v, not the expected %+v — resume inherits the model from the manifest; drop the override or point at the right ledger",
@@ -217,8 +224,9 @@ type planGeneration struct {
 
 // splitGenerations partitions a replayed log at its repartition records.
 // A log with none is a single generation under the manifest's plan.
-// Compacted checkpoints never straddle a cut (Compact refuses
-// repartitioned logs), so the split only looks at the top level.
+// Compacted checkpoints never straddle a cut (Compact writes one
+// checkpoint per generation, with the repartition records between them at
+// the top level), so the split only looks at the top level.
 func splitGenerations(recs []*ledger.Record) []planGeneration {
 	gens := []planGeneration{{}}
 	for _, rec := range recs {

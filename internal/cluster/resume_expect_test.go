@@ -93,9 +93,9 @@ func TestResumeRejectsInconsistentManifest(t *testing.T) {
 	bad.Groups[1].Blocks = []int{2} // plan now covers 3 of the snapshot's 4 blocks
 	led, err := ledger.Create(dir, &ledger.Manifest{
 		Assign: wire.Assign{
-			Plan: bad,
-			Spec: TinySpec(distill.DefaultTinyConfig()),
-			Run:  wire.RunConfig{LR: 0.05, Momentum: 0.9, Steps: 3, Topology: "ring"},
+			Plan:     bad,
+			Spec:     TinySpec(distill.DefaultTinyConfig()),
+			Run:      wire.RunConfig{LR: 0.05, Momentum: 0.9, Steps: 3, Topology: "ring"},
 			Snapshot: CaptureSnapshot(w),
 		},
 		Addrs:   []string{"127.0.0.1:1"},

@@ -130,6 +130,17 @@ func SupernetSpec(cfg distill.SupernetConfig) wire.ModelSpec {
 		Channels: cfg.Channels, Height: cfg.Height, Width: cfg.Width}
 }
 
+// TransformerSpec describes the transformer workbench (encoder-layer
+// blocks, KL logit distillation) as a wire model spec. The hidden width
+// rides the Channels field; the attention/MLP/sequence geometry uses the
+// codec-v7 transformer fields.
+func TransformerSpec(cfg distill.TransformerConfig) wire.ModelSpec {
+	return wire.ModelSpec{Name: "transformer", Seed: cfg.Seed, Blocks: cfg.Blocks,
+		Channels: cfg.Dim, Classes: cfg.Classes, Heads: cfg.Heads,
+		FFTeacher: cfg.TeacherFF, FFStudent: cfg.StudentFF,
+		SeqLen: cfg.SeqLen, Vocab: cfg.Vocab, Temp: cfg.Temp}
+}
+
 // BuildWorkbench reconstructs the workbench named by a spec. The
 // constructors are deterministic, so every process building the same spec
 // gets bit-identical initial weights (including the teacher's frozen
@@ -144,8 +155,14 @@ func BuildWorkbench(spec wire.ModelSpec) (*distill.Workbench, error) {
 		return distill.NewTinySupernetWorkbench(distill.SupernetConfig{Seed: spec.Seed,
 			Blocks: spec.Blocks, Channels: spec.Channels, Height: spec.Height,
 			Width: spec.Width}), nil
+	case "transformer":
+		return distill.NewTransformerWorkbench(distill.TransformerConfig{Seed: spec.Seed,
+			Blocks: spec.Blocks, Dim: spec.Channels, Heads: spec.Heads,
+			TeacherFF: spec.FFTeacher, StudentFF: spec.FFStudent,
+			SeqLen: spec.SeqLen, Vocab: spec.Vocab, Classes: spec.Classes,
+			Temp: spec.Temp}), nil
 	default:
-		return nil, fmt.Errorf("cluster: unknown model spec %q (want tiny or supernet)", spec.Name)
+		return nil, fmt.Errorf("cluster: unknown model spec %q (want tiny, supernet, or transformer)", spec.Name)
 	}
 }
 

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"math/rand"
 
 	"pipebd/internal/dataset"
 	"pipebd/internal/sched"
@@ -12,14 +13,26 @@ import (
 // so a worker can rebuild a bit-identical replica of the coordinator's
 // model from the spec alone (the parameter snapshot then guards against
 // any drift in the coordinator's weights).
+//
+// The conv families use Channels/Height/Width; the transformer family
+// (codec v7) reuses Channels as the hidden width and adds its own
+// geometry — attention heads, per-side MLP widths, sequence length,
+// vocabulary, and the KL temperature of the logit block.
 type ModelSpec struct {
-	Name     string // registry name, e.g. "tiny" or "supernet"
+	Name     string // registry name, e.g. "tiny", "supernet", or "transformer"
 	Seed     int64
 	Blocks   int
 	Channels int
 	Height   int
 	Width    int
 	Classes  int
+
+	Heads     int
+	FFTeacher int
+	FFStudent int
+	SeqLen    int
+	Vocab     int
+	Temp      float64
 }
 
 // SnapshotPolicy governs the recovery-snapshot traffic of a session. It
@@ -93,15 +106,43 @@ type RunConfig struct {
 	Trace bool
 }
 
-// DataSpec is a deterministic synthetic-dataset recipe: the batches of
-// dataset.NewRandom(rand.NewSource(Seed), N, C, H, W, Classes) split at
-// Batch samples each. Any process evaluating it gets bit-identical
-// tensors, which is what lets ring workers source training inputs
-// without moving them over any wire.
+// DataSpec is a deterministic synthetic-dataset recipe split at Batch
+// samples each: Kind "" (images) regenerates
+// dataset.NewRandom(rand.NewSource(Seed), N, C, H, W, Classes), Kind
+// "tokens" (codec v7) regenerates dataset.NewTokens(rand.NewSource(Seed),
+// N, L, Vocab, Classes). Any process evaluating a recipe gets
+// bit-identical tensors, which is what lets ring workers source training
+// inputs without moving them over any wire.
 type DataSpec struct {
 	Seed                int64
 	N, C, H, W, Classes int
 	Batch               int
+
+	Kind     string // "" for images, "tokens" for token sequences
+	L, Vocab int    // token-sequence geometry (Kind "tokens")
+}
+
+// Build evaluates the recipe into its synthetic dataset. The generators
+// draw from the seeded source in a fixed order, so every process gets
+// bit-identical data.
+func (ds DataSpec) Build() (*dataset.Synthetic, error) {
+	switch ds.Kind {
+	case "":
+		return dataset.NewRandom(rand.New(rand.NewSource(ds.Seed)), ds.N, ds.C, ds.H, ds.W, ds.Classes), nil
+	case "tokens":
+		return dataset.NewTokens(rand.New(rand.NewSource(ds.Seed)), ds.N, ds.L, ds.Vocab, ds.Classes), nil
+	default:
+		return nil, fmt.Errorf("wire: unknown data recipe kind %q (want \"\" or \"tokens\")", ds.Kind)
+	}
+}
+
+// Batches evaluates the recipe and splits it into its batch schedule.
+func (ds DataSpec) Batches() ([]dataset.Batch, error) {
+	s, err := ds.Build()
+	if err != nil {
+		return nil, err
+	}
+	return s.Batches(ds.Batch), nil
 }
 
 // Snapshot is a full parameter snapshot of a workbench, indexed
@@ -148,6 +189,12 @@ func writeAssignBody(w *Writer, a *Assign) {
 	w.I32(int32(a.Spec.Height))
 	w.I32(int32(a.Spec.Width))
 	w.I32(int32(a.Spec.Classes))
+	w.I32(int32(a.Spec.Heads))
+	w.I32(int32(a.Spec.FFTeacher))
+	w.I32(int32(a.Spec.FFStudent))
+	w.I32(int32(a.Spec.SeqLen))
+	w.I32(int32(a.Spec.Vocab))
+	w.F64(a.Spec.Temp)
 	w.Bool(a.Run.DPU)
 	w.F32(a.Run.LR)
 	w.F32(a.Run.Momentum)
@@ -165,6 +212,9 @@ func writeAssignBody(w *Writer, a *Assign) {
 	w.I32(int32(a.Run.Data.W))
 	w.I32(int32(a.Run.Data.Classes))
 	w.I32(int32(a.Run.Data.Batch))
+	w.String(a.Run.Data.Kind)
+	w.I32(int32(a.Run.Data.L))
+	w.I32(int32(a.Run.Data.Vocab))
 	w.Bool(a.Run.Trace)
 	w.I32s(a.Devices)
 	w.U32(uint32(len(a.Peers)))
@@ -188,6 +238,12 @@ func readAssignBody(r *Reader) (*Assign, error) {
 	a.Spec.Height = int(r.I32())
 	a.Spec.Width = int(r.I32())
 	a.Spec.Classes = int(r.I32())
+	a.Spec.Heads = int(r.I32())
+	a.Spec.FFTeacher = int(r.I32())
+	a.Spec.FFStudent = int(r.I32())
+	a.Spec.SeqLen = int(r.I32())
+	a.Spec.Vocab = int(r.I32())
+	a.Spec.Temp = r.F64()
 	a.Run.DPU = r.Bool()
 	a.Run.LR = r.F32()
 	a.Run.Momentum = r.F32()
@@ -205,6 +261,9 @@ func readAssignBody(r *Reader) (*Assign, error) {
 	a.Run.Data.W = int(r.I32())
 	a.Run.Data.Classes = int(r.I32())
 	a.Run.Data.Batch = int(r.I32())
+	a.Run.Data.Kind = r.String()
+	a.Run.Data.L = int(r.I32())
+	a.Run.Data.Vocab = int(r.I32())
 	a.Run.Trace = r.Bool()
 	a.Devices = r.I32s()
 	np := r.count(r.U32(), 4)

@@ -40,8 +40,10 @@ const (
 	// version 6 added the runtime repartition plane (the Repartition
 	// frame announcing a planned placement change, cut step plus the new
 	// plan, so workers distinguish an intentional session supersession
-	// from a failure).
-	Version = 6
+	// from a failure); version 7 added the transformer workload (the
+	// ModelSpec attention/MLP/sequence geometry and KL temperature, and
+	// the DataSpec kind selecting token-sequence recipes).
+	Version = 7
 
 	headerLen = 16
 	// MaxPayload bounds a frame's payload so a corrupted or adversarial

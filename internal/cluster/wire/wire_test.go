@@ -162,10 +162,12 @@ func sampleAssign() *Assign {
 			{Devices: []int{0, 1}, Blocks: []int{0, 1}},
 			{Devices: []int{2}, Blocks: []int{2, 3}, Shares: nil},
 		}},
-		Spec: ModelSpec{Name: "tiny", Seed: 42, Blocks: 4, Channels: 6, Height: 8, Width: 8},
+		Spec: ModelSpec{Name: "transformer", Seed: 42, Blocks: 4, Channels: 6, Height: 8, Width: 8,
+			Heads: 2, FFTeacher: 32, FFStudent: 8, SeqLen: 6, Vocab: 16, Classes: 4, Temp: 2.5},
 		Run: RunConfig{DPU: true, LR: 0.05, Momentum: 0.9, Buffer: 2, Steps: 6, Backend: "serial",
 			Snap: SnapshotPolicy{Interval: 3, Rank0Dedup: true}, Topology: "ring", Trace: true,
-			Data: DataSpec{Seed: 11, N: 72, C: 3, H: 8, W: 8, Classes: 4, Batch: 12}},
+			Data: DataSpec{Seed: 11, N: 72, C: 3, H: 8, W: 8, Classes: 4, Batch: 12,
+				Kind: "tokens", L: 6, Vocab: 16}},
 		Devices: []int{0, 1},
 		Peers:   []string{"w0:1", "w0:1", "w1:2"},
 		Epoch:   77,

@@ -3,7 +3,6 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"path/filepath"
 	"sync"
@@ -11,7 +10,6 @@ import (
 
 	"pipebd/internal/cluster/transport"
 	"pipebd/internal/cluster/wire"
-	"pipebd/internal/dataset"
 	"pipebd/internal/distill"
 	"pipebd/internal/engine"
 	"pipebd/internal/nn"
@@ -667,7 +665,10 @@ func ringGroup0Inputs(assign *wire.Assign, devices []*hostedDevice) ([]*tensor.T
 		return nil, nil
 	}
 	if ds := assign.Run.Data; ds.N > 0 {
-		batches := dataset.NewRandom(rand.New(rand.NewSource(ds.Seed)), ds.N, ds.C, ds.H, ds.W, ds.Classes).Batches(ds.Batch)
+		batches, err := ds.Batches()
+		if err != nil {
+			return nil, err
+		}
 		if len(batches) < assign.Run.Steps {
 			return nil, fmt.Errorf("cluster: data recipe yields %d batches for %d steps", len(batches), assign.Run.Steps)
 		}

@@ -27,6 +27,9 @@ const (
 	Add                    // elementwise residual addition
 	Flatten                // reshape only
 	SE                     // squeeze-and-excitation (gate channels by a pooled MLP)
+	Embed                  // token + positional embedding lookup
+	Attn                   // multi-head self-attention (QKV + output projections)
+	LayerNorm              // per-position layer normalization
 )
 
 // String returns the kind's name.
@@ -52,6 +55,12 @@ func (k Kind) String() string {
 		return "flatten"
 	case SE:
 		return "se"
+	case Embed:
+		return "embed"
+	case Attn:
+		return "attn"
+	case LayerNorm:
+		return "ln"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -60,8 +69,16 @@ func (k Kind) String() string {
 //
 // For spatial layers, InH/InW are the input spatial dimensions and the
 // output dimensions follow from Kernel/Stride/Pad. Linear layers use
-// InC/OutC with InH=InW=1. SE layers preserve geometry and reuse Kernel
-// as the squeeze (bottleneck) channel count. ComputeScale scales compute
+// InC/OutC and apply per spatial position (conv models set InH=InW=1;
+// the transformer MLP applies the same weights at every sequence
+// position). SE layers preserve geometry and reuse Kernel as the squeeze
+// (bottleneck) channel count.
+//
+// Transformer layers map sequence geometry onto the same fields:
+// channels are the hidden width (InC=OutC=Dim), InH is the sequence
+// length, and InW is 1. Embed consumes [batch, L] token ids (InC=1,
+// InH=L) and reuses Kernel as the vocabulary size; Attn reuses Kernel as
+// the head count. ComputeScale scales compute
 // and invocation
 // cost (used for NAS supernets where each step samples one of several
 // candidate operations); StoreScale scales stored-activation memory the
@@ -101,9 +118,13 @@ func (l Layer) outDim(in int) int {
 		return 1
 	case SE:
 		return in
-	case Linear, Flatten:
+	case Flatten:
 		return 1
-	default: // BatchNorm, Act, Add preserve shape
+	default:
+		// BatchNorm, Act, Add, Embed, Attn, LayerNorm preserve shape, as
+		// does Linear (it applies per spatial/sequence position; conv
+		// models use it at InH=InW=1 where this matches the old rank
+		// collapse).
 		return in
 	}
 }
@@ -136,10 +157,17 @@ func (l Layer) MACs() float64 {
 	case DWConv:
 		return float64(l.Kernel*l.Kernel*l.InC) * spatial
 	case Linear:
-		return float64(l.InC * l.OutC)
+		// Applied once per spatial/sequence position (spatial is 1 for
+		// the conv models' classifier heads).
+		return float64(l.InC*l.OutC) * spatial
 	case SE:
 		// Two dense layers over pooled channels: C -> squeeze -> C.
 		return 2 * float64(l.InC) * float64(l.Kernel)
+	case Attn:
+		// Q/K/V/output projections (4·D²·L) plus score and context
+		// batched GEMMs (2·L²·D), per sample.
+		d, seq := float64(l.InC), float64(l.InH)
+		return 4*d*d*seq + 2*seq*seq*d
 	default:
 		return 0
 	}
@@ -161,6 +189,16 @@ func (l Layer) FwdFLOPs(batch int) float64 {
 	case SE:
 		// Pool + two dense layers + sigmoid gate applied per element.
 		f = 2*l.MACs()*b + 3*outElems
+	case Attn:
+		// Projections and batched GEMMs, plus the softmax over the
+		// [heads, L, L] score tensor.
+		f = 2*l.MACs()*b + 5*b*float64(l.Kernel)*float64(l.InH*l.InH)
+	case Embed:
+		// Token gather + positional add per output element.
+		f = outElems
+	case LayerNorm:
+		// Mean, variance, normalize, affine per element.
+		f = 6 * outElems
 	case BatchNorm:
 		f = 4 * outElems // normalize + affine
 	case Act:
@@ -182,9 +220,12 @@ func (l Layer) FwdFLOPs(batch int) float64 {
 // weight gradient) and once forward for the rest.
 func (l Layer) BwdFLOPs(batch int) float64 {
 	switch l.Kind {
-	case Conv, DWConv, Linear, BatchNorm, SE:
+	case Conv, DWConv, Linear, BatchNorm, SE, Attn, LayerNorm:
 		return 2 * l.FwdFLOPs(batch)
 	default:
+		// Embed backward is a scatter-add of the same magnitude as its
+		// forward gather, so it stays in the 1x branch with the other
+		// parameter-light layers.
 		return l.FwdFLOPs(batch)
 	}
 }
@@ -220,6 +261,15 @@ func (l Layer) ParamCount() int64 {
 	case SE:
 		// C->squeeze and squeeze->C dense layers with biases.
 		p = 2*int64(l.InC)*int64(l.Kernel) + int64(l.Kernel) + int64(l.InC)
+	case Embed:
+		// Token table [Vocab, Dim] plus positional table [L, Dim];
+		// Kernel carries the vocabulary size.
+		p = int64(l.Kernel)*int64(l.OutC) + int64(l.InH)*int64(l.OutC)
+	case Attn:
+		// Q/K/V/output projections, each [Dim, Dim] with bias.
+		p = 4 * (int64(l.InC)*int64(l.OutC) + int64(l.OutC))
+	case LayerNorm:
+		p = 2 * int64(l.OutC) // gain and bias
 	}
 	return p
 }
@@ -231,12 +281,8 @@ func (l Layer) InBytes(batch int) int64 {
 
 // OutBytes returns the float32 output activation size for a batch.
 func (l Layer) OutBytes(batch int) int64 {
-	if l.Kind == Linear || l.Kind == Flatten {
-		// Linear output is [batch, OutC]; Flatten preserves elements.
-		if l.Kind == Flatten {
-			return l.InBytes(batch)
-		}
-		return 4 * int64(batch) * int64(l.OutC)
+	if l.Kind == Flatten {
+		return l.InBytes(batch) // reshape preserves elements
 	}
 	return 4 * int64(batch) * int64(l.OutC) * int64(l.OutH()) * int64(l.OutW())
 }

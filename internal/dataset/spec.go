@@ -64,6 +64,24 @@ func ImageNet() Spec {
 	}
 }
 
+// TokensSynthetic returns the loading profile of the synthetic token
+// dataset the transformer workload trains on: numTrain sequences of
+// seqLen ids, generated in memory (Channels=1, Height=seqLen, Width=1 —
+// sequence geometry mapped onto the NCHW fields the same way the cost
+// model maps it). Storage is two bytes per token (uint16 ids) and decode
+// is negligible: token workloads are compute-, not loader-, bound.
+func TokensSynthetic(numTrain, seqLen int) Spec {
+	return Spec{
+		Name:             "tokens-synthetic",
+		NumTrain:         numTrain,
+		Channels:         1,
+		Height:           seqLen,
+		Width:            1,
+		StorageBytes:     2 * int64(seqLen),
+		DecodeCPUSeconds: 1e-7,
+	}
+}
+
 // StepsPerEpoch returns the number of optimizer steps per epoch at the
 // given global batch size (floor division, matching drop-last loaders).
 func (s Spec) StepsPerEpoch(globalBatch int) int {

@@ -10,13 +10,16 @@ import (
 
 // Batch is one training mini-batch for the numeric engine.
 type Batch struct {
-	X      *tensor.Tensor // [B, C, H, W]
+	X      *tensor.Tensor // [B, C, H, W] images, or [B, L] token ids
 	Labels []int
 }
 
-// Synthetic is an in-memory dataset for the numeric engine.
+// Synthetic is an in-memory dataset for the numeric engine. Samples are
+// laid out along dimension 0; the trailing dimensions are workload-shaped
+// ([C, H, W] images for the conv families, [L] token ids for the
+// transformer family).
 type Synthetic struct {
-	X       *tensor.Tensor // [N, C, H, W]
+	X       *tensor.Tensor // [N, ...sample dims]
 	Labels  []int
 	Classes int
 }
@@ -66,12 +69,18 @@ func NewTeacherLabelled(rng *rand.Rand, labeller nn.Layer, n, c, h, w, classes i
 // Len returns the number of samples.
 func (s *Synthetic) Len() int { return len(s.Labels) }
 
-// slice copies samples [start,end) into a fresh tensor.
+// slice copies samples [start,end) into a fresh tensor, preserving the
+// per-sample trailing dimensions.
 func (s *Synthetic) slice(start, end int) *tensor.Tensor {
 	shape := s.X.Shape()
-	c, h, w := shape[1], shape[2], shape[3]
-	per := c * h * w
-	out := tensor.New(end-start, c, h, w)
+	per := 1
+	outShape := make([]int, len(shape))
+	outShape[0] = end - start
+	for i, d := range shape[1:] {
+		per *= d
+		outShape[i+1] = d
+	}
+	out := tensor.New(outShape...)
 	copy(out.Data(), s.X.Data()[start*per:end*per])
 	return out
 }

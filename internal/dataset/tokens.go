@@ -1,0 +1,33 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"pipebd/internal/tensor"
+)
+
+// NewTokens generates n uniformly random token sequences of length l over
+// a vocabulary of the given size, with uniformly random labels: the
+// sequence-workload counterpart of NewRandom. Token ids are stored as
+// float32 values in an [N, L] tensor so batches travel the same tensor,
+// wire, and engine paths as image batches.
+//
+// Generation is fully determined by (rng seed, n, l, vocab, classes) and
+// draws in a fixed order — ids first, then labels — so ring workers can
+// regenerate identical batches locally from a wire.DataSpec recipe
+// instead of shipping inputs over the network.
+func NewTokens(rng *rand.Rand, n, l, vocab, classes int) *Synthetic {
+	if vocab <= 0 {
+		panic("dataset: non-positive vocabulary size")
+	}
+	ids := tensor.New(n, l)
+	d := ids.Data()
+	for i := range d {
+		d[i] = float32(rng.Intn(vocab))
+	}
+	s := &Synthetic{X: ids, Labels: make([]int, n), Classes: classes}
+	for i := range s.Labels {
+		s.Labels[i] = rng.Intn(classes)
+	}
+	return s
+}

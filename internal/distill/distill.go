@@ -22,17 +22,43 @@ import (
 	"pipebd/internal/tensor"
 )
 
+// LossFunc computes a distillation loss between a student block output
+// and the frozen teacher's output, returning the loss and the gradient
+// with respect to the student output. Both MSE (the paper's L(Δoutput))
+// and KL-with-temperature (logit distillation) have this shape.
+type LossFunc func(studentOut, teacherOut *tensor.Tensor) (float64, *tensor.Tensor)
+
+// KLLoss returns the temperature-scaled KL-divergence distillation loss
+// for a pair's logits: T²·KL(softmax(teacher/T) ‖ softmax(student/T)).
+func KLLoss(temp float64) LossFunc {
+	return func(studentOut, teacherOut *tensor.Tensor) (float64, *tensor.Tensor) {
+		return nn.KLDivLoss(studentOut, teacherOut, temp)
+	}
+}
+
 // Pair is one distillation unit: a frozen teacher block and the student
 // block trained to mimic it. Both consume the same input activation and
 // must produce outputs of identical shape.
 type Pair struct {
 	Teacher nn.Layer
 	Student nn.Layer
+	// Loss selects the per-block distillation loss; nil means MSE on the
+	// output activations, the pre-transformer default.
+	Loss LossFunc
+}
+
+// lossOf resolves a pair's loss function.
+func (p Pair) lossOf() LossFunc {
+	if p.Loss != nil {
+		return p.Loss
+	}
+	return nn.MSELoss
 }
 
 // Step performs one distillation step of a pair: runs the teacher block
-// (inference mode), the student block (training mode), computes the MSE
-// between their outputs (the paper's L(Δoutput)), and backpropagates
+// (inference mode), the student block (training mode), computes the
+// pair's distillation loss between their outputs (MSE — the paper's
+// L(Δoutput) — unless the pair selects another), and backpropagates
 // through the student, accumulating parameter gradients. It returns the
 // teacher's output activation (the next block's input) and the loss. The
 // caller owns zeroing gradients and applying the optimizer step, so the
@@ -51,7 +77,7 @@ func StepObserved(p Pair, x *tensor.Tensor, tk *obs.Track) (teacherOut *tensor.T
 	r.End()
 	r = tk.Begin(sim.CatStudentFwd, "student_fwd")
 	studentOut := p.Student.Forward(x, true)
-	loss, grad := nn.MSELoss(studentOut, teacherOut)
+	loss, grad := p.lossOf()(studentOut, teacherOut)
 	r.End()
 	r = tk.Begin(sim.CatStudentBwd, "student_bwd")
 	p.Student.Backward(grad)
@@ -118,7 +144,7 @@ func (w *Workbench) DistillLoss(x *tensor.Tensor) []float64 {
 	for i, p := range w.Pairs {
 		tOut := p.Teacher.Forward(x, false)
 		sOut := p.Student.Forward(x, false)
-		l, _ := nn.MSELoss(sOut, tOut)
+		l, _ := p.lossOf()(sOut, tOut)
 		losses[i] = l
 		x = tOut
 	}

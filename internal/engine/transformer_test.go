@@ -1,0 +1,123 @@
+package engine
+
+import (
+	"math/rand"
+	"testing"
+
+	"pipebd/internal/dataset"
+	"pipebd/internal/distill"
+	"pipebd/internal/sched"
+	"pipebd/internal/tensor"
+)
+
+// The transformer workbench must enjoy the same central equivalence the
+// conv workbenches do: the engine is workload-agnostic, so pipelined
+// scheduling, DPU, and backend swaps change throughput only — never the
+// training trajectory. These tests pin that for encoder blocks with
+// batched-GEMM attention and KL logit distillation.
+
+func tokenBatches(t *testing.T, n, batch int) []dataset.Batch {
+	t.Helper()
+	cfg := distill.DefaultTransformerConfig()
+	data := dataset.NewTokens(rand.New(rand.NewSource(7)), n*batch, cfg.SeqLen, cfg.Vocab, cfg.Classes)
+	return data.Batches(batch)
+}
+
+func newTransformerBench() *distill.Workbench {
+	return distill.NewTransformerWorkbench(distill.DefaultTransformerConfig())
+}
+
+// TestTransformerPipelinedBitEquivalence: the paper's bit-identity claim
+// on the transformer workload — pipelined teacher relaying (with and
+// without DPU, unsplit and split plans) must reproduce sequential
+// training exactly.
+func TestTransformerPipelinedBitEquivalence(t *testing.T) {
+	batches := tokenBatches(t, 6, 8)
+	ref := newTransformerBench()
+	seqRes := RunSequential(ref, batches, 0.05, 0.9)
+
+	for name, p := range map[string]sched.Plan{
+		"2dev": plan(g([]int{0}, []int{0, 1}), g([]int{1}, []int{2, 3})),
+		"4dev": plan(g([]int{0}, []int{0}), g([]int{1}, []int{1}), g([]int{2}, []int{2}), g([]int{3}, []int{3})),
+	} {
+		for _, dpu := range []bool{false, true} {
+			w := newTransformerBench()
+			pipRes := RunPipelined(w, batches, Config{Plan: p, DPU: dpu, LR: 0.05, Momentum: 0.9})
+			if !paramsEqual(t, ref, w, true, 0) {
+				t.Errorf("%s dpu=%v: pipelined transformer weights differ from sequential", name, dpu)
+			}
+			for b := range seqRes.Loss {
+				for s := range seqRes.Loss[b] {
+					if seqRes.Loss[b][s] != pipRes.Loss[b][s] {
+						t.Fatalf("%s dpu=%v: loss diverged at block %d step %d", name, dpu, b, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTransformerParallelBackendBitEquivalence swaps in the parallel
+// backend, which routes the attention GEMMs through the batched packed
+// kernels — the trajectory must still match the serial sequential
+// reference bit-for-bit.
+func TestTransformerParallelBackendBitEquivalence(t *testing.T) {
+	batches := tokenBatches(t, 4, 8)
+	ref := newTransformerBench()
+	seqRes := RunSequential(ref, batches, 0.05, 0.9)
+
+	parallel, ok := tensor.Lookup("parallel")
+	if !ok {
+		t.Fatal("parallel backend not registered")
+	}
+	for _, dpu := range []bool{false, true} {
+		w := newTransformerBench()
+		pipRes := RunPipelined(w, batches, Config{
+			Plan: plan(g([]int{0}, []int{0, 1}), g([]int{1}, []int{2, 3})),
+			DPU:  dpu, LR: 0.05, Momentum: 0.9,
+			Backend: parallel,
+		})
+		if !paramsEqual(t, ref, w, true, 0) {
+			t.Errorf("dpu=%v: parallel-backend transformer weights differ from serial sequential", dpu)
+		}
+		for b := range seqRes.Loss {
+			for s := range seqRes.Loss[b] {
+				if seqRes.Loss[b][s] != pipRes.Loss[b][s] {
+					t.Fatalf("dpu=%v: loss diverged at block %d step %d", dpu, b, s)
+				}
+			}
+		}
+	}
+}
+
+// TestTransformerHybridGroupMatchesSequential: batch-sharded encoder
+// groups average shard gradients, equal to the full-batch gradient up to
+// float32 reduction order.
+func TestTransformerHybridGroupMatchesSequential(t *testing.T) {
+	batches := tokenBatches(t, 6, 8)
+	ref := newTransformerBench()
+	RunSequential(ref, batches, 0.05, 0.9)
+
+	p := plan(g([]int{0, 1}, []int{0, 1}), g([]int{2}, []int{2, 3}))
+	w := newTransformerBench()
+	RunPipelined(w, batches, Config{Plan: p, DPU: true, LR: 0.05, Momentum: 0.9})
+	if !paramsEqual(t, ref, w, false, 1e-3) {
+		t.Fatal("hybrid-group transformer training diverged from sequential beyond tolerance")
+	}
+}
+
+// TestTransformerTrainingReducesLoss: the KL logit block and the MSE
+// hidden-state blocks must all actually learn on the synthetic token
+// task.
+func TestTransformerTrainingReducesLoss(t *testing.T) {
+	batches := tokenBatches(t, 40, 8)
+	w := newTransformerBench()
+	p := plan(g([]int{0}, []int{0, 1}), g([]int{1}, []int{2, 3}))
+	res := RunPipelined(w, batches, Config{Plan: p, DPU: true, LR: 0.05, Momentum: 0.9})
+	for b := range res.Loss {
+		first, last := res.Loss[b][0], res.Loss[b][len(res.Loss[b])-1]
+		if last > first*0.9 {
+			t.Errorf("block %d: loss did not decrease enough (%v -> %v)", b, first, last)
+		}
+	}
+}

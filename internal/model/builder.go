@@ -152,6 +152,35 @@ func (b *builder) linear(name string, outC int) {
 	b.c = outC
 }
 
+// embed appends a token + positional embedding lookup: [N, L] ids in,
+// [N, L, dim] hidden states out. Sequence geometry rides the spatial
+// fields (h = sequence length, w = 1).
+func (b *builder) embed(name string, vocab, dim int) {
+	b.add(cost.Layer{Name: name, Kind: cost.Embed, InC: 1, OutC: dim,
+		InH: b.h, InW: 1, Kernel: vocab})
+	b.c = dim
+}
+
+// attn appends multi-head self-attention over the current sequence.
+func (b *builder) attn(name string, heads int) {
+	b.add(cost.Layer{Name: name, Kind: cost.Attn, InC: b.c, OutC: b.c,
+		InH: b.h, InW: b.w, Kernel: heads, Bias: true})
+}
+
+// lnorm appends a layer normalization over the current channels.
+func (b *builder) lnorm(name string) {
+	b.add(cost.Layer{Name: name, Kind: cost.LayerNorm, InC: b.c, OutC: b.c, InH: b.h, InW: b.w})
+}
+
+// plinear appends a position-wise linear layer: the same weights applied
+// at every sequence position (the transformer MLP). Unlike linear it
+// keeps the current spatial/sequence geometry.
+func (b *builder) plinear(name string, outC int) {
+	b.add(cost.Layer{Name: name, Kind: cost.Linear, InC: b.c, OutC: outC,
+		InH: b.h, InW: b.w, Bias: true})
+	b.c = outC
+}
+
 // se appends a squeeze-and-excitation gate over the current channels with
 // the given squeeze width.
 func (b *builder) se(name string, squeeze int) {

@@ -1,0 +1,91 @@
+package model
+
+import (
+	"fmt"
+
+	"pipebd/internal/dataset"
+)
+
+// TransformerGeom sizes one side of the transformer distillation
+// workload: a pre-LN-free encoder stack (attention and MLP residuals,
+// each closed by a LayerNorm) over embedded token sequences, split one
+// encoder layer per distillation block — the DistilBERT-style blockwise
+// setup the numeric workbench (distill.NewTransformerWorkbench) runs at
+// miniature scale. Teacher and student share Dim, Heads, SeqLen, and
+// Blocks so block-boundary activations align; the student differs only
+// in its MLP hidden width FF.
+type TransformerGeom struct {
+	Blocks  int
+	Dim     int // hidden width at every block boundary
+	Heads   int // attention heads (must divide Dim)
+	FF      int // MLP hidden width
+	SeqLen  int
+	Vocab   int
+	Classes int // classifier width of the final block (0: no classifier)
+}
+
+// TransformerEncoder builds a block-splittable encoder-stack model from
+// the geometry: block 0 embeds and runs one encoder layer, every further
+// block is one encoder layer, and the final block ends in a mean-pool +
+// linear classifier head when g.Classes > 0. Each encoder layer's
+// attention and MLP halves are separate layerwise units (the LS
+// baseline's packing granularity).
+func TransformerEncoder(name string, g TransformerGeom) Model {
+	if g.Blocks <= 0 || g.Dim <= 0 || g.SeqLen <= 0 || g.Vocab <= 0 || g.FF <= 0 {
+		panic(fmt.Sprintf("model: invalid transformer geometry %+v", g))
+	}
+	if g.Heads <= 0 || g.Dim%g.Heads != 0 {
+		panic(fmt.Sprintf("model: transformer heads %d must divide dim %d", g.Heads, g.Dim))
+	}
+	b := newBuilder(1, g.SeqLen, 1)
+	for blk := 0; blk < g.Blocks; blk++ {
+		if blk == 0 {
+			b.embed("embed", g.Vocab, g.Dim)
+			b.endUnit("embed")
+		}
+		prefix := fmt.Sprintf("enc%d", blk)
+		b.attn(prefix+".attn", g.Heads)
+		b.residualAdd(prefix + ".attn.add")
+		b.lnorm(prefix + ".attn.ln")
+		b.endUnit(prefix + ".attn")
+		b.plinear(prefix+".mlp.fc1", g.FF)
+		b.act(prefix + ".mlp.gelu")
+		b.plinear(prefix+".mlp.fc2", g.Dim)
+		b.residualAdd(prefix + ".mlp.add")
+		b.lnorm(prefix + ".mlp.ln")
+		b.endUnit(prefix + ".mlp")
+		if g.Classes > 0 && blk == g.Blocks-1 {
+			b.gap("pool")
+			b.flatten("flatten")
+			b.linear("fc", g.Classes)
+			b.endUnit("head")
+		}
+		b.cut(fmt.Sprintf("block%d", blk))
+	}
+	return b.model(name)
+}
+
+// TransformerDistill returns the transformer blockwise-distillation
+// workload: a six-block encoder teacher distilling into a student of the
+// same depth and hidden width but a 4x narrower MLP, on synthetic token
+// sequences. Like the NAS workload, distillation losses are defined per
+// encoder block, so the LS baseline packs whole blocks.
+func TransformerDistill() Workload {
+	teacher := TransformerGeom{
+		Blocks: 6, Dim: 256, Heads: 4, FF: 1024,
+		SeqLen: 64, Vocab: 8192, Classes: 10,
+	}
+	student := teacher
+	student.FF = teacher.FF / 4
+	w := Workload{
+		Name:                 "transformer-tokens",
+		Teacher:              TransformerEncoder("transformer-teacher", teacher),
+		Student:              TransformerEncoder("transformer-student", student),
+		Data:                 dataset.TokensSynthetic(100000, teacher.SeqLen),
+		LSAtBlockGranularity: true,
+	}
+	if err := w.Validate(); err != nil {
+		panic(err)
+	}
+	return w
+}

@@ -1,0 +1,94 @@
+package model
+
+import (
+	"testing"
+
+	"pipebd/internal/cost"
+)
+
+// Closed-form parameter and MAC counts for the transformer geometry,
+// verifying the cost-model mapping (Embed/Attn/LayerNorm kinds, spatial
+// position-wise Linear) against hand-derived formulas.
+
+func transformerLayerParams(dim, ff int) int64 {
+	attn := 4 * (int64(dim)*int64(dim) + int64(dim))
+	ln := 2 * 2 * int64(dim)
+	mlp := int64(dim)*int64(ff) + int64(ff) + int64(ff)*int64(dim) + int64(dim)
+	return attn + ln + mlp
+}
+
+func TestTransformerEncoderParamCounts(t *testing.T) {
+	g := TransformerGeom{Blocks: 6, Dim: 256, Heads: 4, FF: 1024,
+		SeqLen: 64, Vocab: 8192, Classes: 10}
+	m := TransformerEncoder("t", g)
+
+	embed := int64(g.Vocab+g.SeqLen) * int64(g.Dim)
+	head := int64(g.Dim)*int64(g.Classes) + int64(g.Classes)
+	want := embed + int64(g.Blocks)*transformerLayerParams(g.Dim, g.FF) + head
+	if got := m.Net.ParamCount(); got != want {
+		t.Errorf("teacher params = %d, want %d", got, want)
+	}
+
+	// Per-sample MACs: attention 4·D²·L + 2·L²·D, MLP 2·D·FF·L per
+	// layer, plus the classifier head after pooling.
+	d, l, ff := float64(g.Dim), float64(g.SeqLen), float64(g.FF)
+	layer := 4*d*d*l + 2*l*l*d + 2*d*ff*l
+	wantMACs := float64(g.Blocks)*layer + d*float64(g.Classes)
+	if got := m.Net.MACs(); got != wantMACs {
+		t.Errorf("teacher MACs = %v, want %v", got, wantMACs)
+	}
+}
+
+func TestTransformerDistillWorkload(t *testing.T) {
+	w := TransformerDistill()
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.NumBlocks() != 6 {
+		t.Errorf("blocks = %d, want 6", w.NumBlocks())
+	}
+	// Student keeps dim/heads/depth but runs a 4x narrower MLP, so it
+	// must be strictly smaller while block boundaries stay aligned.
+	tp, sp := w.Teacher.Net.ParamCount(), w.Student.Net.ParamCount()
+	if sp >= tp {
+		t.Errorf("student params %d not smaller than teacher %d", sp, tp)
+	}
+	for i := range w.Teacher.Net.Blocks {
+		to := w.Teacher.Net.Blocks[i].OutBytes(1)
+		so := w.Student.Net.Blocks[i].OutBytes(1)
+		if to != so {
+			t.Errorf("block %d boundary: teacher %dB, student %dB", i, to, so)
+		}
+	}
+	// Token ids enter as [1, L] float32: 4·L bytes per sample.
+	if got := w.Teacher.Net.Blocks[0].InBytes(1); got != 4*64 {
+		t.Errorf("block 0 input = %dB, want %d", got, 4*64)
+	}
+}
+
+// TestLinearSpatialAware pins the position-wise Linear semantics: at
+// InH=InW=1 (every conv model) nothing changes, and at InH=L the layer
+// costs L times the 1-position layer and preserves geometry.
+func TestLinearSpatialAware(t *testing.T) {
+	one := cost.Layer{Kind: cost.Linear, InC: 8, OutC: 16, InH: 1, InW: 1, Bias: true}
+	seq := cost.Layer{Kind: cost.Linear, InC: 8, OutC: 16, InH: 5, InW: 1, Bias: true}
+	if one.MACs() != 8*16 {
+		t.Errorf("1-position Linear MACs = %v, want %v", one.MACs(), 8*16)
+	}
+	if seq.MACs() != 5*8*16 {
+		t.Errorf("5-position Linear MACs = %v, want %v", seq.MACs(), 5*8*16)
+	}
+	if seq.OutH() != 5 || seq.OutW() != 1 {
+		t.Errorf("5-position Linear out = [%d,%d], want [5,1]", seq.OutH(), seq.OutW())
+	}
+	if one.OutBytes(2) != 4*2*16 {
+		t.Errorf("1-position Linear OutBytes = %d, want %d", one.OutBytes(2), 4*2*16)
+	}
+	if seq.OutBytes(2) != 4*2*16*5 {
+		t.Errorf("5-position Linear OutBytes = %d, want %d", seq.OutBytes(2), 4*2*16*5)
+	}
+	// Params are shared across positions: identical for both.
+	if one.ParamCount() != seq.ParamCount() {
+		t.Errorf("params differ: %d vs %d", one.ParamCount(), seq.ParamCount())
+	}
+}

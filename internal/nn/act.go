@@ -1,6 +1,10 @@
 package nn
 
-import "pipebd/internal/tensor"
+import (
+	"fmt"
+
+	"pipebd/internal/tensor"
+)
 
 // ReLU is max(0, x). Cap < 0 disables the upper clamp; Cap = 6 yields the
 // ReLU6 used throughout MobileNet-family models.
@@ -38,9 +42,10 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 			mask[i] = pass
 		}
 	}
-	if train {
-		r.mask = mask
-	}
+	// An eval-mode forward invalidates any cached mask: a Backward after
+	// it would otherwise gate with state from a stale (possibly
+	// differently-shaped) batch.
+	r.mask = mask
 	return out
 }
 
@@ -49,8 +54,12 @@ func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if r.mask == nil {
 		panic("nn: ReLU.Backward called before Forward(train=true)")
 	}
+	gd := grad.Data()
+	if len(r.mask) != len(gd) {
+		panic(fmt.Sprintf("nn: ReLU.Backward grad has %d elements but cached mask has %d (stale forward?)", len(gd), len(r.mask)))
+	}
 	out := tensor.New(grad.Shape()...)
-	gd, od := grad.Data(), out.Data()
+	od := out.Data()
 	for i, pass := range r.mask {
 		if pass {
 			od[i] = gd[i]

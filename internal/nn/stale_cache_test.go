@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pipebd/internal/tensor"
+)
+
+// Regression tests for the stale-activation-cache bug: a train-mode
+// Forward followed by an eval-mode Forward (teacher inference, metrics, a
+// differently shaped probe batch) used to leave the training cache from
+// the first batch in place, so a subsequent Backward silently gated with
+// the wrong mask — or indexed out of range on a shape change. Every
+// caching layer must now invalidate its cache on eval forwards and
+// length-check it in Backward.
+
+func mustPanic(t *testing.T, substr string, f func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", substr)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			if err, isErr := r.(error); isErr {
+				msg = err.Error()
+			}
+		}
+		if !strings.Contains(msg, substr) {
+			t.Fatalf("panic %q does not contain %q", msg, substr)
+		}
+	}()
+	f()
+}
+
+// TestReLUEvalForwardInvalidatesMask is the original bug: train forward,
+// eval forward, then backward. The eval forward must clear the mask so
+// the backward fails loudly instead of applying batch-1 gating to
+// batch-2 gradients.
+func TestReLUEvalForwardInvalidatesMask(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	r := NewReLU()
+	r.Forward(tensor.Rand(rng, -1, 1, 2, 3), true)
+	r.Forward(tensor.Rand(rng, -1, 1, 2, 3), false)
+	mustPanic(t, "before Forward(train=true)", func() {
+		r.Backward(tensor.Rand(rng, -1, 1, 2, 3))
+	})
+}
+
+// TestReLUShapeMismatchCaught: a train forward on one shape followed by a
+// backward for another must be rejected by the length check rather than
+// silently gating a prefix (or panicking with a bare index error).
+func TestReLUShapeMismatchCaught(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := NewReLU()
+	r.Forward(tensor.Rand(rng, -1, 1, 4, 4), true)
+	mustPanic(t, "stale forward", func() {
+		r.Backward(tensor.Rand(rng, -1, 1, 2, 3))
+	})
+}
+
+// TestReLUTrainEvalTrainBackward: the legitimate sequence — train, eval,
+// train, backward — must keep working, with the backward consuming the
+// second train forward's mask.
+func TestReLUTrainEvalTrainBackward(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	r := NewReLU()
+	r.Forward(tensor.Rand(rng, -1, 1, 2, 2), true)
+	r.Forward(tensor.Rand(rng, -1, 1, 5, 5), false)
+	x := tensor.Rand(rng, -1, 1, 3, 3)
+	out := r.Forward(x, true)
+	grad := tensor.Rand(rng, -1, 1, 3, 3)
+	dx := r.Backward(grad)
+	for i, v := range x.Data() {
+		want := float32(0)
+		if out.Data()[i] > 0 {
+			want = grad.Data()[i]
+		}
+		if dx.Data()[i] != want {
+			t.Fatalf("element %d (x=%v): got %v want %v", i, v, dx.Data()[i], want)
+		}
+	}
+}
+
+// TestTransformerCachesInvalidatedByEvalForward applies the same guard
+// contract to every caching layer the transformer workload introduced.
+func TestTransformerCachesInvalidatedByEvalForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cases := []struct {
+		name  string
+		layer Layer
+		input func() *tensor.Tensor
+	}{
+		{"GELU", NewGELU(), func() *tensor.Tensor { return tensor.Rand(rng, -1, 1, 2, 3) }},
+		{"LayerNorm", NewLayerNorm(4), func() *tensor.Tensor { return tensor.Rand(rng, -1, 1, 2, 4) }},
+		{"MHA", NewMultiHeadAttention(rng, 4, 2), func() *tensor.Tensor { return tensor.Rand(rng, -1, 1, 2, 3, 4) }},
+		{"MeanPoolSeq", NewMeanPoolSeq(), func() *tensor.Tensor { return tensor.Rand(rng, -1, 1, 2, 3, 4) }},
+		{"Embedding", NewEmbedding(rng, 5, 3, 4), func() *tensor.Tensor {
+			ids := tensor.New(2, 3)
+			for i := range ids.Data() {
+				ids.Data()[i] = float32(rng.Intn(5))
+			}
+			return ids
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			x := c.input()
+			out := c.layer.Forward(x, true)
+			c.layer.Forward(c.input(), false)
+			mustPanic(t, "before Forward(train=true)", func() {
+				c.layer.Backward(tensor.New(out.Shape()...))
+			})
+			// And after a fresh train forward the backward runs again.
+			out = c.layer.Forward(x, true)
+			c.layer.Backward(tensor.New(out.Shape()...))
+		})
+	}
+}
+
+// TestTransformerCachesLengthChecked: shape-changing train forwards are
+// legal (the cache is replaced), but a backward whose gradient shape
+// disagrees with the cache must fail the length check.
+func TestTransformerCachesLengthChecked(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := NewGELU()
+	g.Forward(tensor.Rand(rng, -1, 1, 2, 3), true)
+	mustPanic(t, "stale forward", func() { g.Backward(tensor.Rand(rng, -1, 1, 4, 4)) })
+
+	ln := NewLayerNorm(4)
+	ln.Forward(tensor.Rand(rng, -1, 1, 2, 4), true)
+	mustPanic(t, "stale forward", func() { ln.Backward(tensor.Rand(rng, -1, 1, 3, 4)) })
+
+	a := NewMultiHeadAttention(rng, 4, 2)
+	a.Forward(tensor.Rand(rng, -1, 1, 2, 3, 4), true)
+	mustPanic(t, "stale forward", func() { a.Backward(tensor.Rand(rng, -1, 1, 1, 3, 4)) })
+
+	e := NewEmbedding(rng, 5, 3, 4)
+	ids := tensor.New(2, 3)
+	e.Forward(ids, true)
+	mustPanic(t, "stale forward", func() { e.Backward(tensor.Rand(rng, -1, 1, 1, 3, 4)) })
+}

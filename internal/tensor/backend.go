@@ -33,6 +33,19 @@ type Backend interface {
 	// MatMulTBInto computes out = a·bᵀ (a: [m,k], b: [n,k], out: [m,n]).
 	MatMulTBInto(out, a, b *Tensor)
 
+	// MatMulBatchInto computes out[g] = a[g]·b[g] for every instance
+	// (a: [G,m,k], b: [G,k,n], out: [G,m,n]). Instance g is bit-identical
+	// to MatMulInto on the g-th slices; the batched form exists so
+	// dispatch and packing amortize over the whole batch (attention's
+	// skinny per-head GEMMs).
+	MatMulBatchInto(out, a, b *Tensor)
+	// MatMulTABatchInto computes out[g] = a[g]ᵀ·b[g]
+	// (a: [G,k,m], b: [G,k,n], out: [G,m,n]).
+	MatMulTABatchInto(out, a, b *Tensor)
+	// MatMulTBBatchInto computes out[g] = a[g]·b[g]ᵀ
+	// (a: [G,m,k], b: [G,n,k], out: [G,m,n]).
+	MatMulTBBatchInto(out, a, b *Tensor)
+
 	// Add computes dst = a + b elementwise; dst may alias a or b.
 	Add(dst, a, b *Tensor)
 	// Sub computes dst = a - b elementwise; dst may alias a or b.
@@ -155,6 +168,27 @@ func (Serial) MatMulTBInto(out, a, b *Tensor) {
 	m, k, n := matMulTBDims(a, b)
 	checkOutShape("MatMulTBInto", out, m, n)
 	matMulTBDriver(nil, out.data, a.data, b.data, m, k, n)
+}
+
+// MatMulBatchInto implements Backend.
+func (Serial) MatMulBatchInto(out, a, b *Tensor) {
+	g, m, k, n := matMulBatchDims(a, b)
+	checkBatchOutShape("MatMulBatchInto", out, g, m, n)
+	matMulBatchDriverPlain(nil, out.data, a.data, b.data, g, m, k, n)
+}
+
+// MatMulTABatchInto implements Backend.
+func (Serial) MatMulTABatchInto(out, a, b *Tensor) {
+	g, m, k, n := matMulTABatchDims(a, b)
+	checkBatchOutShape("MatMulTABatchInto", out, g, m, n)
+	matMulTABatchDriver(nil, out.data, a.data, b.data, g, m, k, n)
+}
+
+// MatMulTBBatchInto implements Backend.
+func (Serial) MatMulTBBatchInto(out, a, b *Tensor) {
+	g, m, k, n := matMulTBBatchDims(a, b)
+	checkBatchOutShape("MatMulTBBatchInto", out, g, m, n)
+	matMulTBBatchDriver(nil, out.data, a.data, b.data, g, m, k, n)
 }
 
 // ConvForwardInto implements Backend.

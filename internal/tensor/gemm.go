@@ -194,7 +194,16 @@ func gemmPackedTiles(od []float32, m, k, n int, bp []float32, t0, t1 int,
 	packA func(ap []float32, i0, rows, p0, p1 int)) {
 	ar := getPackArena()
 	apT := ar.Get(kcBlock * mrTile)
-	ap := apT.data
+	gemmPackedTilesInto(od, m, k, n, bp, t0, t1, apT.data, packA)
+	ar.Release(apT)
+	putPackArena(ar)
+}
+
+// gemmPackedTilesInto is gemmPackedTiles with a caller-provided A strip
+// (kcBlock*mrTile floats): batched drivers hoist the arena borrow once
+// per batch instead of once per instance.
+func gemmPackedTilesInto(od []float32, m, k, n int, bp []float32, t0, t1 int, ap []float32,
+	packA func(ap []float32, i0, rows, p0, p1 int)) {
 	pans := panelsOf(n)
 	for t := t0; t < t1; t++ {
 		i0 := t * mrTile
@@ -217,8 +226,6 @@ func gemmPackedTiles(od []float32, m, k, n int, bp []float32, t0, t1 int,
 			}
 		}
 	}
-	ar.Release(apT)
-	putPackArena(ar)
 }
 
 // gemmRun executes a packed GEMM end to end: pack B into panels, then

@@ -73,6 +73,29 @@ func (p *Parallel) MatMulTBInto(out, a, b *Tensor) {
 	matMulTBDriver(p.pool, out.data, a.data, b.data, m, k, n)
 }
 
+// MatMulBatchInto implements Backend: packing partitions over flat
+// (instance, panel) indices and compute over flat (instance, tile)
+// indices, so a batch of skinny GEMMs still feeds every worker.
+func (p *Parallel) MatMulBatchInto(out, a, b *Tensor) {
+	g, m, k, n := matMulBatchDims(a, b)
+	checkBatchOutShape("MatMulBatchInto", out, g, m, n)
+	matMulBatchDriverPlain(p.pool, out.data, a.data, b.data, g, m, k, n)
+}
+
+// MatMulTABatchInto implements Backend.
+func (p *Parallel) MatMulTABatchInto(out, a, b *Tensor) {
+	g, m, k, n := matMulTABatchDims(a, b)
+	checkBatchOutShape("MatMulTABatchInto", out, g, m, n)
+	matMulTABatchDriver(p.pool, out.data, a.data, b.data, g, m, k, n)
+}
+
+// MatMulTBBatchInto implements Backend.
+func (p *Parallel) MatMulTBBatchInto(out, a, b *Tensor) {
+	g, m, k, n := matMulTBBatchDims(a, b)
+	checkBatchOutShape("MatMulTBBatchInto", out, g, m, n)
+	matMulTBBatchDriver(p.pool, out.data, a.data, b.data, g, m, k, n)
+}
+
 // ConvForwardInto implements Backend: the fused im2col pack is
 // partitioned across column panels, the GEMM across row tiles.
 func (p *Parallel) ConvForwardInto(out, w, x *Tensor, kh, kw, stride, pad int) {

@@ -54,6 +54,21 @@ func (t Throttled) MatMulTBInto(out, a, b *Tensor) {
 	t.inner.MatMulTBInto(out, a, b)
 }
 
+func (t Throttled) MatMulBatchInto(out, a, b *Tensor) {
+	defer t.pace(time.Now())
+	t.inner.MatMulBatchInto(out, a, b)
+}
+
+func (t Throttled) MatMulTABatchInto(out, a, b *Tensor) {
+	defer t.pace(time.Now())
+	t.inner.MatMulTABatchInto(out, a, b)
+}
+
+func (t Throttled) MatMulTBBatchInto(out, a, b *Tensor) {
+	defer t.pace(time.Now())
+	t.inner.MatMulTBBatchInto(out, a, b)
+}
+
 func (t Throttled) Add(dst, a, b *Tensor) {
 	defer t.pace(time.Now())
 	t.inner.Add(dst, a, b)
