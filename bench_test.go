@@ -142,6 +142,19 @@ func BenchmarkTransformerWorkload(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultRecovery measures the transient-fault absorption tier
+// against the global-cut restart it replaces: the same tiny loopback ring
+// run with one identical mid-run link break, once absorbed by
+// reconnect-and-replay and once recovered by restarting every device from
+// the cut. The definitions live in the shared registry so
+// cmd/pipebd-bench pins the same numbers in BENCH_PR10.json.
+func BenchmarkFaultRecovery(b *testing.B) {
+	for _, c := range bench.Recovery(false) {
+		c := c
+		b.Run(c.Name, func(b *testing.B) { c.Run(b) })
+	}
+}
+
 // BenchmarkTraceOverhead measures the observability layer's span
 // Begin/End pair, disabled (the default every hot path pays) and enabled
 // (what -trace-out opts into). The definition lives in the shared

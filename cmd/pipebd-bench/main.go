@@ -7,10 +7,13 @@
 // the same run with one injected worker kill, a snapshot-interval sweep,
 // rank-0 dedup on versus off, a durable run persisting its ledger, a
 // full coordinator crash + ResumeRun cycle, hub-vs-ring topology traffic
-// attribution, and a straggler pair (the same throttled-worker run with
-// dynamic repartitioning off and on — the -repartition headline). The
-// output file (committed as BENCH_PR9.json, alongside the PR2–PR8
-// baselines) gives later PRs a trajectory to compare against.
+// attribution, a straggler pair (the same throttled-worker run with
+// dynamic repartitioning off and on — the -repartition headline), and a
+// fault-recovery pair (one identical mid-run link break absorbed by
+// resumable reconnect-and-replay versus recovered by a global restart —
+// the -retry-budget headline). The output file (committed as
+// BENCH_PR10.json, alongside the PR2–PR9 baselines) gives later PRs a
+// trajectory to compare against.
 //
 // Every record carries the GOMAXPROCS it ran under, and -procs sweeps the
 // registry suite across several values in one invocation (the committed
@@ -96,7 +99,7 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pipebd-bench", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
-	out := fs.String("out", "BENCH_PR9.json", "output JSON path (- for stdout)")
+	out := fs.String("out", "BENCH_PR10.json", "output JSON path (- for stdout)")
 	quick := fs.Bool("quick", false, "small problem sizes (smoke testing)")
 	procsFlag := fs.String("procs", "", "comma-separated GOMAXPROCS values to sweep the registry suite across (default: current)")
 	compare := fs.String("compare", "", "older report JSON to diff the produced (or -in) report against")

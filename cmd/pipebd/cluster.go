@@ -50,6 +50,20 @@ type clusterOptions struct {
 	// combined with -verify.
 	ChaosKills int
 	ChaosSeed  int64
+	// ChaosFlaps injects this many seeded transient link flaps — the
+	// self-test for RetryBudget absorption: every flap must reconnect and
+	// replay without consuming a restart.
+	ChaosFlaps int
+	// ChaosPart injects one healing partition: a link breaks and its
+	// address stays unreachable for this duration, forcing the reconnect
+	// loop to back off until the partition heals.
+	ChaosPart time.Duration
+	// RetryBackoff/RetryBudget arm transient-fault absorption: broken
+	// worker and peer links reconnect with exponential backoff (initial
+	// RetryBackoff, doubling) and replay their missed frames for up to
+	// RetryBudget before the failure escalates to recovery or degrade.
+	RetryBackoff time.Duration
+	RetryBudget  time.Duration
 	// TraceOut enables span tracing across the cluster and writes the
 	// collected timeline as Chrome trace-event JSON to this path, then
 	// prints the measured-vs-modeled utilization report.
@@ -88,6 +102,12 @@ func (o clusterOptions) validate() error {
 	}
 	if o.Fsync.Mode != ledger.SyncNone && o.Ledger == "" {
 		return fmt.Errorf("-fsync %s needs -ledger (there is no record log to sync without one)", o.Fsync)
+	}
+	if (o.ChaosFlaps > 0 || o.ChaosPart > 0) && o.RetryBudget <= 0 {
+		return fmt.Errorf("-chaos-flaps/-chaos-partition need -retry-budget > 0 (transient faults are absorbed by reconnecting links)")
+	}
+	if o.ChaosPart > 0 && o.RetryBudget <= o.ChaosPart {
+		return fmt.Errorf("-chaos-partition %v needs -retry-budget > %v, or the partition cannot heal inside the reconnect budget", o.ChaosPart, o.ChaosPart)
 	}
 	return nil
 }
@@ -208,6 +228,10 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 		LedgerDir:   opts.Ledger,
 		Fsync:       opts.Fsync,
 		Repartition: opts.Repartition,
+		Retry: wire.RetrySpec{
+			BackoffMillis: int(opts.RetryBackoff / time.Millisecond),
+			BudgetMillis:  int(opts.RetryBudget / time.Millisecond),
+		},
 		LedgerMeta: fmt.Sprintf("pipebd -cluster %s -cluster-plan %s -cluster-model %s -cluster-steps %d -cluster-batch %d",
 			strings.Join(opts.Workers, ","), opts.PlanName, spec.Name, opts.Steps, opts.Batch),
 		Logf: func(format string, args ...any) {
@@ -228,8 +252,25 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 	}
 	var net transport.Network = transport.TCP{}
 	var chaos *transport.Chaos
+	var schedule []transport.Fault
 	if opts.ChaosKills > 0 {
-		schedule := transport.RandomKills(opts.ChaosSeed, len(opts.Workers), opts.Steps, opts.ChaosKills)
+		schedule = append(schedule, transport.RandomKills(opts.ChaosSeed, len(opts.Workers), opts.Steps, opts.ChaosKills)...)
+	}
+	if opts.ChaosFlaps > 0 {
+		schedule = append(schedule, transport.RandomFlaps(opts.ChaosSeed, len(opts.Workers), opts.Steps, opts.ChaosFlaps)...)
+	}
+	if opts.ChaosPart > 0 {
+		// One healing partition on the first dialed link, mid-run: the
+		// break itself looks like a flap, but redials keep failing until
+		// the blackhole lifts, so the reconnect loop must outlast it.
+		schedule = append(schedule, transport.Fault{
+			Trigger: transport.Trigger{Conn: 0, Op: transport.OpRecv,
+				Kind: wire.KindLosses, Step: int32(opts.Steps / 2), Count: 1},
+			Action: transport.ActPartition,
+			Delay:  opts.ChaosPart,
+		})
+	}
+	if len(schedule) > 0 {
 		for _, f := range schedule {
 			fmt.Fprintf(stdout, "pipebd: chaos schedule: %v\n", f)
 		}
@@ -282,12 +323,19 @@ func runCluster(stdout io.Writer, opts clusterOptions) error {
 	if opts.Repartition.Enabled {
 		fmt.Fprintf(stdout, "pipebd: repartitions executed: %d\n", counters.Counter("repartitions").Load())
 	}
+	if cfg.Retry.Enabled() {
+		fmt.Fprintf(stdout, "pipebd: link faults absorbed: %d (%d frame(s) replayed), links degraded to hub relay: %d, restarts consumed: %d of %d\n",
+			counters.Counter("link_faults_absorbed").Load(),
+			counters.Counter("link_frames_replayed").Load(),
+			counters.Counter("degrades").Load(),
+			counters.Counter("recoveries").Load(), opts.MaxRestarts)
+	}
 	if chaos != nil {
 		if unfired := chaos.Unfired(); len(unfired) > 0 {
 			// A kill that never fired (e.g. aimed at a worker the plan never
 			// dialed) would make this self-test vacuous: the run "survived"
 			// nothing. Fail loudly instead.
-			return fmt.Errorf("chaos self-test invalid: %d of %d scheduled faults never fired (%v); pick a different -chaos-seed or fewer workers", len(unfired), opts.ChaosKills, unfired)
+			return fmt.Errorf("chaos self-test invalid: %d scheduled fault(s) never fired (%v); pick a different -chaos-seed or fewer workers", len(unfired), unfired)
 		}
 	}
 	final := res.FinalLoss()

@@ -36,6 +36,15 @@
 // snapshots, and replays — the result stays bit-identical, which the
 // chaos flags prove by injecting seeded kills under -verify.
 //
+// -retry-budget D adds a cheaper tier below restarts: a broken worker or
+// peer link first tries to reconnect (exponential backoff from
+// -retry-backoff) and replay its missed frames, absorbing transient
+// flaps without touching the restart budget; a peer link that stays down
+// past the budget while its workers remain alive is degraded to hub
+// relay through the coordinator instead of cutting the run. Self-test
+// with -chaos-flaps N (seeded transient breaks) and -chaos-partition D
+// (a healing blackhole the reconnect loop must outlast) under -verify.
+//
 // -ledger DIR makes the run durable: the coordinator persists a manifest
 // and an append-only record of its recovery state, so the coordinator
 // process itself can be killed and restarted:
@@ -112,6 +121,8 @@ func main() {
 	clusterTimeout := flag.Duration("cluster-timeout", 10*time.Second, "per-worker join timeout in cluster mode")
 	maxRestarts := flag.Int("max-restarts", 0, "cluster mode: recover up to N dead workers by re-placing their devices and replaying from snapshots (0: a lost worker fails the run); with -resume, 0 reuses the manifest's budget and a negative value disables worker recovery")
 	clusterHeartbeat := flag.Duration("cluster-heartbeat", 0, "cluster mode: worker heartbeat interval; a worker silent for 4 intervals is declared dead (0: disable silence detection)")
+	retryBackoff := flag.Duration("retry-backoff", 10*time.Millisecond, "cluster mode: initial reconnect backoff of a -retry-budget link, doubling per attempt")
+	retryBudget := flag.Duration("retry-budget", 0, "cluster mode: transient-fault absorption — a broken worker or peer link reconnects with exponential backoff and replays its missed frames for up to this long before the failure escalates (0: links fail on first break, classic behavior)")
 	ledgerDir := flag.String("ledger", "", "cluster mode: persist the coordinator's run state under this directory so a killed pipebd can restart with -resume")
 	snapInterval := flag.Int("snapshot-interval", 0, "cluster mode: device snapshot interval k — snapshot every k-th step (0: every step when fault tolerance is on)")
 	snapDedup := flag.Bool("snapshot-dedup", false, "cluster mode: ship one snapshot per split group (rank 0) instead of one per member")
@@ -123,7 +134,9 @@ func main() {
 	resumeDir := flag.String("resume", "", "restart a killed coordinator from this ledger directory (plan, model, batches, and workers come from the manifest; -cluster overrides the worker addresses; explicitly-set -cluster-plan/-topology/-cluster-steps become checked expectations against the manifest)")
 	compactDir := flag.String("compact-ledger", "", "rewrite this ledger directory's record log as one checkpoint per plan generation holding only what a resume still needs, then exit")
 	chaosKills := flag.Int("chaos-kills", 0, "cluster mode: inject N seeded worker-connection kills mid-run (self-test for -max-restarts; combine with -verify)")
-	chaosSeed := flag.Int64("chaos-seed", 1, "cluster mode: seed for the -chaos-kills schedule")
+	chaosSeed := flag.Int64("chaos-seed", 1, "cluster mode: seed for the -chaos-kills and -chaos-flaps schedules")
+	chaosFlaps := flag.Int("chaos-flaps", 0, "cluster mode: inject N seeded transient link flaps mid-run (self-test for -retry-budget; combine with -verify)")
+	chaosPartition := flag.Duration("chaos-partition", 0, "cluster mode: inject one healing partition — a link breaks and its address stays unreachable for this duration, so the reconnect loop must back off until it heals (needs -retry-budget > the partition)")
 	verify := flag.Bool("verify", false, "cluster mode: require bit-identical match with the in-process pipeline")
 	traceOut := flag.String("trace-out", "", "cluster mode: trace every device's per-step spans, write a Chrome trace-event JSON file here (open in chrome://tracing or Perfetto), and print the measured-vs-modeled utilization report")
 	netStats := flag.Bool("net-stats", false, "cluster mode: print the coordinator's transport byte/frame totals at run end")
@@ -250,6 +263,10 @@ func main() {
 			SnapDedup:    *snapDedup,
 			ChaosKills:   *chaosKills,
 			ChaosSeed:    *chaosSeed,
+			ChaosFlaps:   *chaosFlaps,
+			ChaosPart:    *chaosPartition,
+			RetryBackoff: *retryBackoff,
+			RetryBudget:  *retryBudget,
 			TraceOut:     *traceOut,
 			NetStats:     *netStats,
 			DebugAddr:    *debugAddr,

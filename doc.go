@@ -87,22 +87,45 @@
 //
 // # Fault tolerance
 //
-// Cluster runs survive worker loss (cluster.Config.MaxRestarts): each
-// device streams a post-step snapshot (student parameters + optimizer
-// velocities) to the coordinator, which also retains undelivered inputs
-// and completed gradient reductions. When a worker's connection dies — or
-// goes silent past the heartbeat timeout — the coordinator re-places the
-// lost devices on a surviving or re-joined worker via a Resume frame,
-// restores the snapshots over the wire, and replays the affected steps;
-// replayed work is a pure function of the restored state, so the
-// recovered run's losses and trained weights stay bit-identical to a
-// fault-free run. Ring runs recover by a global-cut restart instead of
-// surgical re-placement — a lost worker strands its ring peers
-// mid-collective, so every device restarts from the newest commonly
-// snapshotted, fully accounted step — with the same bit-identity
-// guarantee. transport.Chaos injects deterministic, seeded fault
-// schedules (connection kills, delays, truncated frames) to prove it,
-// both in the recovery test suite and from the CLI (-chaos-kills).
+// Failures are handled in three tiers, each strictly cheaper than the
+// next, and every tier preserves bit-identity.
+//
+// Tier 1, absorb (cluster.Config.Retry, cmd/pipebd -retry-budget /
+// -retry-backoff): every control and peer connection is wrapped in a
+// resumable stream (transport.Resumable) — both sides count received
+// frames, the sender buffers its unacknowledged tail, and a broken link
+// redials with exponential backoff, re-handshakes on the peer's
+// high-water mark, and replays exactly the missed frames. Transient
+// flaps and healing partitions cost milliseconds and consume no restart
+// budget; the heartbeat monitor treats a reconnecting link as alive, so
+// a flap outlasting the heartbeat timeout is not mistaken for a dead
+// worker.
+//
+// Tier 2, degrade: a peer link persistently down past the retry budget
+// whose workers both still answer a liveness probe is routed through
+// the coordinator hub instead — activations as relay frames, the
+// affected group's all-reduce via the hub fold — while healthy edges
+// stay peer-to-peer. Hub and ring fold in the same order, so a degraded
+// run still verifies bit-identical, and no restart is consumed.
+//
+// Tier 3, global cut (cluster.Config.MaxRestarts): a genuinely lost
+// worker costs a restart. Each device streams a post-step snapshot
+// (student parameters + optimizer velocities) to the coordinator, which
+// also retains undelivered inputs and completed gradient reductions.
+// When a worker's connection dies — or goes silent past the heartbeat
+// timeout — the coordinator re-places the lost devices on a surviving
+// or re-joined worker via a Resume frame, restores the snapshots over
+// the wire, and replays the affected steps; replayed work is a pure
+// function of the restored state, so the recovered run's losses and
+// trained weights stay bit-identical to a fault-free run. Ring runs
+// recover by a global-cut restart instead of surgical re-placement — a
+// lost worker strands its ring peers mid-collective, so every device
+// restarts from the newest commonly snapshotted, fully accounted step —
+// with the same bit-identity guarantee. transport.Chaos injects
+// deterministic, seeded fault schedules (connection kills, transient
+// flaps, healing or persistent partitions, latency spikes, delays,
+// truncated frames) to prove all three tiers, both in the test suites
+// and from the CLI (-chaos-kills, -chaos-flaps, -chaos-partition).
 //
 // Snapshot traffic follows a policy (cluster.Config.Snapshot): interval k
 // snapshots every k-th step, and rank-0 dedup ships one snapshot per
@@ -179,8 +202,9 @@
 // kernel (including the skinny batched attention GEMMs), pipeline-step
 // (conv and transformer), trace-overhead, cluster-recovery,
 // coordinator-resume, hub-vs-ring topology throughput (with per-role
-// coordinator/peer bytes-per-step), and the straggler
-// static-vs-repartition latency pair as JSON (BENCH_PR9.json;
-// BENCH_PR2–PR8.json are the prior baselines), and BenchmarkMatMul in
+// coordinator/peer bytes-per-step), the straggler
+// static-vs-repartition latency pair, and the fault-recovery
+// absorb-vs-global-cut latency pair as JSON (BENCH_PR10.json;
+// BENCH_PR2–PR9.json are the prior baselines), and BenchmarkMatMul in
 // internal/tensor compares the backends directly.
 package pipebd

@@ -20,7 +20,11 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
+	"pipebd/internal/cluster"
+	"pipebd/internal/cluster/transport"
+	"pipebd/internal/cluster/wire"
 	"pipebd/internal/dataset"
 	"pipebd/internal/distill"
 	"pipebd/internal/engine"
@@ -305,6 +309,78 @@ func Transformer(quick bool) []Case {
 	return cases
 }
 
+// Recovery returns the fault-recovery latency pair: the same tiny ring
+// run over a loopback cluster with one identical mid-run link break —
+// once as a transient flap absorbed by the resumable layer (reconnect
+// plus frame replay, no restart), once as a kill that forces a global
+// restart from the cut (every device rewound and replayed). The delta
+// between the two is the wall-clock the absorption tier saves per fault.
+func Recovery(quick bool) []Case {
+	steps, batch := 4, 8
+	if quick {
+		steps, batch = 3, 4
+	}
+	tiny := distill.DefaultTinyConfig()
+	data := dataset.NewRandom(rand.New(rand.NewSource(5)), steps*batch, 3, tiny.Height, tiny.Width, 4)
+	batches := data.Batches(batch)
+	plan := sched.Plan{Name: "tr", Groups: []sched.Group{
+		{Devices: []int{0}, Blocks: []int{0, 1}},
+		{Devices: []int{1}, Blocks: []int{2, 3}},
+	}}
+	mk := func(name string, action transport.Action, retry wire.RetrySpec, maxRestarts int) Case {
+		return Case{
+			Name:    fmt.Sprintf("RecoveryLatency/%s/%dsteps-batch%d", name, steps, batch),
+			Backend: "serial",
+			Run: func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					inner := transport.NewLoopback()
+					chaos := transport.NewChaos(inner, transport.Fault{
+						Trigger: transport.Trigger{Conn: transport.AnyConn, Op: transport.OpRecv,
+							Kind: wire.KindPeerInput, Step: 1, Count: 1},
+						Action: action,
+					})
+					workers := make([]*cluster.Worker, 2)
+					addrs := make([]string, 2)
+					for j := range workers {
+						lis, err := inner.Listen("")
+						if err != nil {
+							b.Fatalf("listen: %v", err)
+						}
+						workers[j] = cluster.NewWorker(lis, cluster.WorkerConfig{
+							Sessions: 1, Rejoin: true, Dial: chaos})
+						addrs[j] = workers[j].Addr()
+						go workers[j].Serve()
+					}
+					w := distill.NewTinyWorkbench(tiny)
+					b.StartTimer()
+					_, err := cluster.Run(inner, addrs, w, batches, cluster.Config{
+						Plan: plan, DPU: true, LR: 0.05, Momentum: 0.9,
+						Topology: "ring", Spec: cluster.TinySpec(tiny),
+						Retry: retry, MaxRestarts: maxRestarts,
+						JoinTimeout: 10 * time.Second,
+					})
+					b.StopTimer()
+					if err != nil {
+						b.Fatalf("ring run with injected %v failed: %v", action, err)
+					}
+					for _, wk := range workers {
+						wk.Close()
+					}
+					b.StartTimer()
+				}
+			},
+		}
+	}
+	return []Case{
+		// A short backoff keeps the absorb case honest: the measured time
+		// is reconnect + replay, not a sleeping retry loop.
+		mk("absorb", transport.ActFlap,
+			wire.RetrySpec{BackoffMillis: 1, BudgetMillis: 2000, AckEvery: 2}, 0),
+		mk("global-cut", transport.ActKill, wire.RetrySpec{}, 1),
+	}
+}
+
 // Trace returns the observability overhead benches: the Begin/End span
 // pair that PR 7 threads through the engine and cluster hot paths. The
 // disabled case is the every-run cost (tracing off by default) and must
@@ -343,6 +419,7 @@ func All(quick bool) []Case {
 	cases = append(cases, Conv(quick)...)
 	cases = append(cases, Transformer(quick)...)
 	cases = append(cases, Pipeline(quick)...)
+	cases = append(cases, Recovery(quick)...)
 	cases = append(cases, Trace()...)
 	return cases
 }

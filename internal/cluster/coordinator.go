@@ -110,6 +110,19 @@ type Config struct {
 	// detection; connection errors still trigger recovery.
 	HeartbeatInterval time.Duration
 	HeartbeatTimeout  time.Duration
+	// Retry enables transient-fault absorption on every session link:
+	// a broken connection — control or peer — redials with exponential
+	// backoff under BudgetMillis, re-handshakes against the peer's
+	// high-water mark, and replays exactly the unacked frames, so a
+	// link flap is invisible to the run (no restart consumed, results
+	// bit-identical). A link still down when the budget exhausts is
+	// reported instead of silently retried forever: a peer edge whose
+	// workers are all still alive is degraded to hub relay (ring runs,
+	// budget-free), anything else falls through to the existing
+	// restart machinery. BudgetMillis > 0 enables it; ring runs with
+	// retry force fault tolerance on (degrades restart from the global
+	// cut). See wire.RetrySpec for the knobs.
+	Retry wire.RetrySpec
 	// Trace asks every worker session to record per-step span events and
 	// ship them to the coordinator at step boundaries (wire.KindSpans).
 	// Arriving batches are handed to TraceSink. Tracing never changes the
@@ -189,10 +202,21 @@ func PlaceDevices(nDev, nWorkers int) [][]int {
 	return out
 }
 
+// sessionIDs hands out unique control-session ids; seeded once from the
+// clock so ids from a restarted coordinator cannot collide with a
+// previous process's sessions still registered on a worker.
+var sessionIDs atomic.Int64
+
+func nextSessionID() int64 {
+	sessionIDs.CompareAndSwap(0, time.Now().UnixNano())
+	return sessionIDs.Add(1)
+}
+
 // peerConn is the coordinator's handle on one joined worker session.
 type peerConn struct {
 	addr    string
 	conn    transport.Conn
+	res     *transport.Resumable // == conn under a retry policy; nil otherwise
 	out     *outbox
 	devices []int
 
@@ -269,7 +293,15 @@ type run struct {
 	tracer  *obs.Tracer
 	coTrack *obs.Track
 
+	// Degraded peer edges (flattened pairs), installed by the ring driver
+	// before join and carried into every Assign; degradedGroups marks the
+	// groups with an internal degraded edge, whose gradient reductions
+	// fall back to the hub fold. Immutable once readers start.
+	degraded       []int
+	degradedGroups map[int]bool
+
 	mu             sync.Mutex
+	linkDowns      [][2]int               // peer edges reported down this attempt
 	led            *ledger.Ledger         // durable-run store; nil for in-memory-only runs
 	ledShared      bool                   // ledger owned by the ring driver, not this run's teardown
 	peerDir        []string               // ring: device rank → hosting worker address
@@ -420,8 +452,12 @@ func (c *Coordinator) newRun(w *distill.Workbench, batches []dataset.Batch, addr
 		}
 	}
 	// Repartitioning implies fault tolerance: the planned cut restores
-	// from the same snapshot history recovery uses.
-	ft := c.cfg.MaxRestarts > 0 || c.cfg.LedgerDir != "" || c.cfg.Repartition.Enabled
+	// from the same snapshot history recovery uses. So does retry on a
+	// ring run: degrading a persistently severed peer edge to hub relay
+	// restarts the attempt from the global cut, which needs the same
+	// snapshot history (the degrade itself is budget-free).
+	ft := c.cfg.MaxRestarts > 0 || c.cfg.LedgerDir != "" || c.cfg.Repartition.Enabled ||
+		(c.cfg.Topology == "ring" && c.cfg.Retry.Enabled())
 	policy, err := effectivePolicy(c.cfg.Snapshot, ft)
 	if err != nil {
 		return nil, err
@@ -472,6 +508,7 @@ func (c *Coordinator) newRun(w *distill.Workbench, batches []dataset.Batch, addr
 		Snap:            policy,
 		HeartbeatMillis: int(c.cfg.HeartbeatInterval / time.Millisecond),
 		Topology:        c.cfg.Topology,
+		Retry:           c.cfg.Retry,
 		// The repartitioner's measurements are the workers' span batches,
 		// so a repartition-enabled run ships spans even when the caller
 		// did not ask for a trace.
@@ -515,6 +552,24 @@ func (c *Coordinator) newRun(w *distill.Workbench, batches []dataset.Batch, addr
 		r.credits <- struct{}{}
 	}
 	return r, nil
+}
+
+// setDegraded installs the driver's accumulated degraded peer edges:
+// flattened for the Assign, plus the set of groups whose internal edge
+// is degraded (their reductions come back to the hub). Called before
+// join, while the run is still single-threaded.
+func (r *run) setDegraded(edges [][2]int) {
+	if len(edges) == 0 {
+		return
+	}
+	r.degraded = make([]int, 0, 2*len(edges))
+	r.degradedGroups = make(map[int]bool)
+	for _, e := range edges {
+		r.degraded = append(r.degraded, e[0], e[1])
+		if r.devs[e[0]].place.gi == r.devs[e[1]].place.gi {
+			r.degradedGroups[r.devs[e[0]].place.gi] = true
+		}
+	}
 }
 
 // effectivePolicy resolves the configured snapshot policy against the
@@ -617,15 +672,17 @@ func (r *run) join(addrs []string) error {
 			conn.Close()
 			return fmt.Errorf("cluster: worker %s sent %v, want hello", addr, hello.Kind)
 		}
+		sid := r.newSessionID()
 		assign := &wire.Assign{Plan: r.plan, Spec: r.co.cfg.Spec, Run: r.runCfg,
 			Devices: placement[i], Snapshot: r.seedSnap,
-			Peers: r.peerDir, Epoch: r.epoch,
+			Peers: r.peerDir, Epoch: r.epoch, Session: sid, Degraded: r.degraded,
 			Inputs: r.prestageInputs(placement[i])}
 		if err := conn.Send(wire.EncodeAssign(assign)); err != nil {
 			conn.Close()
 			return fmt.Errorf("cluster: worker %s assign: %w", addr, err)
 		}
-		p := &peerConn{addr: addr, conn: conn, out: newOutbox(conn), devices: placement[i]}
+		link, res := r.resumeControl(conn, addr, sid)
+		p := &peerConn{addr: addr, conn: link, res: res, out: newOutbox(link), devices: placement[i]}
 		p.touch()
 		r.peers = append(r.peers, p)
 		for _, d := range placement[i] {
@@ -685,6 +742,71 @@ func recvDeadline(conn transport.Conn, deadline time.Time) (*wire.Frame, error) 
 }
 
 func (r *run) net() transport.Network { return r.co.net }
+
+// newSessionID returns a fresh control-session id when the retry policy
+// is on (zero otherwise — the Assign's zero Session disables resume on
+// the worker side too).
+func (r *run) newSessionID() int64 {
+	if !r.runCfg.Retry.Enabled() {
+		return 0
+	}
+	return nextSessionID()
+}
+
+// resumeControl wraps a freshly assigned session connection in its
+// resumable layer when the retry policy is on: the coordinator side
+// dials, so a break redials the worker and re-attaches to the live
+// session by id, replaying the unacked tail.
+func (r *run) resumeControl(conn transport.Conn, addr string, sid int64) (transport.Conn, *transport.Resumable) {
+	if sid == 0 {
+		return conn, nil
+	}
+	res := transport.NewResumable(conn, retryPolicy(r.runCfg.Retry), transport.ResumableOptions{
+		Name: fmt.Sprintf("worker %s control link", addr),
+		Logf: r.co.cfg.Logf,
+		OnAbsorb: func(replayed int) {
+			r.co.cfg.Metrics.Add("link_faults_absorbed", 1)
+			r.co.cfg.Metrics.Add("link_frames_replayed", int64(replayed))
+		},
+		Redial: func(recvd int64) (transport.Conn, int64, error) {
+			return r.redialControl(addr, sid, recvd)
+		},
+	})
+	return res, res
+}
+
+// redialControl re-establishes a broken control link: fresh dial, the
+// worker's Hello, then a SessionResume handshake carrying our receive
+// count; the echo carries the worker's, bounding the replay.
+func (r *run) redialControl(addr string, sid, recvd int64) (transport.Conn, int64, error) {
+	conn, err := r.net().Dial(addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	deadline := time.Now().Add(retryPolicy(r.runCfg.Retry).Budget)
+	hello, err := recvDeadline(conn, deadline)
+	if err == nil && hello.Kind != wire.KindHello {
+		err = fmt.Errorf("worker %s sent %v, want hello", addr, hello.Kind)
+	}
+	if err == nil {
+		err = conn.Send(wire.EncodeSessionResume(wire.SessionResume{Session: sid, Recvd: recvd}))
+	}
+	var sr wire.SessionResume
+	if err == nil {
+		var echo *wire.Frame
+		if echo, err = recvDeadline(conn, deadline); err == nil {
+			sr, err = wire.DecodeSessionResume(echo)
+		}
+	}
+	if err == nil && sr.Session != sid {
+		err = fmt.Errorf("resume echo names session %d, want %d", sr.Session, sid)
+	}
+	if err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	return conn, sr.Recvd, nil
+}
 
 // start launches the per-peer readers, the group-0 batch feeder, and —
 // when configured — the heartbeat monitor.
@@ -760,6 +882,14 @@ func (r *run) monitorHeartbeats() {
 			peers := append([]*peerConn(nil), r.peers...)
 			r.mu.Unlock()
 			for _, p := range peers {
+				if p.res != nil && p.res.Reconnecting() {
+					// The link flapped and is being absorbed: silence is
+					// expected, not death. If the reconnect budget runs out
+					// the Recv turns terminal and the failure path runs; if
+					// it heals, replayed heartbeats refresh lastHeard.
+					p.touch()
+					continue
+				}
 				heard := time.Unix(0, p.lastHeard.Load())
 				if time.Since(heard) > timeout && p.hbLost.CompareAndSwap(false, true) {
 					r.co.logf("worker %s silent for over %v, declaring it dead", p.addr, timeout)
@@ -912,6 +1042,24 @@ func (r *run) fail(err error) {
 	})
 }
 
+// onLinkDown records a worker's report that a peer link exhausted its
+// reconnect budget and fails the attempt immediately with the typed
+// worker-lost error: the ring driver then classifies the failure —
+// degrade the edge to hub relay when every worker is still alive
+// (budget-free), or fall through to a budget-counted restart.
+func (r *run) onLinkDown(p *peerConn, from, to int) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.linkDowns = append(r.linkDowns, [2]int{from, to})
+	r.mu.Unlock()
+	r.co.cfg.Metrics.Add("peer_links_down", 1)
+	r.co.logf("worker %s reports peer link %d<->%d down (reconnect budget exhausted)", p.addr, from, to)
+	r.fail(workerLostError{cause: fmt.Errorf("peer link %d<->%d persistently down", from, to)})
+}
+
 // handlePeerFailure retires a dead peer and either re-places its devices
 // (within the restart budget) or fails the run. It runs on the dead
 // peer's reader goroutine; concurrent failures of different peers recover
@@ -995,7 +1143,8 @@ func (r *run) retirePeerLocked(p *peerConn) {
 // their own) — and attaches the new connection, re-sending every retained
 // input the restored devices need to replay.
 func (r *run) recoverPeer(p *peerConn) error {
-	resume := r.buildResume(p.devices)
+	sid := r.newSessionID()
+	resume := r.buildResume(p.devices, sid)
 	candidates := []string{p.addr}
 	for _, a := range r.addrs {
 		if a != p.addr {
@@ -1006,7 +1155,7 @@ func (r *run) recoverPeer(p *peerConn) error {
 	if err != nil {
 		return err
 	}
-	np, ok := r.attachResumed(conn, addr, p.devices)
+	np, ok := r.attachResumed(conn, addr, p.devices, sid)
 	if !ok {
 		return nil
 	}
@@ -1019,8 +1168,9 @@ func (r *run) recoverPeer(p *peerConn) error {
 // attachResumed registers a freshly handshaken Resume session and queues
 // the retained inputs its restored devices need to replay. It reports
 // false — after cleaning the connection up — when the run already closed.
-func (r *run) attachResumed(conn transport.Conn, addr string, devices []int) (*peerConn, bool) {
-	np := &peerConn{addr: addr, conn: conn, out: newOutbox(conn), devices: devices}
+func (r *run) attachResumed(conn transport.Conn, addr string, devices []int, sid int64) (*peerConn, bool) {
+	link, res := r.resumeControl(conn, addr, sid)
+	np := &peerConn{addr: addr, conn: link, res: res, out: newOutbox(link), devices: devices}
 	np.touch()
 	r.mu.Lock()
 	if r.closed {
@@ -1058,12 +1208,12 @@ func (r *run) restartCount() int {
 
 // buildResume encodes the Resume frame for a set of devices from their
 // current snapshots.
-func (r *run) buildResume(devices []int) *wire.Frame {
+func (r *run) buildResume(devices []int, sid int64) *wire.Frame {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	res := &wire.Resume{Assign: wire.Assign{Plan: r.plan, Spec: r.co.cfg.Spec,
 		Run: r.runCfg, Devices: devices, Snapshot: r.seedSnap,
-		Peers: r.peerDir, Epoch: r.epoch,
+		Peers: r.peerDir, Epoch: r.epoch, Session: sid, Degraded: r.degraded,
 		Inputs: r.prestageInputs(devices)}}
 	for _, d := range devices {
 		ds := r.devs[d]
@@ -1195,13 +1345,37 @@ func (r *run) teardown() {
 func (r *run) handle(p *peerConn, f *wire.Frame) error {
 	dev := int(f.Dev)
 	ds, ok := r.devs[dev]
-	if !ok && f.Kind != wire.KindHello && f.Kind != wire.KindHeartbeat {
+	if !ok && f.Kind != wire.KindHello && f.Kind != wire.KindHeartbeat && f.Kind != wire.KindLinkDown {
 		return fmt.Errorf("cluster: worker %s sent %v for unknown device %d", p.addr, f.Kind, f.Dev)
 	}
 	step := int(f.Step)
 	switch f.Kind {
 	case wire.KindHello, wire.KindHeartbeat:
 		return nil // heartbeats already refreshed lastHeard; late hellos are harmless
+	case wire.KindLinkDown:
+		from, to, err := wire.DecodeLinkDown(f)
+		if err != nil {
+			return err
+		}
+		r.onLinkDown(p, from, to)
+		return nil
+	case wire.KindRelay, wire.KindRelayAck:
+		if !r.ringMode {
+			return fmt.Errorf("cluster: hub worker sent a degraded-edge %v frame (device %d step %d)", f.Kind, dev, step)
+		}
+		// Hub relay across a degraded peer edge: the frame routes by Dev
+		// (relay → receiver, ack → original sender) and its contents are
+		// opaque to the coordinator — forwarding the payload verbatim is
+		// what keeps the degraded path bit-identical to the direct link.
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.closed {
+			return nil
+		}
+		if q := r.byDev[dev]; q != nil {
+			q.out.Enqueue(f)
+		}
+		return nil
 	case wire.KindOutput:
 		if r.ringMode {
 			return fmt.Errorf("cluster: ring worker relayed an output through the hub (device %d step %d)", dev, step)
@@ -1234,7 +1408,7 @@ func (r *run) handle(p *peerConn, f *wire.Frame) error {
 		}
 		return r.onOutput(ds, step, t, f.Payload)
 	case wire.KindGrads:
-		if r.ringMode {
+		if r.ringMode && !r.degradedGroups[ds.place.gi] {
 			return fmt.Errorf("cluster: ring worker sent gradients to the hub (device %d step %d)", dev, step)
 		}
 		lists, err := wire.DecodeTensors(f)

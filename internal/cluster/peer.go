@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -34,11 +35,13 @@ import (
 // the link as established.
 
 const (
-	// peerAcceptTimeout bounds how long an accepted peer connection waits
-	// for the session hosting its target device to register.
-	peerAcceptTimeout = 5 * time.Second
-	// meshTimeout bounds a session's whole mesh-establishment phase.
-	meshTimeout = 10 * time.Second
+	// defaultPeerAcceptTimeout bounds how long an accepted peer connection
+	// waits for the session hosting its target device to register, unless
+	// WorkerConfig.PeerTimeout overrides it.
+	defaultPeerAcceptTimeout = 5 * time.Second
+	// defaultMeshTimeout bounds a session's whole mesh-establishment
+	// phase, unless WorkerConfig.MeshTimeout overrides it.
+	defaultMeshTimeout = 10 * time.Second
 )
 
 // peerEndpoint is one device's end of a worker-to-worker connection.
@@ -46,19 +49,26 @@ type peerEndpoint struct {
 	local  int // local device rank
 	remote int // remote device rank
 	conn   transport.Conn
+	res    *transport.Resumable // == conn when the session's retry policy is on; nil otherwise
 	out    *outbox
 	in     *inbox
 }
 
 // startReader demuxes the endpoint's inbound frames into its inbox until
-// the connection dies.
-func (ep *peerEndpoint) startReader(wg *sync.WaitGroup) {
-	wg.Add(1)
+// the connection dies. Under a resumable link "dies" means terminally —
+// transient breaks are absorbed inside Recv — and a budget-exhausted
+// link is reported to the mesh's link-down hook before the inbox fails,
+// so the coordinator can classify the failure as degradable.
+func (ep *peerEndpoint) startReader(m *mesh) {
+	m.readers.Add(1)
 	go func() {
-		defer wg.Done()
+		defer m.readers.Done()
 		for {
 			f, err := ep.conn.Recv()
 			if err != nil {
+				if errors.Is(err, transport.ErrLinkDown) && m.linkDown != nil {
+					m.linkDown(ep.local, ep.remote)
+				}
 				ep.in.fail(fmt.Errorf("cluster: peer link %d<->%d lost: %w", ep.local, ep.remote, err))
 				return
 			}
@@ -79,6 +89,16 @@ type mesh struct {
 	epoch int64
 	dir   []string // peers directory: device rank -> worker address
 
+	// Transient-fault absorption wiring (zero/nil when Run.Retry is off):
+	// retry is the session's policy, net redials broken dialer-side links,
+	// linkDown reports a budget-exhausted link's device edge, onAbsorb and
+	// logf observe successful reconnects.
+	retry    wire.RetrySpec
+	net      transport.Network
+	linkDown func(local, remote int)
+	onAbsorb func(replayed int)
+	logf     func(format string, args ...any)
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	eps     map[pairKey]*peerEndpoint
@@ -93,6 +113,29 @@ func newMesh(epoch int64, dir []string) *mesh {
 		eps: make(map[pairKey]*peerEndpoint), pending: make(map[pairKey]bool)}
 	m.cond = sync.NewCond(&m.mu)
 	return m
+}
+
+// retryPolicy converts a wire-level retry spec into the transport policy
+// of one link.
+func retryPolicy(r wire.RetrySpec) transport.RetryPolicy {
+	return transport.RetryPolicy{
+		Backoff:  time.Duration(r.BackoffMillis) * time.Millisecond,
+		Budget:   time.Duration(r.BudgetMillis) * time.Millisecond,
+		AckEvery: r.AckEvery,
+	}
+}
+
+func (m *mesh) retryPolicy() transport.RetryPolicy { return retryPolicy(m.retry) }
+
+// resume wraps an established peer connection in its resumable layer;
+// redial is nil on the accepting side.
+func (m *mesh) resume(conn transport.Conn, local, remote int, redial transport.RedialFunc) *transport.Resumable {
+	return transport.NewResumable(conn, m.retryPolicy(), transport.ResumableOptions{
+		Redial:   redial,
+		Name:     fmt.Sprintf("peer link %d<->%d", local, remote),
+		Logf:     m.logf,
+		OnAbsorb: m.onAbsorb,
+	})
 }
 
 // expectAccept marks a (local, remote) endpoint as one the worker's
@@ -117,16 +160,52 @@ func (m *mesh) acceptPeer(h wire.PeerHello, conn transport.Conn) error {
 	if !m.pending[key] {
 		return fmt.Errorf("cluster: unexpected peer link %d->%d", h.From, h.To)
 	}
+	echo := wire.EncodePeerHello(wire.PeerHello{Epoch: m.epoch, From: h.To, To: h.From})
+	link := transport.Conn(conn)
+	var res *transport.Resumable
+	if m.retry.Enabled() {
+		// The echo must travel on the raw connection before the resumable
+		// wrapper installs: both sides start counting application frames
+		// right after the handshake, so the echo must stay outside the
+		// counted stream.
+		if err := conn.Send(echo); err != nil {
+			return fmt.Errorf("cluster: peer echo %d->%d: %w", h.To, h.From, err)
+		}
+		res = m.resume(conn, h.To, h.From, nil)
+		link = res
+	}
 	delete(m.pending, key)
-	ep := &peerEndpoint{local: h.To, remote: h.From, conn: conn,
-		out: newOutbox(conn), in: newInbox()}
-	// The echo goes through the endpoint's own outbox — the only writer
-	// this connection will ever have on this side.
-	ep.out.Enqueue(wire.EncodePeerHello(wire.PeerHello{Epoch: m.epoch, From: h.To, To: h.From}))
-	ep.startReader(&m.readers)
+	ep := &peerEndpoint{local: h.To, remote: h.From, conn: link, res: res,
+		out: newOutbox(link), in: newInbox()}
+	if res == nil {
+		// The echo goes through the endpoint's own outbox — the only writer
+		// this connection will ever have on this side.
+		ep.out.Enqueue(echo)
+	}
+	ep.startReader(m)
 	m.eps[key] = ep
 	m.cond.Broadcast()
 	return nil
+}
+
+// adoptPeer re-attaches a redialed peer connection (a resume PeerHello)
+// to its existing endpoint: the resumable layer echoes the handshake
+// with our receive count and replays the unacked tail.
+func (m *mesh) adoptPeer(h wire.PeerHello, conn transport.Conn) error {
+	m.mu.Lock()
+	ep := m.eps[pairKey{local: h.To, remote: h.From}]
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return fmt.Errorf("cluster: mesh closed")
+	}
+	if ep == nil || ep.res == nil {
+		return fmt.Errorf("cluster: resume for unknown peer link %d->%d", h.From, h.To)
+	}
+	return ep.res.Adopt(conn, h.Recvd, func(recvd int64) *wire.Frame {
+		return wire.EncodePeerHello(wire.PeerHello{
+			Epoch: m.epoch, From: h.To, To: h.From, Resume: true, Recvd: recvd})
+	})
 }
 
 // dialPeer establishes the outbound half of one pair: dial the remote
@@ -181,17 +260,65 @@ func (m *mesh) handshakePeer(conn transport.Conn, local, remote int, deadline ti
 		return nil, fmt.Errorf("peer echo names epoch %d link %d->%d, want epoch %d link %d->%d",
 			h.Epoch, h.From, h.To, m.epoch, remote, local)
 	}
-	ep := &peerEndpoint{local: local, remote: remote, conn: conn,
-		out: newOutbox(conn), in: newInbox()}
+	link := transport.Conn(conn)
+	var res *transport.Resumable
+	if m.retry.Enabled() {
+		addr := m.dir[remote]
+		res = m.resume(conn, local, remote, func(recvd int64) (transport.Conn, int64, error) {
+			return m.redialPeer(addr, local, remote, recvd)
+		})
+		link = res
+	}
+	ep := &peerEndpoint{local: local, remote: remote, conn: link, res: res,
+		out: newOutbox(link), in: newInbox()}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
+		if res != nil {
+			res.Close()
+		}
 		return nil, fmt.Errorf("mesh closed")
 	}
-	ep.startReader(&m.readers)
+	ep.startReader(m)
 	m.eps[pairKey{local, remote}] = ep
 	m.mu.Unlock()
 	return ep, nil
+}
+
+// redialPeer re-establishes a broken dialer-side peer link: fresh dial,
+// the worker's Hello, then a resume PeerHello carrying our count of
+// received application frames; the echo carries the remote's count,
+// which bounds the replay to exactly the frames the break swallowed.
+func (m *mesh) redialPeer(addr string, local, remote int, recvd int64) (transport.Conn, int64, error) {
+	conn, err := m.net.Dial(addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	deadline := time.Now().Add(m.retryPolicy().Budget)
+	hello, err := recvDeadline(conn, deadline)
+	if err == nil && hello.Kind != wire.KindHello {
+		err = fmt.Errorf("worker sent %v, want hello", hello.Kind)
+	}
+	if err == nil {
+		err = conn.Send(wire.EncodePeerHello(wire.PeerHello{
+			Epoch: m.epoch, From: local, To: remote, Resume: true, Recvd: recvd}))
+	}
+	var h wire.PeerHello
+	if err == nil {
+		var echo *wire.Frame
+		if echo, err = recvDeadline(conn, deadline); err == nil {
+			h, err = wire.DecodePeerHello(echo)
+		}
+	}
+	if err == nil && (h.Epoch != m.epoch || h.From != remote || h.To != local || !h.Resume) {
+		err = fmt.Errorf("resume echo names epoch %d link %d->%d, want epoch %d link %d->%d",
+			h.Epoch, h.From, h.To, m.epoch, remote, local)
+	}
+	if err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	return conn, h.Recvd, nil
 }
 
 // waitAccepted blocks until every expected inbound endpoint was delivered
@@ -253,6 +380,11 @@ func (m *mesh) close(graceful bool) {
 	m.cond.Broadcast()
 	m.mu.Unlock()
 	for _, ep := range eps {
+		// Retiring first makes the teardown's own connection breaks
+		// terminal instead of triggering a futile reconnect dance.
+		if ep.res != nil {
+			ep.res.Retire()
+		}
 		if graceful {
 			ep.out.Close()
 			ep.conn.Close()
@@ -305,6 +437,16 @@ type ringLink struct {
 	next  []int // next group's device ranks (nil for the last group)
 	peers map[int]*peerEndpoint
 
+	// Degraded-edge routing (tier 2 of fault absorption): remotes whose
+	// direct link is persistently down exchange activations and acks via
+	// the coordinator hub relay instead; groupHub is set when any
+	// intra-group edge is degraded, falling the whole group's all-reduce
+	// back to the coordinator's fold — bit-identical by construction.
+	degraded  map[int]bool
+	groupHub  bool
+	relayIn   map[int][]*wire.Frame // stashed KindRelay frames by sender
+	relayAcks map[int][]*wire.Frame // stashed KindRelayAck frames by receiver
+
 	// inputs is the prestaged batch schedule from the Assign (inputs[s]
 	// is step s's full batch); set only on group-0 members, which source
 	// every input locally instead of receiving per-step frames.
@@ -320,6 +462,63 @@ type ringLink struct {
 	flat   []float32
 	acc    []float32
 	segOff []int
+}
+
+// nextRelay returns the step's hub-relayed activation from the given
+// degraded sender, stashing relay frames that belong to other senders.
+// Frames from one sender arrive in order (the hub preserves per-link
+// ordering), so a strict step check suffices.
+func (l *ringLink) nextRelay(sender, step int) *tensor.Tensor {
+	for {
+		if q := l.relayIn[sender]; len(q) > 0 {
+			f := q[0]
+			l.relayIn[sender] = q[1:]
+			if int(f.Step) != step {
+				sessionFail("cluster: dev %d got relayed input for step %d from device %d, want %d", l.dev, f.Step, sender, step)
+			}
+			_, t, err := wire.DecodeRelay(f)
+			if err != nil {
+				sessionFail("cluster: dev %d decoding relayed input of step %d from device %d: %w", l.dev, step, sender, err)
+			}
+			return t
+		}
+		f, err := l.in.next(wire.KindRelay)
+		if err != nil {
+			sessionFail("cluster: dev %d waiting for relayed input from device %d (step %d): %w", l.dev, sender, step, err)
+		}
+		s, err := wire.RelaySender(f)
+		if err != nil {
+			sessionFail("cluster: dev %d reading relay sender: %w", l.dev, err)
+		}
+		if l.relayIn == nil {
+			l.relayIn = make(map[int][]*wire.Frame)
+		}
+		l.relayIn[s] = append(l.relayIn[s], f)
+	}
+}
+
+// nextRelayAck returns the next hub-relayed activation ack from the given
+// degraded receiver, stashing acks that belong to other receivers.
+func (l *ringLink) nextRelayAck(receiver int) *wire.Frame {
+	for {
+		if q := l.relayAcks[receiver]; len(q) > 0 {
+			f := q[0]
+			l.relayAcks[receiver] = q[1:]
+			return f
+		}
+		f, err := l.in.next(wire.KindRelayAck)
+		if err != nil {
+			sessionFail("cluster: dev %d waiting for relayed ack from device %d: %w", l.dev, receiver, err)
+		}
+		rcv, err := wire.DecodeRelayAck(f)
+		if err != nil {
+			sessionFail("cluster: dev %d decoding relayed ack: %w", l.dev, err)
+		}
+		if l.relayAcks == nil {
+			l.relayAcks = make(map[int][]*wire.Frame)
+		}
+		l.relayAcks[rcv] = append(l.relayAcks[rcv], f)
+	}
 }
 
 func (l *ringLink) recvPeer(remote int, kind wire.Kind, step int) *wire.Frame {
@@ -354,6 +553,10 @@ func (l *ringLink) RecvInput(step int) *tensor.Tensor {
 	}
 	parts := make([]*tensor.Tensor, len(l.prev))
 	for i, pd := range l.prev {
+		if l.degraded[pd] {
+			parts[i] = l.nextRelay(pd, step)
+			continue
+		}
 		f := l.recvPeer(pd, wire.KindPeerInput, step)
 		t, err := wire.DecodeTensor(f)
 		if err != nil {
@@ -375,6 +578,10 @@ func (l *ringLink) RecvInput(step int) *tensor.Tensor {
 		}
 	}
 	for _, pd := range l.prev {
+		if l.degraded[pd] {
+			l.out.Enqueue(wire.EncodeRelayAck(int32(pd), int32(l.dev), int32(step)))
+			continue
+		}
 		l.peers[pd].out.Enqueue(wire.Control(wire.KindPeerAck, l.dev, int32(step)))
 	}
 	return full
@@ -404,10 +611,15 @@ func (l *ringLink) SendOutput(step int, out *tensor.Tensor) {
 	target := step - l.window
 	for i, nd := range l.next {
 		for l.nextAcked[i] < target {
-			ep := l.peers[nd]
-			f, err := ep.in.next(wire.KindPeerAck)
-			if err != nil {
-				sessionFail("cluster: dev %d waiting for ack from device %d: %w", l.dev, nd, err)
+			var f *wire.Frame
+			if l.degraded[nd] {
+				f = l.nextRelayAck(nd)
+			} else {
+				var err error
+				f, err = l.peers[nd].in.next(wire.KindPeerAck)
+				if err != nil {
+					sessionFail("cluster: dev %d waiting for ack from device %d: %w", l.dev, nd, err)
+				}
 			}
 			if int(f.Step) != l.nextAcked[i]+1 {
 				sessionFail("cluster: dev %d got ack for step %d from device %d, want %d", l.dev, f.Step, nd, l.nextAcked[i]+1)
@@ -416,8 +628,15 @@ func (l *ringLink) SendOutput(step int, out *tensor.Tensor) {
 		}
 	}
 	rg.End()
-	f := wire.EncodeTensor(wire.KindPeerInput, l.dev, int32(step), out)
+	var f *wire.Frame
 	for _, nd := range l.next {
+		if l.degraded[nd] {
+			l.out.Enqueue(wire.EncodeRelay(int32(l.dev), int32(nd), int32(step), out))
+			continue
+		}
+		if f == nil {
+			f = wire.EncodeTensor(wire.KindPeerInput, l.dev, int32(step), out)
+		}
 		l.peers[nd].out.Enqueue(f)
 	}
 }
@@ -440,6 +659,13 @@ func (l *ringLink) SendOutput(step int, out *tensor.Tensor) {
 // k == 2 the ring degenerates, so both members exchange their full
 // vectors instead and fold them identically.
 func (l *ringLink) AllReduce(step int, grads []*tensor.Tensor, scratch *tensor.Arena) {
+	if l.groupHub {
+		// A degraded intra-group edge: the whole group falls back to the
+		// coordinator's hub fold, which evaluates in the same rank order
+		// and is therefore bit-identical to the peer ring.
+		l.clusterLink.AllReduce(step, grads, scratch)
+		return
+	}
 	k := l.k
 	if l.flat == nil {
 		total := 0

@@ -528,7 +528,8 @@ func (r *run) rejoinAll() error {
 			r.co.logf("worker %s: no devices to place, skipping", addr)
 			continue
 		}
-		resume := r.buildResume(placement[i])
+		sid := r.newSessionID()
+		resume := r.buildResume(placement[i], sid)
 		candidates := []string{addr}
 		for _, a := range r.addrs {
 			if a != addr {
@@ -539,7 +540,7 @@ func (r *run) rejoinAll() error {
 		if err != nil {
 			return fmt.Errorf("cluster: re-attaching devices %v: %w", placement[i], err)
 		}
-		if _, ok := r.attachResumed(conn, got, placement[i]); !ok {
+		if _, ok := r.attachResumed(conn, got, placement[i], sid); !ok {
 			return fmt.Errorf("cluster: run closed while re-attaching workers")
 		}
 		r.co.logf("devices %v re-attached to worker %s, replaying from the ledger", placement[i], got)

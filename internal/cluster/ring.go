@@ -46,13 +46,16 @@ func (e workerLostError) Error() string { return e.cause.Error() }
 func (e workerLostError) Unwrap() error { return e.cause }
 
 // ringCarry is the state one ring attempt hands the next: the global cut,
-// the group parameters at that cut (nil when the cut is the seed), and
-// the loss matrix holding the completed prefix's rows.
+// the group parameters at that cut (nil when the cut is the seed), the
+// loss matrix holding the completed prefix's rows, and the peer edges the
+// failed attempt reported persistently down (for the driver's degrade
+// classification).
 type ringCarry struct {
-	cut      int
-	params   [][]*tensor.Tensor
-	velocity [][]*tensor.Tensor
-	losses   [][][]float64
+	cut       int
+	params    [][]*tensor.Tensor
+	velocity  [][]*tensor.Tensor
+	losses    [][][]float64
+	linkDowns [][2]int
 }
 
 // runDriven is the attempt-driver body of Coordinator.Run, used for ring
@@ -93,8 +96,9 @@ func (c *Coordinator) driveRing(w *distill.Workbench, batches []dataset.Batch, a
 	}
 	restarts := 0
 	rejoin := carry != nil // a resumed run re-places against already-running workers
+	var degraded [][2]int  // peer edges routed via hub relay, accumulated across attempts
 	for attempt := 0; ; attempt++ {
-		res, next, err := c.ringAttempt(w, batches, addrs, led, carry, rp, epochBase+int64(attempt), rejoin)
+		res, next, err := c.ringAttempt(w, batches, addrs, led, carry, rp, epochBase+int64(attempt), rejoin, degraded)
 		if err == nil {
 			return res, nil
 		}
@@ -117,7 +121,25 @@ func (c *Coordinator) driveRing(w *distill.Workbench, batches []dataset.Batch, a
 			continue
 		}
 		var lost workerLostError
-		if !errors.As(err, &lost) || restarts >= c.cfg.MaxRestarts {
+		if !errors.As(err, &lost) {
+			return engine.Result{}, err
+		}
+		if next != nil && len(next.linkDowns) > 0 && c.cfg.Retry.Enabled() && c.workersAlive(addrs) {
+			// Tier 2, graceful degradation: every worker is reachable but
+			// one or more peer edges are persistently severed (a healing
+			// partition that never healed). Route just the broken edges
+			// through the coordinator hub — bit-identical, since hub and
+			// ring share the same evaluation order — and restart from the
+			// global cut without consuming the restart budget.
+			degraded = mergeEdges(degraded, next.linkDowns)
+			carry = next
+			rejoin = true
+			c.cfg.Metrics.Add("degrades", 1)
+			c.logf("degrading peer link(s) %v to hub relay; ring resumes from step %d on the remaining direct edges",
+				next.linkDowns, carry.cut+1)
+			continue
+		}
+		if restarts >= c.cfg.MaxRestarts {
 			return engine.Result{}, err
 		}
 		restarts++
@@ -129,14 +151,59 @@ func (c *Coordinator) driveRing(w *distill.Workbench, batches []dataset.Batch, a
 	}
 }
 
+// mergeEdges appends newly reported degraded edges, dropping duplicates
+// (both orientations name the same link).
+func mergeEdges(have, add [][2]int) [][2]int {
+	for _, e := range add {
+		dup := false
+		for _, h := range have {
+			if (h[0] == e[0] && h[1] == e[1]) || (h[0] == e[1] && h[1] == e[0]) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			have = append(have, e)
+		}
+	}
+	return have
+}
+
+// workersAlive probes every worker address with a dial-and-hello
+// handshake, distinguishing a severed peer edge (all workers fine,
+// degradable) from a dead worker (restart). Probe connections are closed
+// right after the hello; the worker logs them as failed sessions.
+func (c *Coordinator) workersAlive(addrs []string) bool {
+	timeout := c.cfg.JoinTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	for _, addr := range addrs {
+		conn, err := c.net.Dial(addr)
+		if err != nil {
+			c.logf("liveness probe: worker %s unreachable (%v); not degradable", addr, err)
+			return false
+		}
+		hello, err := recvDeadline(conn, time.Now().Add(timeout))
+		conn.Close()
+		if err != nil || hello.Kind != wire.KindHello {
+			c.logf("liveness probe: worker %s did not handshake (%v); not degradable", addr, err)
+			return false
+		}
+	}
+	return true
+}
+
 // ringAttempt executes one attempt end to end and, on failure, captures
 // the carry the next attempt restarts from.
 func (c *Coordinator) ringAttempt(w *distill.Workbench, batches []dataset.Batch, addrs []string,
-	led *ledger.Ledger, carry *ringCarry, rp *repartitioner, epoch int64, rejoin bool) (engine.Result, *ringCarry, error) {
+	led *ledger.Ledger, carry *ringCarry, rp *repartitioner, epoch int64, rejoin bool,
+	degraded [][2]int) (engine.Result, *ringCarry, error) {
 	r, err := c.newRun(w, batches, addrs)
 	if err != nil {
 		return engine.Result{}, nil, err
 	}
+	r.setDegraded(degraded)
 	r.epoch = epoch
 	r.led = led
 	r.ledShared = led != nil
@@ -206,8 +273,9 @@ func (r *run) captureRingCarry() *ringCarry {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	c := &ringCarry{cut: r.ringCutLocked(), losses: r.losses,
-		params:   make([][]*tensor.Tensor, len(r.plan.Groups)),
-		velocity: make([][]*tensor.Tensor, len(r.plan.Groups))}
+		linkDowns: r.linkDowns,
+		params:    make([][]*tensor.Tensor, len(r.plan.Groups)),
+		velocity:  make([][]*tensor.Tensor, len(r.plan.Groups))}
 	if c.cut >= 0 {
 		for gi := range r.histG {
 			e := r.histG[gi][c.cut]
@@ -280,6 +348,7 @@ func (r *run) ringRejoin(addrs []string) error {
 		conn    transport.Conn
 		addr    string
 		devices []int
+		sid     int64
 	}
 	var holds []held
 	bail := func(err error) error {
@@ -302,7 +371,7 @@ func (r *run) ringRejoin(addrs []string) error {
 		if err != nil {
 			return bail(err)
 		}
-		holds = append(holds, held{conn, actual, placement[i]})
+		holds = append(holds, held{conn, actual, placement[i], r.newSessionID()})
 	}
 	peers := make([]string, r.nDev)
 	for _, h := range holds {
@@ -314,14 +383,14 @@ func (r *run) ringRejoin(addrs []string) error {
 	r.peerDir = peers
 	r.mu.Unlock()
 	for _, h := range holds {
-		if err := h.conn.Send(r.buildResume(h.devices)); err != nil {
+		if err := h.conn.Send(r.buildResume(h.devices, h.sid)); err != nil {
 			// The worker died between handshake and resume: retryable, the
 			// next attempt re-places around it.
 			return bail(workerLostError{cause: fmt.Errorf("cluster: worker %s resume: %w", h.addr, err)})
 		}
 	}
 	for i, h := range holds {
-		if _, ok := r.attachResumed(h.conn, h.addr, h.devices); !ok {
+		if _, ok := r.attachResumed(h.conn, h.addr, h.devices, h.sid); !ok {
 			for _, rest := range holds[i+1:] {
 				rest.conn.Close()
 			}

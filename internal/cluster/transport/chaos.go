@@ -47,6 +47,24 @@ const (
 	// half — the peer decodes a structurally broken message — and then
 	// kills the connection, modeling a crash mid-write.
 	ActTruncate
+	// ActFlap closes the connection exactly like ActKill but models a
+	// transient link fault rather than a process crash: redialing the
+	// same address succeeds immediately, so a resumable link absorbs the
+	// flap by reconnect-and-replay. (ActKill semantics are untouched;
+	// the distinct action exists so schedules and logs say what they
+	// mean.)
+	ActFlap
+	// ActPartition closes the connection and blackholes its dialed
+	// address for Fault.Delay: every Chaos.Dial of that address fails
+	// until the partition heals (Delay <= 0 never heals). Models a
+	// healing — or persistent — network partition in front of a
+	// reconnecting link.
+	ActPartition
+	// ActSpike opens a latency window: the matched frame and every later
+	// frame crossing this connection within Fault.Window sleep
+	// Fault.Delay each — a congestion burst rather than a single slow
+	// frame.
+	ActSpike
 )
 
 func (a Action) String() string {
@@ -55,6 +73,12 @@ func (a Action) String() string {
 		return "kill"
 	case ActDelay:
 		return "delay"
+	case ActFlap:
+		return "flap"
+	case ActPartition:
+		return "partition"
+	case ActSpike:
+		return "spike"
 	default:
 		return "truncate"
 	}
@@ -93,7 +117,12 @@ type Trigger struct {
 type Fault struct {
 	Trigger
 	Action Action
-	Delay  time.Duration // ActDelay only
+	// Delay is the sleep of ActDelay and ActSpike, and the partition
+	// duration of ActPartition (<= 0 partitions forever).
+	Delay time.Duration
+	// Window is the duration of an ActSpike latency burst after its
+	// trigger fires.
+	Window time.Duration
 	// Repeat re-arms the fault after it fires, so it injects on every
 	// matching frame from the Count-th on — a persistent perturbation
 	// (e.g. a permanently slow link) rather than a one-shot event. Only
@@ -131,6 +160,9 @@ type Chaos struct {
 	mu     sync.Mutex
 	faults []*chaosFault
 	dials  int
+	// heal maps blackholed addresses (ActPartition) to when dialing them
+	// works again; the zero time means the partition never heals.
+	heal map[string]time.Time
 }
 
 type chaosFault struct {
@@ -141,11 +173,29 @@ type chaosFault struct {
 
 // NewChaos wraps inner with the given fault schedule.
 func NewChaos(inner Network, schedule ...Fault) *Chaos {
-	c := &Chaos{inner: inner}
+	c := &Chaos{inner: inner, heal: make(map[string]time.Time)}
 	for _, f := range schedule {
 		c.faults = append(c.faults, &chaosFault{Fault: f})
 	}
 	return c
+}
+
+// RandomFlaps derives n transient link-flap faults from a seed, shaped
+// like RandomKills: each closes a random dialed connection on receipt of
+// a loss report for a random step. Under a resumable link every flap
+// should be absorbed — reconnected and replayed — without consuming any
+// restart budget.
+func RandomFlaps(seed int64, conns, steps, n int) []Fault {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Fault, n)
+	for i := range out {
+		out[i] = Fault{
+			Trigger: Trigger{Conn: rng.Intn(conns), Op: OpRecv,
+				Kind: wire.KindLosses, Step: rng.Int31n(int32(steps)), Count: 1},
+			Action: ActFlap,
+		}
+	}
+	return out
 }
 
 // RandomKills derives n kill faults from a seed: each closes a random
@@ -170,8 +220,18 @@ func RandomKills(seed int64, conns, steps, n int) []Fault {
 func (c *Chaos) Listen(addr string) (Listener, error) { return c.inner.Listen(addr) }
 
 // Dial connects through the wrapped network and arms the faults scheduled
-// for this connection (by dial order, 0-based).
+// for this connection (by dial order, 0-based). Dialing an address inside
+// an unhealed partition fails with ErrChaos.
 func (c *Chaos) Dial(addr string) (Conn, error) {
+	c.mu.Lock()
+	if until, ok := c.heal[addr]; ok {
+		if until.IsZero() || time.Now().Before(until) {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("%w: address %s partitioned", ErrChaos, addr)
+		}
+		delete(c.heal, addr) // healed
+	}
+	c.mu.Unlock()
 	conn, err := c.inner.Dial(addr)
 	if err != nil {
 		return nil, err
@@ -186,7 +246,7 @@ func (c *Chaos) Dial(addr string) (Conn, error) {
 		}
 	}
 	c.mu.Unlock()
-	return &chaosConn{inner: conn, chaos: c, faults: armed}, nil
+	return &chaosConn{inner: conn, chaos: c, addr: addr, faults: armed}, nil
 }
 
 // Unfired returns the scheduled faults that have not fired (yet): a
@@ -215,9 +275,14 @@ func (c *Chaos) logf(format string, args ...any) {
 type chaosConn struct {
 	inner  Conn
 	chaos  *Chaos
+	addr   string
 	mu     sync.Mutex
 	faults []*chaosFault
 	killed bool
+	// Active ActSpike window: frames crossing before spikeUntil sleep
+	// spikeDelay each.
+	spikeUntil time.Time
+	spikeDelay time.Duration
 }
 
 // match reports the armed fault (if any) fired by a frame crossing in
@@ -252,14 +317,39 @@ func (cc *chaosConn) match(op Op, f *wire.Frame) *chaosFault {
 			continue
 		}
 		fl.fired = true
-		if fl.Action == ActKill || fl.Action == ActTruncate {
+		switch fl.Action {
+		case ActKill, ActTruncate, ActFlap, ActPartition:
 			cc.mu.Lock()
 			cc.killed = true
 			cc.mu.Unlock()
+		case ActSpike:
+			cc.mu.Lock()
+			cc.spikeUntil = time.Now().Add(fl.Window)
+			cc.spikeDelay = fl.Delay
+			cc.mu.Unlock()
+		}
+		if fl.Action == ActPartition {
+			// chaos.mu is held: record the blackhole for Dial to honor.
+			var until time.Time // zero: never heals
+			if fl.Delay > 0 {
+				until = time.Now().Add(fl.Delay)
+			}
+			cc.chaos.heal[cc.addr] = until
 		}
 		return fl
 	}
 	return nil
+}
+
+// spikePause sleeps if an ActSpike latency window is active.
+func (cc *chaosConn) spikePause() {
+	cc.mu.Lock()
+	d := cc.spikeDelay
+	active := !cc.spikeUntil.IsZero() && time.Now().Before(cc.spikeUntil)
+	cc.mu.Unlock()
+	if active {
+		time.Sleep(d)
+	}
 }
 
 func (cc *chaosConn) dead() bool {
@@ -274,6 +364,7 @@ func (cc *chaosConn) Send(f *wire.Frame) error {
 	}
 	fl := cc.match(OpSend, f)
 	if fl == nil {
+		cc.spikePause()
 		return cc.inner.Send(f)
 	}
 	cc.chaos.logf("chaos: %v fired on %v frame (dev %d step %d)", fl.Fault, f.Kind, f.Dev, f.Step)
@@ -281,6 +372,15 @@ func (cc *chaosConn) Send(f *wire.Frame) error {
 	case ActDelay:
 		time.Sleep(fl.Delay)
 		return cc.inner.Send(f)
+	case ActSpike:
+		time.Sleep(fl.Delay)
+		return cc.inner.Send(f)
+	case ActFlap:
+		cc.inner.Close()
+		return fmt.Errorf("%w: link flapped on send", ErrChaos)
+	case ActPartition:
+		cc.inner.Close()
+		return fmt.Errorf("%w: link partitioned on send", ErrChaos)
 	case ActTruncate:
 		mangled := &wire.Frame{Kind: f.Kind, Dev: f.Dev, Step: f.Step,
 			Payload: f.Payload[:len(f.Payload)/2]}
@@ -303,12 +403,22 @@ func (cc *chaosConn) Recv() (*wire.Frame, error) {
 	}
 	fl := cc.match(OpRecv, f)
 	if fl == nil {
+		cc.spikePause()
 		return f, nil
 	}
 	cc.chaos.logf("chaos: %v fired on %v frame (dev %d step %d)", fl.Fault, f.Kind, f.Dev, f.Step)
-	if fl.Action == ActDelay {
+	switch fl.Action {
+	case ActDelay, ActSpike:
 		time.Sleep(fl.Delay)
 		return f, nil
+	case ActFlap:
+		// The received frame is dropped with the connection: a resumable
+		// link must get it back via replay, never from this stream.
+		cc.inner.Close()
+		return nil, fmt.Errorf("%w: link flapped on recv", ErrChaos)
+	case ActPartition:
+		cc.inner.Close()
+		return nil, fmt.Errorf("%w: link partitioned on recv", ErrChaos)
 	}
 	// ActKill (and ActTruncate, nonsensical on recv, treated as kill):
 	// the received frame is dropped, as if the peer crashed before it

@@ -241,3 +241,180 @@ func TestRandomKillsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosFlapAllowsRedial: a flap kills the connection like a kill,
+// but dialing the same address again succeeds immediately — the fault a
+// resumable link absorbs by reconnect-and-replay.
+func TestChaosFlapAllowsRedial(t *testing.T) {
+	inner := NewLoopback()
+	lis, err := inner.Listen("")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(c Conn) {
+				for {
+					if _, err := c.Recv(); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	net := NewChaos(inner, Fault{
+		Trigger: Trigger{Conn: 0, Op: OpSend, Kind: wire.KindLosses, Step: 1, Count: 1},
+		Action:  ActFlap,
+	})
+	conn, err := net.Dial(lis.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if err := conn.Send(wire.EncodeLosses(0, 0, []float64{1})); err != nil {
+		t.Fatalf("pre-flap send: %v", err)
+	}
+	if err := conn.Send(wire.EncodeLosses(0, 1, []float64{1})); !errors.Is(err, ErrChaos) {
+		t.Fatalf("flap send: got %v, want ErrChaos", err)
+	}
+	redialed, err := net.Dial(lis.Addr())
+	if err != nil {
+		t.Fatalf("redial after flap: %v", err)
+	}
+	defer redialed.Close()
+	if err := redialed.Send(wire.EncodeLosses(0, 1, []float64{1})); err != nil {
+		t.Fatalf("send on redialed conn: %v", err)
+	}
+	if n := len(net.Unfired()); n != 0 {
+		t.Fatalf("%d faults unfired; the flap did not re-arm on the new conn, as intended", n)
+	}
+}
+
+// TestChaosPartitionHeals: a partition kills the connection AND
+// blackholes the address for the fault's duration; dialing fails until
+// the partition heals, then succeeds.
+func TestChaosPartitionHeals(t *testing.T) {
+	inner := NewLoopback()
+	lis, err := inner.Listen("")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(c Conn) {
+				for {
+					if _, err := c.Recv(); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	net := NewChaos(inner, Fault{
+		Trigger: Trigger{Conn: 0, Op: OpSend, Kind: wire.KindLosses, Step: 0, Count: 1},
+		Action:  ActPartition,
+		Delay:   60 * time.Millisecond,
+	})
+	conn, err := net.Dial(lis.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if err := conn.Send(wire.EncodeLosses(0, 0, []float64{1})); !errors.Is(err, ErrChaos) {
+		t.Fatalf("partition send: got %v, want ErrChaos", err)
+	}
+	if _, err := net.Dial(lis.Addr()); !errors.Is(err, ErrChaos) {
+		t.Fatalf("dial inside partition: got %v, want ErrChaos", err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	healed, err := net.Dial(lis.Addr())
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	healed.Close()
+}
+
+// TestChaosPartitionPersistent: Delay <= 0 never heals — the degrade
+// tier's scenario.
+func TestChaosPartitionPersistent(t *testing.T) {
+	inner := NewLoopback()
+	lis, err := inner.Listen("")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer lis.Close()
+	go func() {
+		for {
+			c, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	net := NewChaos(inner, Fault{
+		Trigger: Trigger{Conn: 0, Op: OpSend, Step: AnyStep, Count: 1},
+		Action:  ActPartition,
+	})
+	conn, err := net.Dial(lis.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	if err := conn.Send(wire.Control(wire.KindHello, wire.NoDev, wire.NoStep)); !errors.Is(err, ErrChaos) {
+		t.Fatalf("partition send: got %v, want ErrChaos", err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if _, err := net.Dial(lis.Addr()); !errors.Is(err, ErrChaos) {
+		t.Fatalf("dial into persistent partition: got %v, want ErrChaos", err)
+	}
+}
+
+// TestChaosSpikeWindow: the matched frame and everything after it inside
+// the window are delayed; frames after the window pass at full speed.
+func TestChaosSpikeWindow(t *testing.T) {
+	client, server := chaosPair(t, Fault{
+		Trigger: Trigger{Conn: 0, Op: OpSend, Kind: wire.KindLosses, Step: 0, Count: 1},
+		Action:  ActSpike,
+		Delay:   15 * time.Millisecond,
+		Window:  200 * time.Millisecond,
+	})
+	defer client.Close()
+	defer server.Close()
+	start := time.Now()
+	for s := int32(0); s < 3; s++ {
+		if err := client.Send(wire.EncodeLosses(0, s, []float64{1})); err != nil {
+			t.Fatalf("send %d: %v", s, err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("3 frames inside the spike window took only %v, want >= 45ms of injected latency", elapsed)
+	}
+	for s := int32(0); s < 3; s++ {
+		if _, err := server.Recv(); err != nil {
+			t.Fatalf("recv %d: %v", s, err)
+		}
+	}
+}
+
+// TestRandomFlapsDeterministic: the flap generator is seed-pure and
+// every fault is a mid-run flap.
+func TestRandomFlapsDeterministic(t *testing.T) {
+	a := RandomFlaps(7, 2, 6, 3)
+	b := RandomFlaps(7, 2, 6, 3)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different schedules:\n%v\n%v", a, b)
+	}
+	for _, f := range a {
+		if f.Action != ActFlap || f.Kind != wire.KindLosses || f.Op != OpRecv {
+			t.Fatalf("unexpected fault shape: %+v", f)
+		}
+	}
+}

@@ -104,7 +104,27 @@ type RunConfig struct {
 	// at step boundaries. Off by default; tracing never alters the
 	// training trajectory.
 	Trace bool
+	// Retry enables resumable links (codec v8): both the control link and
+	// every peer link buffer unacked frames and survive connection loss
+	// by redial-and-replay instead of failing the session. The zero spec
+	// disables absorption, keeping the pre-v8 fail-fast behavior.
+	Retry RetrySpec
 }
+
+// RetrySpec is the transient-fault absorption policy of a session's
+// links. BudgetMillis > 0 enables it: a broken link redials with
+// exponential backoff starting at BackoffMillis, gives up (terminal
+// link-down) once BudgetMillis of downtime elapses, and each side acks
+// every AckEvery received frames so replay buffers stay bounded. Zero
+// Backoff/AckEvery take defaults (10 ms / 8 frames).
+type RetrySpec struct {
+	BackoffMillis int
+	BudgetMillis  int
+	AckEvery      int
+}
+
+// Enabled reports whether the spec asks for fault absorption at all.
+func (r RetrySpec) Enabled() bool { return r.BudgetMillis > 0 }
 
 // DataSpec is a deterministic synthetic-dataset recipe split at Batch
 // samples each: Kind "" (images) regenerates
@@ -176,6 +196,25 @@ type Assign struct {
 	// coordinator. Empty for hub sessions and for ring sessions hosting
 	// only later groups.
 	Inputs []*tensor.Tensor
+	// Session identifies this control link for resume (codec v8): a
+	// redialed connection carrying KindSessionResume with this id
+	// re-attaches to the live session. 0 when Run.Retry is disabled.
+	Session int64
+	// Degraded lists peer edges demoted to hub-relayed routing, as
+	// flattened device-rank pairs [from0, to0, from1, to1, ...]. The mesh
+	// skips these pairs; activations cross them as KindRelay frames via
+	// the coordinator, and groups containing a degraded edge fall back to
+	// the hub gradient reduction. Empty in the fault-free case.
+	Degraded []int
+}
+
+// DegradedEdges decodes the flattened Degraded list into pairs.
+func (a *Assign) DegradedEdges() [][2]int {
+	var out [][2]int
+	for i := 0; i+1 < len(a.Degraded); i += 2 {
+		out = append(out, [2]int{a.Degraded[i], a.Degraded[i+1]})
+	}
+	return out
 }
 
 // writeAssignBody packs the Assign fields; shared by the Assign and
@@ -225,6 +264,11 @@ func writeAssignBody(w *Writer, a *Assign) {
 	writeSnapshotHalf(w, a.Snapshot.Teacher)
 	writeSnapshotHalf(w, a.Snapshot.Student)
 	w.Tensors(a.Inputs)
+	w.I64(a.Session)
+	w.I32s(a.Degraded)
+	w.I32(int32(a.Run.Retry.BackoffMillis))
+	w.I32(int32(a.Run.Retry.BudgetMillis))
+	w.I32(int32(a.Run.Retry.AckEvery))
 }
 
 // readAssignBody unpacks the Assign fields written by writeAssignBody.
@@ -279,6 +323,14 @@ func readAssignBody(r *Reader) (*Assign, error) {
 		return nil, err
 	}
 	a.Inputs = r.Tensors()
+	a.Session = r.I64()
+	a.Degraded = r.I32s()
+	a.Run.Retry.BackoffMillis = int(r.I32())
+	a.Run.Retry.BudgetMillis = int(r.I32())
+	a.Run.Retry.AckEvery = int(r.I32())
+	if len(a.Degraded)%2 != 0 {
+		return nil, fmt.Errorf("wire: degraded edge list has odd length %d", len(a.Degraded))
+	}
 	return a, r.Err()
 }
 
@@ -566,11 +618,16 @@ func DecodeBatch(f *Frame) (dataset.Batch, error) {
 
 // PeerHello identifies a worker-to-worker link during the mesh-dial
 // phase: the run epoch it belongs to and the device pair it connects
-// (From dialed, To accepted).
+// (From dialed, To accepted). A resume hello (codec v8) re-attaches a
+// redialed connection to an existing link: Resume marks it and Recvd
+// carries the sender's count of application frames received before the
+// break, so the far side replays exactly the frames that were lost.
 type PeerHello struct {
-	Epoch int64
-	From  int
-	To    int
+	Epoch  int64
+	From   int
+	To     int
+	Resume bool
+	Recvd  int64
 }
 
 // EncodePeerHello packs a peer handshake frame.
@@ -579,6 +636,8 @@ func EncodePeerHello(h PeerHello) *Frame {
 	w.I64(h.Epoch)
 	w.I32(int32(h.From))
 	w.I32(int32(h.To))
+	w.Bool(h.Resume)
+	w.I64(h.Recvd)
 	return &Frame{Kind: KindPeerHello, Dev: int32(h.From), Step: NoStep, Payload: w.Bytes()}
 }
 
@@ -589,10 +648,144 @@ func DecodePeerHello(f *Frame) (PeerHello, error) {
 	}
 	r := NewReader(f.Payload)
 	h := PeerHello{Epoch: r.I64(), From: int(r.I32()), To: int(r.I32())}
+	h.Resume = r.Bool()
+	h.Recvd = r.I64()
 	if err := r.Close(); err != nil {
 		return PeerHello{}, err
 	}
 	return h, nil
+}
+
+// EncodeLinkAck packs a resumable-link acknowledgement: the cumulative
+// count of application frames received on the link.
+func EncodeLinkAck(recvd int64) *Frame {
+	w := NewWriter()
+	w.I64(recvd)
+	return &Frame{Kind: KindLinkAck, Dev: NoDev, Step: NoStep, Payload: w.Bytes()}
+}
+
+// DecodeLinkAck unpacks a link acknowledgement.
+func DecodeLinkAck(f *Frame) (int64, error) {
+	if f.Kind != KindLinkAck {
+		return 0, fmt.Errorf("wire: expected %v frame, got %v", KindLinkAck, f.Kind)
+	}
+	r := NewReader(f.Payload)
+	n := r.I64()
+	if err := r.Close(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// SessionResume re-attaches a redialed control connection to a live
+// worker session: the session id from the Assign and the dialer's count
+// of application frames received before the break. The worker echoes it
+// back with its own received count.
+type SessionResume struct {
+	Session int64
+	Recvd   int64
+}
+
+// EncodeSessionResume packs a control-link resume handshake frame.
+func EncodeSessionResume(s SessionResume) *Frame {
+	w := NewWriter()
+	w.I64(s.Session)
+	w.I64(s.Recvd)
+	return &Frame{Kind: KindSessionResume, Dev: NoDev, Step: NoStep, Payload: w.Bytes()}
+}
+
+// DecodeSessionResume unpacks a control-link resume handshake frame.
+func DecodeSessionResume(f *Frame) (SessionResume, error) {
+	if f.Kind != KindSessionResume {
+		return SessionResume{}, fmt.Errorf("wire: expected %v frame, got %v", KindSessionResume, f.Kind)
+	}
+	r := NewReader(f.Payload)
+	s := SessionResume{Session: r.I64(), Recvd: r.I64()}
+	if err := r.Close(); err != nil {
+		return SessionResume{}, err
+	}
+	return s, nil
+}
+
+// EncodeLinkDown packs a terminal peer-link failure report: the device
+// edge whose reconnect budget is exhausted.
+func EncodeLinkDown(from, to int) *Frame {
+	w := NewWriter()
+	w.I32(int32(from))
+	w.I32(int32(to))
+	return &Frame{Kind: KindLinkDown, Dev: NoDev, Step: NoStep, Payload: w.Bytes()}
+}
+
+// DecodeLinkDown unpacks a link-down report into its device edge.
+func DecodeLinkDown(f *Frame) (from, to int, err error) {
+	if f.Kind != KindLinkDown {
+		return 0, 0, fmt.Errorf("wire: expected %v frame, got %v", KindLinkDown, f.Kind)
+	}
+	r := NewReader(f.Payload)
+	from, to = int(r.I32()), int(r.I32())
+	if err := r.Close(); err != nil {
+		return 0, 0, err
+	}
+	return from, to, nil
+}
+
+// EncodeRelay packs a boundary-activation shard crossing a degraded peer
+// edge via the hub: Dev routes to the receiver, the payload names the
+// sending device, and the tensor bytes are identical to the KindPeerInput
+// frame the direct link would have carried.
+func EncodeRelay(sender, receiver, step int32, t *tensor.Tensor) *Frame {
+	w := NewWriter()
+	w.U32(uint32(sender))
+	w.Tensor(t)
+	return &Frame{Kind: KindRelay, Dev: receiver, Step: step, Payload: w.Bytes()}
+}
+
+// RelaySender peeks the sending device of a relay frame without paying
+// for the tensor decode — receivers use it to stash frames by sender.
+func RelaySender(f *Frame) (int, error) {
+	if f.Kind != KindRelay {
+		return 0, fmt.Errorf("wire: expected %v frame, got %v", KindRelay, f.Kind)
+	}
+	r := NewReader(f.Payload)
+	s := int(r.U32())
+	return s, r.Err()
+}
+
+// DecodeRelay unpacks a relayed activation shard into its sending device
+// and tensor.
+func DecodeRelay(f *Frame) (sender int, t *tensor.Tensor, err error) {
+	if f.Kind != KindRelay {
+		return 0, nil, fmt.Errorf("wire: expected %v frame, got %v", KindRelay, f.Kind)
+	}
+	r := NewReader(f.Payload)
+	sender = int(r.U32())
+	t = r.Tensor()
+	if err := r.Close(); err != nil {
+		return 0, nil, err
+	}
+	return sender, t, nil
+}
+
+// EncodeRelayAck packs a degraded-edge activation acknowledgement: Dev
+// routes to the original sender, the payload names the acking receiver.
+func EncodeRelayAck(sender, receiver, step int32) *Frame {
+	w := NewWriter()
+	w.U32(uint32(receiver))
+	return &Frame{Kind: KindRelayAck, Dev: sender, Step: step, Payload: w.Bytes()}
+}
+
+// DecodeRelayAck unpacks a relay acknowledgement into the acking
+// receiver's device rank.
+func DecodeRelayAck(f *Frame) (receiver int, err error) {
+	if f.Kind != KindRelayAck {
+		return 0, fmt.Errorf("wire: expected %v frame, got %v", KindRelayAck, f.Kind)
+	}
+	r := NewReader(f.Payload)
+	receiver = int(r.U32())
+	if err := r.Close(); err != nil {
+		return 0, err
+	}
+	return receiver, nil
 }
 
 // Ring-all-reduce phases carried by KindRingSegment frames.

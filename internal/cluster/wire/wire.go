@@ -42,8 +42,12 @@ const (
 	// plan, so workers distinguish an intentional session supersession
 	// from a failure); version 7 added the transformer workload (the
 	// ModelSpec attention/MLP/sequence geometry and KL temperature, and
-	// the DataSpec kind selecting token-sequence recipes).
-	Version = 7
+	// the DataSpec kind selecting token-sequence recipes); version 8
+	// added the transient-fault absorption plane (RunConfig.Retry, the
+	// Assign session id and degraded-edge list, the PeerHello resume
+	// fields, and the LinkAck / SessionResume / LinkDown / Relay /
+	// RelayAck frames behind resumable links and hub-degraded routing).
+	Version = 8
 
 	headerLen = 16
 	// MaxPayload bounds a frame's payload so a corrupted or adversarial
@@ -140,6 +144,36 @@ const (
 	// the worker ends the session cleanly and stays up for the resumed
 	// placement — not that anything failed.
 	KindRepartition
+	// KindLinkAck is the resumable-link acknowledgement: the cumulative
+	// count of application frames the sender has received on this link.
+	// It is consumed inside transport.Resumable — never counted as an
+	// application frame itself — and lets the far side trim its replay
+	// buffer.
+	KindLinkAck
+	// KindSessionResume re-attaches a redialed control connection to a
+	// live worker session: the session id the coordinator was assigned
+	// and the count of application frames the dialer had received before
+	// the link broke. The worker echoes the frame back with its own
+	// received count, and both sides replay exactly the frames the other
+	// never saw.
+	KindSessionResume
+	// KindLinkDown reports a peer link whose reconnect budget is
+	// exhausted: the payload names the device edge. The coordinator's
+	// fault classifier uses these reports (plus a worker liveness probe)
+	// to degrade the broken edges to hub-relayed routing instead of
+	// consuming a restart-budget unit.
+	KindLinkDown
+	// KindRelay carries a boundary-activation shard for one step across a
+	// degraded peer edge: the sending device ships it to the coordinator,
+	// which forwards it verbatim to the receiving device's session (Dev
+	// is the receiver; the payload names the sender). Bit-identical to
+	// the KindPeerInput frame it replaces.
+	KindRelay
+	// KindRelayAck acknowledges consumption of a relayed activation shard
+	// across a degraded edge (Dev is the original sender, for routing;
+	// the payload names the acking receiver) — the hub-relayed twin of
+	// KindPeerAck.
+	KindRelayAck
 	kindEnd // sentinel: all valid kinds are below this
 )
 
@@ -151,7 +185,9 @@ var kindNames = map[Kind]string{
 	KindBatch: "batch", KindHeartbeat: "heartbeat", KindSnapshot: "snapshot",
 	KindResume: "resume", KindPeerHello: "peer-hello", KindPeerInput: "peer-input",
 	KindRingSegment: "ring-segment", KindPeerAck: "peer-ack", KindSpans: "spans",
-	KindRepartition: "repartition",
+	KindRepartition: "repartition", KindLinkAck: "link-ack",
+	KindSessionResume: "session-resume", KindLinkDown: "link-down",
+	KindRelay: "relay", KindRelayAck: "relay-ack",
 }
 
 func (k Kind) String() string {

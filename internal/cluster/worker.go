@@ -45,6 +45,13 @@ type WorkerConfig struct {
 	Metrics *obs.Metrics
 	// Logf receives progress lines; nil is silent.
 	Logf func(format string, args ...any)
+	// PeerTimeout bounds how long an accepted peer connection waits for
+	// the session hosting its target device to register; zero uses the
+	// 5s default.
+	PeerTimeout time.Duration
+	// MeshTimeout bounds a ring session's whole mesh-establishment phase;
+	// zero uses the 10s default.
+	MeshTimeout time.Duration
 	// Backend, when non-nil, overrides the compute backend for every
 	// device this worker hosts, taking precedence over the backend the
 	// Assign names. Used to model heterogeneous clusters — e.g. wrapping
@@ -76,6 +83,11 @@ type Worker struct {
 	// attempt can never reach a fresh mesh.
 	hostMu sync.Mutex
 	hosts  map[hostKey]*mesh
+
+	// sessions routes redialed control connections (KindSessionResume) to
+	// the live session's resumable link, keyed by the Assign's session id.
+	sessMu   sync.Mutex
+	sessions map[int64]*transport.Resumable
 }
 
 // hostKey identifies one hosted device within one run attempt.
@@ -86,7 +98,22 @@ type hostKey struct {
 
 // NewWorker wraps a bound listener in a worker server.
 func NewWorker(lis transport.Listener, cfg WorkerConfig) *Worker {
-	return &Worker{lis: lis, cfg: cfg, hosts: make(map[hostKey]*mesh)}
+	return &Worker{lis: lis, cfg: cfg, hosts: make(map[hostKey]*mesh),
+		sessions: make(map[int64]*transport.Resumable)}
+}
+
+func (w *Worker) peerTimeout() time.Duration {
+	if w.cfg.PeerTimeout > 0 {
+		return w.cfg.PeerTimeout
+	}
+	return defaultPeerAcceptTimeout
+}
+
+func (w *Worker) meshTimeout() time.Duration {
+	if w.cfg.MeshTimeout > 0 {
+		return w.cfg.MeshTimeout
+	}
+	return defaultMeshTimeout
 }
 
 // Addr returns the listener's bound address.
@@ -178,14 +205,54 @@ func (w *Worker) serveConn(conn transport.Conn) (bool, error) {
 	if err != nil {
 		return true, fmt.Errorf("cluster: reading assign: %w", err)
 	}
-	if first.Kind == wire.KindPeerHello {
+	switch first.Kind {
+	case wire.KindPeerHello:
 		err := w.acceptPeerConn(conn, first)
+		if err != nil {
+			conn.Close()
+		}
+		return false, err
+	case wire.KindSessionResume:
+		// A redialed control connection: ownership goes to the live
+		// session's resumable link, which echoes the handshake and
+		// replays the unacked tail.
+		err := w.adoptSessionConn(conn, first)
 		if err != nil {
 			conn.Close()
 		}
 		return false, err
 	}
 	return true, w.serveSession(conn, first)
+}
+
+// adoptSessionConn re-attaches a redialed coordinator control connection
+// to the session it resumes.
+func (w *Worker) adoptSessionConn(conn transport.Conn, first *wire.Frame) error {
+	sr, err := wire.DecodeSessionResume(first)
+	if err != nil {
+		return err
+	}
+	w.sessMu.Lock()
+	res := w.sessions[sr.Session]
+	w.sessMu.Unlock()
+	if res == nil {
+		return fmt.Errorf("cluster: resume for unknown session %d", sr.Session)
+	}
+	return res.Adopt(conn, sr.Recvd, func(recvd int64) *wire.Frame {
+		return wire.EncodeSessionResume(wire.SessionResume{Session: sr.Session, Recvd: recvd})
+	})
+}
+
+func (w *Worker) registerSession(id int64, res *transport.Resumable) {
+	w.sessMu.Lock()
+	w.sessions[id] = res
+	w.sessMu.Unlock()
+}
+
+func (w *Worker) unregisterSession(id int64) {
+	w.sessMu.Lock()
+	delete(w.sessions, id)
+	w.sessMu.Unlock()
 }
 
 // acceptPeerConn routes an inbound peer connection to the session hosting
@@ -200,11 +267,14 @@ func (w *Worker) acceptPeerConn(conn transport.Conn, first *wire.Frame) error {
 	if err != nil {
 		return fmt.Errorf("cluster: peer link %d->%d: %w", h.From, h.To, err)
 	}
+	if h.Resume {
+		return m.adoptPeer(h, conn)
+	}
 	return m.acceptPeer(h, conn)
 }
 
 func (w *Worker) awaitHost(epoch int64, dev int) (*mesh, error) {
-	deadline := time.Now().Add(peerAcceptTimeout)
+	deadline := time.Now().Add(w.peerTimeout())
 	for {
 		w.hostMu.Lock()
 		m := w.hosts[hostKey{epoch, dev}]
@@ -236,9 +306,6 @@ func (w *Worker) unregisterHosts(epoch int64, devices []*hostedDevice) {
 }
 
 func (w *Worker) serveSession(conn transport.Conn, first *wire.Frame) (err error) {
-	out := newOutbox(conn)
-	defer out.Close()
-
 	var assign *wire.Assign
 	var states map[int]wire.DeviceState
 	switch first.Kind {
@@ -259,6 +326,30 @@ func (w *Worker) serveSession(conn transport.Conn, first *wire.Frame) (err error
 	default:
 		return fmt.Errorf("cluster: session opened with %v, want assign or resume", first.Kind)
 	}
+
+	// Transient-fault absorption: under a retry policy the control link
+	// becomes resumable — the coordinator redials after a break, the
+	// worker's accept path routes the KindSessionResume handshake back
+	// here, and the unacked tail replays. Frame counting starts after the
+	// Assign, identically on both sides.
+	link := conn
+	var res *transport.Resumable
+	if assign.Run.Retry.Enabled() && assign.Session != 0 {
+		res = transport.NewResumable(conn, retryPolicy(assign.Run.Retry), transport.ResumableOptions{
+			Name: fmt.Sprintf("session %d control link", assign.Session),
+			Logf: w.cfg.Logf,
+			OnAbsorb: func(replayed int) {
+				w.cfg.Metrics.Add("link_faults_absorbed", 1)
+				w.cfg.Metrics.Add("link_frames_replayed", int64(replayed))
+			},
+		})
+		link = res
+		w.registerSession(assign.Session, res)
+		defer w.unregisterSession(assign.Session)
+		defer res.Close()
+	}
+	out := newOutbox(link)
+	defer out.Close()
 	// Liveness beacon, when the coordinator asked for one. It starts
 	// before the replica rebuild: device construction (and resume-state
 	// install) can take longer than the silence timeout, and a session
@@ -342,7 +433,7 @@ func (w *Worker) serveSession(conn transport.Conn, first *wire.Frame) (err error
 	routerErr := make(chan error, 1)
 	go func() {
 		for {
-			f, err := conn.Recv()
+			f, err := link.Recv()
 			if err != nil {
 				lost := fmt.Errorf("cluster: session connection lost: %w", err)
 				for _, d := range devices {
@@ -358,6 +449,11 @@ func (w *Worker) serveSession(conn transport.Conn, first *wire.Frame) (err error
 			}
 			switch {
 			case f.Kind == wire.KindDrain:
+				if res != nil {
+					// The coordinator is done with this session; its
+					// imminent close is deliberate, not a fault to absorb.
+					res.Retire()
+				}
 				close(drained)
 				routerErr <- nil
 				return
@@ -590,11 +686,40 @@ func (w *Worker) establishMesh(assign *wire.Assign, devices []*hostedDevice) (*m
 		plan[gi] = groupInfo{devices: g.Devices}
 	}
 	m := newMesh(assign.Epoch, assign.Peers)
+	if assign.Run.Retry.Enabled() {
+		m.retry = assign.Run.Retry
+		m.net = w.cfg.Dial
+		m.logf = w.cfg.Logf
+		m.onAbsorb = func(replayed int) {
+			w.cfg.Metrics.Add("link_faults_absorbed", 1)
+			w.cfg.Metrics.Add("link_frames_replayed", int64(replayed))
+		}
+		// A peer link whose reconnect budget is exhausted is reported to
+		// the coordinator so it can degrade the edge to hub relay instead
+		// of burning a restart. The session outbox is safe to use from the
+		// reader goroutine: Enqueue never blocks.
+		sessionOut := devices[0].link.out
+		m.linkDown = func(local, remote int) {
+			w.cfg.Metrics.Add("peer_links_down", 1)
+			w.logf("peer link %d<->%d exhausted its reconnect budget; reporting for degrade", local, remote)
+			sessionOut.Enqueue(wire.EncodeLinkDown(local, remote))
+		}
+	}
+	// Degraded edges never dial: their traffic crosses the coordinator
+	// hub relay instead.
+	degraded := make(map[pairKey]bool)
+	for _, e := range assign.DegradedEdges() {
+		degraded[pairKey{e[0], e[1]}] = true
+		degraded[pairKey{e[1], e[0]}] = true
+	}
 	type dialTask struct{ local, remote int }
 	var dials []dialTask
 	for _, d := range devices {
 		local := int(d.rank)
 		for _, remote := range peerRemotes(plan, local) {
+			if degraded[pairKey{local, remote}] {
+				continue
+			}
 			if local > remote {
 				dials = append(dials, dialTask{local, remote})
 			} else {
@@ -606,7 +731,7 @@ func (w *Worker) establishMesh(assign *wire.Assign, devices []*hostedDevice) (*m
 	// concurrently must each find the other's hosts already routable, or
 	// the dial phases could mutually time out.
 	w.registerHosts(assign.Epoch, devices, m)
-	deadline := time.Now().Add(meshTimeout)
+	deadline := time.Now().Add(w.meshTimeout())
 	for _, dl := range dials {
 		if _, err := m.dialPeer(w.cfg.Dial, dl.local, dl.remote, deadline); err != nil {
 			w.unregisterHosts(assign.Epoch, devices)
@@ -633,13 +758,35 @@ func (w *Worker) establishMesh(assign *wire.Assign, devices []*hostedDevice) (*m
 		local := int(d.rank)
 		group, prev, next := peerSets(plan, local)
 		peers := make(map[int]*peerEndpoint)
+		var degSet map[int]bool
 		for _, remote := range peerRemotes(plan, local) {
+			if degraded[pairKey{local, remote}] {
+				if degSet == nil {
+					degSet = make(map[int]bool)
+				}
+				degSet[remote] = true
+				continue
+			}
 			peers[remote] = m.endpoint(local, remote)
+		}
+		// Any degraded edge inside the group pulls every member's
+		// all-reduce back to the coordinator fold — the group must agree
+		// on the path, and members off the broken edge can't know their
+		// siblings lost it.
+		groupHub := false
+		for i := 0; i < len(group) && !groupHub; i++ {
+			for j := i + 1; j < len(group); j++ {
+				if degraded[pairKey{group[i], group[j]}] {
+					groupHub = true
+					break
+				}
+			}
 		}
 		d.ring = &ringLink{clusterLink: d.link, gi: d.member.Group,
 			rank: d.member.Rank, k: d.member.GroupSize,
 			group: group, prev: prev, next: next,
-			peers: peers, window: window}
+			peers: peers, window: window,
+			degraded: degSet, groupHub: groupHub}
 		if d.member.Group == 0 {
 			d.ring.inputs = g0Inputs
 		}
